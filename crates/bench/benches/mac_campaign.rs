@@ -1,0 +1,47 @@
+//! Macro benchmarks of the evaluation layer: how fast a simulated iperf
+//! second runs, and the cost of a full detection-probability point — the
+//! quantities that determine how long the figure regeneration takes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rjam_core::campaign::{scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission};
+use rjam_core::DetectionPreset;
+use rjam_mac::run_scenario;
+use std::hint::black_box;
+
+fn bench_iperf_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iperf_sim");
+    group.sample_size(10);
+    for (label, jut, sir) in [
+        ("clean", JammerUnderTest::Off, 60.0),
+        ("continuous_20db", JammerUnderTest::Continuous, 20.0),
+        ("reactive_long_20db", JammerUnderTest::ReactiveLong, 20.0),
+    ] {
+        group.bench_function(BenchmarkId::new("one_second", label), |b| {
+            b.iter(|| {
+                let sc = scenario_for(jut, sir, 1.0, 77);
+                black_box(run_scenario(black_box(&sc)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_detection_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_sweep");
+    group.sample_size(10);
+    group.bench_function("short_preamble_20_frames_one_snr", |b| {
+        b.iter(|| {
+            black_box(wifi_detection_sweep(
+                &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+                WifiEmission::FullFrames { psdu_len: 100 },
+                &[5.0],
+                20,
+                99,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iperf_second, bench_detection_point);
+criterion_main!(benches);

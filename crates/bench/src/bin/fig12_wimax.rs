@@ -1,0 +1,55 @@
+//! Fig. 12 / §5 — reactive jamming of mobile WiMAX downlink frames.
+//!
+//! Detects Air4G-model 802.16e TDD downlink frames (Cell ID 1, segment 0)
+//! at 25 MSPS with (a) the 64-sample cross-correlator alone and (b) the
+//! correlator fused (OR) with the energy differentiator, then verifies the
+//! one-to-one correspondence between downlink frames and jamming bursts
+//! that the paper demonstrates on an oscilloscope.
+//!
+//! ```sh
+//! cargo run --release -p rjam-bench --bin fig12_wimax [-- --frames 20]
+//! ```
+
+use rjam_bench::{figure_header, Args};
+use rjam_core::campaign::wimax_detection;
+
+fn main() {
+    let args = Args::parse();
+    let frames: usize = args.get("frames", 20);
+    let snr: f64 = args.get("snr", 20.0);
+    figure_header(
+        "Fig. 12",
+        "Reactive jamming of WiMAX downlink packets (Airspan Air4G model)",
+        "xcorr alone misses ~2/3 of frames; xcorr OR energy detects 100% \
+         with one-to-one jam bursts",
+    );
+
+    println!(
+        "{:<34} {:>10} {:>14} {:>8}",
+        "detector", "P(det)", "latency (us)", "1:1?"
+    );
+    for (label, fused, thr) in [
+        ("xcorr alone (FA-calibrated thr)", false, 0.45),
+        ("xcorr alone (strict threshold)", false, 0.62),
+        ("xcorr OR energy (fused)", true, 0.45),
+    ] {
+        let r = wimax_detection(fused, frames, snr, thr, 0xF12);
+        println!(
+            "{:<34} {:>10.2} {:>14.1} {:>8}",
+            label,
+            r.detect_fraction,
+            r.mean_latency_us,
+            if r.one_to_one { "yes" } else { "no" }
+        );
+    }
+
+    let fused = wimax_detection(true, frames.min(8), snr, 0.45, 0xF12);
+    println!("\nscope capture (envelope + frame/jam markers), first {} frames:", frames.min(8));
+    print!("{}", fused.scope.render_ascii(100, 5));
+    println!(
+        "\nNote: our host resamples correlator templates to 25 MSPS before 3-bit\n\
+         quantization, so the correlator alone already detects nearly all frames;\n\
+         the paper's ~2/3 misdetection (rate-mismatched correlation) is approximated\n\
+         by the strict-threshold row. Fusion reaches 100% in both implementations."
+    );
+}

@@ -1,0 +1,98 @@
+//! Fig. 6 — cross-correlation detection of the WiFi **long** preamble vs
+//! SNR, for single-preamble pseudo-frames and full WiFi frames, at two
+//! false-alarm operating points.
+//!
+//! Methodology follows §3.2: thresholds are first calibrated on noise-only
+//! input to the two FA rates the paper quotes (0.083 and 0.52 triggers/s,
+//! extrapolated from a long noise run), then detection probability is
+//! counted over `--frames` transmissions per SNR point.
+//!
+//! ```sh
+//! cargo run --release -p rjam-bench --bin fig6_long_preamble [-- --frames 500 --fa-samples 20000000]
+//! ```
+
+use rjam_bench::{figure_header, Args};
+use rjam_core::campaign::{false_alarm_rate, wifi_detection_sweep, WifiEmission};
+use rjam_core::DetectionPreset;
+
+/// Measures the FA rate at a ladder of thresholds (in parallel) and picks
+/// two operating points: a strict one with (near-)zero measured FA and the
+/// loosest one whose FA stays within a few triggers per second — the two
+/// regimes the paper's 0.083/s and 0.52/s settings represent.
+fn calibrate_thresholds(fa_samples: usize) -> ((f64, f64), (f64, f64)) {
+    let candidates: Vec<f64> = (0..10).map(|k| 0.24 + 0.02 * k as f64).collect();
+    let mut rates = vec![0.0f64; candidates.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &frac) in candidates.iter().enumerate() {
+            handles.push((i, scope.spawn(move || {
+                false_alarm_rate(
+                    &DetectionPreset::WifiLongPreamble { threshold: frac },
+                    fa_samples,
+                    0xFA,
+                )
+            })));
+        }
+        for (i, h) in handles {
+            rates[i] = h.join().expect("fa worker");
+        }
+    });
+    let strict_idx = rates
+        .iter()
+        .position(|&fa| fa < 0.1)
+        .unwrap_or(candidates.len() - 1);
+    // The loose point: highest FA not exceeding ~5/s, below the strict one.
+    let loose_idx = (0..strict_idx)
+        .rev()
+        .find(|&i| rates[i] > 0.1 && rates[i] <= 5.0)
+        .unwrap_or(strict_idx.saturating_sub(1));
+    (
+        (candidates[loose_idx], rates[loose_idx]),
+        (candidates[strict_idx], rates[strict_idx]),
+    )
+}
+
+fn main() {
+    let args = Args::parse();
+    let frames: usize = args.get("frames", 200);
+    let fa_samples: usize = args.get("fa-samples", 8_000_000);
+    figure_header(
+        "Fig. 6",
+        "Cross-correlator detection probability - WiFi long preamble",
+        "single LTS ~50% above 5 dB SNR; full frames >75%; FA 0.083 and 0.52/s",
+    );
+
+    let snrs: Vec<f64> = (-4..=8).map(|k| k as f64 * 2.0).collect();
+    let (loose, strict) = calibrate_thresholds(fa_samples);
+    for ((frac, measured_fa), regime) in [(loose, "higher-FA"), (strict, "low-FA")] {
+        println!(
+            "\n--- {regime} operating point: threshold {frac:.2} x ideal peak (measured FA {measured_fa:.3}/s) ---"
+        );
+        let preset = DetectionPreset::WifiLongPreamble { threshold: frac };
+        let single = wifi_detection_sweep(
+            &preset,
+            WifiEmission::SingleLongPreamble,
+            &snrs,
+            frames,
+            61,
+        );
+        let full = wifi_detection_sweep(
+            &preset,
+            WifiEmission::FullFrames { psdu_len: 100 },
+            &snrs,
+            frames,
+            62,
+        );
+        println!(
+            "{:>10} {:>18} {:>18}",
+            "SNR (dB)", "P(det) single LTS", "P(det) full frame"
+        );
+        for (s, f) in single.iter().zip(full.iter()) {
+            println!("{:>10.1} {:>18.3} {:>18.3}", s.snr_db, s.p_detect, f.p_detect);
+        }
+    }
+    println!(
+        "\n({frames} frames/point; the 20->25 MSPS rate mismatch and random per-frame\n\
+         sampling phase are modeled; see EXPERIMENTS.md for paper-vs-measured notes.)"
+    );
+}

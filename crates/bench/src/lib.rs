@@ -1,0 +1,83 @@
+//! # rjam-bench — evaluation harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus
+//! Criterion micro/macro benchmarks (see `benches/`). Figure binaries print
+//! the same rows/series the paper reports; EXPERIMENTS.md records
+//! paper-vs-measured for each.
+//!
+//! Every binary accepts `--frames N` / `--seconds S` / `--samples N` style
+//! overrides (parsed by [`Args`]) so the default quick runs can be scaled
+//! up to the paper's full sample counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Minimal `--key value` argument parser for the figure binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    pairs: Vec<(String, String)>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            if let Some(key) = argv[i].strip_prefix("--") {
+                if i + 1 < argv.len() {
+                    pairs.push((key.to_string(), argv[i + 1].clone()));
+                    i += 2;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        Args { pairs }
+    }
+
+    /// Fetches a numeric option with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+/// Prints a standard figure header.
+pub fn figure_header(id: &str, title: &str, paper_note: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("paper: {paper_note}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_with_default() {
+        let args = Args { pairs: vec![("frames".into(), "250".into())] };
+        assert_eq!(args.get("frames", 100usize), 250);
+        assert_eq!(args.get("seconds", 5.0f64), 5.0);
+    }
+
+    #[test]
+    fn last_occurrence_wins() {
+        let args = Args {
+            pairs: vec![("n".into(), "1".into()), ("n".into(), "2".into())],
+        };
+        assert_eq!(args.get("n", 0u32), 2);
+    }
+
+    #[test]
+    fn unparsable_falls_back() {
+        let args = Args { pairs: vec![("n".into(), "abc".into())] };
+        assert_eq!(args.get("n", 7u32), 7);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed and variable attenuators.
+//!
+//! The testbed (paper Fig. 9) places 20 dB pads on the AP and client ports to
+//! emulate over-the-air path loss and prevent receiver saturation, and a
+//! variable attenuator on the jammer TX port to sweep SIR. Attenuation acts
+//! on amplitude: a loss of `L` dB scales the waveform by `10^(-L/20)`.
+
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::power::db_to_amplitude;
+
+/// A fixed attenuator of `loss_db` decibels.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Attenuator {
+    loss_db: f64,
+}
+
+impl Attenuator {
+    /// Creates an attenuator; `loss_db` must be non-negative (a pad cannot
+    /// amplify).
+    ///
+    /// # Panics
+    /// Panics on a negative loss.
+    pub fn new(loss_db: f64) -> Self {
+        assert!(loss_db >= 0.0, "attenuation must be non-negative, got {loss_db}");
+        Attenuator { loss_db }
+    }
+
+    /// Configured loss in dB.
+    pub fn loss_db(&self) -> f64 {
+        self.loss_db
+    }
+
+    /// Amplitude gain factor (< 1) applied to the waveform.
+    pub fn gain(&self) -> f64 {
+        db_to_amplitude(-self.loss_db)
+    }
+
+    /// Applies the attenuation to one sample.
+    #[inline]
+    pub fn apply_sample(&self, s: Cf64) -> Cf64 {
+        s.scale(self.gain())
+    }
+
+    /// Applies the attenuation to a waveform in place.
+    pub fn apply(&self, buf: &mut [Cf64]) {
+        let g = self.gain();
+        for s in buf.iter_mut() {
+            *s = s.scale(g);
+        }
+    }
+}
+
+/// A step-settable variable attenuator (the SIR sweep control of Figs 10-11).
+#[derive(Clone, Debug)]
+pub struct VariableAttenuator {
+    loss_db: f64,
+    min_db: f64,
+    max_db: f64,
+    step_db: f64,
+}
+
+impl VariableAttenuator {
+    /// Creates a variable attenuator covering `[min_db, max_db]` in steps of
+    /// `step_db`, initially set to `min_db`.
+    ///
+    /// # Panics
+    /// Panics if the range is inverted or the step is non-positive.
+    pub fn new(min_db: f64, max_db: f64, step_db: f64) -> Self {
+        assert!(min_db >= 0.0 && max_db >= min_db, "invalid attenuation range");
+        assert!(step_db > 0.0, "step must be positive");
+        VariableAttenuator { loss_db: min_db, min_db, max_db, step_db }
+    }
+
+    /// Current setting in dB.
+    pub fn loss_db(&self) -> f64 {
+        self.loss_db
+    }
+
+    /// Sets the attenuation, snapping to the step grid and clamping to range.
+    pub fn set(&mut self, loss_db: f64) -> f64 {
+        let snapped = ((loss_db - self.min_db) / self.step_db).round() * self.step_db + self.min_db;
+        self.loss_db = snapped.clamp(self.min_db, self.max_db);
+        self.loss_db
+    }
+
+    /// Current amplitude gain factor.
+    pub fn gain(&self) -> f64 {
+        db_to_amplitude(-self.loss_db)
+    }
+
+    /// Applies the current setting to a waveform in place.
+    pub fn apply(&self, buf: &mut [Cf64]) {
+        let g = self.gain();
+        for s in buf.iter_mut() {
+            *s = s.scale(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::power::mean_power;
+
+    #[test]
+    fn twenty_db_pad_drops_power_100x() {
+        let pad = Attenuator::new(20.0);
+        let mut buf = vec![Cf64::new(1.0, 0.0); 100];
+        pad.apply(&mut buf);
+        assert!((mean_power(&buf) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_db_is_identity() {
+        let pad = Attenuator::new(0.0);
+        let s = Cf64::new(0.3, -0.4);
+        assert_eq!(pad.apply_sample(s), s);
+    }
+
+    #[test]
+    fn attenuators_compose() {
+        let a = Attenuator::new(10.0);
+        let b = Attenuator::new(10.0);
+        let c = Attenuator::new(20.0);
+        let s = Cf64::new(1.0, 0.0);
+        let two_step = b.apply_sample(a.apply_sample(s));
+        let one_step = c.apply_sample(s);
+        assert!((two_step - one_step).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_gain() {
+        let _ = Attenuator::new(-3.0);
+    }
+
+    #[test]
+    fn variable_snaps_and_clamps() {
+        let mut v = VariableAttenuator::new(0.0, 60.0, 1.0);
+        assert_eq!(v.set(10.4), 10.0);
+        assert_eq!(v.set(10.6), 11.0);
+        assert_eq!(v.set(99.0), 60.0);
+        assert_eq!(v.set(-5.0), 0.0);
+    }
+
+    #[test]
+    fn variable_gain_tracks_setting() {
+        let mut v = VariableAttenuator::new(0.0, 40.0, 0.5);
+        v.set(6.0);
+        let mut buf = vec![Cf64::new(1.0, 0.0); 10];
+        v.apply(&mut buf);
+        let p = mean_power(&buf);
+        assert!((p - rjam_sdr::power::db_to_lin(-6.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Multipath fading channels (toward the paper's over-the-air future work).
+//!
+//! The paper evaluates in a cabled network "to isolate environmental
+//! effects"; taking the platform over the air adds frequency-selective
+//! multipath. This module provides a tapped-delay-line model with Rayleigh
+//! or Rician tap statistics (IEEE 802.11 TGn-style exponential power-delay
+//! profiles), so detection and jamming campaigns can be re-run under
+//! realistic indoor channels.
+
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::rng::Rng;
+
+/// A static (per-packet) tapped-delay-line channel realization.
+///
+/// ```
+/// use rjam_channel::MultipathChannel;
+/// use rjam_sdr::rng::Rng;
+/// let mut rng = Rng::seed_from(7);
+/// let ch = MultipathChannel::rayleigh(6, 1.5, &mut rng);
+/// assert!((ch.energy() - 1.0).abs() < 1e-9); // normalized realization
+/// let faded = ch.apply(&[rjam_sdr::complex::Cf64::ONE; 100]);
+/// assert_eq!(faded.len(), 100 + ch.n_taps() - 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultipathChannel {
+    /// Complex tap gains; tap `k` applies at a delay of `k` samples.
+    taps: Vec<Cf64>,
+}
+
+impl MultipathChannel {
+    /// Builds a channel directly from tap gains.
+    ///
+    /// # Panics
+    /// Panics on an empty tap vector.
+    pub fn from_taps(taps: Vec<Cf64>) -> Self {
+        assert!(!taps.is_empty(), "channel needs at least one tap");
+        MultipathChannel { taps }
+    }
+
+    /// A flat (single-tap, unit-gain) channel.
+    pub fn flat() -> Self {
+        MultipathChannel { taps: vec![Cf64::ONE] }
+    }
+
+    /// Draws a Rayleigh-fading realization with an exponential power-delay
+    /// profile: `n_taps` taps, RMS delay spread `rms_taps` (in samples),
+    /// normalized to unit average energy.
+    pub fn rayleigh(n_taps: usize, rms_taps: f64, rng: &mut Rng) -> Self {
+        assert!(n_taps > 0 && rms_taps > 0.0);
+        let mut taps = Vec::with_capacity(n_taps);
+        let mut energy = 0.0;
+        for k in 0..n_taps {
+            let p = (-(k as f64) / rms_taps).exp();
+            let sigma = (p / 2.0).sqrt();
+            let tap = Cf64::new(rng.gaussian() * sigma, rng.gaussian() * sigma);
+            energy += tap.norm_sq();
+            taps.push(tap);
+        }
+        let k = 1.0 / energy.sqrt().max(1e-30);
+        for t in taps.iter_mut() {
+            *t = t.scale(k);
+        }
+        MultipathChannel { taps }
+    }
+
+    /// Draws a Rician realization: a deterministic line-of-sight component
+    /// of power `k_factor/(k_factor+1)` on tap 0 plus Rayleigh scatter.
+    pub fn rician(n_taps: usize, rms_taps: f64, k_factor: f64, rng: &mut Rng) -> Self {
+        assert!(k_factor >= 0.0);
+        let scatter = Self::rayleigh(n_taps, rms_taps, rng);
+        let los_amp = (k_factor / (k_factor + 1.0)).sqrt();
+        let scatter_amp = (1.0 / (k_factor + 1.0)).sqrt();
+        let mut taps: Vec<Cf64> = scatter.taps.iter().map(|t| t.scale(scatter_amp)).collect();
+        taps[0] += Cf64::from_angle(rng.uniform() * std::f64::consts::TAU).scale(los_amp);
+        MultipathChannel { taps }
+    }
+
+    /// Number of taps (delay spread + 1 in samples).
+    pub fn n_taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Total channel energy (1.0 for normalized realizations).
+    pub fn energy(&self) -> f64 {
+        self.taps.iter().map(|t| t.norm_sq()).sum()
+    }
+
+    /// Applies the channel to a waveform (linear convolution, output length
+    /// `input.len() + n_taps - 1`).
+    pub fn apply(&self, input: &[Cf64]) -> Vec<Cf64> {
+        let mut out = vec![Cf64::ZERO; input.len() + self.taps.len() - 1];
+        for (i, &x) in input.iter().enumerate() {
+            for (j, &h) in self.taps.iter().enumerate() {
+                out[i + j] += x * h;
+            }
+        }
+        out
+    }
+
+    /// Frequency response at normalized frequency `f` (cycles/sample).
+    pub fn response(&self, f: f64) -> Cf64 {
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(k, &h)| h * Cf64::from_angle(-std::f64::consts::TAU * f * k as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::power::mean_power;
+
+    #[test]
+    fn flat_channel_is_identity() {
+        let ch = MultipathChannel::flat();
+        let x = vec![Cf64::new(0.5, -0.25); 10];
+        let y = ch.apply(&x);
+        assert_eq!(y.len(), 10);
+        for (a, b) in x.iter().zip(y.iter()) {
+            assert!((*a - *b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn rayleigh_normalized_energy() {
+        let mut rng = Rng::seed_from(10);
+        for _ in 0..20 {
+            let ch = MultipathChannel::rayleigh(8, 2.0, &mut rng);
+            assert!((ch.energy() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rician_k_factor_concentrates_tap0() {
+        let mut rng = Rng::seed_from(11);
+        let mut tap0_power = 0.0;
+        let trials = 200;
+        for _ in 0..trials {
+            let ch = MultipathChannel::rician(8, 2.0, 10.0, &mut rng);
+            tap0_power += ch.taps[0].norm_sq() / ch.energy();
+        }
+        tap0_power /= trials as f64;
+        assert!(tap0_power > 0.8, "K=10 LOS share {tap0_power}");
+    }
+
+    #[test]
+    fn average_power_preserved_over_realizations() {
+        let mut rng = Rng::seed_from(12);
+        let x: Vec<Cf64> = (0..2000)
+            .map(|t| Cf64::from_angle(0.1 * t as f64).scale(0.3))
+            .collect();
+        let p_in = mean_power(&x);
+        let mut p_out = 0.0;
+        let trials = 400;
+        for _ in 0..trials {
+            let ch = MultipathChannel::rayleigh(6, 1.5, &mut rng);
+            p_out += mean_power(&ch.apply(&x)[..x.len()]);
+        }
+        p_out /= trials as f64;
+        // A tone sees |H(f0)|^2, unit-mean but high-variance across
+        // realizations; averaging over many draws recovers the mean.
+        assert!((p_out / p_in - 1.0).abs() < 0.15, "ratio {}", p_out / p_in);
+    }
+
+    #[test]
+    fn frequency_selectivity_appears_with_delay_spread() {
+        let mut rng = Rng::seed_from(13);
+        let ch = MultipathChannel::rayleigh(12, 3.0, &mut rng);
+        // Response magnitude must vary across the band.
+        let mags: Vec<f64> = (0..32)
+            .map(|k| ch.response(k as f64 / 64.0 - 0.25).abs())
+            .collect();
+        let max = mags.iter().cloned().fold(0.0, f64::max);
+        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min.max(1e-12) > 2.0, "selectivity {max}/{min}");
+    }
+
+    #[test]
+    fn ofdm_survives_mild_multipath() {
+        // Delay spread within the 16-sample cyclic prefix: the reference
+        // receiver equalizes it and decodes.
+        let mut rng = Rng::seed_from(14);
+        let mut psdu = vec![0u8; 80];
+        for (i, b) in psdu.iter_mut().enumerate() {
+            *b = (i * 7) as u8;
+        }
+        let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu.clone());
+        let wave = rjam_phy80211::tx::modulate_frame(&frame);
+        for _ in 0..5 {
+            let ch = MultipathChannel::rayleigh(6, 1.5, &mut rng);
+            let faded = ch.apply(&wave);
+            if let Ok(d) = rjam_phy80211::rx::decode_frame(&faded, 0) {
+                if d.psdu == psdu {
+                    return; // at least one realization decodes cleanly
+                }
+            }
+        }
+        panic!("no realization decoded; equalizer or channel model broken");
+    }
+}

@@ -1,0 +1,35 @@
+//! # rjam-channel — the wired RF plant of the evaluation testbed
+//!
+//! The paper evaluates its jammer in a *conducted* (cabled) environment: a
+//! 5-port power-splitter interconnect with 20 dB pads on the AP and client
+//! ports, a variable attenuator on the jammer transmit port, and an
+//! oscilloscope on a monitor port (paper Fig. 9 and Table 1). Because the
+//! plant is entirely linear and characterized by an insertion-loss matrix,
+//! it can be modeled exactly:
+//!
+//! * [`noise`] — complex AWGN sources and noise-floor bookkeeping;
+//! * [`atten`] — fixed and variable attenuators;
+//! * [`fiveport`] — the 5-port network with the paper's Table 1 S-matrix and
+//!   a VNA-style characterization routine that re-measures it;
+//! * [`combine`] — time-aligned multi-emitter combining at a receive port,
+//!   with SNR/SIR accounting;
+//! * [`monitor`] — a scope-like tap that records waveforms and event markers
+//!   and renders ASCII envelope traces (the software stand-in for the
+//!   paper's Fig. 12 oscilloscope capture).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atten;
+pub mod combine;
+pub mod fading;
+pub mod fiveport;
+pub mod monitor;
+pub mod noise;
+
+pub use atten::{Attenuator, VariableAttenuator};
+pub use fading::MultipathChannel;
+pub use combine::{Emission, PortReceiver};
+pub use fiveport::{FivePortNetwork, Port};
+pub use monitor::ScopeTrace;
+pub use noise::NoiseSource;

@@ -1,0 +1,243 @@
+//! Oscilloscope-style monitor tap.
+//!
+//! Port 3 of the paper's network feeds an oscilloscope used for the WiMAX
+//! validation (Fig. 12): the authors show the downlink frames and the jammer
+//! bursts in one-to-one correspondence in the time domain. [`ScopeTrace`]
+//! plays the same role in software — it records an envelope, accepts event
+//! markers (packet starts, trigger instants, jam bursts), can assert on
+//! their correspondence and renders an ASCII trace for examples and docs.
+
+use rjam_sdr::complex::Cf64;
+
+/// A named event marker on the trace timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Marker {
+    /// Sample index the event occurred at.
+    pub at: usize,
+    /// Event label, e.g. `"frame"`, `"trigger"`, `"jam"`.
+    pub label: String,
+}
+
+/// A recorded time-domain trace with event markers.
+#[derive(Clone, Debug, Default)]
+pub struct ScopeTrace {
+    envelope: Vec<f64>,
+    markers: Vec<Marker>,
+    sample_rate: f64,
+}
+
+impl ScopeTrace {
+    /// Creates an empty trace at the given sample rate (Hz).
+    pub fn new(sample_rate: f64) -> Self {
+        ScopeTrace { envelope: Vec::new(), markers: Vec::new(), sample_rate }
+    }
+
+    /// Records a waveform's magnitude envelope.
+    pub fn capture(&mut self, waveform: &[Cf64]) {
+        self.envelope.extend(waveform.iter().map(|s| s.abs()));
+    }
+
+    /// Appends a marker at an absolute sample index.
+    pub fn mark(&mut self, at: usize, label: &str) {
+        self.markers.push(Marker { at, label: label.to_string() });
+    }
+
+    /// Recorded length in samples.
+    pub fn len(&self) -> usize {
+        self.envelope.len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.envelope.is_empty()
+    }
+
+    /// Sample rate of the capture.
+    pub fn sample_rate(&self) -> f64 {
+        self.sample_rate
+    }
+
+    /// All markers with a given label, in time order.
+    pub fn markers_labeled(&self, label: &str) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .markers
+            .iter()
+            .filter(|m| m.label == label)
+            .map(|m| m.at)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Checks one-to-one correspondence between two marker families: every
+    /// `a` marker must be followed by exactly one `b` marker within
+    /// `window` samples, and no `b` marker may be unmatched. Returns the
+    /// matched pairs or a description of the first violation.
+    ///
+    /// This is the software form of the paper's Fig. 12 claim: "our jamming
+    /// signal in real time with a one-to-one correspondence to the WiMAX
+    /// downlink frames".
+    pub fn correspondence(
+        &self,
+        a_label: &str,
+        b_label: &str,
+        window: usize,
+    ) -> Result<Vec<(usize, usize)>, String> {
+        let a = self.markers_labeled(a_label);
+        let b = self.markers_labeled(b_label);
+        let mut pairs = Vec::new();
+        let mut bi = 0usize;
+        for &ai in &a {
+            // Skip any b markers that precede this a (they would be spurious).
+            while bi < b.len() && b[bi] < ai {
+                return Err(format!(
+                    "unmatched '{b_label}' at sample {} before '{a_label}' at {}",
+                    b[bi], ai
+                ));
+            }
+            if bi >= b.len() || b[bi] > ai + window {
+                return Err(format!(
+                    "'{a_label}' at sample {ai} has no '{b_label}' within {window} samples"
+                ));
+            }
+            pairs.push((ai, b[bi]));
+            bi += 1;
+        }
+        if bi != b.len() {
+            return Err(format!(
+                "{} extra '{b_label}' markers after the last '{a_label}'",
+                b.len() - bi
+            ));
+        }
+        Ok(pairs)
+    }
+
+    /// Renders an ASCII scope view: `width` columns, each showing the peak
+    /// envelope of its time bucket on a `height`-row vertical scale, with
+    /// marker lanes underneath.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        if self.envelope.is_empty() || width == 0 || height == 0 {
+            return String::from("(empty trace)\n");
+        }
+        let bucket = self.envelope.len().div_ceil(width);
+        let cols: Vec<f64> = (0..width)
+            .map(|c| {
+                let lo = c * bucket;
+                let hi = ((c + 1) * bucket).min(self.envelope.len());
+                if lo >= hi {
+                    0.0
+                } else {
+                    self.envelope[lo..hi].iter().cloned().fold(0.0, f64::max)
+                }
+            })
+            .collect();
+        let peak = cols.iter().cloned().fold(0.0, f64::max).max(1e-30);
+        let mut out = String::new();
+        for row in (1..=height).rev() {
+            let thresh = row as f64 / height as f64;
+            for &c in &cols {
+                out.push(if c / peak >= thresh { '#' } else { ' ' });
+            }
+            out.push('\n');
+        }
+        // Marker lanes: one row per distinct label.
+        let mut labels: Vec<String> = self.markers.iter().map(|m| m.label.clone()).collect();
+        labels.sort();
+        labels.dedup();
+        for label in labels {
+            let mut lane = vec![' '; width];
+            for &at in &self.markers_labeled(&label) {
+                let col = (at / bucket).min(width - 1);
+                lane[col] = '^';
+            }
+            out.extend(lane);
+            out.push(' ');
+            out.push_str(&label);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(len: usize, amp: f64) -> Vec<Cf64> {
+        vec![Cf64::new(amp, 0.0); len]
+    }
+
+    #[test]
+    fn capture_accumulates() {
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(10, 0.5));
+        t.capture(&burst(5, 1.0));
+        assert_eq!(t.len(), 15);
+    }
+
+    #[test]
+    fn markers_sorted_and_filtered() {
+        let mut t = ScopeTrace::new(25e6);
+        t.mark(50, "jam");
+        t.mark(10, "frame");
+        t.mark(20, "jam");
+        assert_eq!(t.markers_labeled("jam"), vec![20, 50]);
+        assert_eq!(t.markers_labeled("frame"), vec![10]);
+        assert!(t.markers_labeled("nothing").is_empty());
+    }
+
+    #[test]
+    fn correspondence_one_to_one_ok() {
+        let mut t = ScopeTrace::new(25e6);
+        for k in 0..5 {
+            t.mark(k * 1000, "frame");
+            t.mark(k * 1000 + 70, "jam");
+        }
+        let pairs = t.correspondence("frame", "jam", 100).unwrap();
+        assert_eq!(pairs.len(), 5);
+        assert!(pairs.iter().all(|(f, j)| j - f == 70));
+    }
+
+    #[test]
+    fn correspondence_detects_missing_jam() {
+        let mut t = ScopeTrace::new(25e6);
+        t.mark(0, "frame");
+        t.mark(70, "jam");
+        t.mark(1000, "frame"); // no jam follows
+        let err = t.correspondence("frame", "jam", 100).unwrap_err();
+        assert!(err.contains("no 'jam'"), "{err}");
+    }
+
+    #[test]
+    fn correspondence_detects_spurious_jam() {
+        let mut t = ScopeTrace::new(25e6);
+        t.mark(0, "frame");
+        t.mark(70, "jam");
+        t.mark(500, "jam"); // extra burst, no frame
+        let err = t.correspondence("frame", "jam", 100).unwrap_err();
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(50, 0.1));
+        t.capture(&burst(50, 1.0));
+        t.mark(75, "jam");
+        let art = t.render_ascii(20, 4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 5); // 4 signal rows + 1 marker lane
+        // The second half of the top row should contain '#', the first not.
+        let top = lines[0];
+        assert!(!top[..10].contains('#'));
+        assert!(top[10..].contains('#'));
+        assert!(lines[4].contains('^'));
+        assert!(lines[4].ends_with("jam"));
+    }
+
+    #[test]
+    fn empty_render() {
+        let t = ScopeTrace::new(25e6);
+        assert_eq!(t.render_ascii(10, 3), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,135 @@
+//! Additive white Gaussian noise sources.
+//!
+//! The conducted testbed's only stochastic impairment is thermal noise at
+//! each receiver. Noise power is expressed relative to digital full scale
+//! (dBFS), matching how the paper reports SNR "at RX" after the fixed-gain
+//! front end.
+
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::power::db_to_lin;
+use rjam_sdr::rng::Rng;
+
+/// A complex AWGN generator with configurable mean power.
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    rng: Rng,
+    /// Per-component standard deviation such that E[|n|^2] = power.
+    sigma: f64,
+    power: f64,
+}
+
+impl NoiseSource {
+    /// Creates a source with the given total complex noise power (linear,
+    /// relative to full scale 1.0).
+    ///
+    /// # Panics
+    /// Panics if `power` is negative.
+    pub fn new(power: f64, rng: Rng) -> Self {
+        assert!(power >= 0.0, "noise power cannot be negative");
+        NoiseSource { rng, sigma: (power / 2.0).sqrt(), power }
+    }
+
+    /// Creates a source from a noise floor in dBFS.
+    pub fn from_dbfs(dbfs: f64, rng: Rng) -> Self {
+        NoiseSource::new(db_to_lin(dbfs), rng)
+    }
+
+    /// Configured mean noise power.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Draws one noise sample.
+    #[inline]
+    pub fn next(&mut self) -> Cf64 {
+        Cf64::new(
+            self.rng.gaussian() * self.sigma,
+            self.rng.gaussian() * self.sigma,
+        )
+    }
+
+    /// Generates a block of noise.
+    pub fn block(&mut self, n: usize) -> Vec<Cf64> {
+        (0..n).map(|_| self.next()).collect()
+    }
+
+    /// Adds noise to a waveform in place.
+    pub fn corrupt(&mut self, buf: &mut [Cf64]) {
+        for s in buf.iter_mut() {
+            *s += self.next();
+        }
+    }
+}
+
+/// Returns a copy of `signal` with AWGN at the SNR (dB) implied by the
+/// signal's own mean power. Convenience for detector characterization runs.
+pub fn add_awgn_at_snr(signal: &[Cf64], snr_db: f64, rng: Rng) -> Vec<Cf64> {
+    let sig_p = rjam_sdr::power::mean_power(signal);
+    let noise_p = sig_p / db_to_lin(snr_db);
+    let mut src = NoiseSource::new(noise_p, rng);
+    signal.iter().map(|&s| s + src.next()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::power::{lin_to_db, mean_power};
+
+    #[test]
+    fn noise_power_matches_request() {
+        let mut src = NoiseSource::new(0.01, Rng::seed_from(1));
+        let blk = src.block(200_000);
+        let p = mean_power(&blk);
+        assert!((p / 0.01 - 1.0).abs() < 0.02, "p={p}");
+    }
+
+    #[test]
+    fn from_dbfs() {
+        let src = NoiseSource::from_dbfs(-40.0, Rng::seed_from(2));
+        assert!((lin_to_db(src.power()) + 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_source_is_silent() {
+        let mut src = NoiseSource::new(0.0, Rng::seed_from(3));
+        for _ in 0..100 {
+            assert_eq!(src.next(), Cf64::ZERO);
+        }
+    }
+
+    #[test]
+    fn components_are_uncorrelated_and_zero_mean() {
+        let mut src = NoiseSource::new(1.0, Rng::seed_from(4));
+        let blk = src.block(100_000);
+        let n = blk.len() as f64;
+        let mean_re: f64 = blk.iter().map(|s| s.re).sum::<f64>() / n;
+        let mean_im: f64 = blk.iter().map(|s| s.im).sum::<f64>() / n;
+        let cross: f64 = blk.iter().map(|s| s.re * s.im).sum::<f64>() / n;
+        assert!(mean_re.abs() < 0.01);
+        assert!(mean_im.abs() < 0.01);
+        assert!(cross.abs() < 0.01);
+    }
+
+    #[test]
+    fn corrupt_adds_expected_power() {
+        let sig = vec![Cf64::new(0.1, 0.0); 100_000];
+        let mut noisy = sig.clone();
+        NoiseSource::new(0.04, Rng::seed_from(5)).corrupt(&mut noisy);
+        let p = mean_power(&noisy);
+        // Signal power 0.01 + noise 0.04.
+        assert!((p - 0.05).abs() < 0.002, "p={p}");
+    }
+
+    #[test]
+    fn awgn_at_snr_yields_requested_snr() {
+        let sig: Vec<Cf64> = (0..100_000)
+            .map(|t| Cf64::from_angle(0.01 * t as f64).scale(0.2))
+            .collect();
+        let noisy = add_awgn_at_snr(&sig, 10.0, Rng::seed_from(6));
+        let sig_p = mean_power(&sig);
+        let tot_p = mean_power(&noisy);
+        let noise_p = tot_p - sig_p;
+        let snr = lin_to_db(sig_p / noise_p);
+        assert!((snr - 10.0).abs() < 0.3, "snr={snr}");
+    }
+}

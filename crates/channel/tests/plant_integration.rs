@@ -1,0 +1,81 @@
+//! Integration across the RF plant: the 5-port network feeding fading,
+//! monitoring and SIR bookkeeping in one scene.
+
+use rjam_channel::{
+    Emission, FivePortNetwork, MultipathChannel, NoiseSource, Port, PortReceiver, ScopeTrace,
+};
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::power::{db_to_lin, lin_to_db, mean_power};
+use rjam_sdr::rng::Rng;
+
+fn burst(amp: f64, len: usize) -> Vec<Cf64> {
+    (0..len).map(|t| Cf64::from_angle(0.21 * t as f64).scale(amp)).collect()
+}
+
+/// A full conducted scene: client bursts, jammer bursts, monitor sees both,
+/// the AP's SIR matches the closed-form network arithmetic.
+#[test]
+fn full_scene_at_every_port() {
+    let net = FivePortNetwork::paper_table1();
+    let mut scene = PortReceiver::new(&net);
+    scene.add(Emission::new(Port::Client, 0, burst(1.0, 2000)).with_loss(20.0));
+    scene.add(Emission::new(Port::JammerTx, 2500, burst(1.0, 500)).with_loss(10.0));
+
+    // Closed-form SIR at the AP (time-disjoint bursts; per-burst powers).
+    let sir = scene.sir_db(Port::Ap, 0, 1);
+    let expect = (51.0 + 20.0 + 20.0) - (38.4 + 10.0 + 20.0);
+    // Both emissions pass the AP pad implicitly through the network matrix;
+    // with_loss models only device-side pads, so recompute directly:
+    let sig = -(51.0 + 20.0);
+    let jam = -(38.4 + 10.0);
+    assert!((sir - (sig - jam)).abs() < 1e-9, "sir={sir}, expect~{}", sig - jam);
+    let _ = expect;
+
+    // The monitor port sees two disjoint bursts with the right powers.
+    let mut noise = NoiseSource::new(db_to_lin(-90.0), Rng::seed_from(1));
+    let at_monitor = scene.render(Port::Monitor, &mut noise);
+    let p_first = mean_power(&at_monitor[0..2000]);
+    let p_gap = mean_power(&at_monitor[2100..2450]);
+    let p_second = mean_power(&at_monitor[2500..3000]);
+    assert!(lin_to_db(p_first) > lin_to_db(p_gap) + 20.0);
+    assert!(lin_to_db(p_second) > lin_to_db(p_gap) + 20.0);
+
+    // Scope correspondence over the same scene.
+    let mut scope = ScopeTrace::new(25e6);
+    scope.capture(&at_monitor);
+    scope.mark(0, "client");
+    scope.mark(2500, "jam");
+    assert_eq!(scope.markers_labeled("client"), vec![0]);
+    assert!(!scope.render_ascii(40, 4).contains("(empty"));
+}
+
+/// Fading composes with the network: a faded client emission still obeys
+/// the insertion-loss budget on ensemble average.
+#[test]
+fn fading_composes_with_network() {
+    let net = FivePortNetwork::paper_table1();
+    let mut rng = Rng::seed_from(2);
+    let clean = burst(1.0, 4000);
+    let trials = 120;
+    let mut p_acc = 0.0;
+    for _ in 0..trials {
+        let ch = MultipathChannel::rayleigh(6, 1.5, &mut rng);
+        let faded = ch.apply(&clean);
+        let at_ap = net.propagate(Port::Client, Port::Ap, &faded[..clean.len()]);
+        p_acc += mean_power(&at_ap);
+    }
+    let mean_db = lin_to_db(p_acc / trials as f64);
+    let expect_db = lin_to_db(mean_power(&clean)) - 51.0;
+    assert!((mean_db - expect_db).abs() < 1.0, "{mean_db} vs {expect_db}");
+}
+
+/// Isolation holds end to end: a jammer emission leaks nothing to its own
+/// receive port through the modeled splitter.
+#[test]
+fn jammer_self_isolation() {
+    let net = FivePortNetwork::paper_table1();
+    let mut scene = PortReceiver::new(&net);
+    scene.add(Emission::new(Port::JammerTx, 0, burst(1.0, 1000)));
+    let at_rx = scene.render_clean(Port::JammerRx);
+    assert!(mean_power(&at_rx) < db_to_lin(-110.0), "leakage detected");
+}

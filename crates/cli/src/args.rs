@@ -1,0 +1,357 @@
+//! Command-line argument model (std-only; no parser dependency).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse or execution failure surfaced to the operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The detection preset names the console accepts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PresetName {
+    /// WiFi short-training-sequence template.
+    WifiShort,
+    /// WiFi long-training-symbol template.
+    WifiLong,
+    /// WiMAX preamble template (IDcell/segment via --cell/--segment).
+    Wimax,
+    /// Energy-rise detector.
+    Energy,
+}
+
+impl PresetName {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "wifi-short" => Ok(PresetName::WifiShort),
+            "wifi-long" => Ok(PresetName::WifiLong),
+            "wimax" => Ok(PresetName::Wimax),
+            "energy" => Ok(PresetName::Energy),
+            other => Err(CliError(format!(
+                "unknown preset '{other}' (expected wifi-short|wifi-long|wimax|energy)"
+            ))),
+        }
+    }
+}
+
+/// Jammer variant names for the iperf command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JammerName {
+    /// No jammer.
+    Off,
+    /// Continuous WGN.
+    Continuous,
+    /// Reactive, 0.1 ms uptime.
+    ReactiveLong,
+    /// Reactive, 0.01 ms uptime.
+    ReactiveShort,
+}
+
+impl JammerName {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "off" => Ok(JammerName::Off),
+            "continuous" => Ok(JammerName::Continuous),
+            "reactive-long" => Ok(JammerName::ReactiveLong),
+            "reactive-short" => Ok(JammerName::ReactiveShort),
+            other => Err(CliError(format!(
+                "unknown jammer '{other}' (expected off|continuous|reactive-long|reactive-short)"
+            ))),
+        }
+    }
+}
+
+/// A fully parsed console command.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Fig. 5 latency check.
+    Timeline {
+        /// Frame episodes per detection path.
+        trials: usize,
+    },
+    /// Detection-probability measurement at one SNR.
+    Detect {
+        /// Detector to arm.
+        preset: PresetName,
+        /// Probe SNR in dB.
+        snr_db: f64,
+        /// Frames per measurement.
+        frames: usize,
+        /// Correlation threshold fraction (correlator presets).
+        threshold: f64,
+        /// Energy threshold dB (energy preset).
+        energy_db: f64,
+        /// WiMAX IDcell.
+        cell: u8,
+        /// WiMAX segment.
+        segment: u8,
+    },
+    /// False-alarm measurement on noise-only input.
+    Fa {
+        /// Detector to arm.
+        preset: PresetName,
+        /// Correlation threshold fraction.
+        threshold: f64,
+        /// Energy threshold dB.
+        energy_db: f64,
+        /// Noise samples to process.
+        samples: usize,
+        /// WiMAX IDcell.
+        cell: u8,
+        /// WiMAX segment.
+        segment: u8,
+    },
+    /// iperf-style jamming run at one SIR.
+    Iperf {
+        /// Jammer variant.
+        jammer: JammerName,
+        /// SIR at the AP, dB.
+        sir_db: f64,
+        /// Test duration, seconds.
+        seconds: f64,
+    },
+    /// Classify an IQ capture file (cf32 at 25 MSPS).
+    Classify {
+        /// Path to the capture.
+        path: String,
+    },
+    /// ROC sweep: FA rate vs detection probability across thresholds.
+    Roc {
+        /// Detector to sweep.
+        preset: PresetName,
+        /// Probe SNR in dB.
+        snr_db: f64,
+        /// Frames per threshold.
+        frames: usize,
+        /// Noise samples per FA measurement.
+        fa_samples: usize,
+        /// WiMAX IDcell.
+        cell: u8,
+        /// WiMAX segment.
+        segment: u8,
+    },
+    /// Print the FPGA resource footprint of the custom core.
+    Resources,
+    /// Print usage.
+    Help,
+}
+
+/// Raw key/value option map plus positionals.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    /// `--key value` pairs.
+    pub options: HashMap<String, String>,
+    /// Bare arguments in order.
+    pub positionals: Vec<String>,
+}
+
+/// Splits argv into options and positionals.
+pub fn split(argv: &[String]) -> Result<ParsedArgs, CliError> {
+    let mut out = ParsedArgs::default();
+    let mut i = 0;
+    while i < argv.len() {
+        if let Some(key) = argv[i].strip_prefix("--") {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+            out.options.insert(key.to_string(), value.clone());
+            i += 2;
+        } else {
+            out.positionals.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn opt<T: std::str::FromStr>(p: &ParsedArgs, key: &str, default: T) -> Result<T, CliError> {
+    match p.options.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+/// Parses a full command line (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, CliError> {
+    let Some(verb) = argv.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = split(&argv[1..])?;
+    match verb.as_str() {
+        "timeline" => Ok(Command::Timeline { trials: opt(&rest, "trials", 20)? }),
+        "detect" => Ok(Command::Detect {
+            preset: PresetName::parse(
+                rest.options
+                    .get("preset")
+                    .ok_or_else(|| CliError("detect requires --preset".into()))?,
+            )?,
+            snr_db: opt(&rest, "snr", 5.0)?,
+            frames: opt(&rest, "frames", 100)?,
+            threshold: opt(&rest, "threshold", 0.35)?,
+            energy_db: opt(&rest, "energy-db", 10.0)?,
+            cell: opt(&rest, "cell", 1)?,
+            segment: opt(&rest, "segment", 0)?,
+        }),
+        "fa" => Ok(Command::Fa {
+            preset: PresetName::parse(
+                rest.options
+                    .get("preset")
+                    .ok_or_else(|| CliError("fa requires --preset".into()))?,
+            )?,
+            threshold: opt(&rest, "threshold", 0.40)?,
+            energy_db: opt(&rest, "energy-db", 10.0)?,
+            samples: opt(&rest, "samples", 5_000_000)?,
+            cell: opt(&rest, "cell", 1)?,
+            segment: opt(&rest, "segment", 0)?,
+        }),
+        "iperf" => Ok(Command::Iperf {
+            jammer: JammerName::parse(
+                rest.options
+                    .get("jammer")
+                    .ok_or_else(|| CliError("iperf requires --jammer".into()))?,
+            )?,
+            sir_db: opt(&rest, "sir", 20.0)?,
+            seconds: opt(&rest, "seconds", 5.0)?,
+        }),
+        "classify" => {
+            let path = rest
+                .positionals
+                .first()
+                .cloned()
+                .ok_or_else(|| CliError("classify requires a capture path".into()))?;
+            Ok(Command::Classify { path })
+        }
+        "roc" => Ok(Command::Roc {
+            preset: PresetName::parse(
+                rest.options
+                    .get("preset")
+                    .ok_or_else(|| CliError("roc requires --preset".into()))?,
+            )?,
+            snr_db: opt(&rest, "snr", 0.0)?,
+            frames: opt(&rest, "frames", 60)?,
+            fa_samples: opt(&rest, "fa-samples", 2_000_000)?,
+            cell: opt(&rest, "cell", 1)?,
+            segment: opt(&rest, "segment", 0)?,
+        }),
+        "resources" => Ok(Command::Resources),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown command '{other}' (try 'help')"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "rjamctl — reactive jamming operator console
+
+USAGE:
+  rjamctl timeline  [--trials N]
+  rjamctl detect    --preset wifi-short|wifi-long|wimax|energy
+                    [--snr dB] [--frames N] [--threshold f]
+                    [--energy-db dB] [--cell N] [--segment N]
+  rjamctl fa        --preset ... [--threshold f] [--energy-db dB] [--samples N]
+  rjamctl iperf     --jammer off|continuous|reactive-long|reactive-short
+                    [--sir dB] [--seconds S]
+  rjamctl roc       --preset ... [--snr dB] [--frames N] [--fa-samples N]
+  rjamctl classify  <capture.cf32>
+  rjamctl resources
+  rjamctl help
+
+NOTES:
+  detect/roc probe against full 802.11g frames; selecting --preset wimax
+  there measures cross-standard rejection (it should stay near zero).
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_timeline_defaults() {
+        assert_eq!(parse(&argv("timeline")).unwrap(), Command::Timeline { trials: 20 });
+        assert_eq!(
+            parse(&argv("timeline --trials 7")).unwrap(),
+            Command::Timeline { trials: 7 }
+        );
+    }
+
+    #[test]
+    fn parses_detect() {
+        let c = parse(&argv("detect --preset wifi-short --snr -3 --frames 50")).unwrap();
+        match c {
+            Command::Detect { preset, snr_db, frames, .. } => {
+                assert_eq!(preset, PresetName::WifiShort);
+                assert_eq!(snr_db, -3.0);
+                assert_eq!(frames, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detect_requires_preset() {
+        let err = parse(&argv("detect --snr 3")).unwrap_err();
+        assert!(err.0.contains("--preset"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_preset_and_command() {
+        assert!(parse(&argv("detect --preset zigbee")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_iperf_jammers() {
+        for (name, want) in [
+            ("off", JammerName::Off),
+            ("continuous", JammerName::Continuous),
+            ("reactive-long", JammerName::ReactiveLong),
+            ("reactive-short", JammerName::ReactiveShort),
+        ] {
+            let c = parse(&argv(&format!("iperf --jammer {name} --sir 14"))).unwrap();
+            match c {
+                Command::Iperf { jammer, sir_db, .. } => {
+                    assert_eq!(jammer, want);
+                    assert_eq!(sir_db, 14.0);
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn classify_takes_positional() {
+        let c = parse(&argv("classify cap.cf32")).unwrap();
+        assert_eq!(c, Command::Classify { path: "cap.cf32".into() });
+        assert!(parse(&argv("classify")).is_err());
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let err = parse(&argv("detect --preset")).unwrap_err();
+        assert!(err.0.contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unparsable_number_reported() {
+        let err = parse(&argv("iperf --jammer off --sir banana")).unwrap_err();
+        assert!(err.0.contains("--sir"), "{err}");
+    }
+}

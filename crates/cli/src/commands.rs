@@ -1,0 +1,292 @@
+//! Command implementations: each returns its report as a `String` so tests
+//! can assert on output without capturing stdout.
+
+use crate::args::{CliError, Command, JammerName, PresetName};
+use rjam_core::campaign::{
+    false_alarm_rate, roc_curve, scenario_for, wifi_detection_sweep, JammerUnderTest,
+    WifiEmission,
+};
+use rjam_core::timeline::{comparison_rows, measure, TimelineBudget};
+use rjam_core::{DetectionPreset, JammerPreset, ReactiveJammer};
+use std::fmt::Write as _;
+
+fn preset_for(
+    name: PresetName,
+    threshold: f64,
+    energy_db: f64,
+    cell: u8,
+    segment: u8,
+) -> DetectionPreset {
+    match name {
+        PresetName::WifiShort => DetectionPreset::WifiShortPreamble { threshold },
+        PresetName::WifiLong => DetectionPreset::WifiLongPreamble { threshold },
+        PresetName::Wimax => DetectionPreset::WimaxPreamble { id_cell: cell, segment, threshold },
+        PresetName::Energy => DetectionPreset::EnergyRise { threshold_db: energy_db },
+    }
+}
+
+/// Executes a parsed command, returning the printable report.
+pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Resources => Ok(resources_report()),
+        Command::Timeline { trials } => Ok(timeline_report(*trials)),
+        Command::Detect { preset, snr_db, frames, threshold, energy_db, cell, segment } => {
+            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
+            let pts = wifi_detection_sweep(
+                &p,
+                WifiEmission::FullFrames { psdu_len: 100 },
+                &[*snr_db],
+                *frames,
+                0xC11,
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "detector: {p:?}");
+            let _ = writeln!(
+                out,
+                "SNR {:.1} dB over {frames} frames: P(det) = {:.3}, {:.2} triggers/frame",
+                pts[0].snr_db, pts[0].p_detect, pts[0].triggers_per_frame
+            );
+            Ok(out)
+        }
+        Command::Fa { preset, threshold, energy_db, samples, cell, segment } => {
+            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
+            let fa = false_alarm_rate(&p, *samples, 0xFA2);
+            Ok(format!(
+                "detector: {p:?}\nfalse alarms on {samples} noise samples ({:.2} s of air): {fa:.3}/s\n",
+                *samples as f64 / rjam_sdr::USRP_SAMPLE_RATE
+            ))
+        }
+        Command::Iperf { jammer, sir_db, seconds } => {
+            let jut = match jammer {
+                JammerName::Off => JammerUnderTest::Off,
+                JammerName::Continuous => JammerUnderTest::Continuous,
+                JammerName::ReactiveLong => JammerUnderTest::ReactiveLong,
+                JammerName::ReactiveShort => JammerUnderTest::ReactiveShort,
+            };
+            let sc = scenario_for(jut, *sir_db, *seconds, 0x1EF);
+            let r = rjam_mac::run_scenario(&sc);
+            let mut out = String::new();
+            let _ = writeln!(out, "{} at SIR {sir_db:.2} dB for {seconds} s:", jut.label());
+            let _ = writeln!(out, "  {}", r.summary());
+            let _ = writeln!(
+                out,
+                "  mean PHY rate {:.1} Mb/s, jam duty {:.2} %, {} bursts",
+                r.mean_phy_rate_mbps,
+                r.jam_duty_percent(*seconds),
+                r.jam_bursts
+            );
+            Ok(out)
+        }
+        Command::Classify { path } => classify_report(path),
+        Command::Roc { preset, snr_db, frames, fa_samples, cell, segment } => {
+            let (name, e_db, thresholds): (PresetName, f64, Vec<f64>) = (
+                *preset,
+                10.0,
+                (0..8).map(|k| 0.26 + 0.04 * k as f64).collect(),
+            );
+            let (cell, segment) = (*cell, *segment);
+            let make = move |t: f64| preset_for(name, t, e_db, cell, segment);
+            let pts = roc_curve(
+                &make,
+                WifiEmission::FullFrames { psdu_len: 100 },
+                *snr_db,
+                &thresholds,
+                *frames,
+                *fa_samples,
+                0x20C,
+            );
+            let mut out = String::new();
+            let _ = writeln!(out, "ROC at SNR {snr_db:.1} dB ({frames} frames/threshold):");
+            let _ = writeln!(out, "{}", rjam_core::export::roc_csv(&pts).trim_end());
+            Ok(out)
+        }
+    }
+}
+
+fn resources_report() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "custom reactive-jamming core, per block:");
+    for (name, r) in rjam_fpga::resources::block_table() {
+        let _ = writeln!(out, "  {name:<40} {r}");
+    }
+    let total = rjam_fpga::resources::core_total();
+    let budget = rjam_fpga::resources::custom_logic_budget();
+    let _ = writeln!(out, "  {:<40} {total}", "TOTAL");
+    let _ = writeln!(
+        out,
+        "fits the Spartan-3A DSP 3400's free fabric: {} (worst axis {:.0} % used)",
+        total.fits_in(budget),
+        total.worst_utilization_pct(budget)
+    );
+    out
+}
+
+fn timeline_report(trials: usize) -> String {
+    use rjam_fpga::JamWaveform;
+    use rjam_sdr::complex::Cf64;
+    use rjam_sdr::rng::Rng;
+
+    let mut worst = rjam_core::timeline::MeasuredTimeline::default();
+    let mut merge = |m: rjam_core::timeline::MeasuredTimeline| {
+        let max = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        worst.t_en_det_ns = max(worst.t_en_det_ns, m.t_en_det_ns);
+        worst.t_xcorr_det_ns = max(worst.t_xcorr_det_ns, m.t_xcorr_det_ns);
+        worst.t_init_ns = max(worst.t_init_ns, m.t_init_ns);
+        worst.t_resp_ns = max(worst.t_resp_ns, m.t_resp_ns);
+    };
+    for k in 0..trials as u64 {
+        for det in [
+            DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+        ] {
+            let mut j = ReactiveJammer::new(
+                det,
+                JammerPreset::Reactive { uptime_s: 10e-6, waveform: JamWaveform::Wgn },
+            );
+            let mut rng = Rng::seed_from(500 + k);
+            let mut psdu = vec![0u8; 80];
+            rng.fill_bytes(&mut psdu);
+            let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu);
+            let native = rjam_phy80211::tx::modulate_frame(&frame);
+            let mut wave =
+                rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
+            rjam_sdr::power::scale_to_power(&mut wave, 0.02);
+            let noise_p = 0.02 / rjam_sdr::power::db_to_lin(20.0);
+            let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
+            let lead = 400usize;
+            let mut stream: Vec<Cf64> = noise.block(lead);
+            stream.extend(wave.iter().map(|&s| s + noise.next()));
+            stream.extend(noise.block(200));
+            j.process_block(&stream);
+            merge(measure(j.events(), j.jam_events(), lead as u64));
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<14} {:>12} {:>14}", "metric", "budget (ns)", "measured (ns)");
+    for (name, budget, meas) in comparison_rows(&TimelineBudget::paper(), &worst) {
+        match meas {
+            Some(m) => {
+                let _ = writeln!(out, "{name:<14} {budget:>12.0} {m:>14.0}");
+            }
+            None => {
+                let _ = writeln!(out, "{name:<14} {budget:>12.0} {:>14}", "-");
+            }
+        }
+    }
+    out
+}
+
+fn classify_report(path: &str) -> Result<String, CliError> {
+    let capture = rjam_sdr::io::read_cf32(std::path::Path::new(path))
+        .map_err(|e| CliError(format!("cannot read '{path}': {e}")))?;
+    if capture.is_empty() {
+        return Err(CliError(format!("'{path}' holds no samples")));
+    }
+    let cells: Vec<(u8, u8)> = (0..32).flat_map(|id| (0..3).map(move |s| (id, s))).collect();
+    let window = capture.len().min(30_000);
+    let cls = rjam_core::autonomous::classify_capture(&capture[..window], &cells);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} samples ({:.2} ms at 25 MSPS), classified over the first {window}:",
+        capture.len(),
+        capture.len() as f64 / 25_000.0
+    );
+    let _ = writeln!(out, "  class: {:?}", cls.class);
+    let _ = writeln!(
+        out,
+        "  evidence: wifi {:.2}, best wimax {:.2}",
+        cls.wifi_score, cls.wimax_score
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = execute(&parse(&argv("help")).unwrap()).unwrap();
+        assert!(out.contains("rjamctl"));
+        assert!(out.contains("iperf"));
+    }
+
+    #[test]
+    fn resources_report_totals() {
+        let out = execute(&Command::Resources).unwrap();
+        assert!(out.contains("TOTAL"));
+        assert!(out.contains("fits the Spartan-3A DSP 3400's free fabric: true"));
+    }
+
+    #[test]
+    fn timeline_within_budget() {
+        let out = execute(&Command::Timeline { trials: 3 }).unwrap();
+        assert!(out.contains("T_init"));
+        // Every measured column is populated.
+        assert!(!out.contains(" -\n"), "{out}");
+    }
+
+    #[test]
+    fn detect_command_reports_probability() {
+        let out = execute(&parse(&argv(
+            "detect --preset wifi-short --snr 10 --frames 25",
+        )).unwrap())
+        .unwrap();
+        assert!(out.contains("P(det)"), "{out}");
+    }
+
+    #[test]
+    fn iperf_command_reports_bandwidth() {
+        let out = execute(&parse(&argv(
+            "iperf --jammer reactive-long --sir 14 --seconds 1",
+        )).unwrap())
+        .unwrap();
+        assert!(out.contains("kbps"), "{out}");
+        assert!(out.contains("duty"), "{out}");
+    }
+
+    #[test]
+    fn classify_roundtrip_through_file() {
+        // Write a WiFi capture, classify it back through the CLI path.
+        let mut rng = rjam_sdr::rng::Rng::seed_from(77);
+        let mut psdu = vec![0u8; 100];
+        rng.fill_bytes(&mut psdu);
+        let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu);
+        let native = rjam_phy80211::tx::modulate_frame(&frame);
+        let mut wave = rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
+        rjam_sdr::power::scale_to_power(&mut wave, 0.02);
+        let mut path = std::env::temp_dir();
+        path.push(format!("rjamctl_test_{}.cf32", std::process::id()));
+        rjam_sdr::io::write_cf32(&path, &wave).unwrap();
+        let out = execute(&Command::Classify { path: path.to_string_lossy().into() }).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("class: Wifi"), "{out}");
+    }
+
+    #[test]
+    fn roc_command_outputs_csv() {
+        let out = execute(&parse(&argv(
+            "roc --preset wifi-short --snr 3 --frames 10 --fa-samples 200000",
+        )).unwrap())
+        .unwrap();
+        assert!(out.contains("threshold,fa_per_s,p_detect"), "{out}");
+        assert!(out.lines().count() >= 9, "{out}");
+    }
+
+    #[test]
+    fn classify_missing_file_errors() {
+        let err = execute(&Command::Classify { path: "/nonexistent/x.cf32".into() }).unwrap_err();
+        assert!(err.0.contains("cannot read"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # rjam-cli — the operator console
+//!
+//! The paper drives its jammer from a Python GUI built on GNU Radio
+//! Companion: an operator picks detection types and jamming reactions at
+//! run time (§2.5). `rjamctl` is that interface as a command-line tool over
+//! the simulated testbed:
+//!
+//! ```text
+//! rjamctl timeline                  # Fig. 5 latency check
+//! rjamctl detect --preset wifi-short --snr 3 --frames 200
+//! rjamctl fa --preset wifi-long --threshold 0.38 --samples 10000000
+//! rjamctl iperf --jammer reactive-long --sir 14 --seconds 5
+//! rjamctl classify capture.cf32    # identify the standard in a capture
+//! rjamctl resources                # FPGA footprint of the core
+//! ```
+//!
+//! This library half holds the argument model and command implementations
+//! so they are unit-testable; `main.rs` is a thin dispatcher.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, Command, ParsedArgs};
+
+/// Entry point shared by the binary and tests: parse and run.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let cmd = args::parse(argv)?;
+    commands::execute(&cmd)
+}

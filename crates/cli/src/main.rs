@@ -1,0 +1,13 @@
+//! `rjamctl` — thin dispatcher over [`rjam_cli`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match rjam_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", rjam_cli::args::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

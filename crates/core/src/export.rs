@@ -1,0 +1,194 @@
+//! Result export and session reporting.
+//!
+//! Campaign outputs serialize to plain CSV (plot-ready for gnuplot /
+//! matplotlib / a spreadsheet) and detection sessions render to a compact
+//! text report — the artifacts a lab notebook wants from each run.
+
+use crate::campaign::{DetectionPoint, EnergyPoint, JammingPoint, RocPoint};
+use rjam_fpga::jammer::JamEvent;
+use rjam_fpga::CoreEvent;
+use std::fmt::Write as _;
+
+/// CSV for a detection-probability sweep (Figs 6-8 data).
+pub fn detection_csv(points: &[DetectionPoint]) -> String {
+    let mut out = String::from("snr_db,p_detect,triggers_per_frame\n");
+    for p in points {
+        let _ = writeln!(out, "{:.2},{:.6},{:.4}", p.snr_db, p.p_detect, p.triggers_per_frame);
+    }
+    out
+}
+
+/// CSV for a jamming sweep (Figs 10-11 data).
+pub fn jamming_csv(points: &[JammingPoint]) -> String {
+    let mut out = String::from(
+        "sir_ap_db,bandwidth_kbps,prr_percent,mean_phy_rate_mbps,jam_bursts,jam_airtime_us,disassociated\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.2},{:.1},{:.2},{:.2},{},{:.1},{}",
+            p.sir_ap_db,
+            p.report.bandwidth_kbps,
+            p.report.prr_percent,
+            p.report.mean_phy_rate_mbps,
+            p.report.jam_bursts,
+            p.report.jam_airtime_us,
+            p.report.disassociated
+        );
+    }
+    out
+}
+
+/// CSV for a receiver-operating-characteristic sweep.
+pub fn roc_csv(points: &[RocPoint]) -> String {
+    let mut out = String::from("threshold,fa_per_s,p_detect\n");
+    for p in points {
+        let _ = writeln!(out, "{:.3},{:.4},{:.6}", p.threshold, p.fa_per_s, p.p_detect);
+    }
+    out
+}
+
+/// CSV for energy-efficiency operating points.
+pub fn energy_csv(points: &[EnergyPoint]) -> String {
+    let mut out = String::from(
+        "jammer,sir_ap_db,tx_power_dbm,duty_percent,energy_joules,residual_bandwidth_percent\n",
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.2},{:.2},{:.3},{:.9},{:.2}",
+            p.jammer.label().replace(',', ";"),
+            p.sir_ap_db,
+            p.tx_power_dbm,
+            p.duty_percent,
+            p.energy_joules,
+            p.residual_bandwidth_percent
+        );
+    }
+    out
+}
+
+/// Renders a detection/jamming session as a timeline report: one line per
+/// event with VITA-style absolute timestamps.
+pub fn session_report(events: &[CoreEvent], jams: &[JamEvent], epoch_secs: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>18}  event", "time (s)");
+    let mut jam_iter = jams.iter().peekable();
+    for e in events {
+        let t = rjam_fpga::VitaTime::from_cycle(e.cycle(), epoch_secs);
+        let label = match e {
+            CoreEvent::XcorrDetection { metric, .. } => format!("xcorr detection (metric {metric})"),
+            CoreEvent::EnergyHigh { .. } => "energy rise".to_string(),
+            CoreEvent::EnergyLow { .. } => "energy fall".to_string(),
+            CoreEvent::JamTrigger { .. } => "JAM TRIGGER".to_string(),
+        };
+        let _ = writeln!(out, "{:>18.7}  {label}", t.as_secs_f64());
+        // Interleave the jam burst that this trigger started, if any.
+        if matches!(e, CoreEvent::JamTrigger { .. }) {
+            if let Some(j) = jam_iter.next() {
+                let ts = rjam_fpga::VitaTime::from_cycle(j.start_cycle, epoch_secs);
+                let dur = j
+                    .end_cycle
+                    .map(|end| format!("{:.1} us", (end - j.start_cycle) as f64 / 100.0))
+                    .unwrap_or_else(|| "ongoing".to_string());
+                let _ = writeln!(
+                    out,
+                    "{:>18.7}  -> RF burst ({dur}, response {:.0} ns)",
+                    ts.as_secs_f64(),
+                    j.response_ns()
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} events, {} jam bursts",
+        events.len(),
+        jams.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_mac::IperfReport;
+
+    #[test]
+    fn detection_csv_shape() {
+        let pts = vec![
+            DetectionPoint { snr_db: -3.0, p_detect: 0.36, triggers_per_frame: 0.4 },
+            DetectionPoint { snr_db: 3.0, p_detect: 0.99, triggers_per_frame: 1.0 },
+        ];
+        let csv = detection_csv(&pts);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "snr_db,p_detect,triggers_per_frame");
+        assert!(lines[1].starts_with("-3.00,0.36"));
+        // Parse back.
+        for line in &lines[1..] {
+            let fields: Vec<f64> = line.split(',').map(|f| f.parse().unwrap()).collect();
+            assert_eq!(fields.len(), 3);
+        }
+    }
+
+    #[test]
+    fn jamming_csv_roundtrips_fields() {
+        let pts = vec![JammingPoint {
+            sir_ap_db: 15.94,
+            report: IperfReport::from_counts(100, 50, 1470, 10.0, vec![], true, 24.0, 7, 700.0),
+        }];
+        let csv = jamming_csv(&pts);
+        let row = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = row.split(',').collect();
+        assert_eq!(fields.len(), 7);
+        assert_eq!(fields[0], "15.94");
+        assert_eq!(fields[4], "7");
+        assert_eq!(fields[6], "true");
+    }
+
+    #[test]
+    fn roc_and_energy_headers() {
+        assert!(roc_csv(&[]).starts_with("threshold,"));
+        assert!(energy_csv(&[]).starts_with("jammer,"));
+    }
+
+    #[test]
+    fn session_report_renders_events() {
+        let events = vec![
+            CoreEvent::EnergyHigh { sample: 100, cycle: 401 },
+            CoreEvent::XcorrDetection { sample: 163, cycle: 653, metric: 140_000 },
+            CoreEvent::JamTrigger { sample: 163, cycle: 653 },
+        ];
+        let jams = vec![rjam_fpga::jammer::JamEvent {
+            trigger_sample: 163,
+            trigger_cycle: 653,
+            start_cycle: 661,
+            end_cycle: Some(3161),
+        }];
+        let rep = session_report(&events, &jams, 1000);
+        assert!(rep.contains("energy rise"), "{rep}");
+        assert!(rep.contains("JAM TRIGGER"), "{rep}");
+        assert!(rep.contains("25.0 us"), "{rep}");
+        assert!(rep.contains("response 80 ns"), "{rep}");
+        assert!(rep.contains("3 events, 1 jam bursts"), "{rep}");
+    }
+
+    #[test]
+    fn session_report_from_live_core() {
+        use crate::{DetectionPreset, JammerPreset, ReactiveJammer};
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::EnergyRise { threshold_db: 6.0 },
+            JammerPreset::Reactive {
+                uptime_s: 4e-5,
+                waveform: rjam_fpga::JamWaveform::Wgn,
+            },
+        );
+        let mut stream = vec![rjam_sdr::complex::Cf64::new(0.001, 0.0); 300];
+        stream.extend(vec![rjam_sdr::complex::Cf64::new(0.2, 0.2); 400]);
+        j.process_block(&stream);
+        let rep = session_report(j.events(), j.jam_events(), 0);
+        assert!(rep.contains("JAM TRIGGER"), "{rep}");
+        assert!(rep.contains("RF burst"), "{rep}");
+    }
+}

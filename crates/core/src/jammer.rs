@@ -1,0 +1,271 @@
+//! The top-level jammer handle — the programmatic equivalent of the
+//! paper's GNU Radio Companion GUI (§2.5).
+//!
+//! A [`ReactiveJammer`] owns the FPGA core model, applies personalities at
+//! run time over the register bus (counting the writes, since personality
+//! switches cost only settings-bus latency on real hardware), streams
+//! receive samples and surfaces detections, jam bursts and host feedback.
+
+use crate::presets::{build_config, DetectionPreset, JammerPreset};
+use rjam_fpga::core::CoreOutput;
+use rjam_fpga::jammer::JamEvent;
+use rjam_fpga::{CoreEvent, DspCore};
+use rjam_sdr::complex::{Cf64, IqI16};
+
+/// Default post-detection lockout in samples (suppresses double counting
+/// within one frame; ~40 us at 25 MSPS).
+pub const DEFAULT_LOCKOUT: u64 = 1000;
+
+/// A configured reactive jamming instance.
+///
+/// ```
+/// use rjam_core::{DetectionPreset, JammerPreset, ReactiveJammer};
+/// use rjam_fpga::JamWaveform;
+/// use rjam_sdr::complex::Cf64;
+///
+/// // Arm: detect WiFi short preambles, answer with 10 us noise bursts.
+/// let mut jammer = ReactiveJammer::new(
+///     DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+///     JammerPreset::Reactive { uptime_s: 10e-6, waveform: JamWaveform::Wgn },
+/// );
+///
+/// // Stream a WiFi frame at 25 MSPS through it.
+/// let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, vec![0xAB; 64]);
+/// let native = rjam_phy80211::tx::modulate_frame(&frame);
+/// let wave = rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
+/// let rx: Vec<Cf64> = wave.iter().map(|s| s.scale(0.5)).collect();
+/// let (_tx, active) = jammer.process_block(&rx);
+/// assert!(active.iter().any(|&a| a), "the frame gets jammed");
+/// ```
+#[derive(Debug)]
+pub struct ReactiveJammer {
+    core: DspCore,
+    detection: DetectionPreset,
+    reaction: JammerPreset,
+    lockout: u64,
+    /// Cumulative register writes spent on reconfiguration.
+    reconfig_writes: u64,
+}
+
+impl ReactiveJammer {
+    /// Creates a jammer with the given personalities applied.
+    pub fn new(detection: DetectionPreset, reaction: JammerPreset) -> Self {
+        let mut core = DspCore::new();
+        let cfg = build_config(&detection, &reaction, DEFAULT_LOCKOUT);
+        let writes = core.configure(&cfg);
+        ReactiveJammer {
+            core,
+            detection,
+            reaction,
+            lockout: DEFAULT_LOCKOUT,
+            reconfig_writes: writes,
+        }
+    }
+
+    /// Creates a jammer from a raw core configuration — the escape hatch
+    /// for setups the preset vocabulary does not cover (custom templates,
+    /// sequence-mode trigger combinations, energy-fall triggers).
+    ///
+    /// Later personality setters reprogram from the preset vocabulary and
+    /// will overwrite the custom configuration.
+    pub fn from_config(cfg: &rjam_fpga::CoreConfig) -> Self {
+        let mut core = DspCore::new();
+        let writes = core.configure(cfg);
+        ReactiveJammer {
+            core,
+            detection: DetectionPreset::EnergyRise { threshold_db: cfg.energy_high_db },
+            reaction: JammerPreset::Monitor,
+            lockout: cfg.lockout,
+            reconfig_writes: writes,
+        }
+    }
+
+    /// Current detection personality.
+    pub fn detection(&self) -> &DetectionPreset {
+        &self.detection
+    }
+
+    /// Current jamming personality.
+    pub fn reaction(&self) -> &JammerPreset {
+        &self.reaction
+    }
+
+    /// Switches the detection personality at run time. Returns the number
+    /// of register writes it cost (the reconfiguration latency currency).
+    pub fn set_detection(&mut self, detection: DetectionPreset) -> u64 {
+        self.detection = detection;
+        self.reprogram()
+    }
+
+    /// Switches the jamming personality at run time.
+    pub fn set_reaction(&mut self, reaction: JammerPreset) -> u64 {
+        self.reaction = reaction;
+        self.reprogram()
+    }
+
+    /// Sets the detector lockout (refractory period) in samples.
+    pub fn set_lockout(&mut self, samples: u64) -> u64 {
+        self.lockout = samples;
+        self.reprogram()
+    }
+
+    fn reprogram(&mut self) -> u64 {
+        let cfg = build_config(&self.detection, &self.reaction, self.lockout);
+        let writes = self.core.configure(&cfg);
+        self.reconfig_writes += writes;
+        writes
+    }
+
+    /// Total register writes spent on reconfiguration so far.
+    pub fn reconfig_writes(&self) -> u64 {
+        self.reconfig_writes
+    }
+
+    /// Processes one fixed-point receive sample.
+    pub fn process(&mut self, rx: IqI16) -> CoreOutput {
+        self.core.process(rx)
+    }
+
+    /// Processes a floating-point 25 MSPS block through the ADC quantizer
+    /// and the core; returns the transmitted jamming waveform time-aligned
+    /// with the input (zeros while silent) and the per-sample activity mask.
+    pub fn process_block(&mut self, rx: &[Cf64]) -> (Vec<Cf64>, Vec<bool>) {
+        let fixed: Vec<IqI16> = rx.iter().map(|&s| IqI16::from_cf64(s)).collect();
+        let (tx, active) = self.core.process_block(&fixed);
+        (tx.iter().map(|s| s.to_cf64()).collect(), active)
+    }
+
+    /// Detection/trigger event log.
+    pub fn events(&self) -> &[CoreEvent] {
+        self.core.events()
+    }
+
+    /// Jam bursts with cycle-accurate timing.
+    pub fn jam_events(&self) -> &[JamEvent] {
+        self.core.jam_events()
+    }
+
+    /// Reads and clears host feedback flags (paper's "synchro flags").
+    pub fn take_feedback(&mut self) -> u32 {
+        self.core.take_feedback()
+    }
+
+    /// Direct access to the underlying core (advanced host processing).
+    pub fn core_mut(&mut self) -> &mut DspCore {
+        &mut self.core
+    }
+
+    /// Resets streaming state and logs, keeping configuration.
+    pub fn reset(&mut self) {
+        self.core.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_fpga::JamWaveform;
+    use rjam_sdr::resample::to_usrp_rate;
+
+    fn wifi_frame_at_25msps(snr_scale: f64) -> Vec<Cf64> {
+        let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, vec![0xAB; 100]);
+        let wave = rjam_phy80211::tx::modulate_frame(&frame);
+        let up = to_usrp_rate(&wave, 20.0e6);
+        up.iter().map(|s| s.scale(snr_scale)).collect()
+    }
+
+    #[test]
+    fn detects_and_jams_wifi_frame() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+            JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+        );
+        let mut stream = vec![Cf64::ZERO; 1000];
+        stream.extend(wifi_frame_at_25msps(2.0)); // strong, clean
+        let (_tx, active) = j.process_block(&stream);
+        assert!(active.iter().any(|&a| a), "must jam the frame");
+        assert!(!j.events().is_empty());
+        // Burst length is 250 samples (10 us).
+        assert_eq!(active.iter().filter(|&&a| a).count(), 250);
+    }
+
+    #[test]
+    fn monitor_mode_detects_without_transmitting() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+            JammerPreset::Monitor,
+        );
+        let mut stream = vec![Cf64::ZERO; 500];
+        stream.extend(wifi_frame_at_25msps(2.0));
+        let (_tx, active) = j.process_block(&stream);
+        assert!(active.iter().all(|&a| !a));
+        assert!(j
+            .events()
+            .iter()
+            .any(|e| matches!(e, CoreEvent::XcorrDetection { .. })));
+    }
+
+    #[test]
+    fn personality_switch_counts_register_writes() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            JammerPreset::Monitor,
+        );
+        let before = j.reconfig_writes();
+        let cost = j.set_reaction(JammerPreset::Continuous);
+        assert!(cost > 0 && cost <= 24, "cost {cost} writes");
+        assert_eq!(j.reconfig_writes(), before + cost);
+    }
+
+    #[test]
+    fn switch_between_reactive_and_continuous_without_reset() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::EnergyRise { threshold_db: 6.0 },
+            JammerPreset::Continuous,
+        );
+        let (_tx, active) = j.process_block(&vec![Cf64::ZERO; 100]);
+        assert!(active.iter().all(|&a| a), "continuous transmits always");
+        j.set_reaction(JammerPreset::Monitor);
+        let (_tx, active2) = j.process_block(&vec![Cf64::ZERO; 100]);
+        assert!(active2.iter().all(|&a| !a), "monitor transmits never");
+    }
+
+    #[test]
+    fn feedback_flags_after_detection() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+            JammerPreset::Reactive { uptime_s: 4e-5, waveform: JamWaveform::Wgn },
+        );
+        let mut stream = vec![Cf64::ZERO; 200];
+        stream.extend(wifi_frame_at_25msps(2.0));
+        j.process_block(&stream);
+        let fb = j.take_feedback();
+        assert!(fb & rjam_fpga::regs::host_feedback::XCORR_DET != 0);
+        assert!(fb & rjam_fpga::regs::host_feedback::JAMMED != 0);
+    }
+
+    #[test]
+    fn surgical_delay_places_burst() {
+        let mut j = ReactiveJammer::new(
+            DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+            JammerPreset::Surgical {
+                uptime_s: 4e-6,
+                delay_s: 40e-6,
+                waveform: JamWaveform::Wgn,
+            },
+        );
+        let mut stream = vec![Cf64::ZERO; 100];
+        stream.extend(wifi_frame_at_25msps(2.0));
+        stream.extend(vec![Cf64::ZERO; 3000]);
+        let (_tx, active) = j.process_block(&stream);
+        let det = j
+            .events()
+            .iter()
+            .find(|e| matches!(e, CoreEvent::JamTrigger { .. }))
+            .unwrap()
+            .sample() as usize;
+        let first_jam = active.iter().position(|&a| a).unwrap();
+        // delay 40 us = 1000 samples (+2 init samples).
+        assert_eq!(first_jam, det + 1000 + 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Detection and jamming personalities.
+//!
+//! The paper's GUI lets an operator pick "detection types and desired
+//! jamming reactions during run time"; these enums are the programmatic
+//! form. A ([`DetectionPreset`], [`JammerPreset`]) pair compiles into a
+//! complete [`rjam_fpga::CoreConfig`].
+
+use crate::coeff::{self, Template};
+use rjam_fpga::{CoreConfig, JamWaveform, TriggerMode, TriggerSource};
+
+/// What to detect.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DetectionPreset {
+    /// Cross-correlate against the 802.11 short training sequence.
+    WifiShortPreamble {
+        /// Detection threshold as a fraction of the template's ideal peak.
+        threshold: f64,
+    },
+    /// Cross-correlate against the 802.11 long training symbol.
+    WifiLongPreamble {
+        /// Detection threshold as a fraction of the template's ideal peak.
+        threshold: f64,
+    },
+    /// Cross-correlate against a WiMAX downlink preamble.
+    WimaxPreamble {
+        /// Base-station Cell ID (0..=31).
+        id_cell: u8,
+        /// Segment (0..=2).
+        segment: u8,
+        /// Detection threshold fraction.
+        threshold: f64,
+    },
+    /// Energy-rise detection only (protocol-agnostic).
+    EnergyRise {
+        /// Rise threshold in dB (3..=30).
+        threshold_db: f64,
+    },
+    /// Energy-fall detection: trigger at the END of a transmission. With a
+    /// SIFS-sized jam delay this implements the classic ACK-jamming attack
+    /// (corrupt the acknowledgement instead of the long data frame — even
+    /// less energy per kill than the paper's data-frame bursts).
+    EnergyFall {
+        /// Fall threshold in dB (3..=30).
+        threshold_db: f64,
+    },
+    /// Cross-correlation OR energy rise — the fusion that reaches 100 %
+    /// WiMAX frame detection in paper §5.
+    WimaxFused {
+        /// Base-station Cell ID.
+        id_cell: u8,
+        /// Segment.
+        segment: u8,
+        /// Correlation threshold fraction.
+        threshold: f64,
+        /// Energy-rise threshold in dB.
+        energy_db: f64,
+    },
+}
+
+impl DetectionPreset {
+    /// The correlator template this preset loads, if any.
+    pub fn template(&self) -> Option<Template> {
+        match self {
+            DetectionPreset::WifiShortPreamble { .. } => Some(coeff::wifi_short_template()),
+            DetectionPreset::EnergyFall { .. } => None,
+            DetectionPreset::WifiLongPreamble { .. } => Some(coeff::wifi_long_template()),
+            DetectionPreset::WimaxPreamble { id_cell, segment, .. }
+            | DetectionPreset::WimaxFused { id_cell, segment, .. } => {
+                Some(coeff::wimax_template(*id_cell, *segment))
+            }
+            DetectionPreset::EnergyRise { .. } => None,
+        }
+    }
+
+    /// The trigger sources the preset enables.
+    pub fn trigger_mode(&self) -> TriggerMode {
+        match self {
+            DetectionPreset::EnergyRise { .. } => {
+                TriggerMode::Any(vec![TriggerSource::EnergyHigh])
+            }
+            DetectionPreset::EnergyFall { .. } => {
+                TriggerMode::Any(vec![TriggerSource::EnergyLow])
+            }
+            DetectionPreset::WimaxFused { .. } => TriggerMode::Any(vec![
+                TriggerSource::Xcorr,
+                TriggerSource::EnergyHigh,
+            ]),
+            _ => TriggerMode::Any(vec![TriggerSource::Xcorr]),
+        }
+    }
+
+    /// Applies the preset's detection fields onto a config.
+    pub fn apply(&self, cfg: &mut CoreConfig) {
+        if let Some(t) = self.template() {
+            cfg.coeff_i = t.coeff_i;
+            cfg.coeff_q = t.coeff_q;
+            let frac = match self {
+                DetectionPreset::WifiShortPreamble { threshold }
+                | DetectionPreset::WifiLongPreamble { threshold }
+                | DetectionPreset::WimaxPreamble { threshold, .. }
+                | DetectionPreset::WimaxFused { threshold, .. } => *threshold,
+                DetectionPreset::EnergyRise { .. } | DetectionPreset::EnergyFall { .. } => 1.0,
+            };
+            cfg.xcorr_threshold = t.threshold_at_fraction(frac);
+        } else {
+            cfg.xcorr_threshold = u64::MAX;
+        }
+        match self {
+            DetectionPreset::EnergyRise { threshold_db } => {
+                cfg.energy_high_db = *threshold_db;
+            }
+            DetectionPreset::EnergyFall { threshold_db } => {
+                cfg.energy_low_db = *threshold_db;
+            }
+            DetectionPreset::WimaxFused { energy_db, .. } => {
+                cfg.energy_high_db = *energy_db;
+            }
+            _ => {}
+        }
+        cfg.trigger_mode = self.trigger_mode();
+    }
+}
+
+/// How to react.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JammerPreset {
+    /// Detection only — log events, transmit nothing.
+    Monitor,
+    /// Always-on wideband noise (the paper's baseline jammer).
+    Continuous,
+    /// Reactive burst of the given uptime after each trigger.
+    Reactive {
+        /// Burst length in seconds (40 ns .. ~172 s).
+        uptime_s: f64,
+        /// Waveform to transmit.
+        waveform: JamWaveform,
+    },
+    /// Reactive burst placed at a delay after the trigger, to hit a chosen
+    /// region of the packet ("surgical" jamming).
+    Surgical {
+        /// Burst length in seconds.
+        uptime_s: f64,
+        /// Trigger-to-burst delay in seconds.
+        delay_s: f64,
+        /// Waveform to transmit.
+        waveform: JamWaveform,
+    },
+}
+
+impl JammerPreset {
+    /// Applies the preset's jammer fields onto a config.
+    pub fn apply(&self, cfg: &mut CoreConfig) {
+        let rate = rjam_sdr::USRP_SAMPLE_RATE;
+        match self {
+            JammerPreset::Monitor => {
+                cfg.enabled = false;
+                cfg.continuous = false;
+            }
+            JammerPreset::Continuous => {
+                cfg.enabled = false;
+                cfg.continuous = true;
+                cfg.waveform = JamWaveform::Wgn;
+            }
+            JammerPreset::Reactive { uptime_s, waveform } => {
+                cfg.enabled = true;
+                cfg.continuous = false;
+                cfg.uptime_samples = (uptime_s * rate).round().max(1.0) as u64;
+                cfg.delay_samples = 0;
+                cfg.waveform = waveform.clone();
+            }
+            JammerPreset::Surgical { uptime_s, delay_s, waveform } => {
+                cfg.enabled = true;
+                cfg.continuous = false;
+                cfg.uptime_samples = (uptime_s * rate).round().max(1.0) as u64;
+                cfg.delay_samples = (delay_s * rate).round() as u64;
+                cfg.waveform = waveform.clone();
+            }
+        }
+    }
+}
+
+/// Compiles a detection/jamming pair into a complete core configuration.
+pub fn build_config(det: &DetectionPreset, jam: &JammerPreset, lockout: u64) -> CoreConfig {
+    let mut cfg = CoreConfig { lockout, ..CoreConfig::default() };
+    det.apply(&mut cfg);
+    jam.apply(&mut cfg);
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wifi_long_preset_compiles() {
+        let cfg = build_config(
+            &DetectionPreset::WifiLongPreamble { threshold: 0.5 },
+            &JammerPreset::Reactive { uptime_s: 1e-4, waveform: JamWaveform::Wgn },
+            1000,
+        );
+        assert!(cfg.enabled);
+        assert!(!cfg.continuous);
+        assert_eq!(cfg.uptime_samples, 2500);
+        assert!(cfg.xcorr_threshold < u64::MAX);
+        assert_eq!(
+            cfg.trigger_mode,
+            TriggerMode::Any(vec![TriggerSource::Xcorr])
+        );
+    }
+
+    #[test]
+    fn energy_preset_disables_correlator() {
+        let cfg = build_config(
+            &DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            &JammerPreset::Monitor,
+            0,
+        );
+        assert_eq!(cfg.xcorr_threshold, u64::MAX);
+        assert_eq!(cfg.energy_high_db, 10.0);
+        assert!(!cfg.enabled && !cfg.continuous);
+    }
+
+    #[test]
+    fn fused_preset_enables_both_sources() {
+        let cfg = build_config(
+            &DetectionPreset::WimaxFused {
+                id_cell: 1,
+                segment: 0,
+                threshold: 0.5,
+                energy_db: 10.0,
+            },
+            &JammerPreset::Reactive { uptime_s: 4e-5, waveform: JamWaveform::Wgn },
+            0,
+        );
+        assert_eq!(
+            cfg.trigger_mode,
+            TriggerMode::Any(vec![TriggerSource::Xcorr, TriggerSource::EnergyHigh])
+        );
+    }
+
+    #[test]
+    fn energy_fall_preset_uses_low_trigger() {
+        let cfg = build_config(
+            &DetectionPreset::EnergyFall { threshold_db: 10.0 },
+            &JammerPreset::Surgical {
+                uptime_s: 30e-6,
+                delay_s: 10e-6, // one SIFS: land on the ACK
+                waveform: JamWaveform::Wgn,
+            },
+            0,
+        );
+        assert_eq!(cfg.energy_low_db, 10.0);
+        assert_eq!(cfg.xcorr_threshold, u64::MAX);
+        assert_eq!(
+            cfg.trigger_mode,
+            TriggerMode::Any(vec![TriggerSource::EnergyLow])
+        );
+        assert_eq!(cfg.delay_samples, 250);
+    }
+
+    #[test]
+    fn continuous_preset() {
+        let cfg = build_config(
+            &DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            &JammerPreset::Continuous,
+            0,
+        );
+        assert!(cfg.continuous);
+        assert!(!cfg.enabled);
+    }
+
+    #[test]
+    fn surgical_delay_in_samples() {
+        let cfg = build_config(
+            &DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+            &JammerPreset::Surgical {
+                uptime_s: 1e-5,
+                delay_s: 25e-6,
+                waveform: JamWaveform::Replay,
+            },
+            0,
+        );
+        assert_eq!(cfg.delay_samples, 625); // 25 us at 25 MSPS
+        assert_eq!(cfg.uptime_samples, 250);
+        assert_eq!(cfg.waveform, JamWaveform::Replay);
+    }
+
+    #[test]
+    fn minimum_uptime_one_sample() {
+        let cfg = build_config(
+            &DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            &JammerPreset::Reactive { uptime_s: 1e-12, waveform: JamWaveform::Wgn },
+            0,
+        );
+        assert_eq!(cfg.uptime_samples, 1);
+    }
+}

@@ -1,0 +1,64 @@
+//! Every campaign runner is exactly reproducible from its seed, including
+//! the thread-parallel sweeps (workers are seeded per-index, so scheduling
+//! order cannot leak into results).
+
+use rjam_core::campaign::{
+    false_alarm_rate, jamming_sweep, wifi_detection_sweep, wimax_detection, JammerUnderTest,
+    WifiEmission,
+};
+use rjam_core::DetectionPreset;
+
+#[test]
+fn detection_sweep_is_deterministic() {
+    let run = || {
+        wifi_detection_sweep(
+            &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+            WifiEmission::FullFrames { psdu_len: 80 },
+            &[-3.0, 3.0, 9.0],
+            30,
+            777,
+        )
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.p_detect, y.p_detect);
+        assert_eq!(x.triggers_per_frame, y.triggers_per_frame);
+    }
+}
+
+#[test]
+fn jamming_sweep_is_deterministic() {
+    let run = || jamming_sweep(JammerUnderTest::ReactiveLong, &[20.0, 8.0], 2.0, 31337);
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.report.sent, y.report.sent);
+        assert_eq!(x.report.received, y.report.received);
+        assert_eq!(x.report.jam_bursts, y.report.jam_bursts);
+    }
+}
+
+#[test]
+fn fa_and_wimax_are_deterministic() {
+    let p = DetectionPreset::WifiLongPreamble { threshold: 0.34 };
+    assert_eq!(
+        false_alarm_rate(&p, 1_000_000, 9),
+        false_alarm_rate(&p, 1_000_000, 9)
+    );
+    let a = wimax_detection(true, 6, 20.0, 0.45, 11);
+    let b = wimax_detection(true, 6, 20.0, 0.45, 11);
+    assert_eq!(a.detect_fraction, b.detect_fraction);
+    assert_eq!(a.mean_latency_us, b.mean_latency_us);
+}
+
+#[test]
+fn different_seeds_differ_somewhere() {
+    let a = jamming_sweep(JammerUnderTest::ReactiveLong, &[14.0], 2.0, 1);
+    let b = jamming_sweep(JammerUnderTest::ReactiveLong, &[14.0], 2.0, 2);
+    assert_ne!(
+        (a[0].report.received, a[0].report.jam_bursts),
+        (b[0].report.received, b[0].report.jam_bursts),
+        "seeds must actually steer the randomness"
+    );
+}

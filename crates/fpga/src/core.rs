@@ -1,0 +1,616 @@
+//! The assembled custom DSP core (paper Figs 1-2).
+//!
+//! [`DspCore`] wires the four functional blocks together exactly as the
+//! hardware does: received I/Q samples flow in parallel through the
+//! cross-correlator and the energy differentiator; their trigger pulses feed
+//! the event builder; a completed combination starts the jamming controller,
+//! which takes over the transmit data path. The host talks to the core only
+//! through the user register bus, and reads back synchro flags through the
+//! host-feedback register — "this implementation effectively bypasses
+//! host-side operations ... during signal processing".
+//!
+//! Every state change is logged as a [`CoreEvent`] with its sample index and
+//! 100 MHz clock cycle, which is what the Fig. 5 timeline analysis and the
+//! Fig. 12 scope correspondence are computed from.
+
+use crate::energy::EnergyDifferentiator;
+use crate::jammer::{JamController, JamWaveform};
+use crate::regs::{host_feedback, jammer_control, RegisterBus, RegisterMap};
+use crate::trigger::{Pulses, TriggerBuilder, TriggerMode, TriggerSource};
+use crate::xcorr::CrossCorrelator;
+use crate::CLOCKS_PER_SAMPLE;
+use rjam_sdr::complex::IqI16;
+
+/// A timestamped core event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// Cross-correlation detection pulse.
+    XcorrDetection {
+        /// Sample index of the pulse.
+        sample: u64,
+        /// FPGA clock cycle of the pulse.
+        cycle: u64,
+        /// Correlator metric at the pulse.
+        metric: u64,
+    },
+    /// Energy-rise detection pulse.
+    EnergyHigh {
+        /// Sample index of the pulse.
+        sample: u64,
+        /// FPGA clock cycle of the pulse.
+        cycle: u64,
+    },
+    /// Energy-fall detection pulse.
+    EnergyLow {
+        /// Sample index of the pulse.
+        sample: u64,
+        /// FPGA clock cycle of the pulse.
+        cycle: u64,
+    },
+    /// A jam trigger completed in the event builder.
+    JamTrigger {
+        /// Sample index of the completed combination.
+        sample: u64,
+        /// FPGA clock cycle of the completed combination.
+        cycle: u64,
+    },
+}
+
+impl CoreEvent {
+    /// Sample index of the event.
+    pub fn sample(&self) -> u64 {
+        match *self {
+            CoreEvent::XcorrDetection { sample, .. }
+            | CoreEvent::EnergyHigh { sample, .. }
+            | CoreEvent::EnergyLow { sample, .. }
+            | CoreEvent::JamTrigger { sample, .. } => sample,
+        }
+    }
+
+    /// Clock cycle of the event.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            CoreEvent::XcorrDetection { cycle, .. }
+            | CoreEvent::EnergyHigh { cycle, .. }
+            | CoreEvent::EnergyLow { cycle, .. }
+            | CoreEvent::JamTrigger { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// One-shot configuration applied through the register bus.
+///
+/// This is the host-side convenience the GNU Radio GUI provides: a complete
+/// "jamming personality" that [`DspCore::configure`] writes register by
+/// register, so reconfiguration cost is observable as bus traffic.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Correlator I-rail coefficients (64 x 3-bit signed).
+    pub coeff_i: [i8; 64],
+    /// Correlator Q-rail coefficients.
+    pub coeff_q: [i8; 64],
+    /// Correlation threshold on the squared-magnitude metric.
+    pub xcorr_threshold: u64,
+    /// Energy-rise threshold in dB (3-30).
+    pub energy_high_db: f64,
+    /// Energy-fall threshold in dB (3-30).
+    pub energy_low_db: f64,
+    /// Trigger combination.
+    pub trigger_mode: TriggerMode,
+    /// Post-detection lockout for both detectors, in samples.
+    pub lockout: u64,
+    /// Jamming waveform.
+    pub waveform: JamWaveform,
+    /// Jam burst length in samples.
+    pub uptime_samples: u64,
+    /// Trigger-to-burst delay in samples.
+    pub delay_samples: u64,
+    /// Reactive jamming enabled.
+    pub enabled: bool,
+    /// Continuous (always-on) transmission.
+    pub continuous: bool,
+    /// Jammer output amplitude, fraction of full scale.
+    pub amplitude: f64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            coeff_i: [0; 64],
+            coeff_q: [0; 64],
+            xcorr_threshold: u64::MAX,
+            energy_high_db: 10.0,
+            energy_low_db: 10.0,
+            trigger_mode: TriggerMode::Any(vec![TriggerSource::EnergyHigh]),
+            lockout: 0,
+            waveform: JamWaveform::Wgn,
+            uptime_samples: 2500, // 0.1 ms at 25 MSPS
+            delay_samples: 0,
+            enabled: false,
+            continuous: false,
+            amplitude: 1.0,
+        }
+    }
+}
+
+/// Output of one core sample period.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreOutput {
+    /// Transmit sample handed to the DUC, if the jammer drove the bus.
+    pub tx: Option<IqI16>,
+    /// Detector and trigger pulses this sample.
+    pub pulses: Pulses,
+    /// A jam trigger completed this sample.
+    pub jam_trigger: bool,
+}
+
+/// The full custom DSP core.
+#[derive(Clone, Debug)]
+pub struct DspCore {
+    bus: RegisterBus,
+    xcorr: CrossCorrelator,
+    energy: EnergyDifferentiator,
+    builder: TriggerBuilder,
+    jammer: JamController,
+    /// Which sources feed the jam trigger (cached from JammerControl).
+    src_xcorr: bool,
+    src_energy_high: bool,
+    src_energy_low: bool,
+    events: Vec<CoreEvent>,
+    now: u64,
+    /// Optional packet-assembly FIFO (Fig. 1): captures the triggering
+    /// signal toward the host.
+    capture: Option<crate::fifo::TriggerCapture>,
+}
+
+impl DspCore {
+    /// Creates a core with default (inert) configuration.
+    pub fn new() -> Self {
+        DspCore {
+            bus: RegisterBus::new(),
+            xcorr: CrossCorrelator::new(),
+            energy: EnergyDifferentiator::new(),
+            builder: TriggerBuilder::new(TriggerMode::Any(vec![TriggerSource::EnergyHigh])),
+            jammer: JamController::new(),
+            src_xcorr: false,
+            src_energy_high: true,
+            src_energy_low: false,
+            events: Vec::new(),
+            now: 0,
+            capture: None,
+        }
+    }
+
+    /// Enables the packet-assembly FIFO: on each jam trigger, `pre` samples
+    /// of context and `post` samples of the triggering signal stream toward
+    /// the host through a `fifo_depth`-sample FIFO (Fig. 1's path to the
+    /// host's "packet assembly").
+    pub fn enable_capture(&mut self, pre: usize, post: usize, fifo_depth: usize) {
+        self.capture = Some(crate::fifo::TriggerCapture::new(pre, post, fifo_depth));
+    }
+
+    /// Drains up to `n` captured samples (host-side read). Empty when the
+    /// capture FIFO is disabled or drained.
+    pub fn drain_capture(&mut self, n: usize) -> Vec<IqI16> {
+        self.capture
+            .as_mut()
+            .map(|c| c.fifo_mut().pop(n))
+            .unwrap_or_default()
+    }
+
+    /// Capture-FIFO overflow count (samples dropped), if enabled.
+    pub fn capture_overflow(&mut self) -> u64 {
+        self.capture.as_mut().map(|c| c.fifo_mut().overflow()).unwrap_or(0)
+    }
+
+    /// Applies a complete configuration through the register bus, returning
+    /// the number of register writes it took (the reconfiguration cost the
+    /// paper quotes as "hundreds of ns" of settings-bus latency).
+    pub fn configure(&mut self, cfg: &CoreConfig) -> u64 {
+        let before = self.bus.write_count();
+        self.bus.write_coeffs(RegisterMap::XcorrCoeffI0, &cfg.coeff_i);
+        self.bus.write_coeffs(RegisterMap::XcorrCoeffQ0, &cfg.coeff_q);
+        // The metric fits well below 2^32 (max 448^2); the register is 32-bit.
+        self.bus.write_reg_if_changed(
+            RegisterMap::XcorrThreshold,
+            cfg.xcorr_threshold.min(u32::MAX as u64) as u32,
+        );
+        self.bus.write_reg_if_changed(
+            RegisterMap::EnergyThresholdHigh,
+            crate::regs::db_to_fixed16(cfg.energy_high_db),
+        );
+        self.bus.write_reg_if_changed(
+            RegisterMap::EnergyThresholdLow,
+            crate::regs::db_to_fixed16(cfg.energy_low_db),
+        );
+        let mut ctrl = 0u32;
+        ctrl |= match cfg.waveform {
+            JamWaveform::Wgn => 0,
+            JamWaveform::Replay => 1,
+            JamWaveform::HostStream(_) => 2,
+        };
+        if cfg.enabled {
+            ctrl |= jammer_control::ENABLE;
+        }
+        if cfg.continuous {
+            ctrl |= jammer_control::CONTINUOUS;
+        }
+        let (srcs, window, sequence) = match &cfg.trigger_mode {
+            TriggerMode::Any(s) => (s.clone(), 0u64, false),
+            TriggerMode::Sequence { stages, window } => (stages.clone(), *window, true),
+        };
+        for s in &srcs {
+            ctrl |= match s {
+                TriggerSource::Xcorr => jammer_control::SRC_XCORR,
+                TriggerSource::EnergyHigh => jammer_control::SRC_ENERGY_HIGH,
+                TriggerSource::EnergyLow => jammer_control::SRC_ENERGY_LOW,
+            };
+        }
+        if sequence {
+            ctrl |= jammer_control::SEQUENCE_MODE;
+        }
+        self.bus.write_reg_if_changed(RegisterMap::JammerControl, ctrl);
+        self.bus.write_reg_if_changed(
+            RegisterMap::JammerUptime,
+            cfg.uptime_samples.min(u32::MAX as u64) as u32,
+        );
+        self.bus.write_reg_if_changed(
+            RegisterMap::JammerDelay,
+            cfg.delay_samples.min(u32::MAX as u64) as u32,
+        );
+        self.bus
+            .write_reg_if_changed(RegisterMap::TriggerWindow, window.min(u32::MAX as u64) as u32);
+        self.bus
+            .write_reg_if_changed(RegisterMap::TriggerLockout, cfg.lockout.min(u32::MAX as u64) as u32);
+
+        // Latch register state into the functional blocks.
+        self.xcorr.load_coeffs_raw(&cfg.coeff_i, &cfg.coeff_q);
+        self.xcorr.set_threshold(cfg.xcorr_threshold);
+        self.xcorr.set_lockout(cfg.lockout);
+        self.energy.set_threshold_high_db(cfg.energy_high_db);
+        self.energy.set_threshold_low_db(cfg.energy_low_db);
+        self.energy.set_lockout(cfg.lockout);
+        self.builder = TriggerBuilder::new(cfg.trigger_mode.clone());
+        self.src_xcorr = srcs.contains(&TriggerSource::Xcorr);
+        self.src_energy_high = srcs.contains(&TriggerSource::EnergyHigh);
+        self.src_energy_low = srcs.contains(&TriggerSource::EnergyLow);
+        self.jammer.set_waveform(cfg.waveform.clone());
+        self.jammer.set_uptime_samples(cfg.uptime_samples);
+        self.jammer.set_delay_samples(cfg.delay_samples);
+        self.jammer.set_enabled(cfg.enabled);
+        self.jammer.set_continuous(cfg.continuous);
+        self.jammer.set_amplitude(cfg.amplitude);
+
+        self.bus.write_count() - before
+    }
+
+    /// Direct host register write (single word), mirroring `gr-uhd`'s
+    /// `set_user_register`. Only the registers the paper exposes for run-time
+    /// updates are latched mid-stream.
+    pub fn write_reg(&mut self, reg: RegisterMap, value: u32) {
+        self.bus.write_reg(reg, value);
+        match reg {
+            RegisterMap::XcorrThreshold => self.xcorr.set_threshold(value as u64),
+            RegisterMap::EnergyThresholdHigh => self.energy.set_threshold_high_fixed(value),
+            RegisterMap::EnergyThresholdLow => self.energy.set_threshold_low_fixed(value),
+            RegisterMap::JammerUptime => self.jammer.set_uptime_samples(value as u64),
+            RegisterMap::JammerDelay => self.jammer.set_delay_samples(value as u64),
+            RegisterMap::WgnSeed => self.jammer.set_wgn_seed(value),
+            RegisterMap::TriggerLockout => {
+                self.xcorr.set_lockout(value as u64);
+                self.energy.set_lockout(value as u64);
+            }
+            _ => {}
+        }
+    }
+
+    /// Host register read.
+    pub fn read_reg(&self, reg: RegisterMap) -> u32 {
+        self.bus.read_reg(reg)
+    }
+
+    /// Reads and clears the host feedback flags (synchro flags), as the host
+    /// polling loop does.
+    pub fn take_feedback(&mut self) -> u32 {
+        let v = self.bus.read_reg(RegisterMap::HostFeedback);
+        let sticky = v & !host_feedback::JAM_ACTIVE;
+        self.bus.clear_bits(RegisterMap::HostFeedback, sticky);
+        v
+    }
+
+    /// Processes one received sample; returns the TX decision and pulses.
+    pub fn process(&mut self, rx: IqI16) -> CoreOutput {
+        let sample = self.now;
+        self.now += 1;
+        let cycle = sample * CLOCKS_PER_SAMPLE + 1;
+
+        let xo = self.xcorr.push(rx);
+        let eo = self.energy.push(rx);
+        let pulses = Pulses {
+            xcorr: xo.trigger,
+            energy_high: eo.trigger_high,
+            energy_low: eo.trigger_low,
+        };
+        if xo.trigger {
+            self.events.push(CoreEvent::XcorrDetection { sample, cycle, metric: xo.metric });
+            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::XCORR_DET);
+        }
+        if eo.trigger_high {
+            self.events.push(CoreEvent::EnergyHigh { sample, cycle });
+            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_HIGH);
+        }
+        if eo.trigger_low {
+            self.events.push(CoreEvent::EnergyLow { sample, cycle });
+            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_LOW);
+        }
+
+        let masked = Pulses {
+            xcorr: pulses.xcorr && self.src_xcorr,
+            energy_high: pulses.energy_high && self.src_energy_high,
+            energy_low: pulses.energy_low && self.src_energy_low,
+        };
+        let jam_trigger = self.builder.push(masked);
+        if jam_trigger {
+            self.events.push(CoreEvent::JamTrigger { sample, cycle });
+        }
+        if let Some(cap) = self.capture.as_mut() {
+            cap.tick(rx, jam_trigger);
+        }
+
+        let tx = self.jammer.tick(jam_trigger, rx);
+        if tx.is_some() {
+            self.bus.set_bits(
+                RegisterMap::HostFeedback,
+                host_feedback::JAMMED | host_feedback::JAM_ACTIVE,
+            );
+        } else {
+            self.bus.clear_bits(RegisterMap::HostFeedback, host_feedback::JAM_ACTIVE);
+        }
+        CoreOutput { tx, pulses, jam_trigger }
+    }
+
+    /// Processes a block, returning a TX waveform time-aligned with the
+    /// input (silence as zero samples) plus an activity mask.
+    pub fn process_block(&mut self, rx: &[IqI16]) -> (Vec<IqI16>, Vec<bool>) {
+        let mut tx = Vec::with_capacity(rx.len());
+        let mut active = Vec::with_capacity(rx.len());
+        for &s in rx {
+            let out = self.process(s);
+            active.push(out.tx.is_some());
+            tx.push(out.tx.unwrap_or(IqI16::ZERO));
+        }
+        (tx, active)
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &[CoreEvent] {
+        &self.events
+    }
+
+    /// Jam bursts with cycle-accurate timing.
+    pub fn jam_events(&self) -> &[crate::jammer::JamEvent] {
+        self.jammer.events()
+    }
+
+    /// Samples processed so far.
+    pub fn samples_processed(&self) -> u64 {
+        self.now
+    }
+
+    /// Clears streaming state and logs, keeping configuration.
+    pub fn reset(&mut self) {
+        self.xcorr.reset();
+        self.energy.reset();
+        self.builder.reset();
+        self.jammer.reset();
+        self.events.clear();
+        self.now = 0;
+    }
+}
+
+impl Default for DspCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A config that detects an energy rise and jams with WGN.
+    fn energy_jam_config() -> CoreConfig {
+        CoreConfig {
+            energy_high_db: 10.0,
+            trigger_mode: TriggerMode::Any(vec![TriggerSource::EnergyHigh]),
+            uptime_samples: 100,
+            enabled: true,
+            lockout: 1000,
+            ..CoreConfig::default()
+        }
+    }
+
+    fn quiet(n: usize) -> Vec<IqI16> {
+        vec![IqI16::new(20, -20); n]
+    }
+
+    fn loud(n: usize) -> Vec<IqI16> {
+        vec![IqI16::new(8000, 8000); n]
+    }
+
+    #[test]
+    fn energy_rise_starts_jam_burst() {
+        let mut core = DspCore::new();
+        core.configure(&energy_jam_config());
+        let mut stream = quiet(300);
+        stream.extend(loud(500));
+        let (_tx, active) = core.process_block(&stream);
+        let first_tx = active.iter().position(|&a| a).expect("must jam");
+        // Rise occurs shortly after sample 300; detection within 32 samples,
+        // TX within 2 more.
+        assert!(first_tx >= 300 && first_tx < 300 + 40, "first_tx={first_tx}");
+        assert_eq!(active.iter().filter(|&&a| a).count(), 100);
+    }
+
+    #[test]
+    fn detection_latency_bound_fig5() {
+        // T_en_det < 1.28 us = 128 cycles; T_resp <= 1.36 us = 136 cycles.
+        let mut core = DspCore::new();
+        core.configure(&energy_jam_config());
+        let mut stream = quiet(300);
+        stream.extend(loud(200));
+        core.process_block(&stream);
+        let det = core
+            .events()
+            .iter()
+            .find(|e| matches!(e, CoreEvent::EnergyHigh { .. }))
+            .unwrap();
+        let signal_start_cycle = 300 * CLOCKS_PER_SAMPLE;
+        let t_en_det = det.cycle() - signal_start_cycle;
+        assert!(t_en_det <= 128, "T_en_det = {t_en_det} cycles");
+        let jam = core.jam_events()[0];
+        let t_resp = jam.start_cycle - signal_start_cycle;
+        assert!(t_resp <= 136, "T_resp = {t_resp} cycles");
+        assert!(jam.response_cycles() <= 8);
+    }
+
+    #[test]
+    fn xcorr_detection_is_logged_with_metric() {
+        let mut core = DspCore::new();
+        let mut cfg = energy_jam_config();
+        // Template matching a constant-positive stream: all-ones signs.
+        cfg.coeff_i = [3; 64];
+        cfg.coeff_q = [3; 64];
+        cfg.xcorr_threshold = (300 * 300) as u64;
+        cfg.trigger_mode = TriggerMode::Any(vec![TriggerSource::Xcorr]);
+        core.configure(&cfg);
+        let (_tx, active) = core.process_block(&loud(200));
+        assert!(active.iter().any(|&a| a));
+        let det = core
+            .events()
+            .iter()
+            .find(|e| matches!(e, CoreEvent::XcorrDetection { .. }))
+            .unwrap();
+        assert_eq!(det.sample(), 63, "window fills at sample 63");
+        if let CoreEvent::XcorrDetection { metric, .. } = det {
+            assert!(*metric >= (300 * 300) as u64);
+        }
+    }
+
+    #[test]
+    fn trigger_source_masking() {
+        // Energy pulses occur but only xcorr is enabled: no jam.
+        let mut core = DspCore::new();
+        let mut cfg = energy_jam_config();
+        cfg.trigger_mode = TriggerMode::Any(vec![TriggerSource::Xcorr]);
+        core.configure(&cfg);
+        let mut stream = quiet(300);
+        stream.extend(loud(300));
+        let (_tx, active) = core.process_block(&stream);
+        assert!(active.iter().all(|&a| !a));
+        // The energy event is still logged (hardware still reports it).
+        assert!(core
+            .events()
+            .iter()
+            .any(|e| matches!(e, CoreEvent::EnergyHigh { .. })));
+    }
+
+    #[test]
+    fn feedback_flags_report_and_clear() {
+        let mut core = DspCore::new();
+        core.configure(&energy_jam_config());
+        let mut stream = quiet(300);
+        stream.extend(loud(300));
+        core.process_block(&stream);
+        let fb = core.take_feedback();
+        assert!(fb & host_feedback::ENERGY_HIGH != 0);
+        assert!(fb & host_feedback::JAMMED != 0);
+        let fb2 = core.take_feedback();
+        assert_eq!(fb2 & host_feedback::ENERGY_HIGH, 0, "sticky flags cleared on read");
+    }
+
+    #[test]
+    fn runtime_threshold_rewrite_applies_midstream() {
+        let mut core = DspCore::new();
+        let mut cfg = energy_jam_config();
+        cfg.energy_high_db = 30.0; // stricter than the 20 dB step below
+        core.configure(&cfg);
+        // A 20 dB power step: amplitude 500 -> 5000.
+        let step = |n| {
+            let mut v = vec![IqI16::new(500, -500); n];
+            v.extend(vec![IqI16::new(5000, -5000); n]);
+            v
+        };
+        let (_tx, active) = core.process_block(&step(300));
+        assert!(active.iter().all(|&a| !a), "30 dB threshold must not fire on a 20 dB step");
+        // Lower the threshold on the fly and replay the rise.
+        core.write_reg(
+            RegisterMap::EnergyThresholdHigh,
+            crate::regs::db_to_fixed16(6.0),
+        );
+        let (_tx, active2) = core.process_block(&step(300));
+        assert!(active2.iter().any(|&a| a), "6 dB threshold fires after rewrite");
+    }
+
+    #[test]
+    fn configure_reports_bus_writes() {
+        let mut core = DspCore::new();
+        let writes = core.configure(&energy_jam_config());
+        // Delta-writes: only registers that change from the power-on state
+        // are written, and always within the paper's 24-register budget.
+        assert!(writes > 0 && writes <= 24, "writes={writes}");
+        // Re-applying the identical personality costs no bus traffic.
+        assert_eq!(core.configure(&energy_jam_config()), 0);
+        // A pure uptime change costs exactly one write.
+        let mut cfg = energy_jam_config();
+        cfg.uptime_samples = 250;
+        assert_eq!(core.configure(&cfg), 1);
+    }
+
+    #[test]
+    fn continuous_personality_on_same_core() {
+        let mut core = DspCore::new();
+        let mut cfg = energy_jam_config();
+        cfg.continuous = true;
+        cfg.enabled = false;
+        core.configure(&cfg);
+        let (_tx, active) = core.process_block(&quiet(100));
+        assert!(active.iter().all(|&a| a), "continuous mode transmits always");
+    }
+
+    #[test]
+    fn capture_fifo_streams_triggering_signal() {
+        let mut core = DspCore::new();
+        core.configure(&energy_jam_config());
+        core.enable_capture(8, 32, 256);
+        let mut stream = quiet(300);
+        stream.extend(loud(200));
+        core.process_block(&stream);
+        let cap = core.drain_capture(1024);
+        assert_eq!(cap.len(), 8 + 32, "pre + post window");
+        // The pre-trigger context is quiet; the post-trigger body is loud.
+        assert!(cap[0].energy() < 10_000);
+        assert!(cap.last().unwrap().energy() > 1_000_000);
+        assert_eq!(core.capture_overflow(), 0);
+        // Without enabling, draining yields nothing.
+        let mut plain = DspCore::new();
+        plain.configure(&energy_jam_config());
+        assert!(plain.drain_capture(10).is_empty());
+    }
+
+    #[test]
+    fn reset_preserves_configuration() {
+        let mut core = DspCore::new();
+        core.configure(&energy_jam_config());
+        let mut stream = quiet(300);
+        stream.extend(loud(300));
+        core.process_block(&stream);
+        core.reset();
+        assert_eq!(core.samples_processed(), 0);
+        assert!(core.events().is_empty());
+        let mut stream2 = quiet(300);
+        stream2.extend(loud(300));
+        let (_tx, active) = core.process_block(&stream2);
+        assert!(active.iter().any(|&a| a), "config survives reset");
+    }
+}

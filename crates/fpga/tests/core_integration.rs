@@ -1,0 +1,118 @@
+//! Integration across the FPGA core's blocks: packet trains, capture FIFO
+//! forensics, personality churn under continuous streaming.
+
+use rjam_fpga::{CoreConfig, CoreEvent, DspCore, TriggerMode, TriggerSource};
+use rjam_sdr::complex::IqI16;
+use rjam_sdr::rng::Rng;
+
+fn packet_train(n_packets: usize, gap: usize, len: usize, seed: u64) -> Vec<IqI16> {
+    let mut rng = Rng::seed_from(seed);
+    let mut out = Vec::new();
+    for _ in 0..n_packets {
+        for _ in 0..gap {
+            out.push(IqI16::new(
+                (rng.gaussian() * 30.0) as i16,
+                (rng.gaussian() * 30.0) as i16,
+            ));
+        }
+        for _ in 0..len {
+            out.push(IqI16::new(
+                (rng.gaussian() * 4000.0) as i16,
+                (rng.gaussian() * 4000.0) as i16,
+            ));
+        }
+    }
+    out
+}
+
+fn energy_config(uptime: u64, lockout: u64) -> CoreConfig {
+    CoreConfig {
+        energy_high_db: 10.0,
+        trigger_mode: TriggerMode::Any(vec![TriggerSource::EnergyHigh]),
+        uptime_samples: uptime,
+        lockout,
+        enabled: true,
+        ..CoreConfig::default()
+    }
+}
+
+/// Every packet in a long train gets exactly one jam burst.
+#[test]
+fn one_burst_per_packet_over_a_train() {
+    let mut core = DspCore::new();
+    core.configure(&energy_config(100, 1500));
+    let train = packet_train(20, 1000, 800, 1);
+    core.process_block(&train);
+    assert_eq!(core.jam_events().len(), 20, "one burst per packet");
+    // Every burst met the 80 ns budget.
+    for j in core.jam_events() {
+        assert!(j.response_cycles() <= 8);
+    }
+}
+
+/// The capture FIFO collects forensic windows for every trigger until full,
+/// then overflows gracefully while jamming continues.
+#[test]
+fn capture_forensics_over_a_train() {
+    let mut core = DspCore::new();
+    core.configure(&energy_config(50, 1500));
+    core.enable_capture(16, 64, 256); // 80 samples per capture; fills after 3
+    let train = packet_train(10, 1000, 800, 2);
+    core.process_block(&train);
+    assert_eq!(core.jam_events().len(), 10, "jamming unaffected by FIFO state");
+    let drained = core.drain_capture(10_000);
+    assert_eq!(drained.len(), 256, "FIFO capped at its depth");
+    assert!(core.capture_overflow() > 0);
+}
+
+/// Rapid personality flips mid-stream never wedge the datapath.
+#[test]
+fn personality_churn_is_safe() {
+    let mut core = DspCore::new();
+    core.configure(&energy_config(50, 0));
+    let train = packet_train(30, 600, 400, 3);
+    let mut bursts = 0usize;
+    for (k, chunk) in train.chunks(997).enumerate() {
+        // Flip uptime and thresholds continually.
+        let mut cfg = energy_config(10 + (k as u64 % 5) * 40, (k as u64 % 3) * 500);
+        cfg.energy_high_db = 6.0 + (k % 4) as f64 * 4.0;
+        core.configure(&cfg);
+        let (_tx, active) = core.process_block(chunk);
+        bursts += active.iter().filter(|&&a| a).count();
+    }
+    assert!(bursts > 0, "the jammer still fires through the churn");
+    // Events stay strictly ordered in time.
+    let cycles: Vec<u64> = core.events().iter().map(CoreEvent::cycle).collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]));
+}
+
+/// Energy-rise and energy-fall bracket each packet.
+#[test]
+fn rise_and_fall_bracket_packets() {
+    let mut core = DspCore::new();
+    let mut cfg = energy_config(1, 1500);
+    cfg.energy_low_db = 10.0;
+    core.configure(&cfg);
+    let train = packet_train(5, 1200, 900, 4);
+    core.process_block(&train);
+    let rises: Vec<u64> = core
+        .events()
+        .iter()
+        .filter(|e| matches!(e, CoreEvent::EnergyHigh { .. }))
+        .map(|e| e.sample())
+        .collect();
+    let falls: Vec<u64> = core
+        .events()
+        .iter()
+        .filter(|e| matches!(e, CoreEvent::EnergyLow { .. }))
+        .map(|e| e.sample())
+        .collect();
+    assert_eq!(rises.len(), 5);
+    assert!(falls.len() >= 4, "falls = {falls:?}");
+    // Each fall follows its rise by roughly the packet length.
+    for (r, f) in rises.iter().zip(falls.iter()) {
+        assert!(f > r, "fall {f} after rise {r}");
+        let dt = (*f - *r) as i64;
+        assert!(dt > 700 && dt < 1300, "dt={dt}");
+    }
+}

@@ -1,0 +1,198 @@
+//! Victim-side jamming detection (the countermeasure direction the paper's
+//! conclusion calls for).
+//!
+//! The paper notes that under reactive jamming the AP "had no knowledge of
+//! the jammer's presence and always reported an 'excellent' link" — RSSI
+//! stays high while delivery collapses. That inconsistency is precisely the
+//! classic PDR/RSSI consistency check of Xu, Trappe, Zhang & Wood (the
+//! paper's reference \[15\]): a healthy-but-undeliverable link is the
+//! signature of jamming, because every benign cause of loss (weak signal,
+//! fading) also depresses the signal measurement.
+//!
+//! [`JammingDetector`] implements that check against the same link model
+//! the simulator uses, so the expected-PDR baseline is principled rather
+//! than a magic constant.
+
+use crate::link::frame_success_prob;
+use rjam_phy80211::Rate;
+
+/// One observed transmission attempt at the victim.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkObservation {
+    /// Received signal strength for the frame (or its preamble), dBm.
+    pub rssi_dbm: f64,
+    /// PHY rate the frame used.
+    pub rate: Rate,
+    /// Whether the frame was delivered (FCS passed, ACKed).
+    pub delivered: bool,
+}
+
+/// The detector's conclusion over a window of observations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JammingVerdict {
+    /// Measured packet delivery ratio over the window.
+    pub pdr: f64,
+    /// Mean RSSI over the window, dBm.
+    pub mean_rssi_dbm: f64,
+    /// Delivery ratio the link model predicts for that RSSI (no jammer).
+    pub expected_pdr: f64,
+    /// `measured` is consistent with `expected` within tolerance.
+    pub consistent: bool,
+    /// The PDR/RSSI consistency check flags jamming.
+    pub jamming_suspected: bool,
+}
+
+/// PDR/RSSI consistency checker.
+#[derive(Clone, Debug)]
+pub struct JammingDetector {
+    /// Receiver noise floor used to convert RSSI to SNR, dBm.
+    pub noise_floor_dbm: f64,
+    /// Frame size assumed for the expected-PDR baseline, bytes.
+    pub psdu_len: usize,
+    /// How far below the expectation the measured PDR must fall (absolute)
+    /// before jamming is declared.
+    pub pdr_deficit_threshold: f64,
+    /// Minimum observations before any verdict.
+    pub min_window: usize,
+}
+
+impl Default for JammingDetector {
+    fn default() -> Self {
+        JammingDetector {
+            noise_floor_dbm: -101.0,
+            psdu_len: 1534,
+            pdr_deficit_threshold: 0.4,
+            min_window: 20,
+        }
+    }
+}
+
+impl JammingDetector {
+    /// Analyzes a window of observations. Returns `None` below the minimum
+    /// window size.
+    pub fn analyze(&self, window: &[LinkObservation]) -> Option<JammingVerdict> {
+        if window.len() < self.min_window {
+            return None;
+        }
+        let n = window.len() as f64;
+        let pdr = window.iter().filter(|o| o.delivered).count() as f64 / n;
+        let mean_rssi_dbm = window.iter().map(|o| o.rssi_dbm).sum::<f64>() / n;
+        // Expected delivery at this RSSI without interference, averaged over
+        // the rates actually used in the window.
+        let expected_pdr = window
+            .iter()
+            .map(|o| {
+                let snr = o.rssi_dbm - self.noise_floor_dbm;
+                frame_success_prob(o.rate, self.psdu_len, snr, 300.0, &[], false)
+            })
+            .sum::<f64>()
+            / n;
+        let deficit = expected_pdr - pdr;
+        let consistent = deficit < self.pdr_deficit_threshold;
+        Some(JammingVerdict {
+            pdr,
+            mean_rssi_dbm,
+            expected_pdr,
+            consistent,
+            // Jamming needs BOTH a large deficit and a link that *should*
+            // work: a weak link failing is merely consistent with physics.
+            jamming_suspected: !consistent && expected_pdr > 0.5,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Burst;
+    use rjam_sdr::rng::Rng;
+
+    /// Draws a window of observations under a given jamming condition.
+    fn observe(
+        n: usize,
+        rssi_dbm: f64,
+        rate: Rate,
+        sir_db: Option<f64>,
+        seed: u64,
+    ) -> Vec<LinkObservation> {
+        let det = JammingDetector::default();
+        let snr = rssi_dbm - det.noise_floor_dbm;
+        let mut rng = Rng::seed_from(seed);
+        (0..n)
+            .map(|_| {
+                let p = match sir_db {
+                    None => frame_success_prob(rate, det.psdu_len, snr, 300.0, &[], false),
+                    Some(sir) => {
+                        let burst = [Burst { start_us: 2.64, end_us: 102.64 }];
+                        frame_success_prob(rate, det.psdu_len, snr, sir, &burst, false)
+                    }
+                };
+                LinkObservation { rssi_dbm, rate, delivered: rng.chance(p) }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn healthy_link_is_consistent() {
+        let det = JammingDetector::default();
+        let obs = observe(100, -65.0, Rate::R24, None, 1);
+        let v = det.analyze(&obs).unwrap();
+        assert!(v.pdr > 0.95);
+        assert!(v.consistent);
+        assert!(!v.jamming_suspected);
+    }
+
+    #[test]
+    fn weak_link_fails_consistently_not_jamming() {
+        // RSSI near the decode threshold: low PDR, but the model expects
+        // low PDR too — no alarm (the false-positive case that defeats
+        // naive "low PDR = jamming" detectors).
+        let det = JammingDetector::default();
+        let obs = observe(100, -88.0, Rate::R54, None, 2);
+        let v = det.analyze(&obs).unwrap();
+        assert!(v.pdr < 0.3, "pdr={}", v.pdr);
+        assert!(!v.jamming_suspected, "{v:?}");
+    }
+
+    #[test]
+    fn reactive_jamming_flagged() {
+        // Strong signal (the AP's "excellent link") but bursts kill frames:
+        // the inconsistency fires.
+        let det = JammingDetector::default();
+        let obs = observe(100, -65.0, Rate::R24, Some(8.0), 3);
+        let v = det.analyze(&obs).unwrap();
+        assert!(v.mean_rssi_dbm > -70.0);
+        assert!(v.pdr < 0.2, "pdr={}", v.pdr);
+        assert!(v.jamming_suspected, "{v:?}");
+    }
+
+    #[test]
+    fn partial_jamming_also_flagged() {
+        // Jam bursts that kill only most frames still leave a deficit.
+        let det = JammingDetector::default();
+        let obs = observe(200, -60.0, Rate::R24, Some(14.5), 4);
+        let v = det.analyze(&obs).unwrap();
+        assert!(v.expected_pdr > 0.9);
+        if v.pdr < v.expected_pdr - det.pdr_deficit_threshold {
+            assert!(v.jamming_suspected);
+        }
+    }
+
+    #[test]
+    fn window_minimum_enforced() {
+        let det = JammingDetector::default();
+        let obs = observe(10, -65.0, Rate::R24, None, 5);
+        assert!(det.analyze(&obs).is_none());
+    }
+
+    #[test]
+    fn mixed_rates_baseline() {
+        // Baseline must track each frame's own rate.
+        let det = JammingDetector::default();
+        let mut obs = observe(50, -65.0, Rate::R6, None, 6);
+        obs.extend(observe(50, -65.0, Rate::R54, None, 7));
+        let v = det.analyze(&obs).unwrap();
+        assert!(v.expected_pdr > 0.9);
+        assert!(!v.jamming_suspected);
+    }
+}

@@ -1,0 +1,121 @@
+//! iperf-style UDP bandwidth and packet-reception reporting.
+
+/// Results of one UDP bandwidth test, in the terms the paper reports.
+#[derive(Clone, Debug, Default)]
+pub struct IperfReport {
+    /// Datagrams handed to the network by the iperf client.
+    pub sent: u64,
+    /// Datagrams delivered to the iperf server.
+    pub received: u64,
+    /// Achieved UDP bandwidth in kb/s over the test duration.
+    pub bandwidth_kbps: f64,
+    /// Packet reception ratio in percent (`received / sent`).
+    pub prr_percent: f64,
+    /// Per-second achieved bandwidth samples (kb/s).
+    pub per_second_kbps: Vec<f64>,
+    /// True if the client lost its association during the run.
+    pub disassociated: bool,
+    /// Mean PHY rate of successful first transmissions (Mb/s), showing rate
+    /// fallback in action.
+    pub mean_phy_rate_mbps: f64,
+    /// Number of jam bursts the jammer transmitted during the run.
+    pub jam_bursts: u64,
+    /// Total time the jammer's RF was on, in microseconds — with the jam
+    /// power, this is the energy side of the paper's efficiency claim.
+    pub jam_airtime_us: f64,
+}
+
+impl IperfReport {
+    /// Builds a report from raw counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_counts(
+        sent: u64,
+        received: u64,
+        payload_bytes: usize,
+        duration_s: f64,
+        per_second_kbps: Vec<f64>,
+        disassociated: bool,
+        mean_phy_rate_mbps: f64,
+        jam_bursts: u64,
+        jam_airtime_us: f64,
+    ) -> Self {
+        let bandwidth_kbps = if duration_s > 0.0 {
+            received as f64 * payload_bytes as f64 * 8.0 / duration_s / 1000.0
+        } else {
+            0.0
+        };
+        let prr_percent = if sent > 0 {
+            100.0 * received as f64 / sent as f64
+        } else {
+            0.0
+        };
+        IperfReport {
+            sent,
+            received,
+            bandwidth_kbps,
+            prr_percent,
+            per_second_kbps,
+            disassociated,
+            mean_phy_rate_mbps,
+            jam_bursts,
+            jam_airtime_us,
+        }
+    }
+
+    /// Jammer duty cycle over the run, in percent.
+    pub fn jam_duty_percent(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            return 0.0;
+        }
+        100.0 * self.jam_airtime_us / (duration_s * 1e6)
+    }
+
+    /// Formats the summary line the way iperf prints it.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:.0} kbps  PRR {:.1}%  ({}/{} datagrams){}",
+            self.bandwidth_kbps,
+            self.prr_percent,
+            self.received,
+            self.sent,
+            if self.disassociated { "  [LINK LOST]" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_math() {
+        // 1000 datagrams of 1470 B over 60 s = 196 kbps.
+        let r = IperfReport::from_counts(1200, 1000, 1470, 60.0, vec![], false, 54.0, 0, 0.0);
+        assert!((r.bandwidth_kbps - 196.0).abs() < 0.1);
+        assert!((r.prr_percent - 83.3333).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_sent_is_zero_prr() {
+        let r = IperfReport::from_counts(0, 0, 1470, 60.0, vec![], true, 6.0, 0, 0.0);
+        assert_eq!(r.prr_percent, 0.0);
+        assert_eq!(r.bandwidth_kbps, 0.0);
+        assert!(r.summary().contains("LINK LOST"));
+    }
+
+    #[test]
+    fn duty_cycle_math() {
+        // 100 bursts of 100 us over 10 s = 0.1 % duty.
+        let r = IperfReport::from_counts(10, 10, 1470, 10.0, vec![], false, 54.0, 100, 10_000.0);
+        assert!((r.jam_duty_percent(10.0) - 0.1).abs() < 1e-9);
+        assert_eq!(r.jam_bursts, 100);
+    }
+
+    #[test]
+    fn summary_format() {
+        let r = IperfReport::from_counts(10, 10, 1470, 1.0, vec![], false, 54.0, 0, 0.0);
+        let s = r.summary();
+        assert!(s.contains("PRR 100.0%"), "{s}");
+        assert!(s.contains("(10/10"), "{s}");
+    }
+}

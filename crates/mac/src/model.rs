@@ -1,0 +1,182 @@
+//! Scenario description: link budgets, jammer behaviour, DCF constants.
+
+use rjam_phy80211::Rate;
+
+/// 802.11g (ERP, short-slot) MAC timing constants, microseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Timings {
+    /// Slot time.
+    pub slot_us: f64,
+    /// Short interframe space.
+    pub sifs_us: f64,
+    /// Minimum contention window (slots) minus one, i.e. CWmin = 15.
+    pub cw_min: u32,
+    /// Maximum contention window (slots) minus one.
+    pub cw_max: u32,
+    /// Retry limit before a frame is dropped.
+    pub retry_limit: u32,
+    /// Beacon interval.
+    pub beacon_interval_us: f64,
+    /// Consecutive missed beacons before the client declares link loss.
+    pub beacon_loss_limit: u32,
+}
+
+impl Default for Timings {
+    fn default() -> Self {
+        Timings {
+            slot_us: 9.0,
+            sifs_us: 10.0,
+            cw_min: 15,
+            cw_max: 1023,
+            retry_limit: 7,
+            beacon_interval_us: 102_400.0,
+            beacon_loss_limit: 20,
+        }
+    }
+}
+
+impl Timings {
+    /// DIFS = SIFS + 2 slots.
+    pub fn difs_us(&self) -> f64 {
+        self.sifs_us + 2.0 * self.slot_us
+    }
+}
+
+/// The jammer, as the MAC layer experiences it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JammerKind {
+    /// No jammer connected.
+    Off,
+    /// Always-on interference.
+    Continuous,
+    /// Trigger-per-packet reactive jamming.
+    Reactive {
+        /// Burst length in microseconds.
+        uptime_us: f64,
+        /// Detection + TX-init turnaround from the start of a transmission,
+        /// microseconds (the paper's T_resp, e.g. 2.64 for correlation).
+        response_us: f64,
+        /// Extra user-programmed delay before the burst, microseconds.
+        delay_us: f64,
+        /// Probability the detector triggers on a given frame (from the
+        /// detector characterization at the jammer's receive SNR).
+        detect_prob: f64,
+    },
+}
+
+/// A complete experiment scenario.
+///
+/// The dB quantities come from the 5-port network arithmetic done by the
+/// campaign layer (rjam-core): insertion losses, pads, the variable
+/// attenuator and transmit powers — exactly the quantities the paper
+/// reports on its x-axes.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// SNR of client data frames at the AP, without jamming (dB).
+    pub snr_ap_db: f64,
+    /// SNR of AP frames (ACKs, beacons) at the client, without jamming (dB).
+    pub snr_client_db: f64,
+    /// Signal-to-interference ratio at the AP while the jammer transmits
+    /// (dB) — the paper's x-axis.
+    pub sir_ap_db: f64,
+    /// SIR at the client while the jammer transmits (dB).
+    pub sir_client_db: f64,
+    /// Probability that a backoff slot at the client is sensed busy because
+    /// of jammer energy (continuous jamming only; computed by the campaign
+    /// from the jammer power at the client port vs the CCA threshold).
+    pub cca_defer_prob: f64,
+    /// Jammer behaviour.
+    pub jammer: JammerKind,
+    /// UDP payload bytes per datagram (iperf default 1470).
+    pub payload_bytes: usize,
+    /// Offered UDP load in Mb/s (the paper requests 54).
+    pub offered_mbps: f64,
+    /// Test duration in seconds (the paper runs 60 s).
+    pub duration_s: f64,
+    /// Initial PHY rate (rate adaptation moves from here).
+    pub start_rate: Rate,
+    /// Protect data frames with an RTS/CTS exchange (802.11g protection
+    /// mode) — an ablation probing whether the classic hidden-node defense
+    /// helps against a reactive jammer (it does not: every control frame is
+    /// one more OFDM preamble to trigger on).
+    pub rts_cts: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            snr_ap_db: 25.0,
+            snr_client_db: 25.0,
+            sir_ap_db: 100.0,
+            sir_client_db: 100.0,
+            cca_defer_prob: 0.0,
+            jammer: JammerKind::Off,
+            payload_bytes: 1470,
+            offered_mbps: 54.0,
+            duration_s: 60.0,
+            start_rate: Rate::R54,
+            rts_cts: false,
+            seed: 0xDC0F,
+        }
+    }
+}
+
+/// Combines a clean SNR with an interference SIR into an effective SINR, all
+/// in dB: `1/sinr = 1/snr + 1/sir` in linear power terms.
+pub fn combine_sinr_db(snr_db: f64, sir_db: f64) -> f64 {
+    let inv = 1.0 / rjam_sdr::power::db_to_lin(snr_db) + 1.0 / rjam_sdr::power::db_to_lin(sir_db);
+    rjam_sdr::power::lin_to_db(1.0 / inv)
+}
+
+/// MAC + SNAP/LLC + IP + UDP overhead added to an iperf payload to form the
+/// PSDU (24 MAC hdr + 8 SNAP + 20 IP + 8 UDP + 4 FCS).
+pub const PSDU_OVERHEAD: usize = 64;
+
+/// ACK frame PSDU length in bytes.
+pub const ACK_BYTES: usize = 14;
+
+/// RTS frame PSDU length in bytes.
+pub const RTS_BYTES: usize = 20;
+
+/// CTS frame PSDU length in bytes.
+pub const CTS_BYTES: usize = 14;
+
+/// Beacon frame PSDU length in bytes (typical with basic IEs).
+pub const BEACON_BYTES: usize = 90;
+
+/// DSSS processing gain, dB. In 802.11b/g mixed mode (the Linksys default
+/// on channel 14) beacons go out as 1 Mb/s DSSS frames whose Barker
+/// spreading buys ~10.4 dB against wideband interference — and whose
+/// preamble the OFDM-matched cross-correlator never triggers on.
+pub const DSSS_SPREADING_GAIN_DB: f64 = 10.4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_follows_sifs_and_slot() {
+        let t = Timings::default();
+        assert!((t.difs_us() - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sinr_combination() {
+        // Equal contributions: 3 dB below either.
+        assert!((combine_sinr_db(20.0, 20.0) - 17.0).abs() < 0.05);
+        // A dominant interferer sets the SINR.
+        assert!((combine_sinr_db(40.0, 10.0) - 10.0).abs() < 0.05);
+        // No interference leaves the SNR.
+        assert!((combine_sinr_db(25.0, 200.0) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn default_scenario_is_clean() {
+        let s = Scenario::default();
+        assert_eq!(s.jammer, JammerKind::Off);
+        assert!(s.cca_defer_prob == 0.0);
+        assert_eq!(s.payload_bytes, 1470);
+    }
+}

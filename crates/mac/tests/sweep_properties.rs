@@ -1,0 +1,89 @@
+//! Scenario-level properties of the MAC simulator: monotonicity in SIR,
+//! duration scaling, and jammer-type orderings that Figs 10-11 rest on.
+
+use rjam_mac::model::{JammerKind, Scenario};
+use rjam_mac::run_scenario;
+
+fn reactive(uptime_us: f64, sir: f64) -> Scenario {
+    Scenario {
+        jammer: JammerKind::Reactive {
+            uptime_us,
+            response_us: 2.64,
+            delay_us: 0.0,
+            detect_prob: 0.995,
+        },
+        sir_ap_db: sir,
+        sir_client_db: sir - 6.4,
+        duration_s: 3.0,
+        ..Scenario::default()
+    }
+}
+
+#[test]
+fn bandwidth_monotone_in_sir_for_each_jammer() {
+    for uptime in [100.0, 10.0] {
+        let mut last = -1.0;
+        for sir in [0.0, 8.0, 16.0, 24.0, 32.0, 45.0] {
+            let bw = run_scenario(&reactive(uptime, sir)).bandwidth_kbps;
+            assert!(
+                bw >= last * 0.9, // allow small stochastic wiggle
+                "uptime {uptime}: bw {bw} at SIR {sir} below {last}"
+            );
+            last = last.max(bw);
+        }
+    }
+}
+
+#[test]
+fn longer_uptime_never_helps_the_victim() {
+    for sir in [8.0, 14.0, 20.0, 26.0] {
+        let long = run_scenario(&reactive(100.0, sir)).bandwidth_kbps;
+        let short = run_scenario(&reactive(10.0, sir)).bandwidth_kbps;
+        assert!(
+            long <= short * 1.05,
+            "at SIR {sir}: 0.1ms gives {long}, 0.01ms gives {short}"
+        );
+    }
+}
+
+#[test]
+fn throughput_scales_with_duration() {
+    let base = Scenario { duration_s: 2.0, ..Scenario::default() };
+    let double = Scenario { duration_s: 4.0, ..Scenario::default() };
+    let r2 = run_scenario(&base);
+    let r4 = run_scenario(&double);
+    let ratio = r4.received as f64 / r2.received as f64;
+    assert!((ratio - 2.0).abs() < 0.05, "ratio {ratio}");
+    // Rate (kbps) is duration-invariant.
+    assert!((r4.bandwidth_kbps / r2.bandwidth_kbps - 1.0).abs() < 0.03);
+}
+
+#[test]
+fn detect_prob_zero_means_no_jamming_effect() {
+    let mut sc = reactive(100.0, 5.0);
+    if let JammerKind::Reactive { ref mut detect_prob, .. } = sc.jammer {
+        *detect_prob = 0.0;
+    }
+    let jammed = run_scenario(&sc);
+    let clean = run_scenario(&Scenario { duration_s: 3.0, ..Scenario::default() });
+    assert!(
+        jammed.bandwidth_kbps > 0.95 * clean.bandwidth_kbps,
+        "a blind jammer is no jammer: {} vs {}",
+        jammed.bandwidth_kbps,
+        clean.bandwidth_kbps
+    );
+    assert_eq!(jammed.jam_bursts, 0);
+}
+
+#[test]
+fn offered_load_is_respected_under_light_load() {
+    for mbps in [2.0, 8.0] {
+        let sc = Scenario { offered_mbps: mbps, duration_s: 3.0, ..Scenario::default() };
+        let r = run_scenario(&sc);
+        let achieved_mbps = r.bandwidth_kbps / 1000.0;
+        assert!(
+            (achieved_mbps - mbps).abs() < 0.25,
+            "offered {mbps} achieved {achieved_mbps}"
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! 802.11 MAC frame construction and parsing (the byte level above the
+//! PHY): data frames, ACK/RTS/CTS control responses and beacons — the
+//! actual traffic mix of the paper's testbed, so campaigns and examples can
+//! put standards-shaped PSDUs on the air instead of random bytes.
+
+use crate::bits::{append_fcs, check_fcs};
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Renders as the usual colon-separated hex.
+    pub fn to_string_colon(self) -> String {
+        self.0
+            .iter()
+            .map(|b| format!("{b:02x}"))
+            .collect::<Vec<_>>()
+            .join(":")
+    }
+}
+
+/// Frame type/subtype pairs used in the testbed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Data frame (type 2, subtype 0).
+    Data,
+    /// Acknowledgement (type 1, subtype 13).
+    Ack,
+    /// Request-to-send (type 1, subtype 11).
+    Rts,
+    /// Clear-to-send (type 1, subtype 12).
+    Cts,
+    /// Beacon (type 0, subtype 8).
+    Beacon,
+}
+
+impl FrameKind {
+    /// The Frame Control field's first byte (protocol version 0).
+    fn fc0(self) -> u8 {
+        let (ftype, subtype) = match self {
+            FrameKind::Data => (2u8, 0u8),
+            FrameKind::Ack => (1, 13),
+            FrameKind::Rts => (1, 11),
+            FrameKind::Cts => (1, 12),
+            FrameKind::Beacon => (0, 8),
+        };
+        (subtype << 4) | (ftype << 2)
+    }
+
+    /// Parses the first Frame Control byte.
+    pub fn from_fc0(fc0: u8) -> Option<FrameKind> {
+        match ((fc0 >> 2) & 0x3, fc0 >> 4) {
+            (2, 0) => Some(FrameKind::Data),
+            (1, 13) => Some(FrameKind::Ack),
+            (1, 11) => Some(FrameKind::Rts),
+            (1, 12) => Some(FrameKind::Cts),
+            (0, 8) => Some(FrameKind::Beacon),
+            _ => None,
+        }
+    }
+}
+
+/// Builds a data frame PSDU: 24-byte header + payload + FCS.
+pub fn data_frame(
+    dest: MacAddr,
+    src: MacAddr,
+    bssid: MacAddr,
+    seq: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut f = Vec::with_capacity(24 + payload.len() + 4);
+    f.push(FrameKind::Data.fc0());
+    f.push(0x01); // to-DS
+    f.extend_from_slice(&[0x2C, 0x00]); // duration ~44 us
+    f.extend_from_slice(&bssid.0); // addr1 = BSSID (to-DS)
+    f.extend_from_slice(&src.0); // addr2
+    f.extend_from_slice(&dest.0); // addr3
+    f.extend_from_slice(&((seq & 0x0FFF) << 4).to_le_bytes()); // seq ctl
+    f.extend_from_slice(payload);
+    append_fcs(&f)
+}
+
+/// Builds an ACK PSDU (14 bytes incl. FCS).
+pub fn ack_frame(receiver: MacAddr) -> Vec<u8> {
+    let mut f = Vec::with_capacity(14);
+    f.push(FrameKind::Ack.fc0());
+    f.push(0x00);
+    f.extend_from_slice(&[0x00, 0x00]); // duration 0
+    f.extend_from_slice(&receiver.0);
+    append_fcs(&f)
+}
+
+/// Builds an RTS PSDU (20 bytes incl. FCS).
+pub fn rts_frame(receiver: MacAddr, transmitter: MacAddr, duration_us: u16) -> Vec<u8> {
+    let mut f = Vec::with_capacity(20);
+    f.push(FrameKind::Rts.fc0());
+    f.push(0x00);
+    f.extend_from_slice(&duration_us.to_le_bytes());
+    f.extend_from_slice(&receiver.0);
+    f.extend_from_slice(&transmitter.0);
+    append_fcs(&f)
+}
+
+/// Builds a CTS PSDU (14 bytes incl. FCS).
+pub fn cts_frame(receiver: MacAddr, duration_us: u16) -> Vec<u8> {
+    let mut f = Vec::with_capacity(14);
+    f.push(FrameKind::Cts.fc0());
+    f.push(0x00);
+    f.extend_from_slice(&duration_us.to_le_bytes());
+    f.extend_from_slice(&receiver.0);
+    append_fcs(&f)
+}
+
+/// Builds a beacon PSDU with timestamp, interval, capabilities and an SSID
+/// element — the frame the testbed's WRT54GL broadcasts every 102.4 ms.
+pub fn beacon_frame(bssid: MacAddr, timestamp_us: u64, ssid: &str, seq: u16) -> Vec<u8> {
+    let mut f = Vec::new();
+    f.push(FrameKind::Beacon.fc0());
+    f.push(0x00);
+    f.extend_from_slice(&[0x00, 0x00]); // duration
+    f.extend_from_slice(&MacAddr::BROADCAST.0); // addr1
+    f.extend_from_slice(&bssid.0); // addr2
+    f.extend_from_slice(&bssid.0); // addr3
+    f.extend_from_slice(&((seq & 0x0FFF) << 4).to_le_bytes());
+    // Body.
+    f.extend_from_slice(&timestamp_us.to_le_bytes());
+    f.extend_from_slice(&100u16.to_le_bytes()); // beacon interval in TU
+    f.extend_from_slice(&0x0401u16.to_le_bytes()); // caps: ESS, short slot
+    f.push(0); // SSID element id
+    f.push(ssid.len() as u8);
+    f.extend_from_slice(ssid.as_bytes());
+    append_fcs(&f)
+}
+
+/// A parsed frame header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsedFrame<'a> {
+    /// Frame kind.
+    pub kind: FrameKind,
+    /// First address field (receiver).
+    pub addr1: MacAddr,
+    /// Payload body (data frames: after the 24-byte header; beacons: the
+    /// management body; control frames: empty).
+    pub body: &'a [u8],
+}
+
+/// Validates the FCS and parses the header. `None` for corrupt or unknown
+/// frames — exactly the accept/drop decision the victim MAC makes, which
+/// jamming aims to force to "drop".
+pub fn parse_frame(psdu: &[u8]) -> Option<ParsedFrame<'_>> {
+    let inner = check_fcs(psdu)?;
+    if inner.len() < 10 {
+        return None;
+    }
+    let kind = FrameKind::from_fc0(inner[0])?;
+    let addr1 = MacAddr(inner[4..10].try_into().ok()?);
+    let body = match kind {
+        FrameKind::Data | FrameKind::Beacon => {
+            if inner.len() < 24 {
+                return None;
+            }
+            &inner[24..]
+        }
+        _ => &inner[inner.len()..],
+    };
+    Some(ParsedFrame { kind, addr1, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AP: MacAddr = MacAddr([0x00, 0x16, 0xB6, 0x01, 0x02, 0x03]);
+    const STA: MacAddr = MacAddr([0x00, 0x0C, 0x41, 0xAA, 0xBB, 0xCC]);
+
+    #[test]
+    fn data_frame_roundtrip() {
+        let payload = b"iperf datagram payload";
+        let psdu = data_frame(AP, STA, AP, 42, payload);
+        assert_eq!(psdu.len(), 24 + payload.len() + 4);
+        let parsed = parse_frame(&psdu).expect("parse");
+        assert_eq!(parsed.kind, FrameKind::Data);
+        assert_eq!(parsed.addr1, AP);
+        assert_eq!(parsed.body, payload);
+    }
+
+    #[test]
+    fn control_frame_sizes_match_standard() {
+        assert_eq!(ack_frame(STA).len(), 14);
+        assert_eq!(cts_frame(STA, 100).len(), 14);
+        assert_eq!(rts_frame(AP, STA, 300).len(), 20);
+        // These are the constants the MAC simulator uses.
+        assert_eq!(ack_frame(STA).len(), crate::per_frame_sizes::ACK);
+        assert_eq!(rts_frame(AP, STA, 0).len(), crate::per_frame_sizes::RTS);
+        assert_eq!(cts_frame(STA, 0).len(), crate::per_frame_sizes::CTS);
+    }
+
+    #[test]
+    fn beacon_contains_ssid() {
+        let psdu = beacon_frame(AP, 123_456_789, "drexel-dwsl", 7);
+        let parsed = parse_frame(&psdu).expect("parse");
+        assert_eq!(parsed.kind, FrameKind::Beacon);
+        assert_eq!(parsed.addr1, MacAddr::BROADCAST);
+        // Body: 8 ts + 2 interval + 2 caps + 2 elem hdr + ssid.
+        assert_eq!(&parsed.body[14..], b"drexel-dwsl");
+        let ts = u64::from_le_bytes(parsed.body[..8].try_into().unwrap());
+        assert_eq!(ts, 123_456_789);
+    }
+
+    #[test]
+    fn corrupted_frame_rejected() {
+        let mut psdu = data_frame(AP, STA, AP, 1, b"x");
+        psdu[5] ^= 0x40;
+        assert!(parse_frame(&psdu).is_none(), "FCS must catch the flip");
+        assert!(parse_frame(&[0u8; 3]).is_none(), "too short");
+    }
+
+    #[test]
+    fn kind_codes_roundtrip() {
+        for k in [
+            FrameKind::Data,
+            FrameKind::Ack,
+            FrameKind::Rts,
+            FrameKind::Cts,
+            FrameKind::Beacon,
+        ] {
+            assert_eq!(FrameKind::from_fc0(k.fc0()), Some(k));
+        }
+        assert_eq!(FrameKind::from_fc0(0xFF), None);
+    }
+
+    #[test]
+    fn end_to_end_over_the_phy() {
+        // A real MAC frame through the real PHY: modulate, decode, parse.
+        let psdu = data_frame(AP, STA, AP, 9, b"through the air");
+        let frame = crate::tx::Frame::new(crate::Rate::R24, psdu.clone());
+        let wave = crate::tx::modulate_frame(&frame);
+        let decoded = crate::rx::decode_frame(&wave, 0).expect("decode");
+        let parsed = parse_frame(&decoded.psdu).expect("parse");
+        assert_eq!(parsed.body, b"through the air");
+    }
+
+    #[test]
+    fn mac_addr_formatting() {
+        assert_eq!(AP.to_string_colon(), "00:16:b6:01:02:03");
+        assert_eq!(MacAddr::BROADCAST.to_string_colon(), "ff:ff:ff:ff:ff:ff");
+    }
+}

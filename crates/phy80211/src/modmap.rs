@@ -1,0 +1,310 @@
+//! Constellation mapping and hard demapping (clause 18.3.5.8).
+//!
+//! Gray-coded BPSK, QPSK, 16-QAM and 64-QAM with the standard normalization
+//! factors so every constellation carries unit average power.
+
+use rjam_sdr::complex::Cf64;
+
+/// Modulation scheme of a subcarrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Modulation {
+    /// 1 bit/subcarrier.
+    Bpsk,
+    /// 2 bits/subcarrier.
+    Qpsk,
+    /// 4 bits/subcarrier.
+    Qam16,
+    /// 6 bits/subcarrier.
+    Qam64,
+}
+
+impl Modulation {
+    /// Coded bits per subcarrier (N_BPSC).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bpsk => 1,
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Normalization factor K_mod.
+    pub fn k_mod(self) -> f64 {
+        match self {
+            Modulation::Bpsk => 1.0,
+            Modulation::Qpsk => 1.0 / 2f64.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f64.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f64.sqrt(),
+        }
+    }
+}
+
+/// Gray map for one PAM axis: `bits` (LSB-first slice) to odd-integer level.
+fn pam_level(bits: &[u8]) -> f64 {
+    match bits.len() {
+        1 => {
+            if bits[0] == 0 {
+                -1.0
+            } else {
+                1.0
+            }
+        }
+        2 => {
+            // Standard 16-QAM axis: b0 selects sign half, b1 inner/outer.
+            let base: f64 = if bits[0] == 0 { -1.0 } else { 1.0 };
+            let mag: f64 = if bits[1] == 0 { 3.0 } else { 1.0 };
+            base * mag
+        }
+        3 => {
+            // 64-QAM axis per Table 18-10: (b0,b1,b2) -> {-7..7}.
+            let v = (bits[0], bits[1], bits[2]);
+            match v {
+                (0, 0, 0) => -7.0,
+                (0, 0, 1) => -5.0,
+                (0, 1, 1) => -3.0,
+                (0, 1, 0) => -1.0,
+                (1, 1, 0) => 1.0,
+                (1, 1, 1) => 3.0,
+                (1, 0, 1) => 5.0,
+                (1, 0, 0) => 7.0,
+                _ => unreachable!(),
+            }
+        }
+        _ => unreachable!("axis width is 1..=3 bits"),
+    }
+}
+
+/// Inverse of [`pam_level`] by nearest level, returning the axis bits.
+fn pam_bits(level: f64, width: usize) -> Vec<u8> {
+    let candidates: &[f64] = match width {
+        1 => &[-1.0, 1.0],
+        2 => &[-3.0, -1.0, 1.0, 3.0],
+        3 => &[-7.0, -5.0, -3.0, -1.0, 1.0, 3.0, 5.0, 7.0],
+        _ => unreachable!(),
+    };
+    let nearest = candidates
+        .iter()
+        .cloned()
+        .min_by(|a, b| (a - level).abs().partial_cmp(&(b - level).abs()).unwrap())
+        .unwrap();
+    // Invert through the forward map.
+    for code in 0..(1usize << width) {
+        let bits: Vec<u8> = (0..width).map(|k| ((code >> k) & 1) as u8).collect();
+        if pam_level(&bits) == nearest {
+            return bits;
+        }
+    }
+    unreachable!()
+}
+
+/// Maps `bits_per_symbol` coded bits (LSB-equivalent order: first bit is b0)
+/// onto one constellation point.
+pub fn map_bits(bits: &[u8], m: Modulation) -> Cf64 {
+    assert_eq!(bits.len(), m.bits_per_symbol(), "wrong bit count for {m:?}");
+    let point = match m {
+        Modulation::Bpsk => Cf64::new(pam_level(&bits[..1]), 0.0),
+        Modulation::Qpsk => Cf64::new(pam_level(&bits[..1]), pam_level(&bits[1..2])),
+        Modulation::Qam16 => Cf64::new(pam_level(&bits[..2]), pam_level(&bits[2..4])),
+        Modulation::Qam64 => Cf64::new(pam_level(&bits[..3]), pam_level(&bits[3..6])),
+    };
+    point.scale(m.k_mod())
+}
+
+/// Hard-demaps one received point back to coded bits.
+pub fn demap_point(point: Cf64, m: Modulation) -> Vec<u8> {
+    let unscaled = point.scale(1.0 / m.k_mod());
+    match m {
+        Modulation::Bpsk => pam_bits(unscaled.re, 1),
+        Modulation::Qpsk => {
+            let mut bits = pam_bits(unscaled.re, 1);
+            bits.extend(pam_bits(unscaled.im, 1));
+            bits
+        }
+        Modulation::Qam16 => {
+            let mut bits = pam_bits(unscaled.re, 2);
+            bits.extend(pam_bits(unscaled.im, 2));
+            bits
+        }
+        Modulation::Qam64 => {
+            let mut bits = pam_bits(unscaled.re, 3);
+            bits.extend(pam_bits(unscaled.im, 3));
+            bits
+        }
+    }
+}
+
+/// Soft-demaps one received point into per-bit LLRs (max-log
+/// approximation): `LLR_k = min_{s: bit_k=0} |y-s|^2 - min_{s: bit_k=1}
+/// |y-s|^2`, scaled to integers. Positive means "bit 1 likely"; the common
+/// noise-variance factor is omitted since the soft Viterbi decoder's
+/// decisions are scale-invariant.
+pub fn demap_soft(point: Cf64, m: Modulation) -> Vec<i32> {
+    let n = m.bits_per_symbol();
+    let mut min0 = vec![f64::INFINITY; n];
+    let mut min1 = vec![f64::INFINITY; n];
+    for code in 0..(1usize << n) {
+        let bits: Vec<u8> = (0..n).map(|k| ((code >> k) & 1) as u8).collect();
+        let s = map_bits(&bits, m);
+        let d = (point - s).norm_sq();
+        for k in 0..n {
+            if bits[k] == 0 {
+                if d < min0[k] {
+                    min0[k] = d;
+                }
+            } else if d < min1[k] {
+                min1[k] = d;
+            }
+        }
+    }
+    (0..n)
+        .map(|k| (((min0[k] - min1[k]) * 256.0).round() as i64).clamp(-(1 << 20), 1 << 20) as i32)
+        .collect()
+}
+
+/// Soft-demaps a point stream into an LLR stream.
+pub fn demap_soft_stream(points: &[Cf64], m: Modulation) -> Vec<i32> {
+    points.iter().flat_map(|&p| demap_soft(p, m)).collect()
+}
+
+/// Maps a whole coded-bit stream to constellation points.
+pub fn map_stream(bits: &[u8], m: Modulation) -> Vec<Cf64> {
+    let n = m.bits_per_symbol();
+    assert_eq!(bits.len() % n, 0, "bit stream must be a multiple of {n}");
+    bits.chunks(n).map(|c| map_bits(c, m)).collect()
+}
+
+/// Demaps a point stream back to coded bits.
+pub fn demap_stream(points: &[Cf64], m: Modulation) -> Vec<u8> {
+    points.iter().flat_map(|&p| demap_point(p, m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::rng::Rng;
+
+    const ALL: [Modulation; 4] = [
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Qam16,
+        Modulation::Qam64,
+    ];
+
+    #[test]
+    fn roundtrip_every_codeword() {
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            for code in 0..(1usize << n) {
+                let bits: Vec<u8> = (0..n).map(|k| ((code >> k) & 1) as u8).collect();
+                let point = map_bits(&bits, m);
+                assert_eq!(demap_point(point, m), bits, "{m:?} code {code:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_average_power() {
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            let total: f64 = (0..(1usize << n))
+                .map(|code| {
+                    let bits: Vec<u8> = (0..n).map(|k| ((code >> k) & 1) as u8).collect();
+                    map_bits(&bits, m).norm_sq()
+                })
+                .sum();
+            let avg = total / (1 << n) as f64;
+            assert!((avg - 1.0).abs() < 1e-12, "{m:?} avg power {avg}");
+        }
+    }
+
+    #[test]
+    fn bpsk_points() {
+        assert_eq!(map_bits(&[0], Modulation::Bpsk), Cf64::new(-1.0, 0.0));
+        assert_eq!(map_bits(&[1], Modulation::Bpsk), Cf64::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn qam16_known_point() {
+        // Bits (b0..b3) = (1,1,0,0): I from (1,1) -> +1, Q from (0,0) -> -3.
+        let p = map_bits(&[1, 1, 0, 0], Modulation::Qam16);
+        let k = Modulation::Qam16.k_mod();
+        assert!((p.re - k).abs() < 1e-12);
+        assert!((p.im + 3.0 * k).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gray_property_adjacent_levels_differ_one_bit() {
+        // On each axis, neighbouring levels must differ in exactly one bit.
+        for width in [2usize, 3] {
+            let levels: Vec<f64> = (0..(1 << width))
+                .map(|code| {
+                    let bits: Vec<u8> = (0..width).map(|k| ((code >> k) & 1) as u8).collect();
+                    pam_level(&bits)
+                })
+                .collect();
+            let mut pairs: Vec<(f64, usize)> =
+                levels.iter().cloned().zip(0..(1 << width)).collect();
+            pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in pairs.windows(2) {
+                let diff = (w[0].1 ^ w[1].1).count_ones();
+                assert_eq!(diff, 1, "width {width}: levels {} vs {}", w[0].0, w[1].0);
+            }
+        }
+    }
+
+    #[test]
+    fn demap_with_noise_small() {
+        let mut rng = Rng::seed_from(50);
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            for _ in 0..200 {
+                let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+                let p = map_bits(&bits, m);
+                // Noise well inside half the minimum distance.
+                let noisy = p + Cf64::new(rng.gaussian() * 0.02, rng.gaussian() * 0.02);
+                assert_eq!(demap_point(noisy, m), bits, "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_signs_agree_with_hard() {
+        let mut rng = Rng::seed_from(52);
+        for m in ALL {
+            let n = m.bits_per_symbol();
+            for _ in 0..100 {
+                let bits: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 1) as u8).collect();
+                let p = map_bits(&bits, m);
+                let noisy = p + Cf64::new(rng.gaussian() * 0.03, rng.gaussian() * 0.03);
+                let llrs = demap_soft(noisy, m);
+                let hard = demap_point(noisy, m);
+                for (k, &l) in llrs.iter().enumerate() {
+                    assert_eq!(u8::from(l > 0), hard[k], "{m:?} bit {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soft_demap_magnitude_tracks_confidence() {
+        // A point near a decision boundary must carry a smaller |LLR| than
+        // one deep inside a region.
+        let deep = demap_soft(Cf64::new(1.0, 0.0), Modulation::Bpsk)[0];
+        let edge = demap_soft(Cf64::new(0.05, 0.0), Modulation::Bpsk)[0];
+        assert!(deep > 0 && edge > 0);
+        assert!(deep > 5 * edge, "deep {deep} vs edge {edge}");
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let mut rng = Rng::seed_from(51);
+        let bits: Vec<u8> = (0..288).map(|_| (rng.next_u64() & 1) as u8).collect();
+        for m in ALL {
+            let pts = map_stream(&bits[..288 - (288 % m.bits_per_symbol())], m);
+            let back = demap_stream(&pts, m);
+            assert_eq!(back.len() % m.bits_per_symbol(), 0);
+            assert_eq!(&back[..], &bits[..back.len()]);
+        }
+    }
+}

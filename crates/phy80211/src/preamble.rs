@@ -1,0 +1,208 @@
+//! PLCP preamble generation (clause 18.3.3): short and long training
+//! sequences.
+//!
+//! The short training sequence (STS) is a 16-sample pattern repeated ten
+//! times (8 us); the long training sequence (LTS) is a 64-sample symbol
+//! preceded by a double-length guard interval and repeated twice (8 us).
+//! These are the "low-entropy portions" the paper's 64-sample
+//! cross-correlator templates are derived from, so they are generated here
+//! exactly per the standard at 20 MSPS.
+
+use crate::FFT_LEN;
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::fft::Fft;
+
+/// Frequency-domain short training symbol: nonzero on every 4th subcarrier.
+/// Index k in -26..=26; value scaled by sqrt(13/6).
+fn sts_freq() -> [Cf64; FFT_LEN] {
+    let s = (13.0f64 / 6.0).sqrt();
+    let p = Cf64::new(1.0, 1.0).scale(s);
+    let n = Cf64::new(-1.0, -1.0).scale(s);
+    let mut f = [Cf64::ZERO; FFT_LEN];
+    // (subcarrier, value) pairs from the standard.
+    let entries: [(i32, Cf64); 12] = [
+        (-24, p),
+        (-20, n),
+        (-16, p),
+        (-12, n),
+        (-8, n),
+        (-4, p),
+        (4, n),
+        (8, n),
+        (12, p),
+        (16, p),
+        (20, p),
+        (24, p),
+    ];
+    for (k, v) in entries {
+        f[sub_to_bin(k)] = v;
+    }
+    f
+}
+
+/// The 52 long-training subcarrier signs (k = -26..=26, skipping 0).
+const LTS_SIGNS: [i8; 53] = [
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    0, // DC
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+];
+
+/// Frequency-domain long training symbol.
+pub(crate) fn lts_freq() -> [Cf64; FFT_LEN] {
+    let mut f = [Cf64::ZERO; FFT_LEN];
+    for (i, &s) in LTS_SIGNS.iter().enumerate() {
+        let k = i as i32 - 26;
+        if s != 0 {
+            f[sub_to_bin(k)] = Cf64::new(s as f64, 0.0);
+        }
+    }
+    f
+}
+
+/// Maps a signed subcarrier index (-26..=26) to an FFT bin (0..64).
+pub(crate) fn sub_to_bin(k: i32) -> usize {
+    assert!((-26..=26).contains(&k), "subcarrier {k} out of range");
+    if k >= 0 {
+        k as usize
+    } else {
+        (FFT_LEN as i32 + k) as usize
+    }
+}
+
+/// One period (16 samples) of the short training sequence, time domain.
+pub fn short_symbol() -> Vec<Cf64> {
+    let mut freq = sts_freq().to_vec();
+    Fft::new(FFT_LEN).inverse(&mut freq);
+    // The 64-point IFFT of the STS is periodic with period 16.
+    freq.truncate(16);
+    // Undo the 1/N normalization difference: the standard defines the
+    // waveform via the 64-IFFT; keep as-is (unit-average-power handled by
+    // sqrt(13/6) boost).
+    freq.iter().map(|s| s.scale(FFT_LEN as f64 / 64.0)).collect()
+}
+
+/// The 64-sample long training symbol, time domain.
+pub fn long_symbol() -> Vec<Cf64> {
+    let mut freq = lts_freq().to_vec();
+    Fft::new(FFT_LEN).inverse(&mut freq);
+    freq
+}
+
+/// The full 8 us short-preamble section: ten repetitions of the 16-sample
+/// short symbol (160 samples at 20 MSPS).
+pub fn short_preamble() -> Vec<Cf64> {
+    let sym = short_symbol();
+    let mut out = Vec::with_capacity(160);
+    for _ in 0..10 {
+        out.extend_from_slice(&sym);
+    }
+    out
+}
+
+/// The full 8 us long-preamble section: a 32-sample double guard interval
+/// followed by two 64-sample long symbols (160 samples).
+pub fn long_preamble() -> Vec<Cf64> {
+    let sym = long_symbol();
+    let mut out = Vec::with_capacity(160);
+    out.extend_from_slice(&sym[32..]); // GI2 = last 32 samples of the symbol
+    out.extend_from_slice(&sym);
+    out.extend_from_slice(&sym);
+    out
+}
+
+/// The complete 16 us PLCP preamble (320 samples at 20 MSPS).
+pub fn plcp_preamble() -> Vec<Cf64> {
+    let mut out = short_preamble();
+    out.extend(long_preamble());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::power::mean_power;
+
+    #[test]
+    fn lengths_match_standard() {
+        assert_eq!(short_symbol().len(), 16);
+        assert_eq!(long_symbol().len(), 64);
+        assert_eq!(short_preamble().len(), 160);
+        assert_eq!(long_preamble().len(), 160);
+        assert_eq!(plcp_preamble().len(), 320);
+    }
+
+    #[test]
+    fn short_preamble_is_periodic_16() {
+        let sp = short_preamble();
+        for k in 0..sp.len() - 16 {
+            assert!((sp[k] - sp[k + 16]).abs() < 1e-12, "period break at {k}");
+        }
+    }
+
+    #[test]
+    fn long_preamble_repeats_symbol() {
+        let lp = long_preamble();
+        for k in 0..64 {
+            assert!((lp[32 + k] - lp[96 + k]).abs() < 1e-12, "LTS copies differ at {k}");
+        }
+        // GI2 is a cyclic prefix: first 32 samples equal the symbol tail.
+        let sym = long_symbol();
+        for k in 0..32 {
+            assert!((lp[k] - sym[32 + k]).abs() < 1e-12, "GI2 mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn sts_occupies_every_fourth_subcarrier() {
+        let f = sts_freq();
+        for k in -26..=26 {
+            let v = f[sub_to_bin(k)];
+            if k != 0 && k % 4 == 0 && (-24..=24).contains(&k) {
+                assert!(v.abs() > 0.5, "subcarrier {k} must be loaded");
+            } else {
+                assert_eq!(v, Cf64::ZERO, "subcarrier {k} must be empty");
+            }
+        }
+    }
+
+    #[test]
+    fn lts_known_first_samples() {
+        // The first time-domain LTS sample is the DC-free average of the
+        // signs: sum(LTS_SIGNS)/64 = 2/64 ... well-known value 0.15625.
+        let sym = long_symbol();
+        assert!((sym[0].re - 0.15625).abs() < 1e-9, "got {:?}", sym[0]);
+        assert!(sym[0].im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn preamble_sections_have_comparable_power() {
+        let sp = short_preamble();
+        let lp = long_preamble();
+        let ratio = mean_power(&sp) / mean_power(&lp);
+        // The sqrt(13/6) boost makes 12-carrier STS match 52-carrier LTS.
+        assert!((ratio - 1.0).abs() < 0.1, "power ratio {ratio}");
+    }
+
+    #[test]
+    fn lts_autocorrelation_peaks_at_zero_lag() {
+        let sym = long_symbol();
+        let zero: f64 = sym.iter().map(|s| s.norm_sq()).sum();
+        for lag in 1..32 {
+            let shifted: Cf64 = (0..64 - lag).map(|k| sym[k].conj() * sym[k + lag]).sum();
+            assert!(
+                shifted.abs() < 0.6 * zero,
+                "lag {lag}: {} vs {zero}",
+                shifted.abs()
+            );
+        }
+    }
+
+    #[test]
+    fn subcarrier_bin_mapping() {
+        assert_eq!(sub_to_bin(0), 0);
+        assert_eq!(sub_to_bin(1), 1);
+        assert_eq!(sub_to_bin(26), 26);
+        assert_eq!(sub_to_bin(-1), 63);
+        assert_eq!(sub_to_bin(-26), 38);
+    }
+}

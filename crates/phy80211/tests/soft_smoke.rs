@@ -1,0 +1,11 @@
+#[test]
+fn soft_noiseless_roundtrip() {
+    use rjam_phy80211::*;
+    for rate in Rate::ALL {
+        let psdu = vec![0x5Au8; 60];
+        let frame = tx::Frame::new(rate, psdu.clone());
+        let wave = tx::modulate_frame(&frame);
+        let d = decode_frame_soft(&wave, 0).expect("soft decode");
+        assert_eq!(d.psdu, psdu, "{rate:?}");
+    }
+}

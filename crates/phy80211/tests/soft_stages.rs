@@ -1,0 +1,29 @@
+#[test]
+fn soft_pipeline_stages() {
+    use rjam_phy80211::convcode::*;
+    use rjam_phy80211::interleave::*;
+    use rjam_phy80211::modmap::*;
+    // One BPSK symbol worth of data: 24 info bits -> 48 coded.
+    let info: Vec<u8> = (0..18).map(|k| ((k*7+1)%2) as u8).chain([0;6]).collect();
+    let coded = encode(&info, CodeRate::Half);
+    assert_eq!(coded.len(), 48);
+    let inter = interleave(&coded, 48, 1);
+    let points = map_stream(&inter, Modulation::Bpsk);
+    // hard path
+    let hard_bits = demap_stream(&points, Modulation::Bpsk);
+    let deint = deinterleave(&hard_bits, 48, 1);
+    assert_eq!(deint, coded, "hard deinterleave");
+    // soft path
+    let llrs = demap_soft_stream(&points, Modulation::Bpsk);
+    let mut soft_deint = vec![0i32; 48];
+    for (k, slot) in soft_deint.iter_mut().enumerate() {
+        *slot = llrs[interleave_position(k, 48, 1)];
+    }
+    for k in 0..48 {
+        assert_eq!(u8::from(soft_deint[k] > 0), coded[k], "soft deint sign at {k}");
+    }
+    let pairs = depuncture_llr(&soft_deint, CodeRate::Half, info.len());
+    assert_eq!(pairs.len(), 48);
+    let out = viterbi_decode_soft(&pairs, info.len());
+    assert_eq!(out, info, "soft viterbi");
+}

@@ -1,0 +1,157 @@
+//! TDD downlink frame generation.
+//!
+//! The Air4G base station broadcasts continuously in TDD: each 5 ms frame
+//! opens with the preamble symbol, followed by the FCH/DL-MAP and downlink
+//! bursts, then goes quiet for the uplink subframe. From the jammer's
+//! receive port this looks like a periodic burst train — exactly the
+//! structure visible on the paper's Fig. 12 oscilloscope capture.
+
+use crate::preamble::{data_symbol, preamble_symbol};
+use crate::{FRAME_SAMPLES, SYM_LEN};
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::rng::Rng;
+
+/// Downlink generator configuration.
+#[derive(Clone, Debug)]
+pub struct DownlinkConfig {
+    /// Base station Cell ID (0..=31). The paper uses 1.
+    pub id_cell: u8,
+    /// Segment ID (0..=2). The paper uses 0.
+    pub segment: u8,
+    /// OFDMA data symbols per downlink subframe (after the preamble).
+    pub dl_symbols: usize,
+    /// RNG seed for burst payloads.
+    pub seed: u64,
+}
+
+impl Default for DownlinkConfig {
+    fn default() -> Self {
+        // ~29 symbols fill a 60% DL subframe at 1152 samples/symbol.
+        DownlinkConfig { id_cell: 1, segment: 0, dl_symbols: 28, seed: 0x16e }
+    }
+}
+
+/// Generates downlink frames at 11.4 MHz baseband.
+#[derive(Clone, Debug)]
+pub struct DownlinkGenerator {
+    cfg: DownlinkConfig,
+    rng: Rng,
+    preamble: Vec<Cf64>,
+}
+
+impl DownlinkGenerator {
+    /// Creates a generator for a base-station configuration.
+    pub fn new(cfg: DownlinkConfig) -> Self {
+        let preamble = preamble_symbol(cfg.id_cell, cfg.segment);
+        DownlinkGenerator { rng: Rng::seed_from(cfg.seed), preamble, cfg }
+    }
+
+    /// The preamble waveform (for building correlator templates host-side).
+    pub fn preamble(&self) -> &[Cf64] {
+        &self.preamble
+    }
+
+    /// Samples occupied by the active downlink subframe.
+    pub fn dl_subframe_samples(&self) -> usize {
+        (1 + self.cfg.dl_symbols) * SYM_LEN
+    }
+
+    /// Generates one 5 ms TDD frame: preamble, data symbols, then silence
+    /// for the uplink subframe.
+    pub fn next_frame(&mut self) -> Vec<Cf64> {
+        let mut out = Vec::with_capacity(FRAME_SAMPLES);
+        out.extend_from_slice(&self.preamble);
+        for _ in 0..self.cfg.dl_symbols {
+            let mut bits = BitSource { rng: &mut self.rng };
+            out.extend(data_symbol(&mut bits));
+        }
+        out.resize(FRAME_SAMPLES, Cf64::ZERO); // TDD uplink gap
+        out
+    }
+
+    /// Generates `n` consecutive frames.
+    pub fn frames(&mut self, n: usize) -> Vec<Cf64> {
+        let mut out = Vec::with_capacity(n * FRAME_SAMPLES);
+        for _ in 0..n {
+            out.extend(self.next_frame());
+        }
+        out
+    }
+}
+
+struct BitSource<'a> {
+    rng: &'a mut Rng,
+}
+
+impl Iterator for BitSource<'_> {
+    type Item = u8;
+    fn next(&mut self) -> Option<u8> {
+        Some((self.rng.next_u64() & 1) as u8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_sdr::power::mean_power;
+
+    #[test]
+    fn frame_duration_exact() {
+        let mut g = DownlinkGenerator::new(DownlinkConfig::default());
+        let f = g.next_frame();
+        assert_eq!(f.len(), FRAME_SAMPLES);
+        assert_eq!(FRAME_SAMPLES, 57_000); // 5 ms at 11.4 MHz
+    }
+
+    #[test]
+    fn frame_starts_with_preamble() {
+        let mut g = DownlinkGenerator::new(DownlinkConfig::default());
+        let f = g.next_frame();
+        let p = g.preamble().to_vec();
+        for k in 0..p.len() {
+            assert!((f[k] - p[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tdd_gap_is_silent() {
+        let cfg = DownlinkConfig::default();
+        let mut g = DownlinkGenerator::new(cfg.clone());
+        let f = g.next_frame();
+        let active = g.dl_subframe_samples();
+        assert!(active < FRAME_SAMPLES, "must leave a UL gap");
+        assert!(f[active..].iter().all(|s| *s == Cf64::ZERO));
+        // Activity during the DL subframe.
+        assert!(mean_power(&f[..active]) > 1e-6);
+    }
+
+    #[test]
+    fn preamble_repeats_every_frame_data_does_not() {
+        let mut g = DownlinkGenerator::new(DownlinkConfig::default());
+        let f1 = g.next_frame();
+        let f2 = g.next_frame();
+        let pl = g.preamble().len();
+        for k in 0..pl {
+            assert!((f1[k] - f2[k]).abs() < 1e-12, "preambles identical");
+        }
+        let d1 = &f1[pl..pl + SYM_LEN];
+        let d2 = &f2[pl..pl + SYM_LEN];
+        let diff: f64 = d1.iter().zip(d2).map(|(a, b)| (*a - *b).norm_sq()).sum();
+        assert!(diff > 1e-6, "payload symbols vary frame to frame");
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut g = DownlinkGenerator::new(DownlinkConfig::default());
+        let all = g.frames(3);
+        assert_eq!(all.len(), 3 * FRAME_SAMPLES);
+    }
+
+    #[test]
+    fn preamble_duration_close_to_paper() {
+        // Paper: "the WiMAX preamble constitutes a single OFDMA symbol ...
+        // lasting for 100.8 us". With a 1/8 CP at 11.4 MHz we get 101.05 us.
+        let us = SYM_LEN as f64 / crate::SAMPLE_RATE * 1e6;
+        assert!((us - 100.8).abs() < 1.0, "preamble symbol lasts {us} us");
+    }
+}

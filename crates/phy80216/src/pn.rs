@@ -1,0 +1,94 @@
+//! PN sequences for the preamble carrier sets.
+//!
+//! The standard publishes these as a hex table indexed by (IDcell, segment);
+//! this crate substitutes a deterministic LFSR construction (documented in
+//! DESIGN.md) with the same statistical character: a fixed, low-entropy,
+//! binary +-1 sequence unique to each (IDcell, segment) pair.
+
+use crate::PN_LEN;
+
+/// Generates the 284-chip bipolar PN sequence for a base station identity.
+///
+/// # Panics
+/// Panics if `id_cell > 31` or `segment > 2` (the standard's ranges).
+pub fn pn_sequence(id_cell: u8, segment: u8) -> Vec<i8> {
+    assert!(id_cell < 32, "IDcell is 0..=31");
+    assert!(segment < 3, "segment is 0..=2");
+    // Seed a 16-bit Fibonacci LFSR (taps 16,14,13,11 — maximal length) with
+    // a value derived from the identity; the +1 keeps the register nonzero.
+    let mut state: u16 = 0x01u16
+        .wrapping_add((id_cell as u16) << 5)
+        .wrapping_add((segment as u16) << 11)
+        .wrapping_add(0xB5C3);
+    let mut out = Vec::with_capacity(PN_LEN);
+    for _ in 0..PN_LEN {
+        let bit = ((state >> 15) ^ (state >> 13) ^ (state >> 12) ^ (state >> 10)) & 1;
+        state = (state << 1) | bit;
+        out.push(if bit == 1 { 1 } else { -1 });
+    }
+    out
+}
+
+/// Normalized cross-correlation between two bipolar sequences at zero lag.
+pub fn correlation(a: &[i8], b: &[i8]) -> f64 {
+    let n = a.len().min(b.len());
+    let dot: i32 = a.iter().zip(b).take(n).map(|(&x, &y)| x as i32 * y as i32).sum();
+    dot as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_values() {
+        let pn = pn_sequence(1, 0);
+        assert_eq!(pn.len(), PN_LEN);
+        assert!(pn.iter().all(|&v| v == 1 || v == -1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(pn_sequence(1, 0), pn_sequence(1, 0));
+        assert_eq!(pn_sequence(17, 2), pn_sequence(17, 2));
+    }
+
+    #[test]
+    fn distinct_identities_decorrelated() {
+        let a = pn_sequence(1, 0);
+        for (id, seg) in [(1u8, 1u8), (1, 2), (2, 0), (31, 0), (0, 0)] {
+            let b = pn_sequence(id, seg);
+            let c = correlation(&a, &b).abs();
+            assert!(c < 0.25, "({id},{seg}) correlates {c} with (1,0)");
+        }
+    }
+
+    #[test]
+    fn roughly_balanced() {
+        for id in [0u8, 1, 5, 31] {
+            for seg in 0..3u8 {
+                let pn = pn_sequence(id, seg);
+                let sum: i32 = pn.iter().map(|&v| v as i32).sum();
+                assert!(sum.abs() < 60, "({id},{seg}) imbalance {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn low_off_peak_autocorrelation() {
+        let pn = pn_sequence(1, 0);
+        for lag in 1..50usize {
+            let dot: i32 = (0..PN_LEN - lag)
+                .map(|k| pn[k] as i32 * pn[k + lag] as i32)
+                .sum();
+            let norm = dot.abs() as f64 / (PN_LEN - lag) as f64;
+            assert!(norm < 0.3, "lag {lag}: {norm}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "segment")]
+    fn rejects_bad_segment() {
+        let _ = pn_sequence(0, 3);
+    }
+}

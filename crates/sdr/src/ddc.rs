@@ -1,0 +1,211 @@
+//! Digital down/up conversion chains.
+//!
+//! In the real N210 the custom DSP core sits *inside* `ddc_chain0`: samples
+//! reach it after CORDIC frequency translation, CIC decimation and half-band
+//! filtering; the jamming waveform leaves through `duc_chain0`'s mirror-image
+//! interpolating path. These chains matter to the model for two reasons:
+//! they define the 25 MSPS clock domain the detector lives in, and the DUC's
+//! pipeline depth is part of the 8-cycle `T_init` budget measured in Fig. 5.
+
+use crate::complex::Cf64;
+use crate::fir::{lowpass, Fir};
+use crate::nco::Nco;
+
+/// Digital down-converter: frequency translation followed by filtered
+/// decimation.
+#[derive(Clone, Debug)]
+pub struct Ddc {
+    nco: Nco,
+    fir: Fir,
+    decim: usize,
+    phase: usize,
+}
+
+impl Ddc {
+    /// Creates a DDC that shifts by `-freq_offset_hz` and decimates by
+    /// `decim`. `input_rate` is the ADC-side rate.
+    ///
+    /// # Panics
+    /// Panics if `decim == 0`.
+    pub fn new(freq_offset_hz: f64, input_rate: f64, decim: usize) -> Self {
+        assert!(decim > 0, "decimation factor must be positive");
+        let taps = if decim == 1 {
+            vec![1.0]
+        } else {
+            lowpass(8 * decim + 1, 0.45 / decim as f64)
+        };
+        Ddc {
+            nco: Nco::new(-freq_offset_hz, input_rate),
+            fir: Fir::new(taps),
+            decim,
+            phase: 0,
+        }
+    }
+
+    /// Processes a block of input-rate samples, returning output-rate samples.
+    pub fn process(&mut self, input: &[Cf64]) -> Vec<Cf64> {
+        let mut out = Vec::with_capacity(input.len() / self.decim + 1);
+        for &s in input {
+            let mixed = s * self.nco.next();
+            let filtered = self.fir.push(mixed);
+            if self.phase == 0 {
+                out.push(filtered);
+            }
+            self.phase = (self.phase + 1) % self.decim;
+        }
+        out
+    }
+}
+
+/// Digital up-converter: zero-stuff interpolation, image-reject filtering and
+/// frequency translation.
+#[derive(Clone, Debug)]
+pub struct Duc {
+    nco: Nco,
+    fir: Fir,
+    interp: usize,
+    /// Pipeline latency in output-rate samples, modeling the fill time of the
+    /// hardware interpolation chain.
+    pipeline: usize,
+}
+
+impl Duc {
+    /// Creates a DUC that interpolates by `interp` and shifts by
+    /// `+freq_offset_hz`; `output_rate` is the DAC-side rate.
+    ///
+    /// # Panics
+    /// Panics if `interp == 0`.
+    pub fn new(freq_offset_hz: f64, output_rate: f64, interp: usize) -> Self {
+        assert!(interp > 0, "interpolation factor must be positive");
+        let taps = if interp == 1 {
+            vec![1.0]
+        } else {
+            let mut t = lowpass(8 * interp + 1, 0.45 / interp as f64);
+            for tap in t.iter_mut() {
+                *tap *= interp as f64; // preserve amplitude after zero-stuffing
+            }
+            t
+        };
+        let pipeline = taps.len() / 2;
+        Duc {
+            nco: Nco::new(freq_offset_hz, output_rate),
+            fir: Fir::new(taps),
+            interp,
+            pipeline,
+        }
+    }
+
+    /// Pipeline fill latency in output-rate samples.
+    pub fn pipeline_latency(&self) -> usize {
+        self.pipeline
+    }
+
+    /// Processes a block of baseband samples, returning DAC-rate samples.
+    pub fn process(&mut self, input: &[Cf64]) -> Vec<Cf64> {
+        let mut out = Vec::with_capacity(input.len() * self.interp);
+        for &s in input {
+            for k in 0..self.interp {
+                let stuffed = if k == 0 { s } else { Cf64::ZERO };
+                let filtered = self.fir.push(stuffed);
+                out.push(filtered * self.nco.next());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use crate::power::mean_power;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|t| Cf64::from_angle(2.0 * std::f64::consts::PI * freq * t as f64 / rate))
+            .collect()
+    }
+
+    fn dominant_bin(buf: &[Cf64]) -> usize {
+        fft(buf)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn ddc_translates_offset_tone_to_dc() {
+        let fs = 100.0e6;
+        let offset = 10.0e6;
+        let input = tone(offset, fs, 8192);
+        let mut ddc = Ddc::new(offset, fs, 4);
+        let out = ddc.process(&input);
+        assert_eq!(out.len(), 2048);
+        // After mixing down, the tone should sit at DC (bin 0).
+        assert_eq!(dominant_bin(&out[1024..2048]), 0);
+    }
+
+    #[test]
+    fn ddc_decimates_by_factor() {
+        let input = tone(1.0e6, 100.0e6, 1000);
+        let mut ddc = Ddc::new(0.0, 100.0e6, 4);
+        assert_eq!(ddc.process(&input).len(), 250);
+    }
+
+    #[test]
+    fn ddc_decim_one_is_mixer_only() {
+        let fs = 25.0e6;
+        let input = tone(1.0e6, fs, 512);
+        let mut ddc = Ddc::new(0.0, fs, 1);
+        let out = ddc.process(&input);
+        for (a, b) in input.iter().zip(out.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duc_interpolates_and_preserves_power() {
+        let base = tone(1.0e6, 25.0e6, 4096);
+        let mut duc = Duc::new(0.0, 100.0e6, 4);
+        let out = duc.process(&base);
+        assert_eq!(out.len(), 4 * base.len());
+        let p_in = mean_power(&base[64..]);
+        let p_out = mean_power(&out[1024..]);
+        assert!((p_out / p_in - 1.0).abs() < 0.1, "ratio {}", p_out / p_in);
+    }
+
+    #[test]
+    fn duc_ddc_roundtrip_recovers_signal() {
+        let fs_base = 25.0e6;
+        let fs_rf = 100.0e6;
+        let offset = 5.0e6;
+        let base = tone(0.8e6, fs_base, 4096);
+        let mut duc = Duc::new(offset, fs_rf, 4);
+        let rf = duc.process(&base);
+        let mut ddc = Ddc::new(offset, fs_rf, 4);
+        let back = ddc.process(&rf);
+        // Compare away from filter transients, allowing for group delay.
+        let delay = 2 * (8 * 4 + 1) / 2 / 4 + 1;
+        let a = &base[512..1024];
+        let b = &back[512 + delay - delay..]; // alignment handled by correlation below
+        // Use peak cross-correlation to verify similarity irrespective of delay.
+        let mut best = 0.0f64;
+        for lag in 0..32 {
+            let mut acc = Cf64::ZERO;
+            for i in 0..a.len() {
+                acc += a[i].conj() * b[i + lag];
+            }
+            let norm = acc.abs() / a.len() as f64;
+            best = best.max(norm);
+        }
+        assert!(best > 0.9, "peak normalized correlation {best}");
+    }
+
+    #[test]
+    fn duc_pipeline_latency_reported() {
+        let duc = Duc::new(0.0, 100.0e6, 4);
+        assert!(duc.pipeline_latency() > 0);
+    }
+}

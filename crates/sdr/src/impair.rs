@@ -1,0 +1,208 @@
+//! Analog front-end impairment models.
+//!
+//! The paper's detector characterization is bounded by real-front-end
+//! effects the authors list — "the sampling rate mismatch ..., the dynamic
+//! range characteristics of the signal being correlated, and the
+//! quantization of both the phase and amplitude" — plus the usual
+//! direct-conversion artifacts of the SBX daughterboard. This module makes
+//! those impairments explicit and composable so detection sweeps can be
+//! run under realistic conditions and as clean ablations.
+
+use crate::complex::Cf64;
+
+/// Applies a carrier-frequency offset of `cfo_hz` at the given sample rate.
+pub fn apply_cfo(buf: &mut [Cf64], cfo_hz: f64, sample_rate: f64) {
+    let step = 2.0 * std::f64::consts::PI * cfo_hz / sample_rate;
+    for (k, s) in buf.iter_mut().enumerate() {
+        *s *= Cf64::from_angle(step * k as f64);
+    }
+}
+
+/// Adds a DC offset (LO leakage in a direct-conversion receiver).
+pub fn apply_dc_offset(buf: &mut [Cf64], offset: Cf64) {
+    for s in buf.iter_mut() {
+        *s += offset;
+    }
+}
+
+/// Applies IQ gain/phase imbalance: `epsilon` is the relative gain error
+/// between rails, `phi` the quadrature phase error in radians.
+///
+/// Model: `y = a*x + b*conj(x)` with `a = cos(phi/2) + j eps/2 sin(phi/2)`,
+/// `b = eps/2 cos(phi/2) - j sin(phi/2)` (standard image-leakage form).
+pub fn apply_iq_imbalance(buf: &mut [Cf64], epsilon: f64, phi: f64) {
+    let a = Cf64::new((phi / 2.0).cos(), epsilon / 2.0 * (phi / 2.0).sin());
+    let b = Cf64::new(epsilon / 2.0 * (phi / 2.0).cos(), -(phi / 2.0).sin());
+    for s in buf.iter_mut() {
+        *s = a * *s + b * s.conj();
+    }
+}
+
+/// Memoryless soft-clipping power amplifier (Rapp model, smoothness p).
+pub fn apply_pa_compression(buf: &mut [Cf64], saturation_amp: f64, p: f64) {
+    for s in buf.iter_mut() {
+        let r = s.abs();
+        if r > 1e-30 {
+            let gain = 1.0 / (1.0 + (r / saturation_amp).powf(2.0 * p)).powf(1.0 / (2.0 * p));
+            *s = s.scale(gain);
+        }
+    }
+}
+
+/// A composable stack of impairments with typical SBX-class defaults.
+#[derive(Clone, Debug)]
+pub struct FrontEnd {
+    /// Carrier frequency offset, Hz.
+    pub cfo_hz: f64,
+    /// DC offset, full-scale fraction.
+    pub dc: Cf64,
+    /// IQ gain imbalance (relative).
+    pub iq_epsilon: f64,
+    /// IQ phase imbalance, radians.
+    pub iq_phi: f64,
+    /// PA saturation amplitude (full-scale fraction); `inf` disables.
+    pub pa_sat: f64,
+    /// Sample rate the CFO rotates at.
+    pub sample_rate: f64,
+}
+
+impl FrontEnd {
+    /// An ideal front end (all impairments off).
+    pub fn ideal(sample_rate: f64) -> Self {
+        FrontEnd {
+            cfo_hz: 0.0,
+            dc: Cf64::ZERO,
+            iq_epsilon: 0.0,
+            iq_phi: 0.0,
+            pa_sat: f64::INFINITY,
+            sample_rate,
+        }
+    }
+
+    /// Typical COTS direct-conversion numbers: 2.5 ppm TCXO at 2.4 GHz
+    /// (~6 kHz CFO), -40 dBFS DC, 0.5 % gain / 0.5 degree phase imbalance.
+    pub fn typical_sbx(sample_rate: f64) -> Self {
+        FrontEnd {
+            cfo_hz: 6_000.0,
+            dc: Cf64::new(0.01, 0.005),
+            iq_epsilon: 0.005,
+            iq_phi: 0.5f64.to_radians(),
+            pa_sat: f64::INFINITY,
+            sample_rate,
+        }
+    }
+
+    /// Applies the stack in the physical order CFO -> IQ -> DC -> PA.
+    pub fn apply(&self, buf: &mut [Cf64]) {
+        if self.cfo_hz != 0.0 {
+            apply_cfo(buf, self.cfo_hz, self.sample_rate);
+        }
+        if self.iq_epsilon != 0.0 || self.iq_phi != 0.0 {
+            apply_iq_imbalance(buf, self.iq_epsilon, self.iq_phi);
+        }
+        if self.dc != Cf64::ZERO {
+            apply_dc_offset(buf, self.dc);
+        }
+        if self.pa_sat.is_finite() {
+            apply_pa_compression(buf, self.pa_sat, 2.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use crate::power::mean_power;
+    use crate::rng::Rng;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|t| Cf64::from_angle(2.0 * std::f64::consts::PI * freq * t as f64 / rate))
+            .collect()
+    }
+
+    #[test]
+    fn cfo_shifts_tone_bin() {
+        let fs = 25.0e6;
+        let n = 1024;
+        let mut buf = tone(0.0, fs, n); // DC tone
+        apply_cfo(&mut buf, 4.0 * fs / n as f64, fs); // +4 bins
+        let spec = fft(&buf);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4);
+    }
+
+    #[test]
+    fn dc_offset_raises_bin_zero() {
+        let fs = 25.0e6;
+        // Integer-bin tone (bin 40) so no spectral leakage reaches DC.
+        let mut buf = tone(40.0 * fs / 1024.0, fs, 1024);
+        apply_dc_offset(&mut buf, Cf64::new(0.2, 0.0));
+        let spec = fft(&buf);
+        assert!((spec[0].abs() / 1024.0 - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iq_imbalance_creates_image() {
+        let fs = 25.0e6;
+        let n = 1024;
+        let k0 = 100;
+        let mut buf = tone(k0 as f64 * fs / n as f64, fs, n);
+        apply_iq_imbalance(&mut buf, 0.05, 0.05);
+        let spec = fft(&buf);
+        let image = spec[n - k0].abs();
+        let main = spec[k0].abs();
+        assert!(image > 1e-3 * main, "image must appear");
+        assert!(image < 0.1 * main, "but stay far below the main tone");
+        // Zero imbalance produces no image.
+        let mut clean = tone(k0 as f64 * fs / n as f64, fs, n);
+        apply_iq_imbalance(&mut clean, 0.0, 0.0);
+        let cs = fft(&clean);
+        assert!(cs[n - k0].abs() < 1e-9 * cs[k0].abs());
+    }
+
+    #[test]
+    fn pa_compression_limits_peaks() {
+        let mut rng = Rng::seed_from(7);
+        let mut buf: Vec<Cf64> = (0..4096)
+            .map(|_| Cf64::new(rng.gaussian() * 0.5, rng.gaussian() * 0.5))
+            .collect();
+        apply_pa_compression(&mut buf, 0.5, 2.0);
+        let peak = buf.iter().map(|s| s.abs()).fold(0.0, f64::max);
+        assert!(peak < 0.6, "peak {peak} must saturate near 0.5");
+        // Small signals pass nearly unchanged.
+        let mut small = vec![Cf64::new(0.01, 0.0); 10];
+        apply_pa_compression(&mut small, 0.5, 2.0);
+        assert!((small[0].re - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ideal_front_end_is_identity() {
+        let fs = 25.0e6;
+        let orig = tone(1.0e6, fs, 256);
+        let mut buf = orig.clone();
+        FrontEnd::ideal(fs).apply(&mut buf);
+        for (a, b) in orig.iter().zip(buf.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn typical_front_end_preserves_power_scale() {
+        let fs = 25.0e6;
+        let mut rng = Rng::seed_from(8);
+        let mut buf: Vec<Cf64> = (0..8192)
+            .map(|_| Cf64::new(rng.gaussian() * 0.1, rng.gaussian() * 0.1))
+            .collect();
+        let p0 = mean_power(&buf);
+        FrontEnd::typical_sbx(fs).apply(&mut buf);
+        let p1 = mean_power(&buf);
+        assert!((p1 / p0 - 1.0).abs() < 0.1, "ratio {}", p1 / p0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Numerically controlled oscillator and complex mixer.
+//!
+//! The USRP's DDC/DUC chains use a CORDIC-driven NCO to translate signals
+//! between RF-offset and baseband. We model it in floating point with a
+//! phase accumulator, which is accurate to well below the quantization noise
+//! of the 16-bit datapath.
+
+use crate::complex::Cf64;
+
+/// A numerically controlled oscillator producing `e^{j(2 pi f t + phi)}`.
+#[derive(Clone, Debug)]
+pub struct Nco {
+    phase: f64,
+    step: f64,
+}
+
+impl Nco {
+    /// Creates an NCO at `freq_hz` given the sample rate.
+    pub fn new(freq_hz: f64, sample_rate: f64) -> Self {
+        assert!(sample_rate > 0.0, "sample rate must be positive");
+        Nco {
+            phase: 0.0,
+            step: 2.0 * std::f64::consts::PI * freq_hz / sample_rate,
+        }
+    }
+
+    /// Sets a new frequency without resetting phase (phase-continuous retune,
+    /// as the hardware does).
+    pub fn set_freq(&mut self, freq_hz: f64, sample_rate: f64) {
+        self.step = 2.0 * std::f64::consts::PI * freq_hz / sample_rate;
+    }
+
+    /// Returns the next oscillator sample and advances the phase.
+    #[inline]
+    pub fn next(&mut self) -> Cf64 {
+        let out = Cf64::from_angle(self.phase);
+        self.phase += self.step;
+        // Keep the accumulator bounded for long runs.
+        if self.phase > std::f64::consts::PI * 2.0 {
+            self.phase -= std::f64::consts::PI * 2.0;
+        } else if self.phase < -std::f64::consts::PI * 2.0 {
+            self.phase += std::f64::consts::PI * 2.0;
+        }
+        out
+    }
+
+    /// Mixes (multiplies) a buffer with the oscillator in place.
+    pub fn mix(&mut self, buf: &mut [Cf64]) {
+        for s in buf.iter_mut() {
+            *s *= self.next();
+        }
+    }
+
+    /// Generates `n` oscillator samples.
+    pub fn take(&mut self, n: usize) -> Vec<Cf64> {
+        (0..n).map(|_| self.next()).collect()
+    }
+}
+
+/// Applies a frequency shift of `freq_hz` to a waveform (new buffer).
+pub fn freq_shift(buf: &[Cf64], freq_hz: f64, sample_rate: f64) -> Vec<Cf64> {
+    let mut nco = Nco::new(freq_hz, sample_rate);
+    buf.iter().map(|&s| s * nco.next()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+
+    #[test]
+    fn unit_magnitude() {
+        let mut nco = Nco::new(1.0e6, 25.0e6);
+        for _ in 0..1000 {
+            assert!((nco.next().abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dc_oscillator_is_constant() {
+        let mut nco = Nco::new(0.0, 25.0e6);
+        for _ in 0..10 {
+            assert!((nco.next() - Cf64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tone_lands_on_expected_bin() {
+        // f = 4/64 of the sample rate should put all energy in FFT bin 4.
+        let n = 64;
+        let fs = 25.0e6;
+        let mut nco = Nco::new(4.0 * fs / n as f64, fs);
+        let tone = nco.take(n);
+        let spec = fft(&tone);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 4);
+    }
+
+    #[test]
+    fn negative_frequency_conjugates() {
+        let fs = 20.0e6;
+        let mut pos = Nco::new(1.0e6, fs);
+        let mut neg = Nco::new(-1.0e6, fs);
+        for _ in 0..100 {
+            let p = pos.next();
+            let n = neg.next();
+            assert!((p.conj() - n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn freq_shift_then_unshift_roundtrips() {
+        let fs = 25.0e6;
+        let sig: Vec<Cf64> = (0..256)
+            .map(|t| Cf64::new((t as f64 * 0.2).sin(), 0.0))
+            .collect();
+        let up = freq_shift(&sig, 3.0e6, fs);
+        let down = freq_shift(&up, -3.0e6, fs);
+        for (a, b) in sig.iter().zip(down.iter()) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_continuous_retune() {
+        let fs = 10.0e6;
+        let mut nco = Nco::new(1.0e6, fs);
+        let _ = nco.take(10);
+        nco.set_freq(2.0e6, fs);
+        let first_after = nco.next();
+        // next() returns the current phase then advances, so sample k carries
+        // phase k*step. After 10 samples at f1 the accumulated phase is
+        // 10 * 2*pi*f1/fs; a retune must not reset it.
+        let expected = Cf64::from_angle(10.0 * 2.0 * std::f64::consts::PI * 1.0e6 / fs);
+        assert!((first_after - expected).abs() < 1e-12);
+    }
+}

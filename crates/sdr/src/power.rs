@@ -1,0 +1,175 @@
+//! Power, decibel and SNR utilities.
+//!
+//! All experiment sweeps in the paper are parameterized in dB (SNR at the
+//! receiver, SIR at the access point, attenuator settings, energy-detector
+//! thresholds between 3 and 30 dB), so conversions live here in one place.
+
+use crate::complex::Cf64;
+
+/// Converts a power ratio in dB to a linear power ratio.
+#[inline]
+pub fn db_to_lin(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// Converts a linear power ratio to dB. Returns `-inf` for zero input.
+#[inline]
+pub fn lin_to_db(lin: f64) -> f64 {
+    10.0 * lin.log10()
+}
+
+/// Converts an amplitude (voltage) ratio in dB to a linear amplitude ratio.
+#[inline]
+pub fn db_to_amplitude(db: f64) -> f64 {
+    10f64.powf(db / 20.0)
+}
+
+/// Mean power of a complex waveform: `E[|x|^2]`.
+///
+/// Returns 0.0 for an empty buffer.
+pub fn mean_power(buf: &[Cf64]) -> f64 {
+    if buf.is_empty() {
+        return 0.0;
+    }
+    buf.iter().map(|s| s.norm_sq()).sum::<f64>() / buf.len() as f64
+}
+
+/// Peak instantaneous power `max |x|^2` of a waveform.
+pub fn peak_power(buf: &[Cf64]) -> f64 {
+    buf.iter().map(|s| s.norm_sq()).fold(0.0, f64::max)
+}
+
+/// Scales a waveform in place so that its mean power equals `target`.
+///
+/// A silent buffer is left untouched (there is nothing to scale).
+pub fn scale_to_power(buf: &mut [Cf64], target: f64) {
+    let p = mean_power(buf);
+    if p <= 0.0 {
+        return;
+    }
+    let k = (target / p).sqrt();
+    for s in buf.iter_mut() {
+        *s = s.scale(k);
+    }
+}
+
+/// Measured signal-to-noise ratio in dB given mean signal and noise powers.
+#[inline]
+pub fn snr_db(signal_power: f64, noise_power: f64) -> f64 {
+    lin_to_db(signal_power / noise_power)
+}
+
+/// Root-mean-square amplitude of a waveform.
+pub fn rms(buf: &[Cf64]) -> f64 {
+    mean_power(buf).sqrt()
+}
+
+/// Running power meter with exponential averaging, the software analogue of
+/// the RSSI readback the host GUI displays.
+#[derive(Clone, Debug)]
+pub struct PowerMeter {
+    alpha: f64,
+    avg: f64,
+    primed: bool,
+}
+
+impl PowerMeter {
+    /// Creates a meter with smoothing factor `alpha` in `(0, 1]`; smaller
+    /// values average over a longer window.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        PowerMeter { alpha, avg: 0.0, primed: false }
+    }
+
+    /// Feeds one sample and returns the updated average power.
+    pub fn push(&mut self, s: Cf64) -> f64 {
+        let p = s.norm_sq();
+        if self.primed {
+            self.avg += self.alpha * (p - self.avg);
+        } else {
+            self.avg = p;
+            self.primed = true;
+        }
+        self.avg
+    }
+
+    /// Current average power estimate.
+    pub fn power(&self) -> f64 {
+        self.avg
+    }
+
+    /// Current average power in dB (relative to full scale 1.0).
+    pub fn power_db(&self) -> f64 {
+        lin_to_db(self.avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn db_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 33.85] {
+            assert!((lin_to_db(db_to_lin(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_points() {
+        assert!((db_to_lin(3.0) - 1.995).abs() < 0.01);
+        assert!((db_to_lin(10.0) - 10.0).abs() < 1e-12);
+        assert!((db_to_amplitude(20.0) - 10.0).abs() < 1e-12);
+        assert_eq!(lin_to_db(0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn mean_power_of_unit_tone() {
+        let buf: Vec<Cf64> = (0..1000)
+            .map(|t| Cf64::from_angle(0.01 * t as f64))
+            .collect();
+        assert!((mean_power(&buf) - 1.0).abs() < 1e-12);
+        assert_eq!(mean_power(&[]), 0.0);
+    }
+
+    #[test]
+    fn scale_to_power_hits_target() {
+        let mut rng = Rng::seed_from(2);
+        let mut buf: Vec<Cf64> = (0..4096)
+            .map(|_| Cf64::new(rng.gaussian(), rng.gaussian()))
+            .collect();
+        scale_to_power(&mut buf, 0.01);
+        assert!((mean_power(&buf) - 0.01).abs() < 1e-12);
+        // Scaling silence is a no-op, not a panic.
+        let mut silent = vec![Cf64::ZERO; 16];
+        scale_to_power(&mut silent, 1.0);
+        assert!(silent.iter().all(|s| *s == Cf64::ZERO));
+    }
+
+    #[test]
+    fn snr_definition() {
+        assert!((snr_db(10.0, 1.0) - 10.0).abs() < 1e-12);
+        assert!((snr_db(1.0, 2.0) + 3.0103).abs() < 1e-3);
+    }
+
+    #[test]
+    fn power_meter_converges() {
+        let mut m = PowerMeter::new(0.05);
+        let s = Cf64::new(0.5, 0.0); // power 0.25
+        for _ in 0..500 {
+            m.push(s);
+        }
+        assert!((m.power() - 0.25).abs() < 1e-6);
+        assert!((m.power_db() - lin_to_db(0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_power_finds_max() {
+        let buf = [Cf64::new(0.1, 0.0), Cf64::new(0.0, -0.9), Cf64::new(0.3, 0.3)];
+        assert!((peak_power(&buf) - 0.81).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Sample-rate conversion.
+//!
+//! The paper's detector runs at a fixed 25 MSPS while the signals it hunts
+//! are generated at their native standard rates (802.11g at 20 MSPS, the
+//! Air4G WiMAX downlink at 11.4 MHz). The resulting template/stream rate
+//! mismatch is the single largest factor in the paper's measured detection
+//! performance, so this module reproduces the conversion explicitly instead
+//! of pretending everything shares a clock.
+//!
+//! Two converters are provided:
+//!
+//! * [`Rational`] — a polyphase L/M resampler with a windowed-sinc prototype
+//!   filter, used for the exact 20->25 MSPS (L/M = 5/4) WiFi path;
+//! * [`resample_linear`] — a light-weight linear interpolator for arbitrary
+//!   irrational-looking ratios such as 11.4->25 MHz, adequate because the
+//!   detector only consumes sign bits and coarse energy.
+
+use crate::complex::Cf64;
+use crate::fir::lowpass;
+
+/// Polyphase rational resampler by a factor `up/down`.
+#[derive(Clone, Debug)]
+pub struct Rational {
+    up: usize,
+    down: usize,
+    /// Polyphase filter bank: `phases[p]` holds every `up`-th prototype tap.
+    phases: Vec<Vec<f64>>,
+    taps_per_phase: usize,
+}
+
+impl Rational {
+    /// Creates a resampler with interpolation factor `up` and decimation
+    /// factor `down`. `taps_per_phase` controls prototype quality (8-16 is
+    /// plenty for detector-grade fidelity).
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero.
+    pub fn new(up: usize, down: usize, taps_per_phase: usize) -> Self {
+        assert!(up > 0 && down > 0 && taps_per_phase > 0);
+        let g = gcd(up, down);
+        let (up, down) = (up / g, down / g);
+        let proto_len = up * taps_per_phase;
+        // Cut off at the narrower of the input/output Nyquist bands.
+        let cutoff = 0.5 / up.max(down) as f64 * 0.9;
+        // Design at the upsampled rate: normalized cutoff = cutoff (cycles per
+        // upsampled sample), then scale gain by `up` to preserve amplitude.
+        let mut proto = lowpass(proto_len, cutoff.min(0.499));
+        for t in proto.iter_mut() {
+            *t *= up as f64;
+        }
+        let mut phases = vec![Vec::with_capacity(taps_per_phase); up];
+        for (i, &t) in proto.iter().enumerate() {
+            phases[i % up].push(t);
+        }
+        Rational { up, down, phases, taps_per_phase }
+    }
+
+    /// The reduced interpolation factor.
+    pub fn up(&self) -> usize {
+        self.up
+    }
+
+    /// The reduced decimation factor.
+    pub fn down(&self) -> usize {
+        self.down
+    }
+
+    /// Resamples a whole buffer. Output length is approximately
+    /// `input.len() * up / down`.
+    pub fn process(&self, input: &[Cf64]) -> Vec<Cf64> {
+        let out_len = input.len() * self.up / self.down;
+        let mut out = Vec::with_capacity(out_len);
+        // Conceptual upsampled stream index: t = n*down for output n.
+        for n in 0..out_len {
+            let t = n * self.down;
+            let phase = t % self.up;
+            let base = t / self.up; // index of newest input sample involved
+            let taps = &self.phases[phase];
+            let mut acc = Cf64::ZERO;
+            for (k, &tap) in taps.iter().enumerate().take(self.taps_per_phase) {
+                // Tap k corresponds to input sample base - k (causal history).
+                if let Some(idx) = base.checked_sub(k) {
+                    if idx < input.len() {
+                        acc += input[idx].scale(tap);
+                    }
+                }
+            }
+            out.push(acc);
+        }
+        out
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Resamples by linear interpolation from `from_rate` to `to_rate`.
+///
+/// # Panics
+/// Panics if either rate is not strictly positive.
+pub fn resample_linear(input: &[Cf64], from_rate: f64, to_rate: f64) -> Vec<Cf64> {
+    assert!(from_rate > 0.0 && to_rate > 0.0, "rates must be positive");
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let ratio = from_rate / to_rate;
+    let out_len = ((input.len() as f64) / ratio).floor() as usize;
+    let mut out = Vec::with_capacity(out_len);
+    for n in 0..out_len {
+        let x = n as f64 * ratio;
+        let i = x.floor() as usize;
+        let frac = x - i as f64;
+        let a = input[i.min(input.len() - 1)];
+        let b = input[(i + 1).min(input.len() - 1)];
+        out.push(a.scale(1.0 - frac) + b.scale(frac));
+    }
+    out
+}
+
+/// Applies a fractional-sample delay `frac` in `[0, 1)` by linear
+/// interpolation (output is one sample shorter).
+///
+/// Transmitter and receiver sample clocks are unsynchronized, so each
+/// arriving frame lands on a different sampling phase; detection
+/// experiments draw this per frame to avoid the unrealistically perfect
+/// alignment a shared-clock simulation would otherwise have.
+///
+/// # Panics
+/// Panics if `frac` is outside `[0, 1)`.
+pub fn fractional_delay(input: &[Cf64], frac: f64) -> Vec<Cf64> {
+    assert!((0.0..1.0).contains(&frac), "frac must be in [0,1), got {frac}");
+    if input.len() < 2 {
+        return input.to_vec();
+    }
+    (0..input.len() - 1)
+        .map(|k| input[k].scale(1.0 - frac) + input[k + 1].scale(frac))
+        .collect()
+}
+
+/// Convenience: converts a waveform at `from_rate` to the receiver's fixed
+/// 25 MSPS using the best available method for the ratio.
+pub fn to_usrp_rate(input: &[Cf64], from_rate: f64) -> Vec<Cf64> {
+    let to_rate = crate::USRP_SAMPLE_RATE;
+    // Detect small rational ratios (e.g. 20 MHz -> 25 MHz is 5/4).
+    for denom in 1..=32usize {
+        let num = to_rate / from_rate * denom as f64;
+        if (num - num.round()).abs() < 1e-9 && num.round() >= 1.0 {
+            let r = Rational::new(num.round() as usize, denom, 12);
+            return r.process(input);
+        }
+    }
+    resample_linear(input, from_rate, to_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::fft;
+    use crate::power::mean_power;
+
+    fn tone(freq: f64, rate: f64, n: usize) -> Vec<Cf64> {
+        (0..n)
+            .map(|t| Cf64::from_angle(2.0 * std::f64::consts::PI * freq * t as f64 / rate))
+            .collect()
+    }
+
+    fn dominant_freq(buf: &[Cf64], rate: f64) -> f64 {
+        let n = buf.len().next_power_of_two() / 2;
+        let spec = fft(&buf[..n]);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap()
+            .0;
+        let k = if peak > n / 2 { peak as f64 - n as f64 } else { peak as f64 };
+        k * rate / n as f64
+    }
+
+    #[test]
+    fn rational_5_4_length() {
+        let input = tone(1.0e6, 20.0e6, 2000);
+        let r = Rational::new(5, 4, 12);
+        let out = r.process(&input);
+        assert_eq!(out.len(), 2500);
+    }
+
+    #[test]
+    fn rational_preserves_tone_frequency() {
+        let f0 = 2.0e6;
+        let input = tone(f0, 20.0e6, 4096);
+        let out = Rational::new(5, 4, 12).process(&input);
+        let got = dominant_freq(&out, 25.0e6);
+        assert!((got - f0).abs() < 25.0e6 / 1024.0, "got {got}");
+    }
+
+    #[test]
+    fn rational_preserves_power_approximately() {
+        let input = tone(1.0e6, 20.0e6, 8192);
+        let out = Rational::new(5, 4, 16).process(&input);
+        // Skip the filter transient at the head.
+        let p_in = mean_power(&input[100..]);
+        let p_out = mean_power(&out[200..]);
+        assert!((p_out / p_in - 1.0).abs() < 0.05, "ratio {}", p_out / p_in);
+    }
+
+    #[test]
+    fn rational_reduces_factors() {
+        let r = Rational::new(10, 8, 8);
+        assert_eq!(r.up(), 5);
+        assert_eq!(r.down(), 4);
+    }
+
+    #[test]
+    fn linear_preserves_tone_frequency() {
+        let f0 = 1.0e6;
+        let input = tone(f0, 11.4e6, 8192);
+        let out = resample_linear(&input, 11.4e6, 25.0e6);
+        let got = dominant_freq(&out, 25.0e6);
+        assert!((got - f0).abs() < 25.0e6 / 2048.0, "got {got}");
+    }
+
+    #[test]
+    fn linear_identity_ratio() {
+        let input = tone(1.0e6, 25.0e6, 100);
+        let out = resample_linear(&input, 25.0e6, 25.0e6);
+        assert_eq!(out.len(), input.len());
+        for (a, b) in input.iter().zip(out.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn linear_empty_input() {
+        assert!(resample_linear(&[], 20.0e6, 25.0e6).is_empty());
+    }
+
+    #[test]
+    fn to_usrp_rate_picks_rational_for_wifi() {
+        let input = tone(1.0e6, 20.0e6, 2000);
+        let out = to_usrp_rate(&input, 20.0e6);
+        assert_eq!(out.len(), 2500);
+    }
+
+    #[test]
+    fn to_usrp_rate_handles_wimax_rate() {
+        let input = tone(1.0e6, 11.4e6, 1140);
+        let out = to_usrp_rate(&input, 11.4e6);
+        // 1140 samples at 11.4 MHz = 100 us -> 2500 samples at 25 MHz.
+        assert!((out.len() as i64 - 2500).abs() <= 1, "len {}", out.len());
+    }
+
+    #[test]
+    fn fractional_delay_zero_is_identity() {
+        let input = tone(1.0e6, 25.0e6, 64);
+        let out = fractional_delay(&input, 0.0);
+        for (a, b) in input.iter().zip(out.iter()) {
+            assert!((*a - *b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fractional_delay_shifts_phase() {
+        // A half-sample delay of a tone advances its phase by pi*f/fs.
+        let f0 = 1.0e6;
+        let fs = 25.0e6;
+        let input = tone(f0, fs, 256);
+        let out = fractional_delay(&input, 0.5);
+        let expected_shift = std::f64::consts::PI * f0 / fs;
+        let measured = (out[100].conj() * input[100]).arg().abs();
+        assert!((measured - expected_shift).abs() < 0.01, "shift {measured}");
+    }
+
+    #[test]
+    #[should_panic(expected = "frac")]
+    fn fractional_delay_rejects_out_of_range() {
+        let _ = fractional_delay(&[Cf64::ONE, Cf64::ONE], 1.0);
+    }
+
+    #[test]
+    fn upsampled_duration_preserved() {
+        // 3.2 us of WiFi (64 samples @20 MSPS) must become 80 samples @25 MSPS:
+        // the mechanism behind the paper's "64-sample window sees only the
+        // first 2.56 us of the 3.2 us code".
+        let input = tone(0.5e6, 20.0e6, 64);
+        let out = to_usrp_rate(&input, 20.0e6);
+        assert_eq!(out.len(), 80);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fully autonomous operation (paper §2.5's closing sentence): scan the
+//! band, classify whatever shows up, arm the matching protocol-aware
+//! personality, jam, and stand down when the band goes quiet.
+//!
+//! ```sh
+//! cargo run --release --example autonomous
+//! ```
+
+use rjam::core::autonomous::{AutonomousJammer, Mode};
+use rjam::sdr::complex::Cf64;
+use rjam::sdr::power::{db_to_lin, scale_to_power};
+use rjam::sdr::resample::to_usrp_rate;
+use rjam::sdr::rng::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from(0xA07);
+    let mut auto = AutonomousJammer::new(10.0, vec![(1, 0), (5, 1), (23, 2)]);
+    let mut noise =
+        rjam::channel::NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
+
+    let show = |label: &str, auto: &AutonomousJammer| {
+        println!("{label:<36} mode = {:?}", auto.mode());
+    };
+
+    show("start (quiet band)", &auto);
+    auto.step(&noise.block(3000));
+
+    // A WiFi station keys up.
+    let mut psdu = vec![0u8; 200];
+    rng.fill_bytes(&mut psdu);
+    let frame = rjam::phy80211::tx::Frame::new(rjam::phy80211::Rate::R24, psdu);
+    let mut w = to_usrp_rate(
+        &rjam::phy80211::tx::modulate_frame(&frame),
+        rjam::sdr::WIFI_SAMPLE_RATE,
+    );
+    scale_to_power(&mut w, 0.02);
+    let w: Vec<Cf64> = w.iter().map(|&s| s + noise.next()).collect();
+    auto.step(&w);
+    show("WiFi frame appears", &auto);
+    let w2: Vec<Cf64> = w.iter().map(|&s| s + noise.next() * 0.3).collect();
+    auto.step(&w2);
+    show("second WiFi frame (classified)", &auto);
+    let w3: Vec<Cf64> = w.iter().map(|&s| s + noise.next() * 0.3).collect();
+    let active = auto.step(&w3);
+    println!(
+        "{:<36} jammed {} samples of the next frame",
+        "", active.iter().filter(|&&a| a).count()
+    );
+
+    // The WiFi station leaves; after ~150 ms of silence the jammer stands down.
+    for _ in 0..40 {
+        auto.step(&noise.block(100_000));
+    }
+    show("after ~150 ms of silence", &auto);
+
+    // A WiMAX base station (unknown identity) starts broadcasting.
+    let mut bs = rjam::phy80216::DownlinkGenerator::new(rjam::phy80216::DownlinkConfig {
+        id_cell: 23,
+        segment: 2,
+        ..rjam::phy80216::DownlinkConfig::default()
+    });
+    let dl = bs.next_frame();
+    let act = bs.dl_subframe_samples();
+    let mut wx = to_usrp_rate(&dl[..act], rjam::sdr::WIMAX_SAMPLE_RATE);
+    scale_to_power(&mut wx, 0.02);
+    let wx: Vec<Cf64> = wx.iter().map(|&s| s + noise.next()).collect();
+    for chunk in wx.chunks(8000) {
+        auto.step(chunk);
+    }
+    show("WiMAX downlink appears", &auto);
+    if let Mode::Engaged(class) = auto.mode() {
+        println!("{:<36} identified: {class:?}", "");
+    }
+
+    println!("\nengagement log:");
+    for e in auto.engagements() {
+        println!(
+            "  class {:?}  (wifi score {:.2}, wimax score {:.2})",
+            e.class, e.wifi_score, e.wimax_score
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Protocol-agnostic channel-occupancy scan with the energy differentiator
+//! (paper §2.3: "the energy detector ... provides the channel occupancy
+//! status if no cross-correlation coefficients are available").
+//!
+//! Feeds a mixed WiFi + WiMAX capture through the energy detector at
+//! several thresholds and prints the resulting occupancy events.
+//!
+//! ```sh
+//! cargo run --release --example energy_scan
+//! ```
+
+use rjam::core::{DetectionPreset, JammerPreset, ReactiveJammer};
+use rjam::sdr::complex::Cf64;
+use rjam::sdr::rng::Rng;
+
+fn main() {
+    // Build a band capture: silence, a WiFi frame, silence, a WiMAX DL
+    // subframe, silence — all resampled to the receiver's 25 MSPS.
+    let mut rng = Rng::seed_from(2026);
+    let mut psdu = vec![0u8; 200];
+    rng.fill_bytes(&mut psdu);
+    let wifi = rjam::phy80211::tx::modulate_frame(&rjam::phy80211::tx::Frame::new(
+        rjam::phy80211::Rate::R12,
+        psdu,
+    ));
+    let mut wifi25 = rjam::sdr::resample::to_usrp_rate(&wifi, rjam::sdr::WIFI_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wifi25, 0.02);
+
+    let mut wimax_gen =
+        rjam::phy80216::DownlinkGenerator::new(rjam::phy80216::DownlinkConfig::default());
+    let frame = wimax_gen.next_frame();
+    let active = wimax_gen.dl_subframe_samples().min(frame.len());
+    let mut wimax25 =
+        rjam::sdr::resample::to_usrp_rate(&frame[..active], rjam::sdr::WIMAX_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wimax25, 0.02);
+
+    let noise_p = 0.02 / rjam::sdr::power::db_to_lin(20.0);
+    let mut noise = rjam::channel::NoiseSource::new(noise_p, rng.fork());
+    let mut stream: Vec<Cf64> = noise.block(2000);
+    let wifi_at = stream.len();
+    stream.extend(wifi25.iter().map(|&s| s + noise.next()));
+    stream.extend(noise.block(4000));
+    let wimax_at = stream.len();
+    stream.extend(wimax25.iter().map(|&s| s + noise.next()));
+    stream.extend(noise.block(2000));
+
+    println!(
+        "capture: {} samples @25 MSPS; WiFi frame at {}, WiMAX subframe at {}\n",
+        stream.len(),
+        wifi_at,
+        wimax_at
+    );
+
+    for thr_db in [3.0, 10.0, 20.0] {
+        let mut det = ReactiveJammer::new(
+            DetectionPreset::EnergyRise { threshold_db: thr_db },
+            JammerPreset::Monitor,
+        );
+        det.set_lockout(2000);
+        det.process_block(&stream);
+        let rises: Vec<u64> = det
+            .events()
+            .iter()
+            .filter(|e| matches!(e, rjam::fpga::CoreEvent::EnergyHigh { .. }))
+            .map(|e| e.sample())
+            .collect();
+        println!(
+            "threshold {thr_db:>4.0} dB: {} energy-rise events at samples {:?}",
+            rises.len(),
+            rises
+        );
+    }
+    println!(
+        "\nBoth bursts trigger regardless of protocol — coarse occupancy sensing\n\
+         with no preamble knowledge, at the cost of no protocol selectivity."
+    );
+}

@@ -1,0 +1,73 @@
+//! IQ capture workflow: record the band (victim frames + jam bursts) to a
+//! GNU Radio-compatible cf32 file and summarize its spectrum — the software
+//! analogue of hanging a file sink and an FFT display off the receive path.
+//!
+//! ```sh
+//! cargo run --release --example iq_capture [output.cf32]
+//! ```
+
+use rjam::core::{DetectionPreset, JammerPreset, ReactiveJammer};
+use rjam::fpga::JamWaveform;
+use rjam::sdr::complex::Cf64;
+use rjam::sdr::io::write_cf32;
+use rjam::sdr::rng::Rng;
+use rjam::sdr::spectrum::{band_power_fraction, fftshift_bins, welch_psd};
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "capture.cf32".to_string());
+
+    // Build a short over-the-air scene: noise, a WiFi frame, the jam burst.
+    let mut rng = Rng::seed_from(7);
+    let mut psdu = vec![0u8; 300];
+    rng.fill_bytes(&mut psdu);
+    let frame = rjam::phy80211::tx::Frame::new(rjam::phy80211::Rate::R24, psdu);
+    let native = rjam::phy80211::tx::modulate_frame(&frame);
+    let mut wave = rjam::sdr::resample::to_usrp_rate(&native, rjam::sdr::WIFI_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wave, 0.02);
+    let mut noise =
+        rjam::channel::NoiseSource::new(0.02 / rjam::sdr::power::db_to_lin(25.0), rng.fork());
+    let mut stream: Vec<Cf64> = noise.block(2000);
+    stream.extend(wave.iter().map(|&s| s + noise.next()));
+    stream.extend(noise.block(2000));
+
+    let mut jammer = ReactiveJammer::new(
+        DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+        JammerPreset::Reactive { uptime_s: 50e-6, waveform: JamWaveform::Wgn },
+    );
+    let (jam_tx, active) = jammer.process_block(&stream);
+    // The capture is what a monitor receiver would see: scene + jam burst.
+    let capture: Vec<Cf64> = stream
+        .iter()
+        .zip(jam_tx.iter())
+        .map(|(&s, &j)| s + j.scale(0.5))
+        .collect();
+
+    write_cf32(std::path::Path::new(&path), &capture).expect("write capture");
+    println!(
+        "wrote {} samples ({:.1} ms at 25 MSPS) to {path}",
+        capture.len(),
+        capture.len() as f64 / 25_000.0
+    );
+    println!(
+        "jam burst: {} samples starting at sample {:?}",
+        active.iter().filter(|&&a| a).count(),
+        active.iter().position(|&a| a)
+    );
+
+    // Spectral summary of the capture.
+    let psd = welch_psd(&capture, 256);
+    let frac_wifi_band = band_power_fraction(&psd, 0.8); // 20 of 25 MHz
+    println!("\npower within +-10 MHz (the WiFi channel): {:.1} %", 100.0 * frac_wifi_band);
+    let shifted = fftshift_bins(&psd);
+    let peak = shifted.iter().cloned().fold(0.0f64, f64::max).max(1e-30);
+    print!("PSD (dB rel. peak, -12.5..+12.5 MHz): ");
+    for chunk in shifted.chunks(16) {
+        let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
+        let db = 10.0 * (avg / peak).log10();
+        print!("{}", if db > -10.0 { '#' } else if db > -25.0 { '+' } else { '.' });
+    }
+    println!("\n(open the file in inspectrum or GNU Radio for the full view)");
+    std::fs::remove_file(&path).ok(); // tidy up the demo artifact
+}

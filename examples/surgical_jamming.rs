@@ -1,0 +1,54 @@
+//! "Surgical" jamming (paper §3.1, §5): use the programmable trigger-to-jam
+//! delay to place a short burst on a chosen region of the packet, and show
+//! how placement changes lethality at fixed power.
+//!
+//! ```sh
+//! cargo run --release --example surgical_jamming
+//! ```
+
+use rjam::mac::model::{JammerKind, Scenario};
+use rjam::mac::run_scenario;
+
+fn main() {
+    println!("10 us reactive burst at 14 dB SIR, swept across the frame:");
+    println!(
+        "{:>12} {:>14} {:>12} {:>8}",
+        "delay (us)", "burst lands in", "BW (kbps)", "PRR (%)"
+    );
+    // Frame anatomy at 25 MSPS arrival: preamble 0-16 us, SIGNAL 16-20 us,
+    // DATA beyond. The burst starts at T_resp (2.64 us) + delay.
+    for (delay, region) in [
+        (0.0, "preamble"),
+        (8.0, "preamble/SIGNAL"),
+        (15.0, "SIGNAL"),
+        (25.0, "first data syms"),
+        (60.0, "mid data"),
+        (150.0, "late data"),
+    ] {
+        let sc = Scenario {
+            jammer: JammerKind::Reactive {
+                uptime_us: 10.0,
+                response_us: 2.64,
+                delay_us: delay,
+                detect_prob: 0.995,
+            },
+            sir_ap_db: 14.0,
+            sir_client_db: 8.0,
+            snr_ap_db: 28.0,
+            snr_client_db: 28.0,
+            duration_s: 5.0,
+            ..Scenario::default()
+        };
+        let r = run_scenario(&sc);
+        println!(
+            "{delay:>12.1} {region:>14} {:>12.0} {:>8.1}",
+            r.bandwidth_kbps, r.prr_percent
+        );
+    }
+    println!(
+        "\nA burst too weak to defeat preamble acquisition collapses goodput when\n\
+         delayed onto the SIGNAL field or data symbols (rate fallback absorbs the\n\
+         hits at a fraction of the capacity) — \"surgical jamming is highly\n\
+         destructive due to its ability to target critical information\"."
+    );
+}

@@ -1,0 +1,175 @@
+//! End-to-end integration: the full signal path of the paper's WiFi
+//! experiment, crossing every crate — PHY TX (rjam-phy80211), the 5-port
+//! network and AWGN (rjam-channel), resampling (rjam-sdr), detection and
+//! jamming (rjam-fpga via rjam-core), and the victim's receiver.
+
+use rjam::channel::{Emission, FivePortNetwork, NoiseSource, Port, PortReceiver};
+use rjam::core::{DetectionPreset, JammerPreset, ReactiveJammer};
+use rjam::fpga::JamWaveform;
+use rjam::phy80211::bits::{append_fcs, check_fcs};
+use rjam::phy80211::{decode_frame, Rate};
+use rjam::sdr::complex::Cf64;
+use rjam::sdr::power::{db_to_lin, mean_power};
+use rjam::sdr::resample::{resample_linear, to_usrp_rate};
+use rjam::sdr::rng::Rng;
+
+/// Transmit power scaling so the jammer's receive port sees a healthy level.
+const TX_SCALE: f64 = 1.0;
+
+/// Builds one WiFi frame (PSDU carries an FCS) and its 20 MSPS waveform.
+fn make_frame(rng: &mut Rng, rate: Rate, len: usize) -> (Vec<u8>, Vec<Cf64>) {
+    let mut body = vec![0u8; len];
+    rng.fill_bytes(&mut body);
+    let psdu = append_fcs(&body);
+    let frame = rjam::phy80211::tx::Frame::new(rate, psdu.clone());
+    let wave = rjam::phy80211::tx::modulate_frame(&frame);
+    (psdu, wave)
+}
+
+/// The full conducted-testbed round trip: client transmits, the jammer
+/// detects at its receive port and transmits a burst, and the AP receives
+/// the superposition. Without jamming the AP decodes; with jamming it
+/// cannot.
+#[test]
+fn jammer_corrupts_frame_at_ap_through_five_port_network() {
+    let net = FivePortNetwork::paper_table1();
+    let mut rng = Rng::seed_from(0xE2E);
+    let (psdu, wave20) = make_frame(&mut rng, Rate::R24, 400);
+
+    // The client drives the network; the jammer's RX port hears it.
+    let tx_wave: Vec<Cf64> = wave20.iter().map(|s| s.scale(TX_SCALE)).collect();
+    let at_jammer_20 = net.propagate(Port::Client, Port::JammerRx, &tx_wave);
+    let at_jammer_25 = to_usrp_rate(&at_jammer_20, rjam::sdr::WIFI_SAMPLE_RATE);
+
+    // The jammer detects and reacts: 200 us WGN burst at full drive.
+    let mut jammer = ReactiveJammer::new(
+        DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+        JammerPreset::Reactive { uptime_s: 200e-6, waveform: JamWaveform::Wgn },
+    );
+    // Normalize the observed level into the ADC's happy range.
+    let rx_gain = (0.02 / mean_power(&at_jammer_25)).sqrt();
+    let observed: Vec<Cf64> = at_jammer_25.iter().map(|s| s.scale(rx_gain)).collect();
+    let (jam_tx_25, active) = jammer.process_block(&observed);
+    assert!(active.iter().any(|&a| a), "jammer must trigger on the frame");
+    let first_jam = active.iter().position(|&a| a).unwrap();
+    // Response within the correlation budget: <= 2.64 us + template position.
+    assert!(first_jam < 600, "jam started at sample {first_jam}");
+
+    // Jam waveform back at the 20 MSPS domain, aligned in time.
+    let jam_tx_20 = resample_linear(&jam_tx_25, 25.0e6, 20.0e6);
+
+    // Superpose at the AP. The jam burst is strong relative to the signal.
+    let mut scene = PortReceiver::new(&net);
+    scene.add(Emission::new(Port::Client, 0, tx_wave.clone()));
+    scene.add(Emission::new(Port::JammerTx, 0, jam_tx_20.iter().map(|s| s.scale(4.0)).collect()));
+    let noise_p = mean_power(&net.propagate(Port::Client, Port::Ap, &tx_wave)) / db_to_lin(30.0);
+    let mut noise = NoiseSource::new(noise_p, rng.fork());
+    let at_ap = scene.render(Port::Ap, &mut noise);
+
+    // The jammed frame must fail FCS (or fail to decode at all).
+    let decoded_ok = match decode_frame(&at_ap, 0) {
+        Ok(d) => check_fcs(&d.psdu).is_some() && d.psdu == psdu,
+        Err(_) => false,
+    };
+    assert!(!decoded_ok, "jamming must corrupt the frame at the AP");
+
+    // Control: without the jam emission the AP decodes cleanly.
+    let mut clean_scene = PortReceiver::new(&net);
+    clean_scene.add(Emission::new(Port::Client, 0, tx_wave));
+    let mut noise2 = NoiseSource::new(noise_p, Rng::seed_from(0xC1EA));
+    let clean_at_ap = clean_scene.render(Port::Ap, &mut noise2);
+    let d = decode_frame(&clean_at_ap, 0).expect("clean decode");
+    assert_eq!(d.psdu, psdu);
+    assert!(check_fcs(&d.psdu).is_some());
+}
+
+/// Monitor port sees both the frame and the jam burst (the scope view).
+#[test]
+fn monitor_port_observes_frame_and_jam() {
+    let net = FivePortNetwork::paper_table1();
+    let mut rng = Rng::seed_from(0x5C0);
+    let (_psdu, wave20) = make_frame(&mut rng, Rate::R12, 100);
+    let at_monitor = net.propagate(Port::Client, Port::Monitor, &wave20);
+    // Client -> monitor loss is 31.7 dB.
+    let in_p = mean_power(&wave20);
+    let out_p = mean_power(&at_monitor);
+    let loss_db = -rjam::sdr::power::lin_to_db(out_p / in_p);
+    assert!((loss_db - 31.7).abs() < 0.01, "loss {loss_db}");
+}
+
+/// The energy-only personality detects frames of both standards — protocol
+/// awareness comes only from the correlator template.
+#[test]
+fn energy_personality_is_protocol_agnostic() {
+    let mut rng = Rng::seed_from(0xA6);
+    let mut det = ReactiveJammer::new(
+        DetectionPreset::EnergyRise { threshold_db: 10.0 },
+        JammerPreset::Monitor,
+    );
+    det.set_lockout(5000);
+
+    // WiFi burst.
+    let (_, wifi20) = make_frame(&mut rng, Rate::R12, 60);
+    let mut wifi25 = to_usrp_rate(&wifi20, rjam::sdr::WIFI_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wifi25, 0.02);
+    // WiMAX burst.
+    let mut gen = rjam::phy80216::DownlinkGenerator::new(rjam::phy80216::DownlinkConfig::default());
+    let dl = gen.next_frame();
+    let active = gen.dl_subframe_samples();
+    let mut wimax25 = to_usrp_rate(&dl[..active], rjam::sdr::WIMAX_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wimax25, 0.02);
+
+    let mut noise = NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
+    let mut stream = noise.block(1000);
+    stream.extend(wifi25.iter().map(|&s| s + noise.next()));
+    stream.extend(noise.block(6000));
+    stream.extend(wimax25.iter().map(|&s| s + noise.next()));
+    stream.extend(noise.block(1000));
+    det.process_block(&stream);
+
+    let rises = det
+        .events()
+        .iter()
+        .filter(|e| matches!(e, rjam::fpga::CoreEvent::EnergyHigh { .. }))
+        .count();
+    assert!(rises >= 2, "both standards must trigger energy rises, got {rises}");
+}
+
+/// Protocol awareness: the WiFi template does not jam WiMAX and vice versa.
+#[test]
+fn protocol_selectivity_across_standards() {
+    let mut rng = Rng::seed_from(0x5E1);
+
+    // WiMAX downlink observed by a WiFi-templated jammer: no reaction.
+    let mut wifi_jammer = ReactiveJammer::new(
+        DetectionPreset::WifiShortPreamble { threshold: 0.45 },
+        JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+    );
+    let mut gen = rjam::phy80216::DownlinkGenerator::new(rjam::phy80216::DownlinkConfig::default());
+    let dl = gen.next_frame();
+    let active = gen.dl_subframe_samples();
+    let mut wimax25 = to_usrp_rate(&dl[..active], rjam::sdr::WIMAX_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wimax25, 0.02);
+    let mut noise = NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
+    let stream: Vec<Cf64> = wimax25.iter().map(|&s| s + noise.next()).collect();
+    let (_tx, act) = wifi_jammer.process_block(&stream);
+    assert!(
+        act.iter().all(|&a| !a),
+        "WiFi-templated jammer must not react to WiMAX"
+    );
+
+    // WiFi frame observed by a WiMAX-templated jammer: no reaction.
+    let mut wimax_jammer = ReactiveJammer::new(
+        DetectionPreset::WimaxPreamble { id_cell: 1, segment: 0, threshold: 0.45 },
+        JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+    );
+    let (_, wifi20) = make_frame(&mut rng, Rate::R12, 60);
+    let mut wifi25 = to_usrp_rate(&wifi20, rjam::sdr::WIFI_SAMPLE_RATE);
+    rjam::sdr::power::scale_to_power(&mut wifi25, 0.02);
+    let stream2: Vec<Cf64> = wifi25.iter().map(|&s| s + noise.next()).collect();
+    let (_tx, act2) = wimax_jammer.process_block(&stream2);
+    assert!(
+        act2.iter().all(|&a| !a),
+        "WiMAX-templated jammer must not react to WiFi"
+    );
+}

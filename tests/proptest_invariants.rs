@@ -1,0 +1,282 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use rjam::fpga::xcorr::Coeff3;
+use rjam::fpga::CrossCorrelator;
+use rjam::phy80211::bits::{append_fcs, bits_to_bytes, bytes_to_bits, check_fcs, Scrambler};
+use rjam::phy80211::convcode::{decode, encode, CodeRate};
+use rjam::phy80211::interleave::{deinterleave, interleave};
+use rjam::phy80211::{decode_frame, modulate_frame, Frame, Rate};
+use rjam::sdr::complex::{Cf64, IqI16};
+use rjam::sdr::fft::{fft, ifft};
+
+fn any_rate() -> impl Strategy<Value = Rate> {
+    prop_oneof![
+        Just(Rate::R6),
+        Just(Rate::R9),
+        Just(Rate::R12),
+        Just(Rate::R18),
+        Just(Rate::R24),
+        Just(Rate::R36),
+        Just(Rate::R48),
+        Just(Rate::R54),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The entire PHY is a bit-exact channel at infinite SNR for every rate,
+    /// payload and scrambler seed.
+    #[test]
+    fn phy_roundtrip_any_payload(
+        rate in any_rate(),
+        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        seed in 1u8..0x7F,
+    ) {
+        let mut frame = Frame::new(rate, payload.clone());
+        frame.scrambler_seed = seed;
+        let wave = modulate_frame(&frame);
+        let decoded = decode_frame(&wave, 0).expect("noiseless decode");
+        prop_assert_eq!(decoded.info.rate, rate);
+        prop_assert_eq!(decoded.psdu, payload);
+    }
+
+    /// FCS accepts every intact frame and rejects every single-bit flip.
+    #[test]
+    fn fcs_detects_any_single_bit_error(
+        body in proptest::collection::vec(any::<u8>(), 1..200),
+        flip_byte in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let framed = append_fcs(&body);
+        prop_assert_eq!(check_fcs(&framed), Some(&body[..]));
+        let mut bad = framed.clone();
+        let idx = flip_byte.index(bad.len());
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert_eq!(check_fcs(&bad), None);
+    }
+
+    /// Scrambling twice with the same seed is the identity.
+    #[test]
+    fn scrambler_involution(
+        bits in proptest::collection::vec(0u8..2, 1..500),
+        seed in 1u8..0x7F,
+    ) {
+        let mut data = bits.clone();
+        Scrambler::new(seed).process(&mut data);
+        Scrambler::new(seed).process(&mut data);
+        prop_assert_eq!(data, bits);
+    }
+
+    /// Viterbi inverts the encoder (with tail) at every rate.
+    #[test]
+    fn conv_code_roundtrip(
+        mut bits in proptest::collection::vec(0u8..2, 24..240),
+        rate in prop_oneof![
+            Just(CodeRate::Half),
+            Just(CodeRate::TwoThirds),
+            Just(CodeRate::ThreeQuarters)
+        ],
+    ) {
+        // Pattern-period alignment plus the 6-bit tail.
+        let trim = bits.len() % 12;
+        bits.truncate(bits.len() - trim);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits, rate);
+        prop_assert_eq!(decode(&coded, rate, bits.len()), bits);
+    }
+
+    /// Interleaving is a bijection for every 802.11 configuration.
+    #[test]
+    fn interleaver_bijection(
+        cfg in prop_oneof![Just((48usize,1usize)), Just((96,2)), Just((192,4)), Just((288,6))],
+        seed in any::<u64>(),
+    ) {
+        let (n_cbps, n_bpsc) = cfg;
+        let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
+        let bits: Vec<u8> = (0..n_cbps).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let inter = interleave(&bits, n_cbps, n_bpsc);
+        prop_assert_eq!(deinterleave(&inter, n_cbps, n_bpsc), bits);
+    }
+
+    /// Bit packing round-trips arbitrary bytes.
+    #[test]
+    fn bit_packing_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
+    }
+
+    /// IFFT inverts FFT for any power-of-two-sized complex buffer.
+    #[test]
+    fn fft_roundtrip(
+        log_n in 1u32..10,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << log_n;
+        let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
+        let x: Vec<Cf64> = (0..n).map(|_| Cf64::new(rng.gaussian(), rng.gaussian())).collect();
+        let y = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(y.iter()) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    /// The bit-sliced and reference correlator datapaths agree on arbitrary
+    /// coefficients and sample streams.
+    #[test]
+    fn correlator_datapaths_agree(
+        coeff_seed in any::<u64>(),
+        stream_seed in any::<u64>(),
+        threshold in 0u64..200_000,
+    ) {
+        let mut rng = rjam::sdr::rng::Rng::seed_from(coeff_seed);
+        let ci: Vec<Coeff3> =
+            (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+        let cq: Vec<Coeff3> =
+            (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+        let mut fast = CrossCorrelator::new();
+        let mut slow = CrossCorrelator::new();
+        fast.load_coeffs(&ci, &cq);
+        slow.load_coeffs(&ci, &cq);
+        fast.set_threshold(threshold);
+        slow.set_threshold(threshold);
+        let mut srng = rjam::sdr::rng::Rng::seed_from(stream_seed);
+        for _ in 0..300 {
+            let s = IqI16::new(
+                (srng.below(65536) as i64 - 32768) as i16,
+                (srng.below(65536) as i64 - 32768) as i16,
+            );
+            prop_assert_eq!(fast.push(s), slow.push_reference(s));
+        }
+    }
+
+    /// Register-bus coefficient packing round-trips any valid template.
+    #[test]
+    fn coeff_bus_roundtrip(seed in any::<u64>()) {
+        let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
+        let coeffs: Vec<i8> = (0..64).map(|_| rng.below(8) as i8 - 4).collect();
+        let mut bus = rjam::fpga::RegisterBus::new();
+        bus.write_coeffs(rjam::fpga::RegisterMap::XcorrCoeffI0, &coeffs);
+        prop_assert_eq!(
+            &bus.read_coeffs(rjam::fpga::RegisterMap::XcorrCoeffI0)[..],
+            &coeffs[..]
+        );
+    }
+
+    /// The moving-sum recurrence never deviates from the direct window sum.
+    #[test]
+    fn moving_sum_matches_direct(values in proptest::collection::vec(0u64..1_000_000, 40..200)) {
+        let mut ms = rjam::sdr::ring::MovingSum::new(32);
+        for (n, &v) in values.iter().enumerate() {
+            let got = ms.push(v);
+            let lo = n.saturating_sub(31);
+            let want: u64 = values[lo..=n].iter().sum();
+            prop_assert_eq!(got, want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The DSSS PHY round-trips any payload at 1 Mb/s.
+    #[test]
+    fn dsss_roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 1..120)) {
+        let wave = rjam::phy80211::dsss::modulate_dsss(&payload);
+        let back = rjam::phy80211::dsss::demodulate_dsss(&wave, payload.len());
+        prop_assert_eq!(back, Some(payload));
+    }
+
+    /// Soft and hard demapping always agree on the sign of each bit.
+    #[test]
+    fn soft_hard_demap_sign_agreement(
+        re in -1.5f64..1.5,
+        im in -1.5f64..1.5,
+    ) {
+        use rjam::phy80211::modmap::*;
+        let p = Cf64::new(re, im);
+        for m in [Modulation::Bpsk, Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+            let hard = demap_point(p, m);
+            let soft = demap_soft(p, m);
+            for (k, &llr) in soft.iter().enumerate() {
+                if llr != 0 {
+                    prop_assert_eq!(u8::from(llr > 0), hard[k], "{:?} bit {}", m, k);
+                }
+            }
+        }
+    }
+
+    /// The soft Viterbi decoder inverts the encoder at every rate.
+    #[test]
+    fn soft_viterbi_roundtrip(
+        mut bits in proptest::collection::vec(0u8..2, 24..240),
+        rate in prop_oneof![
+            Just(CodeRate::Half),
+            Just(CodeRate::TwoThirds),
+            Just(CodeRate::ThreeQuarters)
+        ],
+    ) {
+        use rjam::phy80211::convcode::{depuncture_llr, viterbi_decode_soft};
+        let trim = bits.len() % 12;
+        bits.truncate(bits.len() - trim);
+        bits.extend_from_slice(&[0; 6]);
+        let coded = encode(&bits, rate);
+        let llrs: Vec<i32> = coded.iter().map(|&b| if b == 1 { 32 } else { -32 }).collect();
+        let pairs = depuncture_llr(&llrs, rate, bits.len());
+        prop_assert_eq!(viterbi_decode_soft(&pairs, bits.len()), bits);
+    }
+
+    /// The rational resampler's output length follows up/down exactly.
+    #[test]
+    fn resampler_length_property(
+        up in 1usize..12,
+        down in 1usize..12,
+        n in 64usize..2048,
+    ) {
+        use rjam::sdr::resample::Rational;
+        let r = Rational::new(up, down, 8);
+        let input = vec![Cf64::ONE; n];
+        let out = r.process(&input);
+        prop_assert_eq!(out.len(), n * r.up() / r.down());
+    }
+
+    /// VITA timestamps round-trip cycle arithmetic exactly.
+    #[test]
+    fn vita_time_roundtrip(cycle in 0u64..10_000_000_000, epoch in 0u64..1_000_000) {
+        use rjam::fpga::VitaTime;
+        let t = VitaTime::from_cycle(cycle, epoch);
+        let zero = VitaTime::from_cycle(0, epoch);
+        prop_assert_eq!(t.ticks_since(zero), cycle as i64);
+        prop_assert!(t.ticks < VitaTime::TICKS_PER_SEC);
+    }
+
+    /// The wide correlator at 64 taps is bit-identical to the fixed core.
+    #[test]
+    fn wide_correlator_matches_core_at_64(seed in any::<u64>()) {
+        use rjam::fpga::xcorr::Coeff3;
+        use rjam::fpga::{CrossCorrelator, WideCorrelator};
+        let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
+        let ci: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+        let cq: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+        let mut wide = WideCorrelator::new(&ci, &cq);
+        let mut core = CrossCorrelator::new();
+        core.load_coeffs(&ci, &cq);
+        for _ in 0..200 {
+            let s = IqI16::new(
+                (rng.below(65536) as i64 - 32768) as i16,
+                (rng.below(65536) as i64 - 32768) as i16,
+            );
+            prop_assert_eq!(wide.push(s).metric, core.push(s).metric);
+        }
+    }
+
+    /// Multipath realizations always carry unit energy and the receiver's
+    /// CP absorbs any delay spread shorter than 16 samples.
+    #[test]
+    fn multipath_energy_normalized(seed in any::<u64>(), taps in 1usize..16) {
+        let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
+        let ch = rjam::channel::MultipathChannel::rayleigh(taps, 2.0, &mut rng);
+        prop_assert!((ch.energy() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(ch.n_taps(), taps);
+    }
+}
