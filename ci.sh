@@ -1,0 +1,36 @@
+#!/bin/sh
+# Hermetic CI gate. Everything here runs offline — the workspace has zero
+# external dependencies (see "Hermetic verification" in README.md), so a
+# network failure can only mean a regression in the manifests.
+set -eu
+
+step() {
+    echo
+    echo "==== $* ===="
+}
+
+step "rustfmt (check only)"
+cargo fmt --check
+
+step "clippy, deny warnings, all targets"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+step "release build"
+cargo build --workspace --release --offline
+
+step "tests (unit + integration + property)"
+cargo test -q --workspace --offline
+
+step "bench smoke run (reduced samples, JSON to the workspace root)"
+# cargo runs bench binaries with cwd = the package dir, so pin the output
+# directory explicitly.
+RJAM_BENCH_SAMPLES=3 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+    RJAM_BENCH_OUT="$(pwd)" \
+    cargo bench -q -p rjam-bench --offline --bench xcorr_throughput
+
+step "bench report is valid JSON"
+test -s BENCH_xcorr_throughput.json
+cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_xcorr_throughput.json
+
+echo
+echo "ci.sh: all gates passed"

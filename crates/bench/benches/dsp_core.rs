@@ -3,7 +3,7 @@
 //! second, and the cost of the pieces (energy differentiator, trigger
 //! builder, jam controller) individually.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rjam_bench::harness::Harness;
 use rjam_fpga::energy::EnergyDifferentiator;
 use rjam_fpga::{CoreConfig, DspCore, JamController, TriggerMode, TriggerSource};
 use rjam_sdr::complex::IqI16;
@@ -22,81 +22,67 @@ fn noise_stream(n: usize) -> Vec<IqI16> {
         .collect()
 }
 
-fn bench_core(c: &mut Criterion) {
-    let stream = noise_stream(25_000);
-    let mut group = c.benchmark_group("dsp_core");
-    group.throughput(Throughput::Elements(stream.len() as u64));
+fn main() {
+    let stream = noise_stream(25_000); // 1 ms of air time at 25 MSPS
+    let elems = stream.len() as u64;
+    let mut h = Harness::new("dsp_core");
 
-    group.bench_function("full_core_1ms_air", |b| {
-        let mut core = DspCore::new();
-        core.configure(&CoreConfig {
-            coeff_i: [3; 64],
-            coeff_q: [-2; 64],
-            xcorr_threshold: 100_000,
-            energy_high_db: 10.0,
-            trigger_mode: TriggerMode::Any(vec![
-                TriggerSource::Xcorr,
-                TriggerSource::EnergyHigh,
-            ]),
-            uptime_samples: 250,
-            enabled: true,
-            ..CoreConfig::default()
-        });
-        b.iter(|| {
-            let mut active = 0u32;
-            for &s in &stream {
-                active += u32::from(core.process(black_box(s)).tx.is_some());
-            }
-            black_box(active)
-        })
+    let mut core = DspCore::new();
+    core.configure(&CoreConfig {
+        coeff_i: [3; 64],
+        coeff_q: [-2; 64],
+        xcorr_threshold: 100_000,
+        energy_high_db: 10.0,
+        trigger_mode: TriggerMode::Any(vec![TriggerSource::Xcorr, TriggerSource::EnergyHigh]),
+        uptime_samples: 250,
+        enabled: true,
+        ..CoreConfig::default()
+    });
+    h.bench_throughput("full_core_1ms_air", "", elems, || {
+        let mut active = 0u32;
+        for &s in &stream {
+            active += u32::from(core.process(black_box(s)).tx.is_some());
+        }
+        black_box(active)
     });
 
-    group.bench_function("energy_differentiator_1ms_air", |b| {
-        let mut det = EnergyDifferentiator::new();
-        det.set_threshold_high_db(10.0);
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &s in &stream {
-                hits += u32::from(det.push(black_box(s)).trigger_high);
-            }
-            black_box(hits)
-        })
+    let mut det = EnergyDifferentiator::new();
+    det.set_threshold_high_db(10.0);
+    h.bench_throughput("energy_differentiator_1ms_air", "", elems, || {
+        let mut hits = 0u32;
+        for &s in &stream {
+            hits += u32::from(det.push(black_box(s)).trigger_high);
+        }
+        black_box(hits)
     });
 
-    group.bench_function("jam_controller_wgn_1ms_air", |b| {
-        let mut ctl = JamController::new();
-        ctl.set_continuous(true);
-        b.iter(|| {
-            let mut acc = 0i64;
-            for &s in &stream {
-                if let Some(tx) = ctl.tick(false, black_box(s)) {
-                    acc += tx.i as i64;
-                }
+    let mut ctl = JamController::new();
+    ctl.set_continuous(true);
+    h.bench_throughput("jam_controller_wgn_1ms_air", "", elems, || {
+        let mut acc = 0i64;
+        for &s in &stream {
+            if let Some(tx) = ctl.tick(false, black_box(s)) {
+                acc += tx.i as i64;
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    group.finish();
+
+    // Personality switch: the register-level reconfiguration path.
+    let mut core = DspCore::new();
+    let mut cfg_a = CoreConfig {
+        uptime_samples: 2500,
+        enabled: true,
+        ..CoreConfig::default()
+    };
+    let mut cfg_b = cfg_a.clone();
+    cfg_b.uptime_samples = 250;
+    core.configure(&cfg_a);
+    cfg_a.delay_samples = 0;
+    h.bench("personality_switch_registers", "", || {
+        black_box(core.configure(black_box(&cfg_b)));
+        black_box(core.configure(black_box(&cfg_a)));
+    });
+
+    h.finish();
 }
-
-fn bench_reconfig(c: &mut Criterion) {
-    c.bench_function("personality_switch_registers", |b| {
-        let mut core = DspCore::new();
-        let mut cfg_a = CoreConfig {
-            uptime_samples: 2500,
-            enabled: true,
-            ..CoreConfig::default()
-        };
-        let mut cfg_b = cfg_a.clone();
-        cfg_b.uptime_samples = 250;
-        core.configure(&cfg_a);
-        cfg_a.delay_samples = 0;
-        b.iter(|| {
-            black_box(core.configure(black_box(&cfg_b)));
-            black_box(core.configure(black_box(&cfg_a)));
-        })
-    });
-}
-
-criterion_group!(benches, bench_core, bench_reconfig);
-criterion_main!(benches);

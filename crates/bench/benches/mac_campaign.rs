@@ -2,35 +2,36 @@
 //! second runs, and the cost of a full detection-probability point — the
 //! quantities that determine how long the figure regeneration takes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rjam_bench::harness::{BenchConfig, Harness};
 use rjam_core::campaign::{scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission};
 use rjam_core::DetectionPreset;
 use rjam_mac::run_scenario;
 use std::hint::black_box;
 
-fn bench_iperf_second(c: &mut Criterion) {
-    let mut group = c.benchmark_group("iperf_sim");
-    group.sample_size(10);
+fn main() {
+    // Macro benches are long per-iteration; match criterion's reduced
+    // sample_size(10) unless the environment overrides it.
+    let mut cfg = BenchConfig::default();
+    if std::env::var_os("RJAM_BENCH_SAMPLES").is_none() {
+        cfg.samples = 10;
+    }
+    let mut h = Harness::with_config("mac_campaign", cfg);
+
     for (label, jut, sir) in [
         ("clean", JammerUnderTest::Off, 60.0),
         ("continuous_20db", JammerUnderTest::Continuous, 20.0),
         ("reactive_long_20db", JammerUnderTest::ReactiveLong, 20.0),
     ] {
-        group.bench_function(BenchmarkId::new("one_second", label), |b| {
-            b.iter(|| {
-                let sc = scenario_for(jut, sir, 1.0, 77);
-                black_box(run_scenario(black_box(&sc)))
-            })
+        h.bench("iperf_one_second", label, || {
+            let sc = scenario_for(jut, sir, 1.0, 77);
+            black_box(run_scenario(black_box(&sc)))
         });
     }
-    group.finish();
-}
 
-fn bench_detection_point(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection_sweep");
-    group.sample_size(10);
-    group.bench_function("short_preamble_20_frames_one_snr", |b| {
-        b.iter(|| {
+    h.bench(
+        "detection_point",
+        "short_preamble_20_frames_one_snr",
+        || {
             black_box(wifi_detection_sweep(
                 &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
                 WifiEmission::FullFrames { psdu_len: 100 },
@@ -38,10 +39,8 @@ fn bench_detection_point(c: &mut Criterion) {
                 20,
                 99,
             ))
-        })
-    });
-    group.finish();
-}
+        },
+    );
 
-criterion_group!(benches, bench_iperf_second, bench_detection_point);
-criterion_main!(benches);
+    h.finish();
+}

@@ -2,7 +2,7 @@
 //! the Viterbi decoder, the 64-point FFT and the 20->25 MSPS resampler —
 //! the hot paths of every detection sweep.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rjam_bench::harness::Harness;
 use rjam_phy80211::convcode::{decode, encode, CodeRate};
 use rjam_phy80211::{decode_frame, modulate_frame, Frame, Rate};
 use rjam_sdr::complex::Cf64;
@@ -11,79 +11,65 @@ use rjam_sdr::resample::Rational;
 use rjam_sdr::rng::Rng;
 use std::hint::black_box;
 
-fn bench_tx_rx(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("phy_chain");
     let mut rng = Rng::seed_from(11);
-    let mut group = c.benchmark_group("phy");
+
     for rate in [Rate::R6, Rate::R54] {
+        let params = format!("{rate:?}");
         let mut psdu = vec![0u8; 500];
         rng.fill_bytes(&mut psdu);
         let frame = Frame::new(rate, psdu);
-        group.bench_with_input(
-            BenchmarkId::new("modulate_500B", format!("{rate:?}")),
-            &frame,
-            |b, f| b.iter(|| black_box(modulate_frame(black_box(f)))),
-        );
+        h.bench("modulate_500B", &params, || {
+            black_box(modulate_frame(black_box(&frame)))
+        });
         let wave = modulate_frame(&frame);
-        group.bench_with_input(
-            BenchmarkId::new("decode_500B_hard", format!("{rate:?}")),
-            &wave,
-            |b, w| b.iter(|| black_box(decode_frame(black_box(w), 0).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decode_500B_soft", format!("{rate:?}")),
-            &wave,
-            |b, w| {
-                b.iter(|| black_box(rjam_phy80211::decode_frame_soft(black_box(w), 0).unwrap()))
-            },
-        );
+        h.bench("decode_500B_hard", &params, || {
+            black_box(decode_frame(black_box(&wave), 0).unwrap())
+        });
+        h.bench("decode_500B_soft", &params, || {
+            black_box(rjam_phy80211::decode_frame_soft(black_box(&wave), 0).unwrap())
+        });
     }
-    group.finish();
-}
 
-fn bench_viterbi(c: &mut Criterion) {
+    // Viterbi decoder on a 1200-info-bit block.
     let mut rng = Rng::seed_from(12);
     let mut bits: Vec<u8> = (0..1200).map(|_| (rng.next_u64() & 1) as u8).collect();
     bits.extend_from_slice(&[0; 6]);
     let coded = encode(&bits, CodeRate::Half);
-    let mut group = c.benchmark_group("viterbi");
-    group.throughput(Throughput::Elements(bits.len() as u64));
-    group.bench_function("decode_1200_info_bits", |b| {
-        b.iter(|| black_box(decode(black_box(&coded), CodeRate::Half, bits.len())))
-    });
-    group.finish();
-}
+    h.bench_throughput(
+        "viterbi_decode_1200_info_bits",
+        "",
+        bits.len() as u64,
+        || black_box(decode(black_box(&coded), CodeRate::Half, bits.len())),
+    );
 
-fn bench_fft(c: &mut Criterion) {
+    // Forward FFT at the OFDM symbol size and a larger sweep size.
     let mut rng = Rng::seed_from(13);
-    let mut group = c.benchmark_group("fft");
     for n in [64usize, 1024] {
         let plan = Fft::new(n);
-        let buf: Vec<Cf64> = (0..n).map(|_| Cf64::new(rng.gaussian(), rng.gaussian())).collect();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::new("forward", n), &buf, |b, x| {
-            b.iter(|| {
-                let mut y = x.clone();
-                plan.forward(&mut y);
-                black_box(y)
-            })
+        let buf: Vec<Cf64> = (0..n)
+            .map(|_| Cf64::new(rng.gaussian(), rng.gaussian()))
+            .collect();
+        h.bench_throughput("fft_forward", &format!("n={n}"), n as u64, || {
+            let mut y = buf.clone();
+            plan.forward(&mut y);
+            black_box(y)
         });
     }
-    group.finish();
-}
 
-fn bench_resample(c: &mut Criterion) {
+    // 20 -> 25 MSPS rational resampler over 1 ms of Wi-Fi bandwidth.
     let mut rng = Rng::seed_from(14);
     let input: Vec<Cf64> = (0..20_000)
         .map(|_| Cf64::new(rng.gaussian(), rng.gaussian()))
         .collect();
     let r = Rational::new(5, 4, 12);
-    let mut group = c.benchmark_group("resample");
-    group.throughput(Throughput::Elements(input.len() as u64));
-    group.bench_function("rational_5_4_1ms_wifi", |b| {
-        b.iter(|| black_box(r.process(black_box(&input))))
-    });
-    group.finish();
-}
+    h.bench_throughput(
+        "resample_rational_5_4",
+        "1ms_wifi",
+        input.len() as u64,
+        || black_box(r.process(black_box(&input))),
+    );
 
-criterion_group!(benches, bench_tx_rx, bench_viterbi, bench_fft, bench_resample);
-criterion_main!(benches);
+    h.finish();
+}

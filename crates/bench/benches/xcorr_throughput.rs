@@ -3,7 +3,7 @@
 //! bit-sliced software model keeps whole-workspace Monte Carlo sweeps
 //! tractable, and this bench quantifies by how much.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rjam_bench::harness::Harness;
 use rjam_fpga::xcorr::Coeff3;
 use rjam_fpga::CrossCorrelator;
 use rjam_sdr::complex::IqI16;
@@ -12,8 +12,12 @@ use std::hint::black_box;
 
 fn make_correlator() -> CrossCorrelator {
     let mut rng = Rng::seed_from(42);
-    let ci: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
-    let cq: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+    let ci: Vec<Coeff3> = (0..64)
+        .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+        .collect();
+    let cq: Vec<Coeff3> = (0..64)
+        .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+        .collect();
     let mut xc = CrossCorrelator::new();
     xc.load_coeffs(&ci, &cq);
     xc.set_threshold(100_000);
@@ -32,34 +36,28 @@ fn make_stream(n: usize) -> Vec<IqI16> {
         .collect()
 }
 
-fn bench_xcorr(c: &mut Criterion) {
+fn main() {
     let stream = make_stream(25_000); // 1 ms of air time at 25 MSPS
-    let mut group = c.benchmark_group("xcorr");
-    group.throughput(Throughput::Elements(stream.len() as u64));
+    let elems = stream.len() as u64;
+    let mut h = Harness::new("xcorr_throughput");
 
-    group.bench_function(BenchmarkId::new("bitsliced", "1ms_air"), |b| {
-        let mut xc = make_correlator();
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &s in &stream {
-                hits += u32::from(xc.push(black_box(s)).trigger);
-            }
-            black_box(hits)
-        })
+    let mut xc = make_correlator();
+    h.bench_throughput("xcorr_bitsliced", "1ms_air", elems, || {
+        let mut hits = 0u32;
+        for &s in &stream {
+            hits += u32::from(xc.push(black_box(s)).trigger);
+        }
+        black_box(hits)
     });
 
-    group.bench_function(BenchmarkId::new("reference", "1ms_air"), |b| {
-        let mut xc = make_correlator();
-        b.iter(|| {
-            let mut hits = 0u32;
-            for &s in &stream {
-                hits += u32::from(xc.push_reference(black_box(s)).trigger);
-            }
-            black_box(hits)
-        })
+    let mut xc = make_correlator();
+    h.bench_throughput("xcorr_reference", "1ms_air", elems, || {
+        let mut hits = 0u32;
+        for &s in &stream {
+            hits += u32::from(xc.push_reference(black_box(s)).trigger);
+        }
+        black_box(hits)
     });
-    group.finish();
+
+    h.finish();
 }
-
-criterion_group!(benches, bench_xcorr);
-criterion_main!(benches);

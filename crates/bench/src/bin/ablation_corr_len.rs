@@ -29,7 +29,7 @@ fn calibrated_threshold(ci: &[Coeff3], cq: &[Coeff3], seed: u64) -> u64 {
     let mut noise = rjam_channel::NoiseSource::new(0.02 / db_to_lin(20.0), Rng::seed_from(seed));
     let mut peak = 0u64;
     for _ in 0..1_500_000 {
-        peak = peak.max(xc.push(IqI16::from_cf64(noise.next())).metric);
+        peak = peak.max(xc.push(IqI16::from_cf64(noise.next_sample())).metric);
     }
     (peak as f64 * 1.25) as u64
 }
@@ -58,10 +58,10 @@ fn detection_prob(len: usize, snr_db: f64, frames: usize, thr: u64, seed: u64) -
         let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
         let mut detected = false;
         for _ in 0..len + 64 {
-            xc.push(IqI16::from_cf64(noise.next()));
+            xc.push(IqI16::from_cf64(noise.next_sample()));
         }
         for &s in &wave {
-            if xc.push(IqI16::from_cf64(s + noise.next())).trigger {
+            if xc.push(IqI16::from_cf64(s + noise.next_sample())).trigger {
                 detected = true;
             }
         }
@@ -83,8 +83,8 @@ fn main() {
     );
 
     println!(
-        "{:>8} {:>12} {:>12} {:>12}   {}",
-        "taps", "P(det) -6dB", "P(det) -3dB", "P(det) 0dB", "estimated footprint"
+        "{:>8} {:>12} {:>12} {:>12}   estimated footprint",
+        "taps", "P(det) -6dB", "P(det) -3dB", "P(det) 0dB"
     );
     // 160 taps = the whole GI2+LTS+LTS section; beyond that the template
     // outlives the preamble and can never align (the physical ceiling).
@@ -98,19 +98,14 @@ fn main() {
         let p0 = detection_prob(len, -6.0, frames, thr, 0xAB1);
         let p5 = detection_prob(len, -3.0, frames, thr, 0xAB2);
         let p10 = detection_prob(len, 0.0, frames, thr, 0xAB3);
-        let probe = WideCorrelator::new(
-            &vec![Coeff3::new(1); len],
-            &vec![Coeff3::new(1); len],
-        );
+        let probe = WideCorrelator::new(&vec![Coeff3::new(1); len], &vec![Coeff3::new(1); len]);
         let res = probe.estimated_resources();
         let fits = if res.fits_in(rjam_fpga::resources::custom_logic_budget()) {
             "fits"
         } else {
             "EXCEEDS FABRIC"
         };
-        println!(
-            "{len:>8} {p0:>12.2} {p5:>12.2} {p10:>12.2}   {res} [{fits}]"
-        );
+        println!("{len:>8} {p0:>12.2} {p5:>12.2} {p10:>12.2}   {res} [{fits}]");
     }
     println!(
         "\n({frames} long-preamble emissions per point; thresholds FA-calibrated per\n\

@@ -16,7 +16,10 @@ use rjam_mac::model::Scenario;
 use rjam_mac::run_scenario;
 
 fn run(jut: JammerUnderTest, sir: f64, rts_cts: bool, seconds: f64) -> rjam_mac::IperfReport {
-    let sc = Scenario { rts_cts, ..scenario_for(jut, sir, seconds, 0xCC5) };
+    let sc = Scenario {
+        rts_cts,
+        ..scenario_for(jut, sir, seconds, 0xCC5)
+    };
     run_scenario(&sc)
 }
 
@@ -35,9 +38,21 @@ fn main() {
     );
     for (label, jut, sir) in [
         ("clean link", JammerUnderTest::Off, 60.0),
-        ("reactive 0.1 ms @ 20 dB", JammerUnderTest::ReactiveLong, 20.0),
-        ("reactive 0.1 ms @ 14 dB", JammerUnderTest::ReactiveLong, 14.0),
-        ("reactive 0.01 ms @ 8 dB", JammerUnderTest::ReactiveShort, 8.0),
+        (
+            "reactive 0.1 ms @ 20 dB",
+            JammerUnderTest::ReactiveLong,
+            20.0,
+        ),
+        (
+            "reactive 0.1 ms @ 14 dB",
+            JammerUnderTest::ReactiveLong,
+            14.0,
+        ),
+        (
+            "reactive 0.01 ms @ 8 dB",
+            JammerUnderTest::ReactiveShort,
+            8.0,
+        ),
     ] {
         let plain = run(jut, sir, false, seconds);
         let prot = run(jut, sir, true, seconds);

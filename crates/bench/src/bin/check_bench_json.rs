@@ -1,0 +1,78 @@
+//! Validates `BENCH_*.json` reports produced by [`rjam_bench::harness`].
+//!
+//! Parses each file with the harness's own JSON parser and checks the
+//! record schema (`bench`, `params`, `median_ns`, `p95_ns`, `min_ns`,
+//! `throughput`), exiting non-zero on the first malformed report. Used by
+//! `ci.sh` to keep the benchmark emission format honest.
+
+use rjam_bench::harness::json::{parse, Value};
+use std::process::ExitCode;
+
+fn check_record(v: &Value) -> Result<String, String> {
+    let Value::Object(map) = v else {
+        return Err("record is not an object".into());
+    };
+    let Some(Value::String(name)) = map.get("bench") else {
+        return Err("missing string field 'bench'".into());
+    };
+    if !matches!(map.get("params"), Some(Value::String(_))) {
+        return Err(format!("{name}: missing string field 'params'"));
+    }
+    for field in ["median_ns", "p95_ns", "min_ns"] {
+        match map.get(field) {
+            Some(Value::Number(n)) if *n >= 0.0 => {}
+            Some(Value::Number(n)) => {
+                return Err(format!("{name}: {field} is negative ({n})"));
+            }
+            _ => return Err(format!("{name}: missing number field '{field}'")),
+        }
+    }
+    match map.get("throughput") {
+        None | Some(Value::Null) => {}
+        Some(Value::Number(n)) if *n >= 0.0 => {}
+        _ => {
+            return Err(format!(
+                "{name}: 'throughput' must be null or a non-negative number"
+            ))
+        }
+    }
+    Ok(name.clone())
+}
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let root = parse(&text)?;
+    let Value::Array(records) = root else {
+        return Err("top level is not an array".into());
+    };
+    if records.is_empty() {
+        return Err("report contains no records".into());
+    }
+    for (k, rec) in records.iter().enumerate() {
+        check_record(rec).map_err(|e| format!("record {k}: {e}"))?;
+    }
+    Ok(records.len())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_bench_json BENCH_<suite>.json [...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path) {
+            Ok(n) => println!("{path}: OK ({n} records)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -13,9 +13,7 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{
-    energy_at_operating_point, jamming_sweep, EnergyPoint, JammerUnderTest,
-};
+use rjam_core::campaign::{energy_at_operating_point, jamming_sweep, EnergyPoint, JammerUnderTest};
 
 fn find_kill_sir(jut: JammerUnderTest, ceiling: f64, seconds: f64) -> Option<f64> {
     let sirs: Vec<f64> = (0..=26).map(|k| 50.0 - 2.0 * k as f64).collect();
@@ -70,8 +68,10 @@ fn main() {
         );
     }
     if let (Some(cont), Some(short)) = (
-        rows.iter().find(|r| r.jammer == JammerUnderTest::Continuous),
-        rows.iter().find(|r| r.jammer == JammerUnderTest::ReactiveShort),
+        rows.iter()
+            .find(|r| r.jammer == JammerUnderTest::Continuous),
+        rows.iter()
+            .find(|r| r.jammer == JammerUnderTest::ReactiveShort),
     ) {
         println!(
             "\nreactive 0.01 ms spends {:.1}x the instantaneous power of continuous\n\

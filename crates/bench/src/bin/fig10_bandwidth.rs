@@ -37,10 +37,7 @@ fn main() {
 
     println!(
         "{:>10} {:>14} {:>14} {:>14}",
-        "SIR (dB)",
-        "cont (kbps)",
-        "0.1ms (kbps)",
-        "0.01ms (kbps)"
+        "SIR (dB)", "cont (kbps)", "0.1ms (kbps)", "0.01ms (kbps)"
     );
     for (i, &sir) in sirs.iter().enumerate() {
         println!(

@@ -44,7 +44,10 @@ fn main() {
     }
 
     let fused = wimax_detection(true, frames.min(8), snr, 0.45, 0xF12);
-    println!("\nscope capture (envelope + frame/jam markers), first {} frames:", frames.min(8));
+    println!(
+        "\nscope capture (envelope + frame/jam markers), first {} frames:",
+        frames.min(8)
+    );
     print!("{}", fused.scope.render_ascii(100, 5));
     println!(
         "\nNote: our host resamples correlator templates to 25 MSPS before 3-bit\n\

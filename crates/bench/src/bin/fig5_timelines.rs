@@ -18,7 +18,10 @@ use rjam_sdr::rng::Rng;
 fn run_episode(det: DetectionPreset, seed: u64) -> rjam_core::timeline::MeasuredTimeline {
     let mut jammer = ReactiveJammer::new(
         det,
-        JammerPreset::Reactive { uptime_s: 10e-6, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 10e-6,
+            waveform: JamWaveform::Wgn,
+        },
     );
     let mut rng = Rng::seed_from(seed);
     let mut psdu = vec![0u8; 100];
@@ -31,7 +34,7 @@ fn run_episode(det: DetectionPreset, seed: u64) -> rjam_core::timeline::Measured
     let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
     let lead = 400usize;
     let mut stream: Vec<Cf64> = noise.block(lead);
-    stream.extend(wave.iter().map(|&s| s + noise.next()));
+    stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(200));
     jammer.process_block(&stream);
     measure(jammer.events(), jammer.jam_events(), lead as u64)
@@ -54,7 +57,10 @@ fn main() {
     let mut worst_resp_energy = 0.0f64;
     let mut worst_resp_xcorr = 0.0f64;
     for k in 0..trials {
-        let m = run_episode(DetectionPreset::EnergyRise { threshold_db: 10.0 }, 100 + k as u64);
+        let m = run_episode(
+            DetectionPreset::EnergyRise { threshold_db: 10.0 },
+            100 + k as u64,
+        );
         if let Some(v) = m.t_en_det_ns {
             worst_en = worst_en.max(v);
         }
@@ -83,12 +89,26 @@ fn main() {
         ("T_en_det", budget.t_en_det_ns, worst_en),
         ("T_xcorr_det", budget.t_xcorr_det_ns, worst_x),
         ("T_init", budget.t_init_ns, worst_init),
-        ("T_resp (energy path)", budget.t_resp_energy_ns, worst_resp_energy),
-        ("T_resp (xcorr path)", budget.t_resp_xcorr_ns, worst_resp_xcorr),
+        (
+            "T_resp (energy path)",
+            budget.t_resp_energy_ns,
+            worst_resp_energy,
+        ),
+        (
+            "T_resp (xcorr path)",
+            budget.t_resp_xcorr_ns,
+            worst_resp_xcorr,
+        ),
     ];
     for (name, b, m) in rows {
-        let ok = if m <= b { "within budget" } else { "OVER BUDGET" };
+        let ok = if m <= b {
+            "within budget"
+        } else {
+            "OVER BUDGET"
+        };
         println!("{name:<22} {b:>14.0} {m:>22.0}   {ok}");
     }
-    println!("\n({trials} frame episodes per detection path; RF response within 80 ns of trigger.)");
+    println!(
+        "\n({trials} frame episodes per detection path; RF response within 80 ns of trigger.)"
+    );
 }

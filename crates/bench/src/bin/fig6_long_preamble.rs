@@ -25,13 +25,16 @@ fn calibrate_thresholds(fa_samples: usize) -> ((f64, f64), (f64, f64)) {
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &frac) in candidates.iter().enumerate() {
-            handles.push((i, scope.spawn(move || {
-                false_alarm_rate(
-                    &DetectionPreset::WifiLongPreamble { threshold: frac },
-                    fa_samples,
-                    0xFA,
-                )
-            })));
+            handles.push((
+                i,
+                scope.spawn(move || {
+                    false_alarm_rate(
+                        &DetectionPreset::WifiLongPreamble { threshold: frac },
+                        fa_samples,
+                        0xFA,
+                    )
+                }),
+            ));
         }
         for (i, h) in handles {
             rates[i] = h.join().expect("fa worker");
@@ -69,13 +72,8 @@ fn main() {
             "\n--- {regime} operating point: threshold {frac:.2} x ideal peak (measured FA {measured_fa:.3}/s) ---"
         );
         let preset = DetectionPreset::WifiLongPreamble { threshold: frac };
-        let single = wifi_detection_sweep(
-            &preset,
-            WifiEmission::SingleLongPreamble,
-            &snrs,
-            frames,
-            61,
-        );
+        let single =
+            wifi_detection_sweep(&preset, WifiEmission::SingleLongPreamble, &snrs, frames, 61);
         let full = wifi_detection_sweep(
             &preset,
             WifiEmission::FullFrames { psdu_len: 100 },
@@ -88,7 +86,10 @@ fn main() {
             "SNR (dB)", "P(det) single LTS", "P(det) full frame"
         );
         for (s, f) in single.iter().zip(full.iter()) {
-            println!("{:>10.1} {:>18.3} {:>18.3}", s.snr_db, s.p_detect, f.p_detect);
+            println!(
+                "{:>10.1} {:>18.3} {:>18.3}",
+                s.snr_db, s.p_detect, f.p_detect
+            );
         }
     }
     println!(

@@ -37,11 +37,17 @@ fn main() {
     let switches = [
         (
             "continuous -> reactive 0.1 ms",
-            JammerPreset::Reactive { uptime_s: 1e-4, waveform: JamWaveform::Wgn },
+            JammerPreset::Reactive {
+                uptime_s: 1e-4,
+                waveform: JamWaveform::Wgn,
+            },
         ),
         (
             "reactive 0.1 ms -> reactive 0.01 ms",
-            JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+            JammerPreset::Reactive {
+                uptime_s: 1e-5,
+                waveform: JamWaveform::Wgn,
+            },
         ),
         (
             "reactive 0.01 ms -> surgical (25 us delay)",
@@ -54,10 +60,16 @@ fn main() {
         ("surgical -> continuous", JammerPreset::Continuous),
     ];
 
-    println!("{:<44} {:>8} {:>14}", "personality switch", "writes", "latency (ns)");
+    println!(
+        "{:<44} {:>8} {:>14}",
+        "personality switch", "writes", "latency (ns)"
+    );
     for (label, preset) in switches {
         let writes = j.set_reaction(preset);
-        println!("{label:<44} {writes:>8} {:>14.0}", writes as f64 * NS_PER_WRITE);
+        println!(
+            "{label:<44} {writes:>8} {:>14.0}",
+            writes as f64 * NS_PER_WRITE
+        );
     }
 
     // Demonstrate that switching works mid-stream without reprogramming.

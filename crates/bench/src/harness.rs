@@ -1,0 +1,606 @@
+//! Hermetic micro/macro benchmark harness.
+//!
+//! A zero-dependency replacement for the subset of criterion the workspace
+//! used: warmup, calibrated iteration batching, robust wall-clock statistics
+//! (median / p95 / min) plus samples-per-second throughput, and
+//! machine-readable JSON emission so the performance trajectory of every PR
+//! can be tracked offline.
+//!
+//! Each bench target builds a [`Harness`], registers closures via
+//! [`Harness::bench`] / [`Harness::bench_throughput`], and calls
+//! [`Harness::finish`], which writes `BENCH_<suite>.json` — a JSON array of
+//! records with schema
+//! `{bench, params, median_ns, p95_ns, min_ns, throughput}`.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `RJAM_BENCH_SAMPLES` — number of timed batches per bench (default 25);
+//! * `RJAM_BENCH_WARMUP_MS` — warmup duration (default 100 ms);
+//! * `RJAM_BENCH_BATCH_MS` — target wall-clock per timed batch (default 5 ms);
+//! * `RJAM_BENCH_OUT` — directory for the JSON report (default CWD).
+
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Measurement configuration for one [`Harness`].
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Number of timed batches collected per benchmark.
+    pub samples: usize,
+    /// Wall-clock spent warming up before measurement.
+    pub warmup: Duration,
+    /// Target wall-clock per timed batch; iteration count is calibrated to
+    /// hit this.
+    pub batch_target: Duration,
+    /// Directory the JSON report is written to.
+    pub out_dir: PathBuf,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let env_u64 = |key: &str, default: u64| -> u64 {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        BenchConfig {
+            samples: env_u64("RJAM_BENCH_SAMPLES", 25).max(1) as usize,
+            warmup: Duration::from_millis(env_u64("RJAM_BENCH_WARMUP_MS", 100)),
+            batch_target: Duration::from_millis(env_u64("RJAM_BENCH_BATCH_MS", 5).max(1)),
+            out_dir: std::env::var_os("RJAM_BENCH_OUT")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from(".")),
+        }
+    }
+}
+
+/// One benchmark's summary statistics (per-iteration wall clock).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name, e.g. `"full_core_1ms_air"`.
+    pub bench: String,
+    /// Free-form parameter string, e.g. `"rate=R54"`.
+    pub params: String,
+    /// Median per-iteration wall clock in nanoseconds.
+    pub median_ns: f64,
+    /// 95th-percentile per-iteration wall clock in nanoseconds.
+    pub p95_ns: f64,
+    /// Fastest observed per-iteration wall clock in nanoseconds.
+    pub min_ns: f64,
+    /// Work items per second at the median (iterations/s when the bench did
+    /// not declare an element count).
+    pub throughput: f64,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":{},\"params\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"throughput\":{}}}",
+            json_string(&self.bench),
+            json_string(&self.params),
+            json_number(self.median_ns),
+            json_number(self.p95_ns),
+            json_number(self.min_ns),
+            json_number(self.throughput),
+        )
+    }
+}
+
+/// A suite of benchmarks sharing one configuration and one JSON report.
+#[derive(Debug)]
+pub struct Harness {
+    suite: String,
+    cfg: BenchConfig,
+    results: Vec<BenchRecord>,
+}
+
+impl Harness {
+    /// Creates a harness for `suite` with environment-derived configuration.
+    #[must_use]
+    pub fn new(suite: &str) -> Self {
+        Harness::with_config(suite, BenchConfig::default())
+    }
+
+    /// Creates a harness with an explicit configuration (used by tests and
+    /// smoke runs that need to be fast).
+    #[must_use]
+    pub fn with_config(suite: &str, cfg: BenchConfig) -> Self {
+        println!(
+            "== bench suite '{suite}': {} samples, {:?} warmup, {:?} batches ==",
+            cfg.samples, cfg.warmup, cfg.batch_target
+        );
+        Harness {
+            suite: suite.to_string(),
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, reporting per-iteration statistics.
+    pub fn bench<R>(&mut self, bench: &str, params: &str, f: impl FnMut() -> R) -> &BenchRecord {
+        self.bench_throughput(bench, params, 1, f)
+    }
+
+    /// Benchmarks `f` which processes `elements` work items per call, so the
+    /// report carries items-per-second throughput (criterion's
+    /// `Throughput::Elements`).
+    pub fn bench_throughput<R>(
+        &mut self,
+        bench: &str,
+        params: &str,
+        elements: u64,
+        mut f: impl FnMut() -> R,
+    ) -> &BenchRecord {
+        // Calibration: time single calls until we can size a batch that
+        // lasts ~batch_target.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.cfg.batch_target && calib_iters < 1_000_000 {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_nanos() as f64 / calib_iters.max(1) as f64;
+        let batch_iters =
+            ((self.cfg.batch_target.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        // Warmup at the calibrated batch size.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.cfg.warmup {
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+        }
+
+        // Measurement: `samples` timed batches.
+        let mut per_iter_ns = Vec::with_capacity(self.cfg.samples);
+        for _ in 0..self.cfg.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / batch_iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+
+        let median_ns = percentile(&per_iter_ns, 50.0);
+        let p95_ns = percentile(&per_iter_ns, 95.0);
+        let min_ns = per_iter_ns[0];
+        let throughput = elements as f64 * 1e9 / median_ns.max(1e-9);
+
+        let record = BenchRecord {
+            bench: bench.to_string(),
+            params: params.to_string(),
+            median_ns,
+            p95_ns,
+            min_ns,
+            throughput,
+        };
+        let label = if params.is_empty() {
+            bench.to_string()
+        } else {
+            format!("{bench}/{params}")
+        };
+        println!(
+            "{label:<44} median {:>12} p95 {:>12} min {:>12}  {:>14}/s",
+            fmt_ns(median_ns),
+            fmt_ns(p95_ns),
+            fmt_ns(min_ns),
+            fmt_si(throughput),
+        );
+        self.results.push(record);
+        self.results.last().expect("just pushed")
+    }
+
+    /// Results accumulated so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchRecord] {
+        &self.results
+    }
+
+    /// Serializes all records to the JSON report format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self.results.iter().map(BenchRecord::to_json).collect();
+        format!("[\n  {}\n]\n", rows.join(",\n  "))
+    }
+
+    /// Writes `BENCH_<suite>.json` and returns its path.
+    ///
+    /// # Panics
+    /// Panics if the report cannot be written — a silent benchmarking run
+    /// that drops its results would defeat the point.
+    pub fn finish(self) -> PathBuf {
+        let path = self.cfg.out_dir.join(format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        println!(
+            "== wrote {} ({} benches) ==",
+            path.display(),
+            self.results.len()
+        );
+        path
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} k", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number; NaN/inf have no JSON form, so they map to 0.
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        String::from("0")
+    }
+}
+
+pub mod json {
+    //! Minimal recursive-descent JSON parser, used to validate that the
+    //! harness reports round-trip (and by smoke tooling to inspect them).
+
+    use std::collections::BTreeMap;
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any JSON number (held as f64).
+        Number(f64),
+        /// String literal.
+        String(String),
+        /// Array of values.
+        Array(Vec<Value>),
+        /// Object (sorted keys).
+        Object(BTreeMap<String, Value>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        #[must_use]
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(m) => m.get(key),
+                _ => None,
+            }
+        }
+
+        /// Numeric content, if any.
+        #[must_use]
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Number(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// String content, if any.
+        #[must_use]
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Array content, if any.
+        #[must_use]
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(v) => Some(v),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (rejecting trailing garbage).
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if b[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected '{lit}' at offset {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err(String::from("unexpected end of input")),
+            Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(b, pos).map(Value::String),
+            Some(b'[') => parse_array(b, pos),
+            Some(b'{') => parse_object(b, pos),
+            Some(_) => parse_number(b, pos),
+        }
+    }
+
+    fn parse_array(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // consume '['
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(parse_value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn parse_object(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // consume '{'
+        let mut map = std::collections::BTreeMap::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = parse_string(b, pos)?;
+            skip_ws(b, pos);
+            expect(b, pos, ":")?;
+            let value = parse_value(b, pos)?;
+            map.insert(key, value);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match b.get(*pos) {
+                None => return Err(String::from("unterminated string")),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match b.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {pos}", pos = *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&c) if c < 0x80 => {
+                    out.push(c as char);
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let s = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                    let ch = s.chars().next().ok_or("empty UTF-8 tail")?;
+                    out.push(ch);
+                    *pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(dir: &std::path::Path) -> BenchConfig {
+        BenchConfig {
+            samples: 5,
+            warmup: Duration::from_millis(1),
+            batch_target: Duration::from_micros(200),
+            out_dir: dir.to_path_buf(),
+        }
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+    }
+
+    #[test]
+    fn stats_are_ordered_min_median_p95() {
+        let dir = std::env::temp_dir().join("rjam_bench_test_stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = Harness::with_config("stats_check", fast_config(&dir));
+        let mut acc = 0u64;
+        let r = h.bench("spin", "", || {
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns);
+        assert!(r.throughput > 0.0);
+    }
+
+    #[test]
+    fn json_report_round_trips_through_parser() {
+        let dir = std::env::temp_dir().join("rjam_bench_test_json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = Harness::with_config("roundtrip", fast_config(&dir));
+        h.bench_throughput("alpha", "n=64", 64, || std::hint::black_box(3 + 4));
+        h.bench("beta", "", || std::hint::black_box(1u64 << 20));
+        let text = h.to_json();
+        let path = h.finish();
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, on_disk);
+
+        let doc = json::parse(&on_disk).expect("report must be valid JSON");
+        let rows = doc.as_array().expect("top level is an array");
+        assert_eq!(rows.len(), 2);
+        let first = &rows[0];
+        assert_eq!(
+            first.get("bench").and_then(json::Value::as_str),
+            Some("alpha")
+        );
+        assert_eq!(
+            first.get("params").and_then(json::Value::as_str),
+            Some("n=64")
+        );
+        for field in ["median_ns", "p95_ns", "min_ns", "throughput"] {
+            let v = first.get(field).and_then(json::Value::as_f64).unwrap();
+            assert!(v > 0.0, "{field} must be positive, got {v}");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let doc =
+            json::parse("{\"a\\n\" : [1, -2.5e3, true, null, {\"k\":\"v\\u0041\"}], \"b\": []}")
+                .unwrap();
+        let arr = doc.get("a\n").and_then(json::Value::as_array).unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2], json::Value::Bool(true));
+        assert_eq!(arr[3], json::Value::Null);
+        assert_eq!(arr[4].get("k").and_then(json::Value::as_str), Some("vA"));
+        assert_eq!(doc.get("b").and_then(json::Value::as_array), Some(&[][..]));
+    }
+
+    #[test]
+    fn json_parser_rejects_garbage() {
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{\"a\":}").is_err());
+        assert!(json::parse("[] trailing").is_err());
+        assert!(json::parse("nulle").is_err());
+    }
+
+    #[test]
+    fn json_string_escaping_round_trips() {
+        let nasty = "he said \"hi\"\n\tback\\slash\u{1}";
+        let encoded = format!("[{}]", json_string(nasty));
+        let doc = json::parse(&encoded).unwrap();
+        assert_eq!(doc.as_array().unwrap()[0].as_str(), Some(nasty));
+    }
+}

@@ -1,9 +1,11 @@
 //! # rjam-bench — evaluation harness
 //!
-//! One binary per table/figure of the paper (see `src/bin/`), plus
-//! Criterion micro/macro benchmarks (see `benches/`). Figure binaries print
-//! the same rows/series the paper reports; EXPERIMENTS.md records
-//! paper-vs-measured for each.
+//! One binary per table/figure of the paper (see `src/bin/`), plus hermetic
+//! micro/macro benchmarks (see `benches/`) driven by the in-repo
+//! [`harness`] — no criterion, no network. Figure binaries print the same
+//! rows/series the paper reports; EXPERIMENTS.md records paper-vs-measured
+//! for each, and each bench target emits a machine-readable
+//! `BENCH_<suite>.json`.
 //!
 //! Every binary accepts `--frames N` / `--seconds S` / `--samples N` style
 //! overrides (parsed by [`Args`]) so the default quick runs can be scaled
@@ -11,6 +13,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Minimal `--key value` argument parser for the figure binaries.
 #[derive(Clone, Debug, Default)]
@@ -62,7 +66,9 @@ mod tests {
 
     #[test]
     fn get_with_default() {
-        let args = Args { pairs: vec![("frames".into(), "250".into())] };
+        let args = Args {
+            pairs: vec![("frames".into(), "250".into())],
+        };
         assert_eq!(args.get("frames", 100usize), 250);
         assert_eq!(args.get("seconds", 5.0f64), 5.0);
     }
@@ -77,7 +83,9 @@ mod tests {
 
     #[test]
     fn unparsable_falls_back() {
-        let args = Args { pairs: vec![("n".into(), "abc".into())] };
+        let args = Args {
+            pairs: vec![("n".into(), "abc".into())],
+        };
         assert_eq!(args.get("n", 7u32), 7);
     }
 }

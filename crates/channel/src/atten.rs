@@ -21,7 +21,10 @@ impl Attenuator {
     /// # Panics
     /// Panics on a negative loss.
     pub fn new(loss_db: f64) -> Self {
-        assert!(loss_db >= 0.0, "attenuation must be non-negative, got {loss_db}");
+        assert!(
+            loss_db >= 0.0,
+            "attenuation must be non-negative, got {loss_db}"
+        );
         Attenuator { loss_db }
     }
 
@@ -66,9 +69,17 @@ impl VariableAttenuator {
     /// # Panics
     /// Panics if the range is inverted or the step is non-positive.
     pub fn new(min_db: f64, max_db: f64, step_db: f64) -> Self {
-        assert!(min_db >= 0.0 && max_db >= min_db, "invalid attenuation range");
+        assert!(
+            min_db >= 0.0 && max_db >= min_db,
+            "invalid attenuation range"
+        );
         assert!(step_db > 0.0, "step must be positive");
-        VariableAttenuator { loss_db: min_db, min_db, max_db, step_db }
+        VariableAttenuator {
+            loss_db: min_db,
+            min_db,
+            max_db,
+            step_db,
+        }
     }
 
     /// Current setting in dB.

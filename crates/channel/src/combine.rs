@@ -30,7 +30,12 @@ pub struct Emission {
 impl Emission {
     /// Creates an emission with no extra attenuation.
     pub fn new(from: Port, start: usize, waveform: Vec<Cf64>) -> Self {
-        Emission { from, start, waveform, extra_loss_db: 0.0 }
+        Emission {
+            from,
+            start,
+            waveform,
+            extra_loss_db: 0.0,
+        }
     }
 
     /// Adds device-side attenuation in dB.
@@ -55,7 +60,10 @@ pub struct PortReceiver<'a> {
 impl<'a> PortReceiver<'a> {
     /// Creates a receiver over the given network.
     pub fn new(net: &'a FivePortNetwork) -> Self {
-        PortReceiver { net, emissions: Vec::new() }
+        PortReceiver {
+            net,
+            emissions: Vec::new(),
+        }
     }
 
     /// Adds an emission to the scene.
@@ -71,8 +79,7 @@ impl<'a> PortReceiver<'a> {
 
     /// Amplitude gain for an emission arriving at `at` (network + extra pad).
     fn arrival_gain(&self, e: &Emission, at: Port) -> f64 {
-        self.net.path_gain(e.from, at)
-            * rjam_sdr::power::db_to_amplitude(-e.extra_loss_db)
+        self.net.path_gain(e.from, at) * rjam_sdr::power::db_to_amplitude(-e.extra_loss_db)
     }
 
     /// Renders the noiseless superposition at a port over `[0, duration)`.
@@ -180,7 +187,7 @@ mod tests {
         let mut rx = PortReceiver::new(&net);
         rx.add(Emission::new(Port::Client, 0, unit_tone(100)).with_loss(20.0)); // signal
         rx.add(Emission::new(Port::JammerTx, 0, unit_tone(100)).with_loss(10.0)); // interferer
-        // Signal path: 51 + 20 = 71 dB; jammer: 38.4 + 10 = 48.4 dB.
+                                                                                  // Signal path: 51 + 20 = 71 dB; jammer: 38.4 + 10 = 48.4 dB.
         let sir = rx.sir_db(Port::Ap, 0, 1);
         assert!((sir - (48.4 - 71.0)).abs() < 1e-9, "sir={sir}");
     }

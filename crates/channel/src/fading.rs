@@ -39,7 +39,9 @@ impl MultipathChannel {
 
     /// A flat (single-tap, unit-gain) channel.
     pub fn flat() -> Self {
-        MultipathChannel { taps: vec![Cf64::ONE] }
+        MultipathChannel {
+            taps: vec![Cf64::ONE],
+        }
     }
 
     /// Draws a Rayleigh-fading realization with an exponential power-delay

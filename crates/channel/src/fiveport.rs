@@ -120,9 +120,7 @@ impl FivePortNetwork {
     /// in dB. This is what `table1_insertion_loss` prints and what the tests
     /// compare against the stored matrix.
     pub fn characterize(&self) -> [[Option<f64>; 5]; 5] {
-        let tone: Vec<Cf64> = (0..256)
-            .map(|t| Cf64::from_angle(0.1 * t as f64))
-            .collect();
+        let tone: Vec<Cf64> = (0..256).map(|t| Cf64::from_angle(0.1 * t as f64)).collect();
         let tone_p = rjam_sdr::power::mean_power(&tone);
         let mut out = [[None; 5]; 5];
         for &a in &Port::ALL {
@@ -164,7 +162,10 @@ mod tests {
         let net = FivePortNetwork::paper_table1();
         assert!(net.is_isolated(Port::JammerTx, Port::JammerRx));
         assert!(net.is_isolated(Port::JammerRx, Port::JammerTx));
-        assert_eq!(net.insertion_loss_db(Port::JammerTx, Port::JammerRx), ISOLATION_DB);
+        assert_eq!(
+            net.insertion_loss_db(Port::JammerTx, Port::JammerRx),
+            ISOLATION_DB
+        );
         assert!(net.path_gain(Port::JammerTx, Port::JammerRx) < 1e-5);
     }
 

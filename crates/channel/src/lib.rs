@@ -28,8 +28,8 @@ pub mod monitor;
 pub mod noise;
 
 pub use atten::{Attenuator, VariableAttenuator};
-pub use fading::MultipathChannel;
 pub use combine::{Emission, PortReceiver};
+pub use fading::MultipathChannel;
 pub use fiveport::{FivePortNetwork, Port};
 pub use monitor::ScopeTrace;
 pub use noise::NoiseSource;

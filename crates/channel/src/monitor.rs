@@ -29,7 +29,11 @@ pub struct ScopeTrace {
 impl ScopeTrace {
     /// Creates an empty trace at the given sample rate (Hz).
     pub fn new(sample_rate: f64) -> Self {
-        ScopeTrace { envelope: Vec::new(), markers: Vec::new(), sample_rate }
+        ScopeTrace {
+            envelope: Vec::new(),
+            markers: Vec::new(),
+            sample_rate,
+        }
     }
 
     /// Records a waveform's magnitude envelope.
@@ -39,7 +43,10 @@ impl ScopeTrace {
 
     /// Appends a marker at an absolute sample index.
     pub fn mark(&mut self, at: usize, label: &str) {
-        self.markers.push(Marker { at, label: label.to_string() });
+        self.markers.push(Marker {
+            at,
+            label: label.to_string(),
+        });
     }
 
     /// Recorded length in samples.
@@ -88,8 +95,11 @@ impl ScopeTrace {
         let mut pairs = Vec::new();
         let mut bi = 0usize;
         for &ai in &a {
-            // Skip any b markers that precede this a (they would be spurious).
-            while bi < b.len() && b[bi] < ai {
+            // One-to-one correspondence (paper Fig. 12) tolerates no
+            // spurious bursts: a `b` marker that precedes the next `a` has
+            // no frame to answer, so it is a violation, not something to
+            // skip past.
+            if bi < b.len() && b[bi] < ai {
                 return Err(format!(
                     "unmatched '{b_label}' at sample {} before '{a_label}' at {}",
                     b[bi], ai
@@ -209,6 +219,36 @@ mod tests {
     }
 
     #[test]
+    fn correspondence_detects_spurious_early_jam() {
+        // Regression: a jam burst arriving *before* the frame it would
+        // answer must be reported as unmatched — the old `while` form
+        // returned on its first iteration and could never "skip" anything,
+        // so this path is pinned down explicitly.
+        let mut t = ScopeTrace::new(25e6);
+        t.mark(40, "jam"); // spurious: precedes every frame
+        t.mark(100, "frame");
+        t.mark(170, "jam");
+        let err = t.correspondence("frame", "jam", 100).unwrap_err();
+        assert!(
+            err.contains("unmatched 'jam' at sample 40 before 'frame' at 100"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn correspondence_detects_spurious_mid_stream_jam() {
+        // Same violation in the middle of an otherwise-healthy run.
+        let mut t = ScopeTrace::new(25e6);
+        t.mark(0, "frame");
+        t.mark(70, "jam");
+        t.mark(500, "jam"); // no frame in front of it
+        t.mark(1000, "frame");
+        t.mark(1070, "jam");
+        let err = t.correspondence("frame", "jam", 100).unwrap_err();
+        assert!(err.contains("unmatched 'jam' at sample 500"), "{err}");
+    }
+
+    #[test]
     fn correspondence_detects_spurious_jam() {
         let mut t = ScopeTrace::new(25e6);
         t.mark(0, "frame");
@@ -227,7 +267,7 @@ mod tests {
         let art = t.render_ascii(20, 4);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 5); // 4 signal rows + 1 marker lane
-        // The second half of the top row should contain '#', the first not.
+                                    // The second half of the top row should contain '#', the first not.
         let top = lines[0];
         assert!(!top[..10].contains('#'));
         assert!(top[10..].contains('#'));

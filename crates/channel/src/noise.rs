@@ -26,7 +26,11 @@ impl NoiseSource {
     /// Panics if `power` is negative.
     pub fn new(power: f64, rng: Rng) -> Self {
         assert!(power >= 0.0, "noise power cannot be negative");
-        NoiseSource { rng, sigma: (power / 2.0).sqrt(), power }
+        NoiseSource {
+            rng,
+            sigma: (power / 2.0).sqrt(),
+            power,
+        }
     }
 
     /// Creates a source from a noise floor in dBFS.
@@ -40,8 +44,13 @@ impl NoiseSource {
     }
 
     /// Draws one noise sample.
+    ///
+    /// Named `next_sample` (not `next`) deliberately: `NoiseSource` is an
+    /// infinite generator, so an `Iterator::next` returning `Option` would
+    /// never be `None` and the inherent-method name would shadow the trait
+    /// (`clippy::should_implement_trait`).
     #[inline]
-    pub fn next(&mut self) -> Cf64 {
+    pub fn next_sample(&mut self) -> Cf64 {
         Cf64::new(
             self.rng.gaussian() * self.sigma,
             self.rng.gaussian() * self.sigma,
@@ -50,13 +59,13 @@ impl NoiseSource {
 
     /// Generates a block of noise.
     pub fn block(&mut self, n: usize) -> Vec<Cf64> {
-        (0..n).map(|_| self.next()).collect()
+        (0..n).map(|_| self.next_sample()).collect()
     }
 
     /// Adds noise to a waveform in place.
     pub fn corrupt(&mut self, buf: &mut [Cf64]) {
         for s in buf.iter_mut() {
-            *s += self.next();
+            *s += self.next_sample();
         }
     }
 }
@@ -67,7 +76,7 @@ pub fn add_awgn_at_snr(signal: &[Cf64], snr_db: f64, rng: Rng) -> Vec<Cf64> {
     let sig_p = rjam_sdr::power::mean_power(signal);
     let noise_p = sig_p / db_to_lin(snr_db);
     let mut src = NoiseSource::new(noise_p, rng);
-    signal.iter().map(|&s| s + src.next()).collect()
+    signal.iter().map(|&s| s + src.next_sample()).collect()
 }
 
 #[cfg(test)]
@@ -93,7 +102,7 @@ mod tests {
     fn zero_power_source_is_silent() {
         let mut src = NoiseSource::new(0.0, Rng::seed_from(3));
         for _ in 0..100 {
-            assert_eq!(src.next(), Cf64::ZERO);
+            assert_eq!(src.next_sample(), Cf64::ZERO);
         }
     }
 

@@ -9,7 +9,9 @@ use rjam_sdr::power::{db_to_lin, lin_to_db, mean_power};
 use rjam_sdr::rng::Rng;
 
 fn burst(amp: f64, len: usize) -> Vec<Cf64> {
-    (0..len).map(|t| Cf64::from_angle(0.21 * t as f64).scale(amp)).collect()
+    (0..len)
+        .map(|t| Cf64::from_angle(0.21 * t as f64).scale(amp))
+        .collect()
 }
 
 /// A full conducted scene: client bursts, jammer bursts, monitor sees both,
@@ -28,7 +30,11 @@ fn full_scene_at_every_port() {
     // with_loss models only device-side pads, so recompute directly:
     let sig = -(51.0 + 20.0);
     let jam = -(38.4 + 10.0);
-    assert!((sir - (sig - jam)).abs() < 1e-9, "sir={sir}, expect~{}", sig - jam);
+    assert!(
+        (sir - (sig - jam)).abs() < 1e-9,
+        "sir={sir}, expect~{}",
+        sig - jam
+    );
     let _ = expect;
 
     // The monitor port sees two disjoint bursts with the right powers.
@@ -66,7 +72,10 @@ fn fading_composes_with_network() {
     }
     let mean_db = lin_to_db(p_acc / trials as f64);
     let expect_db = lin_to_db(mean_power(&clean)) - 51.0;
-    assert!((mean_db - expect_db).abs() < 1.0, "{mean_db} vs {expect_db}");
+    assert!(
+        (mean_db - expect_db).abs() < 1.0,
+        "{mean_db} vs {expect_db}"
+    );
 }
 
 /// Isolation holds end to end: a jammer emission leaks nothing to its own

@@ -1,0 +1,59 @@
+//! Property tests for the wired-channel models, driven by `rjam-testkit`.
+
+use rjam_channel::{Attenuator, NoiseSource, ScopeTrace};
+use rjam_sdr::complex::Cf64;
+use rjam_sdr::power::{db_to_lin, mean_power};
+use rjam_sdr::rng::Rng;
+use rjam_testkit::{self as tk, prop_assert, prop_assert_eq, props};
+
+props! {
+    cases = 16;
+
+    /// An attenuator reduces mean power by exactly its loss in dB.
+    fn attenuator_power_linearity(loss_db in 0.0f64..80.0, seed in tk::any::<u64>()) {
+        let mut wave = NoiseSource::new(0.1, Rng::seed_from(seed | 1)).block(256);
+        let before = mean_power(&wave);
+        Attenuator::new(loss_db).apply(&mut wave);
+        let after = mean_power(&wave);
+        let expect = before * db_to_lin(-loss_db);
+        prop_assert!(
+            (after / expect - 1.0).abs() < 1e-9,
+            "loss {loss_db} dB: {before} -> {after}, expected {expect}"
+        );
+    }
+
+    /// Noise blocks have the requested length and converge on the
+    /// configured power (law of large numbers, loose tolerance).
+    fn noise_block_length_and_power(
+        n in 512usize..4096,
+        seed in tk::any::<u64>(),
+    ) {
+        let power = 0.05;
+        let block = NoiseSource::new(power, Rng::seed_from(seed)).block(n);
+        prop_assert_eq!(block.len(), n);
+        let got = mean_power(&block);
+        prop_assert!(
+            (got / power - 1.0).abs() < 0.25,
+            "n {n}: measured {got} vs configured {power}"
+        );
+    }
+
+    /// Any frame/jam timeline built with a per-pair reaction delay inside
+    /// the window passes the Fig. 12 one-to-one correspondence check, and
+    /// the recovered delays match what was constructed.
+    fn correspondence_accepts_valid_timelines(
+        delays in tk::vec(1usize..99, 1..12),
+    ) {
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&vec![Cf64::new(0.5, 0.0); 16]);
+        for (k, &d) in delays.iter().enumerate() {
+            t.mark(k * 1_000, "frame");
+            t.mark(k * 1_000 + d, "jam");
+        }
+        let pairs = t.correspondence("frame", "jam", 100).expect("valid timeline");
+        prop_assert_eq!(pairs.len(), delays.len());
+        for ((f, j), &d) in pairs.iter().zip(&delays) {
+            prop_assert_eq!(j - f, d);
+        }
+    }
+}

@@ -188,7 +188,9 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     };
     let rest = split(&argv[1..])?;
     match verb.as_str() {
-        "timeline" => Ok(Command::Timeline { trials: opt(&rest, "trials", 20)? }),
+        "timeline" => Ok(Command::Timeline {
+            trials: opt(&rest, "trials", 20)?,
+        }),
         "detect" => Ok(Command::Detect {
             preset: PresetName::parse(
                 rest.options
@@ -280,7 +282,10 @@ mod tests {
 
     #[test]
     fn parses_timeline_defaults() {
-        assert_eq!(parse(&argv("timeline")).unwrap(), Command::Timeline { trials: 20 });
+        assert_eq!(
+            parse(&argv("timeline")).unwrap(),
+            Command::Timeline { trials: 20 }
+        );
         assert_eq!(
             parse(&argv("timeline --trials 7")).unwrap(),
             Command::Timeline { trials: 7 }
@@ -291,7 +296,12 @@ mod tests {
     fn parses_detect() {
         let c = parse(&argv("detect --preset wifi-short --snr -3 --frames 50")).unwrap();
         match c {
-            Command::Detect { preset, snr_db, frames, .. } => {
+            Command::Detect {
+                preset,
+                snr_db,
+                frames,
+                ..
+            } => {
                 assert_eq!(preset, PresetName::WifiShort);
                 assert_eq!(snr_db, -3.0);
                 assert_eq!(frames, 50);
@@ -334,7 +344,12 @@ mod tests {
     #[test]
     fn classify_takes_positional() {
         let c = parse(&argv("classify cap.cf32")).unwrap();
-        assert_eq!(c, Command::Classify { path: "cap.cf32".into() });
+        assert_eq!(
+            c,
+            Command::Classify {
+                path: "cap.cf32".into()
+            }
+        );
         assert!(parse(&argv("classify")).is_err());
     }
 

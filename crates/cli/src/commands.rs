@@ -3,8 +3,7 @@
 
 use crate::args::{CliError, Command, JammerName, PresetName};
 use rjam_core::campaign::{
-    false_alarm_rate, roc_curve, scenario_for, wifi_detection_sweep, JammerUnderTest,
-    WifiEmission,
+    false_alarm_rate, roc_curve, scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission,
 };
 use rjam_core::timeline::{comparison_rows, measure, TimelineBudget};
 use rjam_core::{DetectionPreset, JammerPreset, ReactiveJammer};
@@ -20,8 +19,14 @@ fn preset_for(
     match name {
         PresetName::WifiShort => DetectionPreset::WifiShortPreamble { threshold },
         PresetName::WifiLong => DetectionPreset::WifiLongPreamble { threshold },
-        PresetName::Wimax => DetectionPreset::WimaxPreamble { id_cell: cell, segment, threshold },
-        PresetName::Energy => DetectionPreset::EnergyRise { threshold_db: energy_db },
+        PresetName::Wimax => DetectionPreset::WimaxPreamble {
+            id_cell: cell,
+            segment,
+            threshold,
+        },
+        PresetName::Energy => DetectionPreset::EnergyRise {
+            threshold_db: energy_db,
+        },
     }
 }
 
@@ -31,7 +36,15 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Resources => Ok(resources_report()),
         Command::Timeline { trials } => Ok(timeline_report(*trials)),
-        Command::Detect { preset, snr_db, frames, threshold, energy_db, cell, segment } => {
+        Command::Detect {
+            preset,
+            snr_db,
+            frames,
+            threshold,
+            energy_db,
+            cell,
+            segment,
+        } => {
             let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
             let pts = wifi_detection_sweep(
                 &p,
@@ -49,7 +62,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             );
             Ok(out)
         }
-        Command::Fa { preset, threshold, energy_db, samples, cell, segment } => {
+        Command::Fa {
+            preset,
+            threshold,
+            energy_db,
+            samples,
+            cell,
+            segment,
+        } => {
             let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
             let fa = false_alarm_rate(&p, *samples, 0xFA2);
             Ok(format!(
@@ -57,7 +77,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 *samples as f64 / rjam_sdr::USRP_SAMPLE_RATE
             ))
         }
-        Command::Iperf { jammer, sir_db, seconds } => {
+        Command::Iperf {
+            jammer,
+            sir_db,
+            seconds,
+        } => {
             let jut = match jammer {
                 JammerName::Off => JammerUnderTest::Off,
                 JammerName::Continuous => JammerUnderTest::Continuous,
@@ -67,7 +91,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             let sc = scenario_for(jut, *sir_db, *seconds, 0x1EF);
             let r = rjam_mac::run_scenario(&sc);
             let mut out = String::new();
-            let _ = writeln!(out, "{} at SIR {sir_db:.2} dB for {seconds} s:", jut.label());
+            let _ = writeln!(
+                out,
+                "{} at SIR {sir_db:.2} dB for {seconds} s:",
+                jut.label()
+            );
             let _ = writeln!(out, "  {}", r.summary());
             let _ = writeln!(
                 out,
@@ -79,7 +107,14 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Classify { path } => classify_report(path),
-        Command::Roc { preset, snr_db, frames, fa_samples, cell, segment } => {
+        Command::Roc {
+            preset,
+            snr_db,
+            frames,
+            fa_samples,
+            cell,
+            segment,
+        } => {
             let (name, e_db, thresholds): (PresetName, f64, Vec<f64>) = (
                 *preset,
                 10.0,
@@ -97,7 +132,10 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 0x20C,
             );
             let mut out = String::new();
-            let _ = writeln!(out, "ROC at SNR {snr_db:.1} dB ({frames} frames/threshold):");
+            let _ = writeln!(
+                out,
+                "ROC at SNR {snr_db:.1} dB ({frames} frames/threshold):"
+            );
             let _ = writeln!(out, "{}", rjam_core::export::roc_csv(&pts).trim_end());
             Ok(out)
         }
@@ -146,28 +184,34 @@ fn timeline_report(trials: usize) -> String {
         ] {
             let mut j = ReactiveJammer::new(
                 det,
-                JammerPreset::Reactive { uptime_s: 10e-6, waveform: JamWaveform::Wgn },
+                JammerPreset::Reactive {
+                    uptime_s: 10e-6,
+                    waveform: JamWaveform::Wgn,
+                },
             );
             let mut rng = Rng::seed_from(500 + k);
             let mut psdu = vec![0u8; 80];
             rng.fill_bytes(&mut psdu);
             let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu);
             let native = rjam_phy80211::tx::modulate_frame(&frame);
-            let mut wave =
-                rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
+            let mut wave = rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
             rjam_sdr::power::scale_to_power(&mut wave, 0.02);
             let noise_p = 0.02 / rjam_sdr::power::db_to_lin(20.0);
             let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
             let lead = 400usize;
             let mut stream: Vec<Cf64> = noise.block(lead);
-            stream.extend(wave.iter().map(|&s| s + noise.next()));
+            stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
             stream.extend(noise.block(200));
             j.process_block(&stream);
             merge(measure(j.events(), j.jam_events(), lead as u64));
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:>12} {:>14}", "metric", "budget (ns)", "measured (ns)");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>14}",
+        "metric", "budget (ns)", "measured (ns)"
+    );
     for (name, budget, meas) in comparison_rows(&TimelineBudget::paper(), &worst) {
         match meas {
             Some(m) => {
@@ -187,7 +231,9 @@ fn classify_report(path: &str) -> Result<String, CliError> {
     if capture.is_empty() {
         return Err(CliError(format!("'{path}' holds no samples")));
     }
-    let cells: Vec<(u8, u8)> = (0..32).flat_map(|id| (0..3).map(move |s| (id, s))).collect();
+    let cells: Vec<(u8, u8)> = (0..32)
+        .flat_map(|id| (0..3).map(move |s| (id, s)))
+        .collect();
     let window = capture.len().min(30_000);
     let cls = rjam_core::autonomous::classify_capture(&capture[..window], &cells);
     let mut out = String::new();
@@ -239,19 +285,17 @@ mod tests {
 
     #[test]
     fn detect_command_reports_probability() {
-        let out = execute(&parse(&argv(
-            "detect --preset wifi-short --snr 10 --frames 25",
-        )).unwrap())
-        .unwrap();
+        let out =
+            execute(&parse(&argv("detect --preset wifi-short --snr 10 --frames 25")).unwrap())
+                .unwrap();
         assert!(out.contains("P(det)"), "{out}");
     }
 
     #[test]
     fn iperf_command_reports_bandwidth() {
-        let out = execute(&parse(&argv(
-            "iperf --jammer reactive-long --sir 14 --seconds 1",
-        )).unwrap())
-        .unwrap();
+        let out =
+            execute(&parse(&argv("iperf --jammer reactive-long --sir 14 --seconds 1")).unwrap())
+                .unwrap();
         assert!(out.contains("kbps"), "{out}");
         assert!(out.contains("duty"), "{out}");
     }
@@ -269,16 +313,22 @@ mod tests {
         let mut path = std::env::temp_dir();
         path.push(format!("rjamctl_test_{}.cf32", std::process::id()));
         rjam_sdr::io::write_cf32(&path, &wave).unwrap();
-        let out = execute(&Command::Classify { path: path.to_string_lossy().into() }).unwrap();
+        let out = execute(&Command::Classify {
+            path: path.to_string_lossy().into(),
+        })
+        .unwrap();
         std::fs::remove_file(&path).ok();
         assert!(out.contains("class: Wifi"), "{out}");
     }
 
     #[test]
     fn roc_command_outputs_csv() {
-        let out = execute(&parse(&argv(
-            "roc --preset wifi-short --snr 3 --frames 10 --fa-samples 200000",
-        )).unwrap())
+        let out = execute(
+            &parse(&argv(
+                "roc --preset wifi-short --snr 3 --frames 10 --fa-samples 200000",
+            ))
+            .unwrap(),
+        )
         .unwrap();
         assert!(out.contains("threshold,fa_per_s,p_detect"), "{out}");
         assert!(out.lines().count() >= 9, "{out}");
@@ -286,7 +336,10 @@ mod tests {
 
     #[test]
     fn classify_missing_file_errors() {
-        let err = execute(&Command::Classify { path: "/nonexistent/x.cf32".into() }).unwrap_err();
+        let err = execute(&Command::Classify {
+            path: "/nonexistent/x.cf32".into(),
+        })
+        .unwrap_err();
         assert!(err.0.contains("cannot read"));
     }
 }

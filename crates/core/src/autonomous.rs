@@ -126,7 +126,9 @@ impl AutonomousJammer {
     /// threshold (dB) and searching the given WiMAX identities.
     pub fn new(energy_db: f64, wimax_cells: Vec<(u8, u8)>) -> Self {
         let jammer = ReactiveJammer::new(
-            DetectionPreset::EnergyRise { threshold_db: energy_db },
+            DetectionPreset::EnergyRise {
+                threshold_db: energy_db,
+            },
             JammerPreset::Monitor,
         );
         AutonomousJammer {
@@ -184,9 +186,10 @@ impl AutonomousJammer {
                     let cls = classify_capture(&self.capture, &self.wimax_cells);
                     match cls.class {
                         StandardClass::Wifi => {
-                            self.jammer.set_detection(DetectionPreset::WifiShortPreamble {
-                                threshold: 0.50,
-                            });
+                            self.jammer
+                                .set_detection(DetectionPreset::WifiShortPreamble {
+                                    threshold: 0.50,
+                                });
                             self.jammer.set_reaction(JammerPreset::Reactive {
                                 uptime_s: 100e-6,
                                 waveform: rjam_fpga::JamWaveform::Wgn,
@@ -207,9 +210,8 @@ impl AutonomousJammer {
                         }
                         StandardClass::Unknown => {
                             // Fall back to protocol-agnostic energy jamming.
-                            self.jammer.set_detection(DetectionPreset::EnergyRise {
-                                threshold_db: 10.0,
-                            });
+                            self.jammer
+                                .set_detection(DetectionPreset::EnergyRise { threshold_db: 10.0 });
                             self.jammer.set_reaction(JammerPreset::Reactive {
                                 uptime_s: 100e-6,
                                 waveform: rjam_fpga::JamWaveform::Wgn,
@@ -239,9 +241,8 @@ impl AutonomousJammer {
                     self.idle_run += block.len() as u64;
                     if self.idle_run >= self.idle_limit {
                         // Band quiet: disengage and resume scanning.
-                        self.jammer.set_detection(DetectionPreset::EnergyRise {
-                            threshold_db: 10.0,
-                        });
+                        self.jammer
+                            .set_detection(DetectionPreset::EnergyRise { threshold_db: 10.0 });
                         self.jammer.set_reaction(JammerPreset::Monitor);
                         self.mode = Mode::Scanning;
                     }
@@ -290,7 +291,7 @@ mod tests {
             Rng::seed_from(seed),
         );
         for s in w.iter_mut() {
-            *s += n.next();
+            *s += n.next_sample();
         }
         w
     }
@@ -309,7 +310,13 @@ mod tests {
         let cap = noisy(wimax_block(5, 1), 20.0, 3);
         let cells = vec![(1u8, 0u8), (5, 1), (9, 2)];
         let cls = classify_capture(&cap[..12_000], &cells);
-        assert_eq!(cls.class, StandardClass::Wimax { id_cell: 5, segment: 1 });
+        assert_eq!(
+            cls.class,
+            StandardClass::Wimax {
+                id_cell: 5,
+                segment: 1
+            }
+        );
     }
 
     #[test]

@@ -114,7 +114,14 @@ pub fn wifi_detection_sweep(
     frames_per_point: usize,
     seed: u64,
 ) -> Vec<DetectionPoint> {
-    wifi_detection_sweep_in_channel(preset, kind, ChannelModel::Awgn, snrs_db, frames_per_point, seed)
+    wifi_detection_sweep_in_channel(
+        preset,
+        kind,
+        ChannelModel::Awgn,
+        snrs_db,
+        frames_per_point,
+        seed,
+    )
 }
 
 /// [`wifi_detection_sweep`] under an explicit channel model — the
@@ -130,7 +137,11 @@ pub fn wifi_detection_sweep_in_channel(
 ) -> Vec<DetectionPoint> {
     let energy_detector = matches!(preset, DetectionPreset::EnergyRise { .. });
     let mut points = vec![
-        DetectionPoint { snr_db: 0.0, p_detect: 0.0, triggers_per_frame: 0.0 };
+        DetectionPoint {
+            snr_db: 0.0,
+            p_detect: 0.0,
+            triggers_per_frame: 0.0
+        };
         snrs_db.len()
     ];
     // SNR points are independent; fan them out across threads.
@@ -138,57 +149,56 @@ pub fn wifi_detection_sweep_in_channel(
         let mut handles = Vec::new();
         for (idx, &snr_db) in snrs_db.iter().enumerate() {
             let preset = preset.clone();
-            handles.push((idx, scope.spawn(move || {
-                let mut rng = Rng::seed_from(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
-                let mut jammer = ReactiveJammer::new(preset, JammerPreset::Monitor);
-                // Correlation sweeps use a lockout so the 10 STS repetitions
-                // count as one detection; the energy sweep counts raw rise
-                // triggers (the paper reports "multiple detections per
-                // frame" in the mid-SNR band).
-                jammer.set_lockout(if energy_detector {
-                    0
-                } else {
-                    crate::jammer::DEFAULT_LOCKOUT
-                });
-                let noise_power = RX_LEVEL / db_to_lin(snr_db);
-                let mut noise = NoiseSource::new(noise_power, rng.fork());
-                let mut detected_frames = 0usize;
-                let mut total_triggers = 0usize;
-                for _ in 0..frames_per_point {
-                    let mut wave = emission_waveform(kind, rjam_phy80211::Rate::R12, &mut rng);
-                    if let ChannelModel::Rayleigh { taps, rms } = channel {
-                        let ch = rjam_channel::MultipathChannel::rayleigh(
-                            taps,
-                            rms,
-                            &mut rng,
+            handles.push((
+                idx,
+                scope.spawn(move || {
+                    let mut rng = Rng::seed_from(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+                    let mut jammer = ReactiveJammer::new(preset, JammerPreset::Monitor);
+                    // Correlation sweeps use a lockout so the 10 STS repetitions
+                    // count as one detection; the energy sweep counts raw rise
+                    // triggers (the paper reports "multiple detections per
+                    // frame" in the mid-SNR band).
+                    jammer.set_lockout(if energy_detector {
+                        0
+                    } else {
+                        crate::jammer::DEFAULT_LOCKOUT
+                    });
+                    let noise_power = RX_LEVEL / db_to_lin(snr_db);
+                    let mut noise = NoiseSource::new(noise_power, rng.fork());
+                    let mut detected_frames = 0usize;
+                    let mut total_triggers = 0usize;
+                    for _ in 0..frames_per_point {
+                        let mut wave = emission_waveform(kind, rjam_phy80211::Rate::R12, &mut rng);
+                        if let ChannelModel::Rayleigh { taps, rms } = channel {
+                            let ch = rjam_channel::MultipathChannel::rayleigh(taps, rms, &mut rng);
+                            wave = ch.apply(&wave);
+                        }
+                        scale_to_power(&mut wave, RX_LEVEL);
+                        let mut stream = noise.block(LEAD_IN);
+                        let frame_lo = stream.len() as u64;
+                        stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
+                        let frame_hi = stream.len() as u64 + 64; // allow pipeline lag
+                        stream.extend(noise.block(TAIL));
+                        let base = jammer.core_mut().samples_processed();
+                        jammer.process_block(&stream);
+                        let n = count_in_window(
+                            jammer.events(),
+                            base + frame_lo,
+                            base + frame_hi,
+                            energy_detector,
                         );
-                        wave = ch.apply(&wave);
+                        if n > 0 {
+                            detected_frames += 1;
+                        }
+                        total_triggers += n;
                     }
-                    scale_to_power(&mut wave, RX_LEVEL);
-                    let mut stream = noise.block(LEAD_IN);
-                    let frame_lo = stream.len() as u64;
-                    stream.extend(wave.iter().map(|&s| s + noise.next()));
-                    let frame_hi = stream.len() as u64 + 64; // allow pipeline lag
-                    stream.extend(noise.block(TAIL));
-                    let base = jammer.core_mut().samples_processed();
-                    jammer.process_block(&stream);
-                    let n = count_in_window(
-                        jammer.events(),
-                        base + frame_lo,
-                        base + frame_hi,
-                        energy_detector,
-                    );
-                    if n > 0 {
-                        detected_frames += 1;
+                    DetectionPoint {
+                        snr_db,
+                        p_detect: detected_frames as f64 / frames_per_point as f64,
+                        triggers_per_frame: total_triggers as f64 / frames_per_point as f64,
                     }
-                    total_triggers += n;
-                }
-                DetectionPoint {
-                    snr_db,
-                    p_detect: detected_frames as f64 / frames_per_point as f64,
-                    triggers_per_frame: total_triggers as f64 / frames_per_point as f64,
-                }
-            })));
+                }),
+            ));
         }
         for (idx, h) in handles {
             points[idx] = h.join().expect("sweep worker");
@@ -254,24 +264,35 @@ pub fn roc_curve(
     seed: u64,
 ) -> Vec<RocPoint> {
     let mut out = vec![
-        RocPoint { threshold: 0.0, fa_per_s: 0.0, p_detect: 0.0 };
+        RocPoint {
+            threshold: 0.0,
+            fa_per_s: 0.0,
+            p_detect: 0.0
+        };
         thresholds.len()
     ];
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (idx, &thr) in thresholds.iter().enumerate() {
-            handles.push((idx, scope.spawn(move || {
-                let preset = make_preset(thr);
-                let fa = false_alarm_rate(&preset, fa_samples, seed ^ 0xFA);
-                let det = wifi_detection_sweep(
-                    &preset,
-                    kind,
-                    &[snr_db],
-                    frames_per_point,
-                    seed ^ idx as u64,
-                );
-                RocPoint { threshold: thr, fa_per_s: fa, p_detect: det[0].p_detect }
-            })));
+            handles.push((
+                idx,
+                scope.spawn(move || {
+                    let preset = make_preset(thr);
+                    let fa = false_alarm_rate(&preset, fa_samples, seed ^ 0xFA);
+                    let det = wifi_detection_sweep(
+                        &preset,
+                        kind,
+                        &[snr_db],
+                        frames_per_point,
+                        seed ^ idx as u64,
+                    );
+                    RocPoint {
+                        threshold: thr,
+                        fa_per_s: fa,
+                        p_detect: det[0].p_detect,
+                    }
+                }),
+            ));
         }
         for (idx, h) in handles {
             out[idx] = h.join().expect("roc worker");
@@ -319,7 +340,11 @@ pub fn wimax_detection(
             energy_db: 10.0,
         }
     } else {
-        DetectionPreset::WimaxPreamble { id_cell: 1, segment: 0, threshold: xcorr_threshold }
+        DetectionPreset::WimaxPreamble {
+            id_cell: 1,
+            segment: 0,
+            threshold: xcorr_threshold,
+        }
     };
     let mut jammer = ReactiveJammer::new(
         detection,
@@ -344,8 +369,7 @@ pub fn wimax_detection(
 
     let mut detected = 0usize;
     let mut latency_acc = 0.0f64;
-    let frame_samples_25 =
-        (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
+    let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
     for k in 0..n_frames {
         let native = gen.next_frame();
         let up = to_usrp_rate(&native, rjam_sdr::WIMAX_SAMPLE_RATE);
@@ -359,7 +383,7 @@ pub fn wimax_detection(
             *s = s.scale(k_scale);
         }
         for s in wave.iter_mut() {
-            *s += noise.next();
+            *s += noise.next_sample();
         }
         let base = jammer.core_mut().samples_processed();
         let (_tx, activity) = jammer.process_block(&wave);
@@ -380,7 +404,11 @@ pub fn wimax_detection(
         .is_ok();
     WimaxResult {
         detect_fraction: detected as f64 / n_frames as f64,
-        mean_latency_us: if detected > 0 { latency_acc / detected as f64 } else { f64::NAN },
+        mean_latency_us: if detected > 0 {
+            latency_acc / detected as f64
+        } else {
+            f64::NAN
+        },
         scope,
         one_to_one,
     }
@@ -434,12 +462,7 @@ pub fn reactive_detect_prob(snr_jammer_rx_db: f64) -> f64 {
 }
 
 /// Builds the MAC scenario for a jammer variant at a target SIR.
-pub fn scenario_for(
-    jut: JammerUnderTest,
-    sir_ap_db: f64,
-    duration_s: f64,
-    seed: u64,
-) -> Scenario {
+pub fn scenario_for(jut: JammerUnderTest, sir_ap_db: f64, duration_s: f64, seed: u64) -> Scenario {
     let mut budget = TestbedBudget::default();
     budget.set_sir_ap_db(sir_ap_db);
     let jammer = match jut {
@@ -523,16 +546,25 @@ pub fn jamming_sweep(
     seed: u64,
 ) -> Vec<JammingPoint> {
     let mut out = vec![
-        JammingPoint { sir_ap_db: 0.0, report: IperfReport::default() };
+        JammingPoint {
+            sir_ap_db: 0.0,
+            report: IperfReport::default()
+        };
         sirs_db.len()
     ];
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (idx, &sir) in sirs_db.iter().enumerate() {
-            handles.push((idx, scope.spawn(move || {
-                let sc = scenario_for(jut, sir, duration_s, seed ^ idx as u64);
-                JammingPoint { sir_ap_db: sir, report: run_scenario(&sc) }
-            })));
+            handles.push((
+                idx,
+                scope.spawn(move || {
+                    let sc = scenario_for(jut, sir, duration_s, seed ^ idx as u64);
+                    JammingPoint {
+                        sir_ap_db: sir,
+                        report: run_scenario(&sc),
+                    }
+                }),
+            ));
         }
         for (idx, h) in handles {
             out[idx] = h.join().expect("sweep worker");
@@ -666,7 +698,11 @@ mod tests {
         assert!((sc.sir_ap_db - 15.94).abs() < 1e-9);
         assert!((sc.snr_ap_db - 28.0).abs() < 1e-9);
         match sc.jammer {
-            JammerKind::Reactive { uptime_us, detect_prob, .. } => {
+            JammerKind::Reactive {
+                uptime_us,
+                detect_prob,
+                ..
+            } => {
                 assert_eq!(uptime_us, 100.0);
                 assert!(detect_prob > 0.99);
             }
@@ -693,8 +729,14 @@ mod tests {
             40,
             31,
         );
-        assert!(faded[0].p_detect <= awgn[0].p_detect + 0.05, "{faded:?} vs {awgn:?}");
-        assert!(faded[0].p_detect > 0.3, "fading must not kill detection: {faded:?}");
+        assert!(
+            faded[0].p_detect <= awgn[0].p_detect + 0.05,
+            "{faded:?} vs {awgn:?}"
+        );
+        assert!(
+            faded[0].p_detect > 0.3,
+            "fading must not kill detection: {faded:?}"
+        );
     }
 
     #[test]

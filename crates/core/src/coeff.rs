@@ -48,7 +48,10 @@ impl Template {
 /// # Panics
 /// Panics on an empty waveform.
 pub fn quantize_template(wave_25msps: &[Cf64]) -> Template {
-    assert!(!wave_25msps.is_empty(), "cannot build a template from nothing");
+    assert!(
+        !wave_25msps.is_empty(),
+        "cannot build a template from nothing"
+    );
     let window: Vec<Cf64> = (0..XCORR_LEN)
         .map(|k| wave_25msps[k % wave_25msps.len()])
         .collect();
@@ -157,7 +160,11 @@ mod tests {
 
     #[test]
     fn coefficients_in_hardware_range() {
-        for t in [wifi_short_template(), wifi_long_template(), wimax_template(1, 0)] {
+        for t in [
+            wifi_short_template(),
+            wifi_long_template(),
+            wimax_template(1, 0),
+        ] {
             assert!(t.coeff_i.iter().all(|&c| (-4..=3).contains(&c)));
             assert!(t.coeff_q.iter().all(|&c| (-4..=3).contains(&c)));
             // Non-degenerate: some large-magnitude taps on each rail.
@@ -185,7 +192,10 @@ mod tests {
         let wave = rjam_sdr::resample::to_usrp_rate(&sp, 20.0e6);
         let peak = peak_metric(&t, &wave);
         let ideal = t.threshold_at_fraction(1.0);
-        assert!(peak as f64 > 0.3 * ideal as f64, "peak {peak} vs ideal {ideal}");
+        assert!(
+            peak as f64 > 0.3 * ideal as f64,
+            "peak {peak} vs ideal {ideal}"
+        );
     }
 
     #[test]
@@ -259,7 +269,10 @@ mod tests {
         let wave = rjam_sdr::resample::to_usrp_rate(&lts, rjam_sdr::WIFI_SAMPLE_RATE);
         let mut peak = 0u64;
         for &s in &wave {
-            peak = peak.max(xc.push(rjam_sdr::complex::IqI16::from_cf64(s.scale(0.5))).metric);
+            peak = peak.max(
+                xc.push(rjam_sdr::complex::IqI16::from_cf64(s.scale(0.5)))
+                    .metric,
+            );
         }
         assert!(
             peak as f64 > 0.5 * xc.max_metric() as f64,

@@ -13,7 +13,11 @@ use std::fmt::Write as _;
 pub fn detection_csv(points: &[DetectionPoint]) -> String {
     let mut out = String::from("snr_db,p_detect,triggers_per_frame\n");
     for p in points {
-        let _ = writeln!(out, "{:.2},{:.6},{:.4}", p.snr_db, p.p_detect, p.triggers_per_frame);
+        let _ = writeln!(
+            out,
+            "{:.2},{:.6},{:.4}",
+            p.snr_db, p.p_detect, p.triggers_per_frame
+        );
     }
     out
 }
@@ -43,7 +47,11 @@ pub fn jamming_csv(points: &[JammingPoint]) -> String {
 pub fn roc_csv(points: &[RocPoint]) -> String {
     let mut out = String::from("threshold,fa_per_s,p_detect\n");
     for p in points {
-        let _ = writeln!(out, "{:.3},{:.4},{:.6}", p.threshold, p.fa_per_s, p.p_detect);
+        let _ = writeln!(
+            out,
+            "{:.3},{:.4},{:.6}",
+            p.threshold, p.fa_per_s, p.p_detect
+        );
     }
     out
 }
@@ -77,7 +85,9 @@ pub fn session_report(events: &[CoreEvent], jams: &[JamEvent], epoch_secs: u64) 
     for e in events {
         let t = rjam_fpga::VitaTime::from_cycle(e.cycle(), epoch_secs);
         let label = match e {
-            CoreEvent::XcorrDetection { metric, .. } => format!("xcorr detection (metric {metric})"),
+            CoreEvent::XcorrDetection { metric, .. } => {
+                format!("xcorr detection (metric {metric})")
+            }
             CoreEvent::EnergyHigh { .. } => "energy rise".to_string(),
             CoreEvent::EnergyLow { .. } => "energy fall".to_string(),
             CoreEvent::JamTrigger { .. } => "JAM TRIGGER".to_string(),
@@ -100,12 +110,7 @@ pub fn session_report(events: &[CoreEvent], jams: &[JamEvent], epoch_secs: u64) 
             }
         }
     }
-    let _ = writeln!(
-        out,
-        "{} events, {} jam bursts",
-        events.len(),
-        jams.len()
-    );
+    let _ = writeln!(out, "{} events, {} jam bursts", events.len(), jams.len());
     out
 }
 
@@ -117,8 +122,16 @@ mod tests {
     #[test]
     fn detection_csv_shape() {
         let pts = vec![
-            DetectionPoint { snr_db: -3.0, p_detect: 0.36, triggers_per_frame: 0.4 },
-            DetectionPoint { snr_db: 3.0, p_detect: 0.99, triggers_per_frame: 1.0 },
+            DetectionPoint {
+                snr_db: -3.0,
+                p_detect: 0.36,
+                triggers_per_frame: 0.4,
+            },
+            DetectionPoint {
+                snr_db: 3.0,
+                p_detect: 0.99,
+                triggers_per_frame: 1.0,
+            },
         ];
         let csv = detection_csv(&pts);
         let lines: Vec<&str> = csv.lines().collect();
@@ -156,9 +169,19 @@ mod tests {
     #[test]
     fn session_report_renders_events() {
         let events = vec![
-            CoreEvent::EnergyHigh { sample: 100, cycle: 401 },
-            CoreEvent::XcorrDetection { sample: 163, cycle: 653, metric: 140_000 },
-            CoreEvent::JamTrigger { sample: 163, cycle: 653 },
+            CoreEvent::EnergyHigh {
+                sample: 100,
+                cycle: 401,
+            },
+            CoreEvent::XcorrDetection {
+                sample: 163,
+                cycle: 653,
+                metric: 140_000,
+            },
+            CoreEvent::JamTrigger {
+                sample: 163,
+                cycle: 653,
+            },
         ];
         let jams = vec![rjam_fpga::jammer::JamEvent {
             trigger_sample: 163,

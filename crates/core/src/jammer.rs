@@ -73,7 +73,9 @@ impl ReactiveJammer {
         let writes = core.configure(cfg);
         ReactiveJammer {
             core,
-            detection: DetectionPreset::EnergyRise { threshold_db: cfg.energy_high_db },
+            detection: DetectionPreset::EnergyRise {
+                threshold_db: cfg.energy_high_db,
+            },
             reaction: JammerPreset::Monitor,
             lockout: cfg.lockout,
             reconfig_writes: writes,
@@ -178,7 +180,10 @@ mod tests {
     fn detects_and_jams_wifi_frame() {
         let mut j = ReactiveJammer::new(
             DetectionPreset::WifiShortPreamble { threshold: 0.5 },
-            JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+            JammerPreset::Reactive {
+                uptime_s: 1e-5,
+                waveform: JamWaveform::Wgn,
+            },
         );
         let mut stream = vec![Cf64::ZERO; 1000];
         stream.extend(wifi_frame_at_25msps(2.0)); // strong, clean
@@ -234,7 +239,10 @@ mod tests {
     fn feedback_flags_after_detection() {
         let mut j = ReactiveJammer::new(
             DetectionPreset::WifiShortPreamble { threshold: 0.5 },
-            JammerPreset::Reactive { uptime_s: 4e-5, waveform: JamWaveform::Wgn },
+            JammerPreset::Reactive {
+                uptime_s: 4e-5,
+                waveform: JamWaveform::Wgn,
+            },
         );
         let mut stream = vec![Cf64::ZERO; 200];
         stream.extend(wifi_frame_at_25msps(2.0));

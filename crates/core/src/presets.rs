@@ -64,10 +64,12 @@ impl DetectionPreset {
             DetectionPreset::WifiShortPreamble { .. } => Some(coeff::wifi_short_template()),
             DetectionPreset::EnergyFall { .. } => None,
             DetectionPreset::WifiLongPreamble { .. } => Some(coeff::wifi_long_template()),
-            DetectionPreset::WimaxPreamble { id_cell, segment, .. }
-            | DetectionPreset::WimaxFused { id_cell, segment, .. } => {
-                Some(coeff::wimax_template(*id_cell, *segment))
+            DetectionPreset::WimaxPreamble {
+                id_cell, segment, ..
             }
+            | DetectionPreset::WimaxFused {
+                id_cell, segment, ..
+            } => Some(coeff::wimax_template(*id_cell, *segment)),
             DetectionPreset::EnergyRise { .. } => None,
         }
     }
@@ -75,16 +77,11 @@ impl DetectionPreset {
     /// The trigger sources the preset enables.
     pub fn trigger_mode(&self) -> TriggerMode {
         match self {
-            DetectionPreset::EnergyRise { .. } => {
-                TriggerMode::Any(vec![TriggerSource::EnergyHigh])
+            DetectionPreset::EnergyRise { .. } => TriggerMode::Any(vec![TriggerSource::EnergyHigh]),
+            DetectionPreset::EnergyFall { .. } => TriggerMode::Any(vec![TriggerSource::EnergyLow]),
+            DetectionPreset::WimaxFused { .. } => {
+                TriggerMode::Any(vec![TriggerSource::Xcorr, TriggerSource::EnergyHigh])
             }
-            DetectionPreset::EnergyFall { .. } => {
-                TriggerMode::Any(vec![TriggerSource::EnergyLow])
-            }
-            DetectionPreset::WimaxFused { .. } => TriggerMode::Any(vec![
-                TriggerSource::Xcorr,
-                TriggerSource::EnergyHigh,
-            ]),
             _ => TriggerMode::Any(vec![TriggerSource::Xcorr]),
         }
     }
@@ -168,7 +165,11 @@ impl JammerPreset {
                 cfg.delay_samples = 0;
                 cfg.waveform = waveform.clone();
             }
-            JammerPreset::Surgical { uptime_s, delay_s, waveform } => {
+            JammerPreset::Surgical {
+                uptime_s,
+                delay_s,
+                waveform,
+            } => {
                 cfg.enabled = true;
                 cfg.continuous = false;
                 cfg.uptime_samples = (uptime_s * rate).round().max(1.0) as u64;
@@ -181,7 +182,10 @@ impl JammerPreset {
 
 /// Compiles a detection/jamming pair into a complete core configuration.
 pub fn build_config(det: &DetectionPreset, jam: &JammerPreset, lockout: u64) -> CoreConfig {
-    let mut cfg = CoreConfig { lockout, ..CoreConfig::default() };
+    let mut cfg = CoreConfig {
+        lockout,
+        ..CoreConfig::default()
+    };
     det.apply(&mut cfg);
     jam.apply(&mut cfg);
     cfg
@@ -195,7 +199,10 @@ mod tests {
     fn wifi_long_preset_compiles() {
         let cfg = build_config(
             &DetectionPreset::WifiLongPreamble { threshold: 0.5 },
-            &JammerPreset::Reactive { uptime_s: 1e-4, waveform: JamWaveform::Wgn },
+            &JammerPreset::Reactive {
+                uptime_s: 1e-4,
+                waveform: JamWaveform::Wgn,
+            },
             1000,
         );
         assert!(cfg.enabled);
@@ -229,7 +236,10 @@ mod tests {
                 threshold: 0.5,
                 energy_db: 10.0,
             },
-            &JammerPreset::Reactive { uptime_s: 4e-5, waveform: JamWaveform::Wgn },
+            &JammerPreset::Reactive {
+                uptime_s: 4e-5,
+                waveform: JamWaveform::Wgn,
+            },
             0,
         );
         assert_eq!(
@@ -289,7 +299,10 @@ mod tests {
     fn minimum_uptime_one_sample() {
         let cfg = build_config(
             &DetectionPreset::EnergyRise { threshold_db: 10.0 },
-            &JammerPreset::Reactive { uptime_s: 1e-12, waveform: JamWaveform::Wgn },
+            &JammerPreset::Reactive {
+                uptime_s: 1e-12,
+                waveform: JamWaveform::Wgn,
+            },
             0,
         );
         assert_eq!(cfg.uptime_samples, 1);

@@ -188,9 +188,11 @@ mod tests {
 
     #[test]
     fn cca_defer_probability_sigmoid() {
-        let mut b = TestbedBudget::default();
         // Weak jammer: margin very negative, defer ~ 0.
-        b.jammer_tx_dbm = -70.0;
+        let mut b = TestbedBudget {
+            jammer_tx_dbm: -70.0,
+            ..Default::default()
+        };
         assert!(b.cca_defer_prob() < 0.01);
         // Strong jammer: margin positive, defer ~ 1.
         b.jammer_tx_dbm = -20.0;

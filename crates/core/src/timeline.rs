@@ -123,9 +123,19 @@ mod tests {
     #[test]
     fn measure_from_synthetic_logs() {
         let events = vec![
-            CoreEvent::EnergyHigh { sample: 110, cycle: 441 },
-            CoreEvent::XcorrDetection { sample: 163, cycle: 653, metric: 99999 },
-            CoreEvent::JamTrigger { sample: 163, cycle: 653 },
+            CoreEvent::EnergyHigh {
+                sample: 110,
+                cycle: 441,
+            },
+            CoreEvent::XcorrDetection {
+                sample: 163,
+                cycle: 653,
+                metric: 99999,
+            },
+            CoreEvent::JamTrigger {
+                sample: 163,
+                cycle: 653,
+            },
         ];
         let jams = vec![JamEvent {
             trigger_sample: 163,
@@ -143,8 +153,14 @@ mod tests {
     #[test]
     fn events_before_signal_ignored() {
         let events = vec![
-            CoreEvent::EnergyHigh { sample: 10, cycle: 41 }, // stale
-            CoreEvent::EnergyHigh { sample: 120, cycle: 481 },
+            CoreEvent::EnergyHigh {
+                sample: 10,
+                cycle: 41,
+            }, // stale
+            CoreEvent::EnergyHigh {
+                sample: 120,
+                cycle: 481,
+            },
         ];
         let m = measure(&events, &[], 100);
         assert_eq!(m.t_en_det_ns, Some(810.0));

@@ -1,0 +1,72 @@
+//! Property tests for template generation and the testbed link budget,
+//! driven by `rjam-testkit`.
+
+use rjam_core::coeff::{quantize_template, Template};
+use rjam_core::testbed::TestbedBudget;
+use rjam_sdr::complex::Cf64;
+use rjam_testkit::{self as tk, prop_assert, props, Gen};
+
+fn any_wave(len: std::ops::Range<usize>) -> impl Gen<Value = Vec<(f64, f64)>> {
+    tk::vec((-1.0f64..1.0, -1.0f64..1.0), len)
+}
+
+props! {
+    cases = 16;
+
+    /// Quantized coefficients always land in the hardware's signed 3-bit
+    /// range, whatever the source waveform looks like.
+    fn template_coeffs_in_3bit_range(pairs in any_wave(1..200)) {
+        let mut wave: Vec<Cf64> =
+            pairs.iter().map(|&(re, im)| Cf64::new(re, im)).collect();
+        wave[0] = Cf64::new(0.7, -0.3); // guarantee a nonzero peak
+        let t = quantize_template(&wave);
+        for c in t.coeff_i.iter().chain(t.coeff_q.iter()) {
+            prop_assert!((-4..=3).contains(c), "coefficient {c} out of range");
+        }
+    }
+
+    /// The recommended threshold is monotone in the fraction, clamps to
+    /// [0, peak] and hits the exact ideal peak at fraction 1.
+    fn threshold_fraction_monotone(
+        pairs in any_wave(8..120),
+        f_lo in 0.0f64..1.0,
+        df in 0.0f64..1.0,
+    ) {
+        let mut wave: Vec<Cf64> =
+            pairs.iter().map(|&(re, im)| Cf64::new(re, im)).collect();
+        wave[0] = Cf64::new(0.7, -0.3);
+        let t = quantize_template(&wave);
+        let lo = t.threshold_at_fraction(f_lo);
+        let hi = t.threshold_at_fraction((f_lo + df).min(1.0));
+        prop_assert!(lo <= hi, "threshold not monotone: {lo} > {hi}");
+        let peak = t.threshold_at_fraction(1.0);
+        prop_assert!(t.threshold_at_fraction(2.0) == peak, "clamps above 1");
+        prop_assert!(t.threshold_at_fraction(-1.0) == 0, "clamps below 0");
+        let sum: i64 = t
+            .coeff_i
+            .iter()
+            .chain(t.coeff_q.iter())
+            .map(|&c| (c as i64).abs())
+            .sum();
+        prop_assert!(peak == (sum * sum) as u64, "ideal peak formula");
+        let _: &Template = &t;
+    }
+
+    /// `set_sir_ap_db` inverts `sir_ap_db` for any attenuator setting and
+    /// target — the sweep harness depends on this round trip.
+    fn testbed_sir_setter_roundtrips(
+        target in -10.0f64..60.0,
+        atten in 0.0f64..30.0,
+    ) {
+        let mut b = TestbedBudget { jammer_atten_db: atten, ..Default::default() };
+        b.set_sir_ap_db(target);
+        prop_assert!(
+            (b.sir_ap_db() - target).abs() < 1e-9,
+            "target {target} with atten {atten} gave {}",
+            b.sir_ap_db()
+        );
+        // CCA defer probability is always a probability.
+        let p = b.cca_defer_prob();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -200,7 +200,10 @@ impl DspCore {
 
     /// Capture-FIFO overflow count (samples dropped), if enabled.
     pub fn capture_overflow(&mut self) -> u64 {
-        self.capture.as_mut().map(|c| c.fifo_mut().overflow()).unwrap_or(0)
+        self.capture
+            .as_mut()
+            .map(|c| c.fifo_mut().overflow())
+            .unwrap_or(0)
     }
 
     /// Applies a complete configuration through the register bus, returning
@@ -208,8 +211,10 @@ impl DspCore {
     /// paper quotes as "hundreds of ns" of settings-bus latency).
     pub fn configure(&mut self, cfg: &CoreConfig) -> u64 {
         let before = self.bus.write_count();
-        self.bus.write_coeffs(RegisterMap::XcorrCoeffI0, &cfg.coeff_i);
-        self.bus.write_coeffs(RegisterMap::XcorrCoeffQ0, &cfg.coeff_q);
+        self.bus
+            .write_coeffs(RegisterMap::XcorrCoeffI0, &cfg.coeff_i);
+        self.bus
+            .write_coeffs(RegisterMap::XcorrCoeffQ0, &cfg.coeff_q);
         // The metric fits well below 2^32 (max 448^2); the register is 32-bit.
         self.bus.write_reg_if_changed(
             RegisterMap::XcorrThreshold,
@@ -249,7 +254,8 @@ impl DspCore {
         if sequence {
             ctrl |= jammer_control::SEQUENCE_MODE;
         }
-        self.bus.write_reg_if_changed(RegisterMap::JammerControl, ctrl);
+        self.bus
+            .write_reg_if_changed(RegisterMap::JammerControl, ctrl);
         self.bus.write_reg_if_changed(
             RegisterMap::JammerUptime,
             cfg.uptime_samples.min(u32::MAX as u64) as u32,
@@ -258,10 +264,14 @@ impl DspCore {
             RegisterMap::JammerDelay,
             cfg.delay_samples.min(u32::MAX as u64) as u32,
         );
-        self.bus
-            .write_reg_if_changed(RegisterMap::TriggerWindow, window.min(u32::MAX as u64) as u32);
-        self.bus
-            .write_reg_if_changed(RegisterMap::TriggerLockout, cfg.lockout.min(u32::MAX as u64) as u32);
+        self.bus.write_reg_if_changed(
+            RegisterMap::TriggerWindow,
+            window.min(u32::MAX as u64) as u32,
+        );
+        self.bus.write_reg_if_changed(
+            RegisterMap::TriggerLockout,
+            cfg.lockout.min(u32::MAX as u64) as u32,
+        );
 
         // Latch register state into the functional blocks.
         self.xcorr.load_coeffs_raw(&cfg.coeff_i, &cfg.coeff_q);
@@ -332,16 +342,23 @@ impl DspCore {
             energy_low: eo.trigger_low,
         };
         if xo.trigger {
-            self.events.push(CoreEvent::XcorrDetection { sample, cycle, metric: xo.metric });
-            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::XCORR_DET);
+            self.events.push(CoreEvent::XcorrDetection {
+                sample,
+                cycle,
+                metric: xo.metric,
+            });
+            self.bus
+                .set_bits(RegisterMap::HostFeedback, host_feedback::XCORR_DET);
         }
         if eo.trigger_high {
             self.events.push(CoreEvent::EnergyHigh { sample, cycle });
-            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_HIGH);
+            self.bus
+                .set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_HIGH);
         }
         if eo.trigger_low {
             self.events.push(CoreEvent::EnergyLow { sample, cycle });
-            self.bus.set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_LOW);
+            self.bus
+                .set_bits(RegisterMap::HostFeedback, host_feedback::ENERGY_LOW);
         }
 
         let masked = Pulses {
@@ -364,9 +381,14 @@ impl DspCore {
                 host_feedback::JAMMED | host_feedback::JAM_ACTIVE,
             );
         } else {
-            self.bus.clear_bits(RegisterMap::HostFeedback, host_feedback::JAM_ACTIVE);
+            self.bus
+                .clear_bits(RegisterMap::HostFeedback, host_feedback::JAM_ACTIVE);
         }
-        CoreOutput { tx, pulses, jam_trigger }
+        CoreOutput {
+            tx,
+            pulses,
+            jam_trigger,
+        }
     }
 
     /// Processes a block, returning a TX waveform time-aligned with the
@@ -448,7 +470,7 @@ mod tests {
         let first_tx = active.iter().position(|&a| a).expect("must jam");
         // Rise occurs shortly after sample 300; detection within 32 samples,
         // TX within 2 more.
-        assert!(first_tx >= 300 && first_tx < 300 + 40, "first_tx={first_tx}");
+        assert!((300..300 + 40).contains(&first_tx), "first_tx={first_tx}");
         assert_eq!(active.iter().filter(|&&a| a).count(), 100);
     }
 
@@ -526,7 +548,11 @@ mod tests {
         assert!(fb & host_feedback::ENERGY_HIGH != 0);
         assert!(fb & host_feedback::JAMMED != 0);
         let fb2 = core.take_feedback();
-        assert_eq!(fb2 & host_feedback::ENERGY_HIGH, 0, "sticky flags cleared on read");
+        assert_eq!(
+            fb2 & host_feedback::ENERGY_HIGH,
+            0,
+            "sticky flags cleared on read"
+        );
     }
 
     #[test]
@@ -542,14 +568,20 @@ mod tests {
             v
         };
         let (_tx, active) = core.process_block(&step(300));
-        assert!(active.iter().all(|&a| !a), "30 dB threshold must not fire on a 20 dB step");
+        assert!(
+            active.iter().all(|&a| !a),
+            "30 dB threshold must not fire on a 20 dB step"
+        );
         // Lower the threshold on the fly and replay the rise.
         core.write_reg(
             RegisterMap::EnergyThresholdHigh,
             crate::regs::db_to_fixed16(6.0),
         );
         let (_tx, active2) = core.process_block(&step(300));
-        assert!(active2.iter().any(|&a| a), "6 dB threshold fires after rewrite");
+        assert!(
+            active2.iter().any(|&a| a),
+            "6 dB threshold fires after rewrite"
+        );
     }
 
     #[test]
@@ -575,7 +607,10 @@ mod tests {
         cfg.enabled = false;
         core.configure(&cfg);
         let (_tx, active) = core.process_block(&quiet(100));
-        assert!(active.iter().all(|&a| a), "continuous mode transmits always");
+        assert!(
+            active.iter().all(|&a| a),
+            "continuous mode transmits always"
+        );
     }
 
     #[test]

@@ -133,7 +133,13 @@ impl EnergyDifferentiator {
         }
         self.was_rise = rise;
         self.was_fall = fall;
-        EnergyOutput { sum: y, rise, fall, trigger_high, trigger_low }
+        EnergyOutput {
+            sum: y,
+            rise,
+            fall,
+            trigger_high,
+            trigger_low,
+        }
     }
 
     /// Resets streaming state, keeping thresholds.
@@ -247,8 +253,14 @@ mod tests {
         feed(&mut det, 50, 200);
         let mut count = 0;
         for _ in 0..5 {
-            count += feed(&mut det, 400, 120).iter().filter(|o| o.trigger_high).count();
-            count += feed(&mut det, 50, 120).iter().filter(|o| o.trigger_high).count();
+            count += feed(&mut det, 400, 120)
+                .iter()
+                .filter(|o| o.trigger_high)
+                .count();
+            count += feed(&mut det, 50, 120)
+                .iter()
+                .filter(|o| o.trigger_high)
+                .count();
         }
         assert!(count >= 3, "expected repeated rise triggers, got {count}");
     }
@@ -261,8 +273,14 @@ mod tests {
         feed(&mut det, 50, 200);
         let mut count = 0;
         for _ in 0..5 {
-            count += feed(&mut det, 400, 120).iter().filter(|o| o.trigger_high).count();
-            count += feed(&mut det, 50, 120).iter().filter(|o| o.trigger_high).count();
+            count += feed(&mut det, 400, 120)
+                .iter()
+                .filter(|o| o.trigger_high)
+                .count();
+            count += feed(&mut det, 50, 120)
+                .iter()
+                .filter(|o| o.trigger_high)
+                .count();
         }
         assert_eq!(count, 1, "lockout must keep a single trigger");
     }

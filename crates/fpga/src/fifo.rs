@@ -151,7 +151,11 @@ mod tests {
         assert_eq!(f.overflow(), 2);
         let out = f.pop(10);
         let is: Vec<i16> = out.iter().map(|s| s.i).collect();
-        assert_eq!(is, vec![1, 2, 3, 4], "FIFO keeps the OLDEST samples; drops new");
+        assert_eq!(
+            is,
+            vec![1, 2, 3, 4],
+            "FIFO keeps the OLDEST samples; drops new"
+        );
         assert!(f.is_empty());
     }
 

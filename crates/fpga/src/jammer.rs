@@ -74,7 +74,9 @@ struct LfsrWgn {
 
 impl LfsrWgn {
     fn new(seed: u32) -> Self {
-        LfsrWgn { state: if seed == 0 { 0xACE1_u32 } else { seed } }
+        LfsrWgn {
+            state: if seed == 0 { 0xACE1_u32 } else { seed },
+        }
     }
 
     #[inline]
@@ -387,7 +389,11 @@ mod tests {
         assert_eq!(first_tx, 22);
         let ev = ctl.events()[0];
         assert_eq!(ev.trigger_cycle, 81);
-        assert!(ev.response_cycles() <= 8, "resp={} cycles", ev.response_cycles());
+        assert!(
+            ev.response_cycles() <= 8,
+            "resp={} cycles",
+            ev.response_cycles()
+        );
         assert!(ev.response_ns() <= 80.0);
     }
 
@@ -430,7 +436,11 @@ mod tests {
         ctl.set_enabled(true);
         ctl.set_uptime_samples(50);
         let _ = run(&mut ctl, &[0, 10, 20], 200);
-        assert_eq!(ctl.events().len(), 1, "re-triggers during a burst are ignored");
+        assert_eq!(
+            ctl.events().len(),
+            1,
+            "re-triggers during a burst are ignored"
+        );
     }
 
     #[test]
@@ -457,8 +467,7 @@ mod tests {
         ctl.set_continuous(true);
         let out = run(&mut ctl, &[], 20_000);
         let samples: Vec<IqI16> = out.into_iter().flatten().collect();
-        let mean_i: f64 =
-            samples.iter().map(|s| s.i as f64).sum::<f64>() / samples.len() as f64;
+        let mean_i: f64 = samples.iter().map(|s| s.i as f64).sum::<f64>() / samples.len() as f64;
         let rms: f64 = (samples.iter().map(|s| (s.i as f64).powi(2)).sum::<f64>()
             / samples.len() as f64)
             .sqrt();

@@ -110,7 +110,10 @@ impl Default for RegisterBus {
 impl RegisterBus {
     /// Creates a zeroed register file.
     pub fn new() -> Self {
-        RegisterBus { regs: vec![0; NUM_REGS], writes: 0 }
+        RegisterBus {
+            regs: vec![0; NUM_REGS],
+            writes: 0,
+        }
     }
 
     /// Host write of one 32-bit word.
@@ -307,7 +310,10 @@ mod tests {
             host_feedback::XCORR_DET | host_feedback::JAMMED
         );
         bus.clear_bits(RegisterMap::HostFeedback, host_feedback::XCORR_DET);
-        assert_eq!(bus.read_reg(RegisterMap::HostFeedback), host_feedback::JAMMED);
+        assert_eq!(
+            bus.read_reg(RegisterMap::HostFeedback),
+            host_feedback::JAMMED
+        );
         // Core-side bit twiddling is not host traffic.
         assert_eq!(bus.write_count(), 0);
     }

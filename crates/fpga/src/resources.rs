@@ -199,7 +199,14 @@ mod tests {
 
     #[test]
     fn addition_is_componentwise() {
-        let a = Resources { slices: 1, ffs: 2, brams: 3, luts: 4, iobs: 5, dsp48: 6 };
+        let a = Resources {
+            slices: 1,
+            ffs: 2,
+            brams: 3,
+            luts: 4,
+            iobs: 5,
+            dsp48: 6,
+        };
         let s = a.plus(a);
         assert_eq!(s.slices, 2);
         assert_eq!(s.dsp48, 12);
@@ -207,7 +214,14 @@ mod tests {
 
     #[test]
     fn fits_rejects_any_axis_overflow() {
-        let budget = Resources { slices: 10, ffs: 10, brams: 10, luts: 10, iobs: 10, dsp48: 10 };
+        let budget = Resources {
+            slices: 10,
+            ffs: 10,
+            brams: 10,
+            luts: 10,
+            iobs: 10,
+            dsp48: 10,
+        };
         let mut big = budget;
         big.brams = 11;
         assert!(!big.fits_in(budget));
@@ -216,8 +230,22 @@ mod tests {
 
     #[test]
     fn utilization_reports_scarcest_axis() {
-        let budget = Resources { slices: 100, ffs: 100, brams: 10, luts: 100, iobs: 0, dsp48: 10 };
-        let use_ = Resources { slices: 10, ffs: 10, brams: 9, luts: 10, iobs: 0, dsp48: 1 };
+        let budget = Resources {
+            slices: 100,
+            ffs: 100,
+            brams: 10,
+            luts: 100,
+            iobs: 0,
+            dsp48: 10,
+        };
+        let use_ = Resources {
+            slices: 10,
+            ffs: 10,
+            brams: 9,
+            luts: 10,
+            iobs: 0,
+            dsp48: 1,
+        };
         assert!((use_.worst_utilization_pct(budget) - 90.0).abs() < 1e-9);
     }
 
@@ -225,7 +253,9 @@ mod tests {
     fn table_covers_all_blocks() {
         let rows = block_table();
         assert_eq!(rows.len(), 5);
-        let sum = rows.iter().fold(Resources::default(), |acc, (_, r)| acc.plus(*r));
+        let sum = rows
+            .iter()
+            .fold(Resources::default(), |acc, (_, r)| acc.plus(*r));
         assert_eq!(sum, core_total());
     }
 }

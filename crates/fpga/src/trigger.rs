@@ -90,7 +90,12 @@ impl TriggerBuilder {
                 );
             }
         }
-        TriggerBuilder { mode, stage: 0, armed_at: None, now: 0 }
+        TriggerBuilder {
+            mode,
+            stage: 0,
+            armed_at: None,
+            now: 0,
+        }
     }
 
     /// Current mode.
@@ -140,10 +145,26 @@ impl TriggerBuilder {
 mod tests {
     use super::*;
 
-    const P_NONE: Pulses = Pulses { xcorr: false, energy_high: false, energy_low: false };
-    const P_X: Pulses = Pulses { xcorr: true, energy_high: false, energy_low: false };
-    const P_EH: Pulses = Pulses { xcorr: false, energy_high: true, energy_low: false };
-    const P_EL: Pulses = Pulses { xcorr: false, energy_high: false, energy_low: true };
+    const P_NONE: Pulses = Pulses {
+        xcorr: false,
+        energy_high: false,
+        energy_low: false,
+    };
+    const P_X: Pulses = Pulses {
+        xcorr: true,
+        energy_high: false,
+        energy_low: false,
+    };
+    const P_EH: Pulses = Pulses {
+        xcorr: false,
+        energy_high: true,
+        energy_low: false,
+    };
+    const P_EL: Pulses = Pulses {
+        xcorr: false,
+        energy_high: false,
+        energy_low: true,
+    };
 
     #[test]
     fn any_mode_fires_on_either_source() {
@@ -192,7 +213,10 @@ mod tests {
         for _ in 0..11 {
             assert!(!tb.push(P_NONE));
         }
-        assert!(!tb.push(P_X), "window expired; xcorr alone must not complete");
+        assert!(
+            !tb.push(P_X),
+            "window expired; xcorr alone must not complete"
+        );
         // Re-arm works after expiry.
         assert!(!tb.push(P_EH));
         assert!(tb.push(P_X));
@@ -225,7 +249,11 @@ mod tests {
             stages: vec![TriggerSource::EnergyHigh, TriggerSource::Xcorr],
             window: 100,
         });
-        let both = Pulses { xcorr: true, energy_high: true, energy_low: false };
+        let both = Pulses {
+            xcorr: true,
+            energy_high: true,
+            energy_low: false,
+        };
         assert!(!tb.push(both), "one stage per clock, as in hardware");
         assert!(tb.push(both));
     }

@@ -109,14 +109,20 @@ mod tests {
         assert_eq!(a.ticks_since(b), -250);
         // Across a second boundary.
         let c = VitaTime { secs: 11, ticks: 5 };
-        let d = VitaTime { secs: 10, ticks: VitaTime::TICKS_PER_SEC - 5 };
+        let d = VitaTime {
+            secs: 10,
+            ticks: VitaTime::TICKS_PER_SEC - 5,
+        };
         assert_eq!(c.ticks_since(d), 10);
     }
 
     #[test]
     fn ordering_follows_time() {
         let a = VitaTime { secs: 5, ticks: 99 };
-        let b = VitaTime { secs: 5, ticks: 100 };
+        let b = VitaTime {
+            secs: 5,
+            ticks: 100,
+        };
         let c = VitaTime { secs: 6, ticks: 0 };
         assert!(a < b && b < c);
     }
@@ -129,6 +135,9 @@ mod tests {
         assert!(!fd.has(AntennaControl::PA_ENABLE));
         let amped = fd.with(AntennaControl::PA_ENABLE);
         assert!(amped.has(AntennaControl::PA_ENABLE));
-        assert!(amped.has(AntennaControl::TX_ON_TXRX), "with() preserves bits");
+        assert!(
+            amped.has(AntennaControl::TX_ON_TXRX),
+            "with() preserves bits"
+        );
     }
 }

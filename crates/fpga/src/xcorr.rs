@@ -256,7 +256,11 @@ impl CrossCorrelator {
             self.lockout_left = self.lockout;
         }
         self.was_above = above;
-        XcorrOutput { metric: if window_valid { metric } else { 0 }, above, trigger }
+        XcorrOutput {
+            metric: if window_valid { metric } else { 0 },
+            above,
+            trigger,
+        }
     }
 
     /// Resets the streaming state, keeping coefficients and thresholds.
@@ -303,7 +307,9 @@ mod tests {
     }
 
     fn random_signs(rng: &mut Rng, n: usize) -> Vec<i8> {
-        (0..n).map(|_| if rng.chance(0.5) { 1 } else { -1 }).collect()
+        (0..n)
+            .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+            .collect()
     }
 
     #[test]
@@ -333,7 +339,8 @@ mod tests {
     #[test]
     fn mismatched_stream_stays_low() {
         let mut rng = Rng::seed_from(11);
-        let (ci, cq) = template_from_signs(&random_signs(&mut rng, 64), &random_signs(&mut rng, 64));
+        let (ci, cq) =
+            template_from_signs(&random_signs(&mut rng, 64), &random_signs(&mut rng, 64));
         let mut xc = CrossCorrelator::new();
         xc.load_coeffs(&ci, &cq);
         // Feed independent random signs; expected metric ~ 2 * 64 * 9 * 2.
@@ -349,8 +356,12 @@ mod tests {
     #[test]
     fn reference_and_bitsliced_agree() {
         let mut rng = Rng::seed_from(12);
-        let ci: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
-        let cq: Vec<Coeff3> = (0..64).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect();
+        let ci: Vec<Coeff3> = (0..64)
+            .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+            .collect();
+        let cq: Vec<Coeff3> = (0..64)
+            .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+            .collect();
         let mut fast = CrossCorrelator::new();
         let mut slow = CrossCorrelator::new();
         fast.load_coeffs(&ci, &cq);
@@ -379,7 +390,11 @@ mod tests {
         let (ci, cq) = template_from_signs(&si, &sq);
         let mut xc = CrossCorrelator::new();
         xc.load_coeffs(&ci, &cq);
-        let mut last = XcorrOutput { metric: 0, above: false, trigger: false };
+        let mut last = XcorrOutput {
+            metric: 0,
+            above: false,
+            trigger: false,
+        };
         for (&i, &q) in si.iter().zip(sq.iter()) {
             // Multiply (i + jq) by j: (-q + ji).
             last = xc.push(IqI16::new(-(q as i16) * 1000, i as i16 * 1000));
@@ -431,7 +446,7 @@ mod tests {
     #[test]
     fn reset_clears_history() {
         let mut xc = CrossCorrelator::new();
-        xc.load_coeffs(&vec![Coeff3::new(3); 64], &vec![Coeff3::new(0); 64]);
+        xc.load_coeffs(&[Coeff3::new(3); 64], &[Coeff3::new(0); 64]);
         xc.set_threshold(1);
         for _ in 0..64 {
             xc.push(IqI16::new(1000, 0));
@@ -452,7 +467,7 @@ mod tests {
     #[test]
     fn max_metric_bound() {
         let mut xc = CrossCorrelator::new();
-        xc.load_coeffs(&vec![Coeff3::new(3); 64], &vec![Coeff3::new(-4); 64]);
+        xc.load_coeffs(&[Coeff3::new(3); 64], &[Coeff3::new(-4); 64]);
         assert_eq!(xc.max_metric(), (64 * 3 + 64 * 4) * (64 * 3 + 64 * 4));
     }
 }

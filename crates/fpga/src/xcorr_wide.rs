@@ -111,7 +111,11 @@ impl WideCorrelator {
             rail_q: WideRail::new(&rev_q),
             neg_i: vec![0; chunks],
             neg_q: vec![0; chunks],
-            tail_mask: if tail_bits == 0 { u64::MAX } else { (1u64 << tail_bits) - 1 },
+            tail_mask: if tail_bits == 0 {
+                u64::MAX
+            } else {
+                (1u64 << tail_bits) - 1
+            },
             threshold: u64::MAX,
             fed: 0,
             lockout: 0,
@@ -195,7 +199,11 @@ impl WideCorrelator {
             self.lockout_left = self.lockout;
         }
         self.was_above = above;
-        WideOutput { metric: if valid { metric } else { 0 }, above, trigger }
+        WideOutput {
+            metric: if valid { metric } else { 0 },
+            above,
+            trigger,
+        }
     }
 
     /// Estimated FPGA footprint at this window length, scaling the paper's
@@ -222,7 +230,9 @@ mod tests {
     use rjam_sdr::rng::Rng;
 
     fn random_coeffs(rng: &mut Rng, n: usize) -> Vec<Coeff3> {
-        (0..n).map(|_| Coeff3::saturating(rng.below(8) as i32 - 4)).collect()
+        (0..n)
+            .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+            .collect()
     }
 
     #[test]
@@ -251,8 +261,12 @@ mod tests {
     fn matched_peak_at_any_length() {
         let mut rng = Rng::seed_from(91);
         for len in [16usize, 64, 80, 100, 128, 256] {
-            let signs_i: Vec<i8> = (0..len).map(|_| if rng.chance(0.5) { 1 } else { -1 }).collect();
-            let signs_q: Vec<i8> = (0..len).map(|_| if rng.chance(0.5) { 1 } else { -1 }).collect();
+            let signs_i: Vec<i8> = (0..len)
+                .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+                .collect();
+            let signs_q: Vec<i8> = (0..len)
+                .map(|_| if rng.chance(0.5) { 1 } else { -1 })
+                .collect();
             let ci: Vec<Coeff3> = signs_i.iter().map(|&s| Coeff3::new(3 * s)).collect();
             let cq: Vec<Coeff3> = signs_q.iter().map(|&s| Coeff3::new(3 * s)).collect();
             let mut xc = WideCorrelator::new(&ci, &cq);

@@ -59,7 +59,11 @@ fn capture_forensics_over_a_train() {
     core.enable_capture(16, 64, 256); // 80 samples per capture; fills after 3
     let train = packet_train(10, 1000, 800, 2);
     core.process_block(&train);
-    assert_eq!(core.jam_events().len(), 10, "jamming unaffected by FIFO state");
+    assert_eq!(
+        core.jam_events().len(),
+        10,
+        "jamming unaffected by FIFO state"
+    );
     let drained = core.drain_capture(10_000);
     assert_eq!(drained.len(), 256, "FIFO capped at its depth");
     assert!(core.capture_overflow() > 0);

@@ -123,11 +123,18 @@ mod tests {
                 let p = match sir_db {
                     None => frame_success_prob(rate, det.psdu_len, snr, 300.0, &[], false),
                     Some(sir) => {
-                        let burst = [Burst { start_us: 2.64, end_us: 102.64 }];
+                        let burst = [Burst {
+                            start_us: 2.64,
+                            end_us: 102.64,
+                        }];
                         frame_success_prob(rate, det.psdu_len, snr, sir, &burst, false)
                     }
                 };
-                LinkObservation { rssi_dbm, rate, delivered: rng.chance(p) }
+                LinkObservation {
+                    rssi_dbm,
+                    rate,
+                    delivered: rng.chance(p),
+                }
             })
             .collect()
     }

@@ -60,7 +60,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
     }
 
     /// Current simulation time (time of the last popped event).
@@ -73,8 +77,16 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics when scheduling into the past.
     pub fn schedule(&mut self, at: Time, event: E) {
-        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
-        self.heap.push(Entry { time: at, seq: self.seq, event });
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -78,7 +78,11 @@ impl IperfReport {
             self.prr_percent,
             self.received,
             self.sent,
-            if self.disassociated { "  [LINK LOST]" } else { "" }
+            if self.disassociated {
+                "  [LINK LOST]"
+            } else {
+                ""
+            }
         )
     }
 }

@@ -78,7 +78,10 @@ pub fn frame_success_prob(
     let data_dur = airtime - T_PREAMBLE_US - T_SIGNAL_US;
     let jam_sinr = combine_sinr_db(snr_db, sir_db);
 
-    let full_frame = [Burst { start_us: 0.0, end_us: airtime }];
+    let full_frame = [Burst {
+        start_us: 0.0,
+        end_us: airtime,
+    }];
     let bursts: &[Burst] = if continuous { &full_frame } else { bursts };
 
     // --- Preamble region: +processing gain, evaluated as a BPSK-1/2 block.
@@ -117,10 +120,20 @@ pub fn frame_success_prob(
         .map(|b| b.overlap(data_lo, airtime))
         .sum::<f64>()
         .min(data_dur.max(0.0));
-    let jam_frac = if data_dur > 0.0 { jammed_us / data_dur } else { 0.0 };
+    let jam_frac = if data_dur > 0.0 {
+        jammed_us / data_dur
+    } else {
+        0.0
+    };
     let segments = [
-        Segment { fraction: 1.0 - jam_frac, snr_db },
-        Segment { fraction: jam_frac, snr_db: jam_sinr },
+        Segment {
+            fraction: 1.0 - jam_frac,
+            snr_db,
+        },
+        Segment {
+            fraction: jam_frac,
+            snr_db: jam_sinr,
+        },
     ];
     let p_data = 1.0 - per_segments(rate, psdu_len, &segments);
 
@@ -177,7 +190,10 @@ mod tests {
     fn data_burst_kills_at_moderate_sir() {
         // A 100 us burst starting 2.64 us into a 240 us frame covers SIGNAL
         // and early data; at 12 dB SIR a 54 Mb/s frame dies.
-        let burst = [Burst { start_us: 2.64, end_us: 102.64 }];
+        let burst = [Burst {
+            start_us: 2.64,
+            end_us: 102.64,
+        }];
         let p = frame_success_prob(Rate::R54, LEN, 30.0, 12.0, &burst, false);
         assert!(p < 0.05, "p={p}");
     }
@@ -185,7 +201,10 @@ mod tests {
     #[test]
     fn preamble_only_burst_needs_much_more_power() {
         // A 10 us burst ending at 12.64 us sits inside the preamble.
-        let burst = [Burst { start_us: 2.64, end_us: 12.64 }];
+        let burst = [Burst {
+            start_us: 2.64,
+            end_us: 12.64,
+        }];
         // At 12 dB SIR acquisition survives (coded-BPSK robustness)...
         let p_hi = frame_success_prob(Rate::R54, LEN, 30.0, 12.0, &burst, false);
         assert!(p_hi > 0.9, "p_hi={p_hi}");
@@ -212,8 +231,14 @@ mod tests {
             }
             lo
         };
-        let k_long = kill_sir(&[Burst { start_us: 2.64, end_us: 102.64 }]);
-        let k_short = kill_sir(&[Burst { start_us: 2.64, end_us: 12.64 }]);
+        let k_long = kill_sir(&[Burst {
+            start_us: 2.64,
+            end_us: 102.64,
+        }]);
+        let k_short = kill_sir(&[Burst {
+            start_us: 2.64,
+            end_us: 12.64,
+        }]);
         assert!(
             k_long - k_short > 8.0,
             "long-burst kill at {k_long:.1} dB, short at {k_short:.1} dB"
@@ -222,14 +247,20 @@ mod tests {
 
     #[test]
     fn burst_outside_frame_is_harmless() {
-        let burst = [Burst { start_us: 500.0, end_us: 600.0 }];
+        let burst = [Burst {
+            start_us: 500.0,
+            end_us: 600.0,
+        }];
         let p = frame_success_prob(Rate::R54, LEN, 30.0, -10.0, &burst, false);
         assert!(p > 0.999);
     }
 
     #[test]
     fn overlap_arithmetic() {
-        let b = Burst { start_us: 10.0, end_us: 20.0 };
+        let b = Burst {
+            start_us: 10.0,
+            end_us: 20.0,
+        };
         assert_eq!(b.overlap(0.0, 16.0), 6.0);
         assert_eq!(b.overlap(0.0, 5.0), 0.0);
         assert_eq!(b.overlap(12.0, 18.0), 6.0);
@@ -245,7 +276,10 @@ mod tests {
 
     #[test]
     fn success_prob_monotone_in_sir() {
-        let burst = [Burst { start_us: 2.64, end_us: 102.64 }];
+        let burst = [Burst {
+            start_us: 2.64,
+            end_us: 102.64,
+        }];
         let mut last = 0.0;
         for sir in [-10.0, 0.0, 10.0, 20.0, 30.0, 40.0] {
             let p = frame_success_prob(Rate::R24, LEN, 30.0, sir, &burst, false);

@@ -43,7 +43,11 @@ struct RateController {
 impl RateController {
     fn new(start: Rate) -> Self {
         let idx = Rate::ALL.iter().position(|&r| r == start).unwrap();
-        RateController { idx, consec_fail: 0, consec_ok: 0 }
+        RateController {
+            idx,
+            consec_fail: 0,
+            consec_ok: 0,
+        }
     }
 
     fn rate(&self) -> Rate {
@@ -83,12 +87,20 @@ struct JamAccounting {
 /// Draws the reactive jam bursts triggered by one frame transmission.
 fn reactive_bursts(jammer: &JammerKind, rng: &mut Rng, acct: &mut JamAccounting) -> Vec<Burst> {
     match jammer {
-        JammerKind::Reactive { uptime_us, response_us, delay_us, detect_prob } => {
+        JammerKind::Reactive {
+            uptime_us,
+            response_us,
+            delay_us,
+            detect_prob,
+        } => {
             if rng.chance(*detect_prob) {
                 let start = response_us + delay_us;
                 acct.bursts += 1;
                 acct.airtime_us += uptime_us;
-                vec![Burst { start_us: start, end_us: start + uptime_us }]
+                vec![Burst {
+                    start_us: start,
+                    end_us: start + uptime_us,
+                }]
             } else {
                 Vec::new()
             }
@@ -326,7 +338,11 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         .iter()
         .map(|&n| n as f64 * sc.payload_bytes as f64 * 8.0 / 1000.0)
         .collect();
-    let mean_rate = if rate_count > 0 { rate_accum / rate_count as f64 } else { 0.0 };
+    let mean_rate = if rate_count > 0 {
+        rate_accum / rate_count as f64
+    } else {
+        0.0
+    };
     if continuous {
         acct.airtime_us = now_us.min(duration_us);
         acct.bursts = 1;
@@ -349,7 +365,10 @@ mod tests {
     use super::*;
 
     fn base() -> Scenario {
-        Scenario { duration_s: 5.0, ..Scenario::default() }
+        Scenario {
+            duration_s: 5.0,
+            ..Scenario::default()
+        }
     }
 
     #[test]
@@ -422,7 +441,10 @@ mod tests {
             ..base()
         };
         let r = run_scenario(&sc);
-        assert!(r.disassociated, "deep continuous jamming must drop the link");
+        assert!(
+            r.disassociated,
+            "deep continuous jamming must drop the link"
+        );
         assert_eq!(r.received, 0);
     }
 
@@ -444,7 +466,10 @@ mod tests {
             ..base()
         };
         let r = run_scenario(&sc);
-        assert!(!r.disassociated, "reactive jamming must not drop association");
+        assert!(
+            !r.disassociated,
+            "reactive jamming must not drop association"
+        );
         // The floor is set by detector leakage: ~1% of frames go unjammed
         // and retries give each datagram several chances.
         assert!(r.prr_percent < 10.0, "prr={}", r.prr_percent);
@@ -546,7 +571,11 @@ mod tests {
         };
         let r = run_scenario(&sc);
         // 54 Mb/s cannot survive 17 dB SINR; the link falls back but lives.
-        assert!(r.mean_phy_rate_mbps < 40.0, "mean rate {}", r.mean_phy_rate_mbps);
+        assert!(
+            r.mean_phy_rate_mbps < 40.0,
+            "mean rate {}",
+            r.mean_phy_rate_mbps
+        );
         assert!(r.received > 0);
     }
 
@@ -618,7 +647,10 @@ mod tests {
     #[test]
     fn rts_cts_costs_throughput_on_clean_links() {
         let plain = run_scenario(&base());
-        let protected = run_scenario(&Scenario { rts_cts: true, ..base() });
+        let protected = run_scenario(&Scenario {
+            rts_cts: true,
+            ..base()
+        });
         assert!(
             protected.bandwidth_kbps < plain.bandwidth_kbps,
             "handshake overhead must show: {} vs {}",
@@ -630,7 +662,10 @@ mod tests {
 
     #[test]
     fn per_second_series_sums_to_total() {
-        let sc = Scenario { duration_s: 4.0, ..base() };
+        let sc = Scenario {
+            duration_s: 4.0,
+            ..base()
+        };
         let r = run_scenario(&sc);
         assert_eq!(r.per_second_kbps.len(), 4);
         let series_bits: f64 = r.per_second_kbps.iter().sum::<f64>() * 1000.0;
@@ -651,7 +686,11 @@ mod tests {
 
     #[test]
     fn offered_load_limits_sent_count() {
-        let sc = Scenario { offered_mbps: 1.0, duration_s: 2.0, ..base() };
+        let sc = Scenario {
+            offered_mbps: 1.0,
+            duration_s: 2.0,
+            ..base()
+        };
         let r = run_scenario(&sc);
         // 1 Mb/s of 1470 B datagrams for 2 s = ~170 datagrams.
         assert!((r.sent as i64 - 170).abs() <= 2, "sent={}", r.sent);

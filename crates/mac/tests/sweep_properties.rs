@@ -48,8 +48,14 @@ fn longer_uptime_never_helps_the_victim() {
 
 #[test]
 fn throughput_scales_with_duration() {
-    let base = Scenario { duration_s: 2.0, ..Scenario::default() };
-    let double = Scenario { duration_s: 4.0, ..Scenario::default() };
+    let base = Scenario {
+        duration_s: 2.0,
+        ..Scenario::default()
+    };
+    let double = Scenario {
+        duration_s: 4.0,
+        ..Scenario::default()
+    };
     let r2 = run_scenario(&base);
     let r4 = run_scenario(&double);
     let ratio = r4.received as f64 / r2.received as f64;
@@ -61,11 +67,18 @@ fn throughput_scales_with_duration() {
 #[test]
 fn detect_prob_zero_means_no_jamming_effect() {
     let mut sc = reactive(100.0, 5.0);
-    if let JammerKind::Reactive { ref mut detect_prob, .. } = sc.jammer {
+    if let JammerKind::Reactive {
+        ref mut detect_prob,
+        ..
+    } = sc.jammer
+    {
         *detect_prob = 0.0;
     }
     let jammed = run_scenario(&sc);
-    let clean = run_scenario(&Scenario { duration_s: 3.0, ..Scenario::default() });
+    let clean = run_scenario(&Scenario {
+        duration_s: 3.0,
+        ..Scenario::default()
+    });
     assert!(
         jammed.bandwidth_kbps > 0.95 * clean.bandwidth_kbps,
         "a blind jammer is no jammer: {} vs {}",
@@ -78,7 +91,11 @@ fn detect_prob_zero_means_no_jamming_effect() {
 #[test]
 fn offered_load_is_respected_under_light_load() {
     for mbps in [2.0, 8.0] {
-        let sc = Scenario { offered_mbps: mbps, duration_s: 3.0, ..Scenario::default() };
+        let sc = Scenario {
+            offered_mbps: mbps,
+            duration_s: 3.0,
+            ..Scenario::default()
+        };
         let r = run_scenario(&sc);
         let achieved_mbps = r.bandwidth_kbps / 1000.0;
         assert!(

@@ -17,7 +17,10 @@ impl Scrambler {
     /// # Panics
     /// Panics if `state` is zero or wider than 7 bits.
     pub fn new(state: u8) -> Self {
-        assert!(state != 0 && state < 0x80, "scrambler state must be 7-bit nonzero");
+        assert!(
+            state != 0 && state < 0x80,
+            "scrambler state must be 7-bit nonzero"
+        );
         Scrambler { state }
     }
 

@@ -138,7 +138,11 @@ pub fn depuncture(received: &[SoftBit], rate: CodeRate, n_info: usize) -> Vec<So
 /// bit). Assumes the encoder started in state 0; if the frame was
 /// tail-terminated the final state 0 is preferred in traceback.
 pub fn viterbi_decode(pairs: &[SoftBit], n_info: usize) -> Vec<u8> {
-    assert_eq!(pairs.len(), n_info * 2, "need exactly 2 soft bits per info bit");
+    assert_eq!(
+        pairs.len(),
+        n_info * 2,
+        "need exactly 2 soft bits per info bit"
+    );
     const INF: u32 = u32::MAX / 2;
 
     // Precompute branch outputs: for (state, input) -> (a, b, next_state).
@@ -169,8 +173,7 @@ pub fn viterbi_decode(pairs: &[SoftBit], n_info: usize) -> Vec<u8> {
             if m >= INF {
                 continue;
             }
-            for input in 0..2 {
-                let (ea, eb, ns) = branch[state][input];
+            for (input, &(ea, eb, ns)) in branch[state].iter().enumerate() {
                 let cost = m + a.cost(ea) + b.cost(eb);
                 if cost < next[ns] {
                     next[ns] = cost;
@@ -183,9 +186,7 @@ pub fn viterbi_decode(pairs: &[SoftBit], n_info: usize) -> Vec<u8> {
     }
 
     // Prefer the zero state (tail-terminated); otherwise the best metric.
-    let mut state = if metric[0] < INF
-        && metric[0] <= *metric.iter().min().unwrap() + 0
-    {
+    let mut state = if metric[0] < INF && metric[0] <= *metric.iter().min().unwrap() {
         0usize
     } else {
         metric
@@ -206,7 +207,10 @@ pub fn viterbi_decode(pairs: &[SoftBit], n_info: usize) -> Vec<u8> {
 
 /// Convenience: decode hard bits at a given rate back to `n_info` info bits.
 pub fn decode(received_hard: &[u8], rate: CodeRate, n_info: usize) -> Vec<u8> {
-    let soft: Vec<SoftBit> = received_hard.iter().map(|&b| SoftBit::from_bit(b)).collect();
+    let soft: Vec<SoftBit> = received_hard
+        .iter()
+        .map(|&b| SoftBit::from_bit(b))
+        .collect();
     let pairs = depuncture(&soft, rate, n_info);
     viterbi_decode(&pairs, n_info)
 }
@@ -233,7 +237,11 @@ pub fn depuncture_llr(received: &[i32], rate: CodeRate, n_info: usize) -> Vec<i3
 /// LLRs; the survivor maximizes it. Soft decisions buy the classic ~2 dB
 /// over hard slicing (validated against the hard path in `per` tests).
 pub fn viterbi_decode_soft(llr_pairs: &[i32], n_info: usize) -> Vec<u8> {
-    assert_eq!(llr_pairs.len(), n_info * 2, "need exactly 2 LLRs per info bit");
+    assert_eq!(
+        llr_pairs.len(),
+        n_info * 2,
+        "need exactly 2 LLRs per info bit"
+    );
     const NEG_INF: i64 = i64::MIN / 4;
 
     let mut branch = [[(0i64, 0i64, 0usize); 2]; STATES];
@@ -259,8 +267,7 @@ pub fn viterbi_decode_soft(llr_pairs: &[i32], n_info: usize) -> Vec<u8> {
             if m <= NEG_INF {
                 continue;
             }
-            for input in 0..2 {
-                let (ea, eb, ns) = branch[state][input];
+            for (input, &(ea, eb, ns)) in branch[state].iter().enumerate() {
                 let gain = m + ea * la + eb * lb;
                 if gain > next[ns] {
                     next[ns] = gain;
@@ -410,7 +417,10 @@ mod tests {
         for rate in [CodeRate::Half, CodeRate::TwoThirds, CodeRate::ThreeQuarters] {
             let info = with_tail(random_bits(&mut rng, 120));
             let coded = encode(&info, rate);
-            let llrs: Vec<i32> = coded.iter().map(|&b| if b == 1 { 64 } else { -64 }).collect();
+            let llrs: Vec<i32> = coded
+                .iter()
+                .map(|&b| if b == 1 { 64 } else { -64 })
+                .collect();
             let pairs = depuncture_llr(&llrs, rate, info.len());
             assert_eq!(viterbi_decode_soft(&pairs, info.len()), info, "{rate:?}");
         }
@@ -424,8 +434,10 @@ mod tests {
         let mut rng = Rng::seed_from(36);
         let info = with_tail(random_bits(&mut rng, 120));
         let coded = encode(&info, CodeRate::Half);
-        let mut llrs: Vec<i32> =
-            coded.iter().map(|&b| if b == 1 { 64 } else { -64 }).collect();
+        let mut llrs: Vec<i32> = coded
+            .iter()
+            .map(|&b| if b == 1 { 64 } else { -64 })
+            .collect();
         // Dense burst of weakly-wrong bits (hard decoder sees 12 errors in
         // a row, beyond its correction span).
         for l in llrs.iter_mut().skip(60).take(12) {

@@ -76,8 +76,8 @@ fn plcp_bits(psdu: &[u8]) -> Vec<u8> {
     // Header: SIGNAL=0x0A (1 Mb/s), SERVICE=0, LENGTH in us, CCITT CRC-16.
     let mut hdr = [0u8; 48];
     let signal = 0x0Au8;
-    for k in 0..8 {
-        hdr[k] = (signal >> k) & 1;
+    for (k, h) in hdr.iter_mut().enumerate().take(8) {
+        *h = (signal >> k) & 1;
     }
     let length_us = (psdu.len() * 8) as u16; // 1 Mb/s: 1 us per bit
     for k in 0..16 {
@@ -217,7 +217,10 @@ mod tests {
         let wave = modulate_dsss(&[0xAB; 20]);
         let p = mean_power(&wave);
         for s in &wave {
-            assert!((s.norm_sq() - p).abs() < 1e-12, "DBPSK/Barker is constant envelope");
+            assert!(
+                (s.norm_sq() - p).abs() < 1e-12,
+                "DBPSK/Barker is constant envelope"
+            );
         }
     }
 
@@ -257,7 +260,10 @@ mod tests {
         let frame = crate::tx::Frame::new(crate::Rate::R6, vec![0x80; 90]);
         let ofdm = crate::tx::modulate_frame(&frame);
         let ofdm_25 = rjam_sdr::resample::to_usrp_rate(&ofdm, 20.0e6);
-        assert!(sts_template_triggers(&ofdm_25), "STS template must fire on OFDM");
+        assert!(
+            sts_template_triggers(&ofdm_25),
+            "STS template must fire on OFDM"
+        );
     }
 
     /// Minimal sign-bit STS correlation check, mirroring the FPGA detector

@@ -68,7 +68,11 @@ mod tests {
         for &(n_cbps, n_bpsc) in &CONFIGS {
             let bits: Vec<u8> = (0..n_cbps).map(|_| (rng.next_u64() & 1) as u8).collect();
             let inter = interleave(&bits, n_cbps, n_bpsc);
-            assert_eq!(deinterleave(&inter, n_cbps, n_bpsc), bits, "cfg {n_cbps}/{n_bpsc}");
+            assert_eq!(
+                deinterleave(&inter, n_cbps, n_bpsc),
+                bits,
+                "cfg {n_cbps}/{n_bpsc}"
+            );
         }
     }
 

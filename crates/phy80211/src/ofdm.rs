@@ -90,7 +90,10 @@ pub fn parse_symbol(
         .iter()
         .map(|&k| freq[sub_to_bin(k)] * derot)
         .collect();
-    ParsedSymbol { data, pilot_phase: phase }
+    ParsedSymbol {
+        data,
+        pilot_phase: phase,
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +130,10 @@ mod tests {
         let sym = build_symbol(&random_points(&mut rng, 48), 1, &fft);
         assert_eq!(sym.len(), 80);
         for k in 0..CP_LEN {
-            assert!((sym[k] - sym[k + FFT_LEN]).abs() < 1e-12, "CP mismatch at {k}");
+            assert!(
+                (sym[k] - sym[k + FFT_LEN]).abs() < 1e-12,
+                "CP mismatch at {k}"
+            );
         }
     }
 
@@ -159,7 +165,7 @@ mod tests {
         let mut freq = sym[CP_LEN..].to_vec();
         fft.forward(&mut freq);
         for (k, f) in freq.iter_mut().enumerate() {
-            *f = *f * channel[k];
+            *f *= channel[k];
         }
         fft.inverse(&mut freq);
         let parsed = parse_symbol(&freq, &channel, 5, &fft);
@@ -193,7 +199,10 @@ mod tests {
         let s0 = build_symbol(&points, 0, &fft);
         let s4 = build_symbol(&points, 4, &fft);
         for k in 0..80 {
-            assert!((s0[k] + s4[k]).abs() < 1e-12, "pilot-only symbols must negate");
+            assert!(
+                (s0[k] + s4[k]).abs() < 1e-12,
+                "pilot-only symbols must negate"
+            );
         }
     }
 }

@@ -64,7 +64,7 @@ fn pairwise(d: usize, p: f64) -> f64 {
     for k in (half + 1)..=d {
         sum += (ln_binom(d, k) + k as f64 * ln_p + (d - k) as f64 * ln_q).exp();
     }
-    if d % 2 == 0 {
+    if d.is_multiple_of(2) {
         sum += 0.5 * (ln_binom(d, half) + half as f64 * ln_p + half as f64 * ln_q).exp();
     }
     sum.min(0.5)
@@ -87,7 +87,10 @@ fn weight_spectrum(rate: CodeRate) -> (usize, &'static [f64]) {
         // d_free = 6; c_d for d = 6..12.
         CodeRate::TwoThirds => (6, &[3.0, 70.0, 285.0, 1276.0, 6160.0, 27128.0, 117019.0]),
         // d_free = 5; c_d for d = 5..11.
-        CodeRate::ThreeQuarters => (5, &[42.0, 201.0, 1492.0, 10469.0, 62935.0, 379546.0, 2253373.0]),
+        CodeRate::ThreeQuarters => (
+            5,
+            &[42.0, 201.0, 1492.0, 10469.0, 62935.0, 379546.0, 2253373.0],
+        ),
     }
 }
 
@@ -263,7 +266,10 @@ mod tests {
         let seg = per_segments(
             Rate::R24,
             500,
-            &[Segment { fraction: 1.0, snr_db: 12.0 }],
+            &[Segment {
+                fraction: 1.0,
+                snr_db: 12.0,
+            }],
         );
         assert!((uniform - seg).abs() < 1e-9);
     }
@@ -276,8 +282,14 @@ mod tests {
             Rate::R54,
             1470,
             &[
-                Segment { fraction: 0.99, snr_db: 35.0 },
-                Segment { fraction: 0.01, snr_db: -5.0 },
+                Segment {
+                    fraction: 0.99,
+                    snr_db: 35.0,
+                },
+                Segment {
+                    fraction: 0.01,
+                    snr_db: -5.0,
+                },
             ],
         );
         assert!(per > 0.99, "per={per}");
@@ -289,8 +301,14 @@ mod tests {
             Rate::R6,
             1470,
             &[
-                Segment { fraction: 0.99, snr_db: 35.0 },
-                Segment { fraction: 0.01, snr_db: 12.0 },
+                Segment {
+                    fraction: 0.99,
+                    snr_db: 35.0,
+                },
+                Segment {
+                    fraction: 0.01,
+                    snr_db: 12.0,
+                },
             ],
         );
         assert!(per < 0.05, "per={per}");

@@ -42,9 +42,11 @@ fn sts_freq() -> [Cf64; FFT_LEN] {
 
 /// The 52 long-training subcarrier signs (k = -26..=26, skipping 0).
 const LTS_SIGNS: [i8; 53] = [
-    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1,
+    1, // -26..-1
     0, // DC
-    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1,
+    1, // 1..26
 ];
 
 /// Frequency-domain long training symbol.
@@ -78,7 +80,9 @@ pub fn short_symbol() -> Vec<Cf64> {
     // Undo the 1/N normalization difference: the standard defines the
     // waveform via the 64-IFFT; keep as-is (unit-average-power handled by
     // sqrt(13/6) boost).
-    freq.iter().map(|s| s.scale(FFT_LEN as f64 / 64.0)).collect()
+    freq.iter()
+        .map(|s| s.scale(FFT_LEN as f64 / 64.0))
+        .collect()
 }
 
 /// The 64-sample long training symbol, time domain.
@@ -143,7 +147,10 @@ mod tests {
     fn long_preamble_repeats_symbol() {
         let lp = long_preamble();
         for k in 0..64 {
-            assert!((lp[32 + k] - lp[96 + k]).abs() < 1e-12, "LTS copies differ at {k}");
+            assert!(
+                (lp[32 + k] - lp[96 + k]).abs() < 1e-12,
+                "LTS copies differ at {k}"
+            );
         }
         // GI2 is a cyclic prefix: first 32 samples equal the symbol tail.
         let sym = long_symbol();

@@ -13,7 +13,7 @@ use crate::convcode::{
 use crate::interleave::deinterleave;
 use crate::modmap::{demap_soft_stream, demap_stream};
 use crate::ofdm::parse_symbol;
-use crate::preamble::{lts_freq, long_symbol};
+use crate::preamble::{long_symbol, lts_freq};
 use crate::signal::{parse_signal, Rate, SignalInfo};
 use crate::{CP_LEN, FFT_LEN, PREAMBLE_LEN, SYM_LEN};
 use rjam_sdr::complex::Cf64;
@@ -81,7 +81,11 @@ pub fn synchronize(samples: &[Cf64]) -> Option<SyncInfo> {
             acc += lts[k].conj() * samples[n + k];
             win_e += samples[n + k].norm_sq();
         }
-        let norm = if win_e > 1e-12 { acc.norm_sq() / (lts_energy * win_e) } else { 0.0 };
+        let norm = if win_e > 1e-12 {
+            acc.norm_sq() / (lts_energy * win_e)
+        } else {
+            0.0
+        };
         if norm > 0.5 * quality {
             n
         } else {
@@ -103,8 +107,16 @@ pub fn synchronize(samples: &[Cf64]) -> Option<SyncInfo> {
             acc += samples[first_lts + k].conj() * samples[first_lts + 64 + k];
         }
     }
-    let cfo = if acc.abs() > 1e-12 { acc.arg() / 64.0 } else { 0.0 };
-    Some(SyncInfo { frame_start, cfo, quality })
+    let cfo = if acc.abs() > 1e-12 {
+        acc.arg() / 64.0
+    } else {
+        0.0
+    };
+    Some(SyncInfo {
+        frame_start,
+        cfo,
+        quality,
+    })
 }
 
 /// A successfully decoded frame.
@@ -172,7 +184,11 @@ fn decode_frame_impl(samples: &[Cf64], start: usize, soft: bool) -> Result<Decod
     for k in 0..64 {
         acc += samples[lts0 + k].conj() * samples[lts0 + 64 + k];
     }
-    let cfo = if acc.abs() > 1e-12 { acc.arg() / 64.0 } else { 0.0 };
+    let cfo = if acc.abs() > 1e-12 {
+        acc.arg() / 64.0
+    } else {
+        0.0
+    };
     // Apply CFO correction from the frame start onward into a working copy.
     let frame_len_max = samples.len() - start;
     let mut corrected = Vec::with_capacity(frame_len_max);
@@ -193,9 +209,9 @@ fn decode_frame_impl(samples: &[Cf64], start: usize, soft: bool) -> Result<Decod
         }
     }
     // Unreferenced bins (DC, guards) get unity to avoid divide-by-zero.
-    for k in 0..FFT_LEN {
-        if channel[k].norm_sq() < 1e-12 {
-            channel[k] = Cf64::ONE;
+    for c in channel.iter_mut().take(FFT_LEN) {
+        if c.norm_sq() < 1e-12 {
+            *c = Cf64::ONE;
         }
     }
 
@@ -272,7 +288,10 @@ fn decode_frame_impl(samples: &[Cf64], start: usize, soft: bool) -> Result<Decod
         *b = 0;
     }
     let psdu_bits = &bits[16..16 + 8 * info.length];
-    Ok(DecodedFrame { info, psdu: bits_to_bytes(psdu_bits) })
+    Ok(DecodedFrame {
+        info,
+        psdu: bits_to_bytes(psdu_bits),
+    })
 }
 
 /// Convenience: synchronize then decode.
@@ -391,9 +410,10 @@ mod tests {
         for s in jammed.iter_mut().skip(500).take(600) {
             *s += Cf64::new(rng.gaussian() * 0.5, rng.gaussian() * 0.5);
         }
-        match decode_frame(&jammed, 0) {
-            Ok(decoded) => assert_ne!(decoded.psdu, frame.psdu, "burst must corrupt"),
-            Err(_) => {} // equally acceptable: SIGNAL region unaffected here, payload garbage
+        // A decode error is equally acceptable: the SIGNAL region is
+        // unaffected here, the payload is garbage.
+        if let Ok(decoded) = decode_frame(&jammed, 0) {
+            assert_ne!(decoded.psdu, frame.psdu, "burst must corrupt");
         }
     }
 

@@ -114,7 +114,10 @@ impl Rate {
 
     /// Parses the RATE field.
     pub fn from_rate_bits(bits: &[u8]) -> Option<Rate> {
-        Rate::ALL.iter().copied().find(|r| r.rate_bits() == bits[..4])
+        Rate::ALL
+            .iter()
+            .copied()
+            .find(|r| r.rate_bits() == bits[..4])
     }
 
     /// Number of DATA OFDM symbols needed for a PSDU of `len` bytes
@@ -144,7 +147,7 @@ pub fn signal_bits(rate: Rate, length: usize) -> [u8; 24] {
     }
     let parity: u8 = bits[..17].iter().sum::<u8>() & 1;
     bits[17] = parity; // even parity over bits 0..17
-    // bits[18..24] tail zeros.
+                       // bits[18..24] tail zeros.
     bits
 }
 

@@ -25,7 +25,11 @@ pub struct Frame {
 impl Frame {
     /// Creates a frame with the default scrambler seed.
     pub fn new(rate: Rate, psdu: Vec<u8>) -> Self {
-        Frame { rate, psdu, scrambler_seed: 0x5D }
+        Frame {
+            rate,
+            psdu,
+            scrambler_seed: 0x5D,
+        }
     }
 
     /// Airtime in microseconds.
@@ -149,7 +153,11 @@ mod tests {
             assert!((a[k] - b[k]).abs() < 1e-12);
         }
         // ...data differs.
-        let diff: f64 = a[400..].iter().zip(&b[400..]).map(|(x, y)| (*x - *y).norm_sq()).sum();
+        let diff: f64 = a[400..]
+            .iter()
+            .zip(&b[400..])
+            .map(|(x, y)| (*x - *y).norm_sq())
+            .sum();
         assert!(diff > 1e-3);
     }
 
@@ -172,7 +180,11 @@ mod tests {
         let a = modulate_frame(&fa);
         let b = modulate_frame(&fb);
         assert_eq!(a.len(), b.len());
-        let diff: f64 = a[400..].iter().zip(&b[400..]).map(|(x, y)| (*x - *y).norm_sq()).sum();
+        let diff: f64 = a[400..]
+            .iter()
+            .zip(&b[400..])
+            .map(|(x, y)| (*x - *y).norm_sq())
+            .sum();
         assert!(diff > 1e-3);
     }
 

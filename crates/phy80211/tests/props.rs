@@ -1,0 +1,59 @@
+//! Property tests for 802.11 bit-level primitives, driven by `rjam-testkit`.
+
+use rjam_phy80211::bits::{append_fcs, bytes_to_bits, check_fcs, crc32, pilot_polarity, Scrambler};
+use rjam_testkit::{self as tk, prop_assert, prop_assert_eq, props};
+
+props! {
+    cases = 16;
+
+    /// FCS framing is lossless for any body, and truncating the frame by
+    /// even one byte breaks the check.
+    fn fcs_rejects_truncation(body in tk::vec(tk::any::<u8>(), 1..200)) {
+        let framed = append_fcs(&body);
+        prop_assert_eq!(framed.len(), body.len() + 4);
+        prop_assert_eq!(check_fcs(&framed), Some(&body[..]));
+        prop_assert_eq!(check_fcs(&framed[..framed.len() - 1]), None);
+    }
+
+    /// CRC-32 separates any two distinct short messages that differ in one
+    /// appended byte (no trivial length-extension collision).
+    fn crc_differs_on_extension(
+        body in tk::vec(tk::any::<u8>(), 0..64),
+        extra in tk::any::<u8>(),
+    ) {
+        let mut longer = body.clone();
+        longer.push(extra);
+        prop_assert!(
+            crc32(&body) != crc32(&longer) || body == longer,
+            "extension collision on {body:?}"
+        );
+    }
+
+    /// Unpacked bits are LSB-first, binary-valued and eight per byte.
+    fn bit_unpacking_shape(bytes in tk::vec(tk::any::<u8>(), 1..64)) {
+        let bits = bytes_to_bits(&bytes);
+        prop_assert_eq!(bits.len(), 8 * bytes.len());
+        prop_assert!(bits.iter().all(|&b| b <= 1));
+        for (k, &byte) in bytes.iter().enumerate() {
+            for bit in 0..8 {
+                prop_assert_eq!(bits[8 * k + bit], (byte >> bit) & 1);
+            }
+        }
+    }
+
+    /// The 127-bit scrambler sequence is balanced-ish and periodic with
+    /// period 127 for every nonzero seed.
+    fn scrambler_period_127(seed in 1u8..0x80) {
+        let seq = Scrambler::new(seed).sequence(254);
+        prop_assert!(seq.iter().all(|&b| b <= 1));
+        prop_assert_eq!(&seq[..127], &seq[127..]);
+        let ones: usize = seq[..127].iter().map(|&b| b as usize).sum();
+        prop_assert_eq!(ones, 64, "m-sequence weight");
+    }
+
+    /// Pilot polarity is always a bipolar value.
+    fn pilot_polarity_bipolar(sym in 0usize..1000) {
+        let p = pilot_polarity(sym);
+        prop_assert!(p == 1.0 || p == -1.0);
+    }
+}

@@ -4,7 +4,10 @@ fn soft_pipeline_stages() {
     use rjam_phy80211::interleave::*;
     use rjam_phy80211::modmap::*;
     // One BPSK symbol worth of data: 24 info bits -> 48 coded.
-    let info: Vec<u8> = (0..18).map(|k| ((k*7+1)%2) as u8).chain([0;6]).collect();
+    let info: Vec<u8> = (0..18)
+        .map(|k| ((k * 7 + 1) % 2) as u8)
+        .chain([0; 6])
+        .collect();
     let coded = encode(&info, CodeRate::Half);
     assert_eq!(coded.len(), 48);
     let inter = interleave(&coded, 48, 1);
@@ -20,7 +23,11 @@ fn soft_pipeline_stages() {
         *slot = llrs[interleave_position(k, 48, 1)];
     }
     for k in 0..48 {
-        assert_eq!(u8::from(soft_deint[k] > 0), coded[k], "soft deint sign at {k}");
+        assert_eq!(
+            u8::from(soft_deint[k] > 0),
+            coded[k],
+            "soft deint sign at {k}"
+        );
     }
     let pairs = depuncture_llr(&soft_deint, CodeRate::Half, info.len());
     assert_eq!(pairs.len(), 48);

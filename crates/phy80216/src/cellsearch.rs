@@ -31,7 +31,11 @@ pub struct CellScore {
 /// # Panics
 /// Panics unless exactly [`FFT_LEN`] samples are supplied.
 pub fn score_cells(preamble_symbol: &[Cf64]) -> Vec<CellScore> {
-    assert_eq!(preamble_symbol.len(), FFT_LEN, "one CP-stripped OFDMA symbol");
+    assert_eq!(
+        preamble_symbol.len(),
+        FFT_LEN,
+        "one CP-stripped OFDMA symbol"
+    );
     let mut freq = preamble_symbol.to_vec();
     Fft::new(FFT_LEN).forward(&mut freq);
     let mut scores = Vec::with_capacity(3 * 32);
@@ -53,7 +57,11 @@ pub fn score_cells(preamble_symbol: &[Cf64]) -> Vec<CellScore> {
             } else {
                 0.0
             };
-            scores.push(CellScore { id_cell, segment, metric });
+            scores.push(CellScore {
+                id_cell,
+                segment,
+                metric,
+            });
         }
     }
     scores.sort_by(|a, b| b.metric.partial_cmp(&a.metric).unwrap());
@@ -127,7 +135,13 @@ mod tests {
         assert_eq!((best.id_cell, best.segment), (1, 0));
         assert!(best.metric > 0.8, "matched metric {}", best.metric);
         for s in &scores[1..] {
-            assert!(s.metric < 0.35, "({},{}) scored {}", s.id_cell, s.segment, s.metric);
+            assert!(
+                s.metric < 0.35,
+                "({},{}) scored {}",
+                s.id_cell,
+                s.segment,
+                s.metric
+            );
         }
     }
 

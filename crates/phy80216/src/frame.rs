@@ -27,7 +27,12 @@ pub struct DownlinkConfig {
 impl Default for DownlinkConfig {
     fn default() -> Self {
         // ~29 symbols fill a 60% DL subframe at 1152 samples/symbol.
-        DownlinkConfig { id_cell: 1, segment: 0, dl_symbols: 28, seed: 0x16e }
+        DownlinkConfig {
+            id_cell: 1,
+            segment: 0,
+            dl_symbols: 28,
+            seed: 0x16e,
+        }
     }
 }
 
@@ -43,7 +48,11 @@ impl DownlinkGenerator {
     /// Creates a generator for a base-station configuration.
     pub fn new(cfg: DownlinkConfig) -> Self {
         let preamble = preamble_symbol(cfg.id_cell, cfg.segment);
-        DownlinkGenerator { rng: Rng::seed_from(cfg.seed), preamble, cfg }
+        DownlinkGenerator {
+            rng: Rng::seed_from(cfg.seed),
+            preamble,
+            cfg,
+        }
     }
 
     /// The preamble waveform (for building correlator templates host-side).

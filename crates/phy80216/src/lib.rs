@@ -32,7 +32,7 @@ pub mod rx;
 
 pub use cellsearch::{identify_cell, identify_from_frame};
 pub use frame::{DownlinkConfig, DownlinkGenerator};
-pub use preamble::{preamble_symbol, preamble_carriers};
+pub use preamble::{preamble_carriers, preamble_symbol};
 
 /// OFDMA FFT size for the 10 MHz profile.
 pub const FFT_LEN: usize = 1024;

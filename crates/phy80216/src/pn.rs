@@ -32,7 +32,12 @@ pub fn pn_sequence(id_cell: u8, segment: u8) -> Vec<i8> {
 /// Normalized cross-correlation between two bipolar sequences at zero lag.
 pub fn correlation(a: &[i8], b: &[i8]) -> f64 {
     let n = a.len().min(b.len());
-    let dot: i32 = a.iter().zip(b).take(n).map(|(&x, &y)| x as i32 * y as i32).sum();
+    let dot: i32 = a
+        .iter()
+        .zip(b)
+        .take(n)
+        .map(|(&x, &y)| x as i32 * y as i32)
+        .sum();
     dot as f64 / n as f64
 }
 

@@ -7,7 +7,7 @@
 //! (nearly) three repetitions of a N/3-sample code.
 
 use crate::pn::pn_sequence;
-use crate::{CP_LEN, FFT_LEN, GUARD_EACH_SIDE, PN_LEN, PREAMBLE_POSITIONS};
+use crate::{CP_LEN, FFT_LEN, PN_LEN, PREAMBLE_POSITIONS};
 use rjam_sdr::complex::Cf64;
 use rjam_sdr::fft::Fft;
 
@@ -26,9 +26,14 @@ pub fn preamble_carriers(segment: u8) -> Vec<usize> {
             } else {
                 (FFT_LEN as i32 + logical) as usize
             };
+            // Loaded bins must stay out of the guard region: the unused
+            // high-|f| bins strictly between PREAMBLE_POSITIONS/2 and
+            // FFT_LEN - PREAMBLE_POSITIONS/2. (The old form subtracted
+            // GUARD_EACH_SIDE from both ends, producing an empty — hence
+            // vacuous — range.)
             debug_assert!(
                 bin < FFT_LEN
-                    && !( (GUARD_EACH_SIDE + PREAMBLE_POSITIONS / 2 + 1..FFT_LEN - PREAMBLE_POSITIONS / 2 - GUARD_EACH_SIDE).contains(&bin) ),
+                    && (bin <= PREAMBLE_POSITIONS / 2 || bin >= FFT_LEN - PREAMBLE_POSITIONS / 2),
             );
             bin
         })
@@ -72,10 +77,7 @@ pub fn data_symbol(bits: &mut dyn Iterator<Item = u8>) -> Vec<Cf64> {
         };
         let b0 = bits.next().unwrap_or(0);
         let b1 = bits.next().unwrap_or(0);
-        freq[bin] = Cf64::new(
-            if b0 == 1 { k } else { -k },
-            if b1 == 1 { k } else { -k },
-        );
+        freq[bin] = Cf64::new(if b0 == 1 { k } else { -k }, if b1 == 1 { k } else { -k });
     }
     Fft::new(FFT_LEN).inverse(&mut freq);
     let mut out = Vec::with_capacity(FFT_LEN + CP_LEN);
@@ -91,9 +93,7 @@ mod tests {
 
     #[test]
     fn carrier_sets_partition_usable_band() {
-        let mut all: Vec<usize> = (0..3)
-            .flat_map(|seg| preamble_carriers(seg))
-            .collect();
+        let mut all: Vec<usize> = (0..3).flat_map(preamble_carriers).collect();
         assert_eq!(all.len(), 852);
         all.sort_unstable();
         all.dedup();

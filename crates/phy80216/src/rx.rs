@@ -97,7 +97,11 @@ mod tests {
         let errs = bit_errors(&back, &bits);
         // A time-domain burst smears across ALL subcarriers after the FFT:
         // expect a large fraction of the symbol's bits to flip.
-        assert!(errs > bits.len() / 10, "only {errs} errors of {}", bits.len());
+        assert!(
+            errs > bits.len() / 10,
+            "only {errs} errors of {}",
+            bits.len()
+        );
     }
 
     #[test]

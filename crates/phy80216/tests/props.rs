@@ -1,0 +1,50 @@
+//! Property tests for the WiMAX (802.16) downlink model, driven by
+//! `rjam-testkit`.
+
+use rjam_phy80216::pn::{correlation, pn_sequence};
+use rjam_phy80216::preamble::preamble_symbol;
+use rjam_phy80216::{CP_LEN, FFT_LEN, PN_LEN};
+use rjam_testkit::{prop_assert, prop_assert_eq, props};
+
+props! {
+    cases = 12;
+
+    /// Every (IDcell, segment) PN sequence is full-length, bipolar and
+    /// deterministic.
+    fn pn_sequence_shape(id_cell in 0u8..32, segment in 0u8..3) {
+        let a = pn_sequence(id_cell, segment);
+        prop_assert_eq!(a.len(), PN_LEN);
+        prop_assert!(a.iter().all(|&c| c == 1 || c == -1));
+        prop_assert_eq!(a, pn_sequence(id_cell, segment), "must be deterministic");
+    }
+
+    /// Distinct base-station identities are far apart in normalized
+    /// correlation — the property cell search relies on.
+    fn pn_sequences_weakly_correlated(
+        id_a in 0u8..32,
+        id_b in 0u8..32,
+        segment in 0u8..3,
+    ) cases = 10 {
+        let a = pn_sequence(id_a, segment);
+        let b = pn_sequence(id_b, segment);
+        let c = correlation(&a, &b);
+        if id_a == id_b {
+            prop_assert!((c - 1.0).abs() < 1e-12, "self correlation {c}");
+        } else {
+            prop_assert!(c.abs() < 0.35, "cross correlation {c}");
+        }
+    }
+
+    /// Every downlink preamble symbol carries a bit-exact cyclic prefix —
+    /// the redundancy the paper's WiMAX correlator template keys on.
+    fn preamble_cyclic_prefix_exact(id_cell in 0u8..32, segment in 0u8..3) cases = 8 {
+        let sym = preamble_symbol(id_cell, segment);
+        prop_assert_eq!(sym.len(), FFT_LEN + CP_LEN);
+        for k in 0..CP_LEN {
+            prop_assert!(
+                (sym[k] - sym[k + FFT_LEN]).abs() < 1e-12,
+                "CP mismatch at {k}"
+            );
+        }
+    }
+}

@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn from_angle_unit_magnitude() {
         for k in 0..16 {
-            let z = Cf64::from_angle(k as f64 * 0.3927);
+            let z = Cf64::from_angle(k as f64 * std::f64::consts::FRAC_PI_8);
             assert!((z.abs() - 1.0).abs() < 1e-12);
         }
     }
@@ -357,7 +357,10 @@ mod tests {
     fn energy_matches_components() {
         let s = IqI16::new(-300, 400);
         assert_eq!(s.energy(), 300 * 300 + 400 * 400);
-        assert_eq!(IqI16::new(i16::MIN, i16::MIN).energy(), 2 * (32768u64 * 32768));
+        assert_eq!(
+            IqI16::new(i16::MIN, i16::MIN).energy(),
+            2 * (32768u64 * 32768)
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl Ddc {
     pub fn process(&mut self, input: &[Cf64]) -> Vec<Cf64> {
         let mut out = Vec::with_capacity(input.len() / self.decim + 1);
         for &s in input {
-            let mixed = s * self.nco.next();
+            let mixed = s * self.nco.next_sample();
             let filtered = self.fir.push(mixed);
             if self.phase == 0 {
                 out.push(filtered);
@@ -107,7 +107,7 @@ impl Duc {
             for k in 0..self.interp {
                 let stuffed = if k == 0 { s } else { Cf64::ZERO };
                 let filtered = self.fir.push(stuffed);
-                out.push(filtered * self.nco.next());
+                out.push(filtered * self.nco.next_sample());
             }
         }
         out
@@ -190,7 +190,7 @@ mod tests {
         let delay = 2 * (8 * 4 + 1) / 2 / 4 + 1;
         let a = &base[512..1024];
         let b = &back[512 + delay - delay..]; // alignment handled by correlation below
-        // Use peak cross-correlation to verify similarity irrespective of delay.
+                                              // Use peak cross-correlation to verify similarity irrespective of delay.
         let mut best = 0.0f64;
         for lag in 0..32 {
             let mut acc = Cf64::ZERO;

@@ -25,7 +25,10 @@ impl Fft {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n > 0,
+            "FFT size must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits))
@@ -221,8 +224,12 @@ mod tests {
     fn linearity() {
         let mut rng = Rng::seed_from(5);
         let n = 32;
-        let a: Vec<Cf64> = (0..n).map(|_| Cf64::new(rng.gaussian(), rng.gaussian())).collect();
-        let b: Vec<Cf64> = (0..n).map(|_| Cf64::new(rng.gaussian(), rng.gaussian())).collect();
+        let a: Vec<Cf64> = (0..n)
+            .map(|_| Cf64::new(rng.gaussian(), rng.gaussian()))
+            .collect();
+        let b: Vec<Cf64> = (0..n)
+            .map(|_| Cf64::new(rng.gaussian(), rng.gaussian()))
+            .collect();
         let sum: Vec<Cf64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let fa = fft(&a);
         let fb = fft(&b);

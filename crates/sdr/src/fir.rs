@@ -18,7 +18,10 @@ use crate::complex::Cf64;
 /// Panics if `num_taps == 0` or `cutoff` is outside `(0, 0.5)`.
 pub fn lowpass(num_taps: usize, cutoff: f64) -> Vec<f64> {
     assert!(num_taps > 0, "filter must have at least one tap");
-    assert!(cutoff > 0.0 && cutoff < 0.5, "cutoff must be in (0, 0.5), got {cutoff}");
+    assert!(
+        cutoff > 0.0 && cutoff < 0.5,
+        "cutoff must be in (0, 0.5), got {cutoff}"
+    );
     let m = (num_taps - 1) as f64;
     let mut taps: Vec<f64> = (0..num_taps)
         .map(|n| {
@@ -57,7 +60,11 @@ impl Fir {
     pub fn new(taps: Vec<f64>) -> Self {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
         let n = taps.len();
-        Fir { taps, hist: vec![Cf64::ZERO; n], pos: 0 }
+        Fir {
+            taps,
+            hist: vec![Cf64::ZERO; n],
+            pos: 0,
+        }
     }
 
     /// Number of taps.

@@ -105,7 +105,10 @@ mod tests {
         std::fs::remove_file(&path).ok();
         assert_eq!(back.len(), buf.len());
         for (a, b) in buf.iter().zip(back.iter()) {
-            assert!((*a - *b).abs() < 1e-12, "f32-representable values round-trip exactly");
+            assert!(
+                (*a - *b).abs() < 1e-12,
+                "f32-representable values round-trip exactly"
+            );
         }
     }
 

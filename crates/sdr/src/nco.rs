@@ -31,8 +31,12 @@ impl Nco {
     }
 
     /// Returns the next oscillator sample and advances the phase.
+    ///
+    /// Named `next_sample` (not `next`): the oscillator never ends, so an
+    /// `Iterator` impl would be a lie and the inherent name would shadow
+    /// the trait method (`clippy::should_implement_trait`).
     #[inline]
-    pub fn next(&mut self) -> Cf64 {
+    pub fn next_sample(&mut self) -> Cf64 {
         let out = Cf64::from_angle(self.phase);
         self.phase += self.step;
         // Keep the accumulator bounded for long runs.
@@ -47,20 +51,20 @@ impl Nco {
     /// Mixes (multiplies) a buffer with the oscillator in place.
     pub fn mix(&mut self, buf: &mut [Cf64]) {
         for s in buf.iter_mut() {
-            *s *= self.next();
+            *s *= self.next_sample();
         }
     }
 
     /// Generates `n` oscillator samples.
     pub fn take(&mut self, n: usize) -> Vec<Cf64> {
-        (0..n).map(|_| self.next()).collect()
+        (0..n).map(|_| self.next_sample()).collect()
     }
 }
 
 /// Applies a frequency shift of `freq_hz` to a waveform (new buffer).
 pub fn freq_shift(buf: &[Cf64], freq_hz: f64, sample_rate: f64) -> Vec<Cf64> {
     let mut nco = Nco::new(freq_hz, sample_rate);
-    buf.iter().map(|&s| s * nco.next()).collect()
+    buf.iter().map(|&s| s * nco.next_sample()).collect()
 }
 
 #[cfg(test)]
@@ -72,7 +76,7 @@ mod tests {
     fn unit_magnitude() {
         let mut nco = Nco::new(1.0e6, 25.0e6);
         for _ in 0..1000 {
-            assert!((nco.next().abs() - 1.0).abs() < 1e-12);
+            assert!((nco.next_sample().abs() - 1.0).abs() < 1e-12);
         }
     }
 
@@ -80,7 +84,7 @@ mod tests {
     fn dc_oscillator_is_constant() {
         let mut nco = Nco::new(0.0, 25.0e6);
         for _ in 0..10 {
-            assert!((nco.next() - Cf64::ONE).abs() < 1e-12);
+            assert!((nco.next_sample() - Cf64::ONE).abs() < 1e-12);
         }
     }
 
@@ -107,8 +111,8 @@ mod tests {
         let mut pos = Nco::new(1.0e6, fs);
         let mut neg = Nco::new(-1.0e6, fs);
         for _ in 0..100 {
-            let p = pos.next();
-            let n = neg.next();
+            let p = pos.next_sample();
+            let n = neg.next_sample();
             assert!((p.conj() - n).abs() < 1e-9);
         }
     }
@@ -132,7 +136,7 @@ mod tests {
         let mut nco = Nco::new(1.0e6, fs);
         let _ = nco.take(10);
         nco.set_freq(2.0e6, fs);
-        let first_after = nco.next();
+        let first_after = nco.next_sample();
         // next() returns the current phase then advances, so sample k carries
         // phase k*step. After 10 samples at f1 the accumulated phase is
         // 10 * 2*pi*f1/fs; a retune must not reset it.

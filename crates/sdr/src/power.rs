@@ -81,7 +81,11 @@ impl PowerMeter {
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
-        PowerMeter { alpha, avg: 0.0, primed: false }
+        PowerMeter {
+            alpha,
+            avg: 0.0,
+            primed: false,
+        }
     }
 
     /// Feeds one sample and returns the updated average power.
@@ -169,7 +173,11 @@ mod tests {
 
     #[test]
     fn peak_power_finds_max() {
-        let buf = [Cf64::new(0.1, 0.0), Cf64::new(0.0, -0.9), Cf64::new(0.3, 0.3)];
+        let buf = [
+            Cf64::new(0.1, 0.0),
+            Cf64::new(0.0, -0.9),
+            Cf64::new(0.3, 0.3),
+        ];
         assert!((peak_power(&buf) - 0.81).abs() < 1e-12);
     }
 }

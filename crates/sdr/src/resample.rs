@@ -52,7 +52,12 @@ impl Rational {
         for (i, &t) in proto.iter().enumerate() {
             phases[i % up].push(t);
         }
-        Rational { up, down, phases, taps_per_phase }
+        Rational {
+            up,
+            down,
+            phases,
+            taps_per_phase,
+        }
     }
 
     /// The reduced interpolation factor.
@@ -133,7 +138,10 @@ pub fn resample_linear(input: &[Cf64], from_rate: f64, to_rate: f64) -> Vec<Cf64
 /// # Panics
 /// Panics if `frac` is outside `[0, 1)`.
 pub fn fractional_delay(input: &[Cf64], frac: f64) -> Vec<Cf64> {
-    assert!((0.0..1.0).contains(&frac), "frac must be in [0,1), got {frac}");
+    assert!(
+        (0.0..1.0).contains(&frac),
+        "frac must be in [0,1), got {frac}"
+    );
     if input.len() < 2 {
         return input.to_vec();
     }
@@ -178,7 +186,11 @@ mod tests {
             .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
             .unwrap()
             .0;
-        let k = if peak > n / 2 { peak as f64 - n as f64 } else { peak as f64 };
+        let k = if peak > n / 2 {
+            peak as f64 - n as f64
+        } else {
+            peak as f64
+        };
         k * rate / n as f64
     }
 

@@ -22,7 +22,10 @@ impl<T: Copy + Default> DelayLine<T> {
     /// Panics if `len == 0` (use the value directly instead).
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "delay length must be positive");
-        DelayLine { buf: vec![T::default(); len], pos: 0 }
+        DelayLine {
+            buf: vec![T::default(); len],
+            pos: 0,
+        }
     }
 
     /// Delay length in elements.
@@ -65,7 +68,10 @@ pub struct MovingSum {
 impl MovingSum {
     /// Creates a moving sum over a `len`-sample window.
     pub fn new(len: usize) -> Self {
-        MovingSum { delay: DelayLine::new(len), sum: 0 }
+        MovingSum {
+            delay: DelayLine::new(len),
+            sum: 0,
+        }
     }
 
     /// Window length.
@@ -119,7 +125,11 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "replay buffer capacity must be positive");
-        ReplayBuffer { buf: vec![IqI16::ZERO; capacity], pos: 0, filled: 0 }
+        ReplayBuffer {
+            buf: vec![IqI16::ZERO; capacity],
+            pos: 0,
+            filled: 0,
+        }
     }
 
     /// Buffer capacity.

@@ -30,7 +30,10 @@ use crate::fft::Fft;
 /// assert_eq!(peak, 16);
 /// ```
 pub fn welch_psd(buf: &[Cf64], nfft: usize) -> Vec<f64> {
-    assert!(nfft.is_power_of_two() && nfft > 1, "nfft must be a power of two");
+    assert!(
+        nfft.is_power_of_two() && nfft > 1,
+        "nfft must be a power of two"
+    );
     let mut acc = vec![0.0f64; nfft];
     if buf.len() < nfft {
         return acc;
@@ -97,7 +100,9 @@ mod tests {
         let nfft = 256;
         let k0 = 32; // bin within a segment
         let buf: Vec<Cf64> = (0..n)
-            .map(|t| Cf64::from_angle(2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / nfft as f64))
+            .map(|t| {
+                Cf64::from_angle(2.0 * std::f64::consts::PI * k0 as f64 * t as f64 / nfft as f64)
+            })
             .collect();
         let psd = welch_psd(&buf, nfft);
         let peak = psd

@@ -100,7 +100,12 @@ mod tests {
 
     #[test]
     fn degenerate_length() {
-        for w in [Window::Rectangular, Window::Hann, Window::Hamming, Window::Blackman] {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
             assert_eq!(w.value(0, 1), 1.0);
             assert_eq!(w.taps(1), vec![1.0]);
         }

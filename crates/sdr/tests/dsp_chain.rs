@@ -35,7 +35,10 @@ fn duc_ddc_spectrum_roundtrip() {
         .unwrap()
         .0;
     let peak_freq = peak as f64 / 256.0 * fs_base;
-    assert!((peak_freq - f0).abs() < fs_base / 256.0, "peak at {peak_freq}");
+    assert!(
+        (peak_freq - f0).abs() < fs_base / 256.0,
+        "peak at {peak_freq}"
+    );
 }
 
 /// Capture to disk, read back, and confirm the spectrum is unchanged.
@@ -71,7 +74,7 @@ fn impairments_preserve_band_occupancy() {
         let mut rng = Rng::seed_from(7);
         (0..20_000)
             .map(|t| {
-                Cf64::from_angle(0.55 * t as f64) .scale(0.1)
+                Cf64::from_angle(0.55 * t as f64).scale(0.1)
                     + Cf64::new(rng.gaussian() * 0.05, rng.gaussian() * 0.05)
             })
             .collect()
@@ -81,5 +84,8 @@ fn impairments_preserve_band_occupancy() {
     let mut impaired = at_25.clone();
     FrontEnd::typical_sbx(25.0e6).apply(&mut impaired);
     let imp_frac = band_power_fraction(&welch_psd(&impaired, 256), 0.9);
-    assert!((clean_frac - imp_frac).abs() < 0.05, "{clean_frac} vs {imp_frac}");
+    assert!(
+        (clean_frac - imp_frac).abs() < 0.05,
+        "{clean_frac} vs {imp_frac}"
+    );
 }

@@ -1,0 +1,436 @@
+//! Generator combinators with integrated shrinking.
+//!
+//! A [`Gen`] produces random values from a [`TestRng`] and, given a failing
+//! value, proposes *simpler* candidate values ([`Gen::shrink`]). The runner
+//! greedily walks those candidates, so shrink lists are ordered
+//! simplest-first; integers shrink by binary search toward the range origin
+//! and vectors shrink by binary search on length before element-wise
+//! simplification.
+
+use crate::rng::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A random-value generator with shrinking.
+pub trait Gen {
+    /// The type of generated values.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing value, ordered
+    /// simplest-first. The default proposes nothing (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
+}
+
+/// Binary-search shrink candidates for an integer `v` toward origin `lo`:
+/// `[lo, v - d/2, v - d/4, ..., v - 1]` where `d = v - lo`.
+fn shrink_int_toward(lo: i128, v: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if v == lo {
+        return out;
+    }
+    out.push(lo);
+    let mut delta = (v - lo) / 2;
+    while delta > 0 {
+        let cand = v - delta;
+        if cand != lo {
+            out.push(cand);
+        }
+        delta /= 2;
+    }
+    out.dedup();
+    out
+}
+
+macro_rules! impl_int_range_gen {
+    ($($t:ty),* $(,)?) => {$(
+        impl Gen for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty generator range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span <= u64::MAX as u128 {
+                    rng.below(span as u64) as u128
+                } else {
+                    rng.next_u64() as u128
+                };
+                ((self.start as i128) + off as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+
+        impl Gen for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty generator range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = if span <= u64::MAX as u128 {
+                    rng.below(span as u64) as u128
+                } else {
+                    rng.next_u64() as u128
+                };
+                ((lo as i128) + off as i128) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_int_range_gen!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Gen for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty generator range");
+        self.start + (self.end - self.start) * rng.uniform()
+    }
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        if *value != self.start {
+            out.push(self.start);
+            let mid = self.start + (*value - self.start) / 2.0;
+            if mid != self.start && mid != *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical "arbitrary" generator, used via [`any`].
+pub trait Arbitrary: Clone + Debug {
+    /// Draws an arbitrary value over the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Proposes simpler candidates (toward the type's zero value).
+    fn shrink_value(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+            fn shrink_value(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self != 0 {
+                    out.push(0);
+                    let mut delta = *self / 2;
+                    while delta > 0 {
+                        let cand = *self - delta;
+                        if cand != 0 {
+                            out.push(cand);
+                        }
+                        delta /= 2;
+                    }
+                    out.dedup();
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+    fn shrink_value(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// A uniformly drawn index source, mirroring `proptest::sample::Index`:
+/// generate once, then project onto any collection length with
+/// [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(pub u64);
+
+impl Index {
+    /// Projects the stored entropy onto `[0, len)`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    #[must_use]
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+    fn shrink_value(&self) -> Vec<Self> {
+        self.0.shrink_value().into_iter().map(Index).collect()
+    }
+}
+
+/// Generator over a type's [`Arbitrary`] instance.
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — the full-domain generator for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Gen for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.shrink_value()
+    }
+}
+
+/// Constant generator (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Gen for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among a fixed list of values; shrinks toward the head of
+/// the list (list earlier items first — simplest first).
+pub struct OneOf<T> {
+    items: Vec<T>,
+}
+
+/// `one_of(vec![...])` — uniform choice among the given values.
+///
+/// # Panics
+/// Panics (at generation time) if `items` is empty.
+#[must_use]
+pub fn one_of<T: Clone + Debug + PartialEq>(items: Vec<T>) -> OneOf<T> {
+    OneOf { items }
+}
+
+impl<T: Clone + Debug + PartialEq> Gen for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.items.is_empty(), "one_of over empty list");
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match self.items.iter().position(|x| x == value) {
+            Some(pos) => self.items[..pos].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Vector generator: length drawn from `len`, elements from `elem`.
+pub struct VecGen<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+/// `vec(elem, 1..300)` — a vector whose length is drawn from `len` and whose
+/// elements come from `elem` (mirrors `proptest::collection::vec`).
+#[must_use]
+pub fn vec<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    VecGen { elem, len }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<G::Value> {
+        let n = self.len.generate(rng);
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let min = self.len.start;
+        // 1. Binary search on length: min, len - d/2, ..., len - 1.
+        for n in shrink_int_toward(min as i128, value.len() as i128) {
+            out.push(value[..n as usize].to_vec());
+        }
+        // 2. Drop the head half (failures often live at the tail).
+        if value.len() >= min + 2 {
+            let keep = &value[value.len() / 2..];
+            if keep.len() >= min {
+                out.push(keep.to_vec());
+            }
+        }
+        // 3. Remove single elements so interior/leading survivors can be
+        //    isolated (prefix truncation alone cannot reach them).
+        if value.len() > min {
+            for i in 0..value.len() {
+                let mut next = value.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // 4. Element-wise simplification (full binary-search candidate list
+        //    per position; the runner's global budget bounds total work).
+        for (i, v) in value.iter().enumerate() {
+            for cand in self.elem.shrink(v) {
+                let mut next = value.clone();
+                next[i] = cand;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_gen {
+    ($(($($g:ident . $idx:tt),+ $(,)?))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_gen! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from(42)
+    }
+
+    #[test]
+    fn int_range_stays_in_bounds() {
+        let g = 10u32..20;
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = g.generate(&mut r);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_shrink_candidates_move_toward_origin() {
+        let g = 5i32..100;
+        let cands = g.shrink(&80);
+        assert_eq!(cands[0], 5, "first candidate is the origin");
+        assert!(cands.iter().all(|&c| (5..80).contains(&c)));
+        assert!(cands.contains(&79), "includes the minus-one step");
+    }
+
+    #[test]
+    fn inclusive_range_covers_both_ends() {
+        let g = 0u8..=1;
+        let mut r = rng();
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[g.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn one_of_shrinks_toward_head() {
+        let g = one_of(std::vec![10, 20, 30]);
+        assert_eq!(g.shrink(&30), std::vec![10, 20]);
+        assert!(g.shrink(&10).is_empty());
+    }
+
+    #[test]
+    fn vec_gen_respects_length_range() {
+        let g = vec(0u8..10, 3..7);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = g.generate(&mut r);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn vec_shrink_never_violates_min_len() {
+        let g = vec(0u8..10, 2..40);
+        let v = g.generate(&mut rng());
+        for cand in g.shrink(&v) {
+            assert!(cand.len() >= 2, "shrink produced too-short vec");
+        }
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let g = (0u8..10, 0u8..10);
+        for cand in g.shrink(&(5, 7)) {
+            assert!(cand.0 == 5 || cand.1 == 7);
+            assert_ne!(cand, (5, 7));
+        }
+    }
+
+    #[test]
+    fn index_projection_in_bounds() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let idx = Index::arbitrary(&mut r);
+            assert!(idx.index(13) < 13);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! # rjam-testkit — hermetic property testing for the rjam workspace
+//!
+//! A zero-dependency replacement for the subset of `proptest` the workspace
+//! uses, so `cargo test` needs no network and no external crates:
+//!
+//! * [`TestRng`] — deterministic SplitMix64-seeded xoshiro256** PRNG;
+//! * [`Gen`] — generator combinators ([`vec`], integer/float ranges,
+//!   [`one_of`], [`any`], [`Just`], tuples) with integrated binary-search
+//!   shrinking;
+//! * [`run_property`] — case loop + greedy shrinking to a minimal
+//!   counterexample, replayable via `RJAM_TESTKIT_SEED`;
+//! * [`props!`](crate::props) — declares `#[test]` properties with
+//!   per-block and per-property case counts.
+//!
+//! ## Example
+//!
+//! ```
+//! use rjam_testkit::{self as tk, prop_assert, prop_assert_eq, props};
+//!
+//! props! {
+//!     cases = 32;
+//!
+//!     /// Reversing twice is the identity.
+//!     fn reverse_involution(v in tk::vec(tk::any::<u8>(), 0..50)) {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         w.reverse();
+//!         prop_assert_eq!(w, v);
+//!     }
+//!
+//!     /// Length is preserved — with a per-property case count.
+//!     fn reverse_preserves_len(v in tk::vec(0u8..4, 0..20)) cases = 8 {
+//!         let mut w = v.clone();
+//!         w.reverse();
+//!         prop_assert!(w.len() == v.len());
+//!     }
+//! }
+//! # fn main() {}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod rng;
+pub mod runner;
+
+pub use gen::{any, one_of, vec, Any, Arbitrary, Gen, Index, Just, OneOf, VecGen};
+pub use rng::{splitmix64, TestRng};
+pub use runner::{base_seed, run_property};
+
+/// Declares a block of property tests.
+///
+/// ```text
+/// props! {
+///     cases = 24;                       // default case count for the block
+///
+///     /// docs become test docs
+///     fn name(pat in generator, ...) { body }
+///     fn other(x in 0u8..10) cases = 100 { body }   // per-property override
+/// }
+/// ```
+///
+/// Each `fn` expands to a `#[test]` that drives [`run_property`]: the
+/// generators are tupled, values are drawn deterministically, and the first
+/// failing case is shrunk to a minimal counterexample before the test
+/// panics with a replayable seed.
+#[macro_export]
+macro_rules! props {
+    (
+        cases = $default:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat_param in $gen:expr),+ $(,)? )
+                $(cases = $cases:literal)? $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __cases: u32 = $crate::__props_case_count!($($cases)? ; $default);
+                let __gen = ( $( $gen, )+ );
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __cases,
+                    &__gen,
+                    |__value| {
+                        #[allow(unused_parens, unused_mut)]
+                        let ( $( $pat, )+ ) = __value;
+                        $body
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// Internal helper for [`props!`]: picks the per-property case count when
+/// present, else the block default.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_case_count {
+    ( ; $default:expr) => {
+        $default
+    };
+    ($cases:literal ; $default:expr) => {
+        $cases
+    };
+}
+
+/// Property-scoped assertion; alias of `assert!` kept so ports from
+/// proptest read unchanged and failures flow into the shrinking runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-scoped equality assertion; alias of `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-scoped inequality assertion; alias of `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as tk;
+
+    // The macro surface itself, exercised end to end.
+    props! {
+        cases = 16;
+
+        /// Tuple generators destructure through patterns, including `mut`.
+        fn macro_supports_mut_patterns(
+            mut v in tk::vec(0u32..100, 1..10),
+            extra in 0u32..100,
+        ) {
+            v.push(extra);
+            prop_assert!(v.len() >= 2);
+            prop_assert_eq!(*v.last().unwrap(), extra);
+        }
+
+        /// Per-property case-count override compiles and runs.
+        fn per_property_case_count(x in 0u8..=255) cases = 4 {
+            prop_assert!(u16::from(x) < 256);
+        }
+
+        /// one_of only produces listed values.
+        fn one_of_membership(v in tk::one_of(vec![3u8, 7, 11])) {
+            prop_assert!([3u8, 7, 11].contains(&v));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Deterministic test-case PRNG.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — the same
+//! construction the simulation substrate uses (`rjam_sdr::rng::Rng`) but
+//! re-implemented here so the testkit stays a leaf crate with zero
+//! dependencies: every workspace crate, including `rjam-sdr` itself, can
+//! dev-depend on it without a cycle.
+//!
+//! Identical seeds always produce identical streams, on every platform, so
+//! a failing property can be replayed exactly from its reported seed.
+
+/// SplitMix64 step; used both for seeding and for deriving per-case seeds.
+#[inline]
+#[must_use]
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A small, fast, fully deterministic PRNG (xoshiro256**) for test-case
+/// generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed via SplitMix64 expansion.
+    #[must_use]
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(sm.wrapping_sub(0x9E37_79B9_7F4A_7C15))
+        };
+        let s = [next(), next(), next(), next()];
+        TestRng { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's bounded rejection.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= (u64::MAX - n + 1) % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_seeds_identical_streams() {
+        let mut a = TestRng::seed_from(0xDEAD_BEEF);
+        let mut b = TestRng::seed_from(0xDEAD_BEEF);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TestRng::seed_from(1);
+        let mut b = TestRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_bounded_and_covering() {
+        let mut rng = TestRng::seed_from(5);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = TestRng::seed_from(9);
+        for _ in 0..1000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Property runner: case generation, failure detection and greedy shrinking.
+
+use crate::gen::Gen;
+use crate::rng::{splitmix64, TestRng};
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default base seed; override with `RJAM_TESTKIT_SEED=<u64>`.
+const DEFAULT_BASE_SEED: u64 = 0x005E_ED0F_1EA5;
+
+/// Hard cap on shrink attempts so pathological properties still terminate.
+const SHRINK_BUDGET: u32 = 4096;
+
+thread_local! {
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Installs (once) a panic hook that suppresses backtraces from panics the
+/// runner intentionally catches while probing candidate counterexamples.
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Runs `test` against one candidate; `None` means pass, `Some(msg)` carries
+/// the panic payload of a failure.
+fn run_case<V: Clone>(test: &impl Fn(V), value: &V) -> Option<String> {
+    QUIET.with(|q| q.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(value.clone())));
+    QUIET.with(|q| q.set(false));
+    match outcome {
+        Ok(()) => None,
+        Err(payload) => Some(payload_message(&*payload)),
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("(non-string panic payload)")
+    }
+}
+
+/// Greedily walks shrink candidates, keeping each simpler value that still
+/// fails, until a fixpoint (or the shrink budget) is reached. Returns the
+/// minimal failing value, its failure message and the number of successful
+/// shrink steps.
+fn shrink_failure<G: Gen>(
+    gen: &G,
+    mut value: G::Value,
+    mut message: String,
+    test: &impl Fn(G::Value),
+) -> (G::Value, String, u32) {
+    let mut steps = 0u32;
+    let mut budget = SHRINK_BUDGET;
+    loop {
+        let mut improved = false;
+        for cand in gen.shrink(&value) {
+            if budget == 0 {
+                return (value, message, steps);
+            }
+            budget -= 1;
+            if let Some(msg) = run_case(test, &cand) {
+                value = cand;
+                message = msg;
+                steps += 1;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return (value, message, steps);
+        }
+    }
+}
+
+/// Base seed for this process: `RJAM_TESTKIT_SEED` or the fixed default.
+#[must_use]
+pub fn base_seed() -> u64 {
+    std::env::var("RJAM_TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_BASE_SEED)
+}
+
+/// Checks `test` against `cases` generated values, shrinking the first
+/// failure to a minimal counterexample before panicking with a replayable
+/// report.
+///
+/// Each case draws from a fresh [`TestRng`] seeded as
+/// `splitmix64(base_seed ^ case)`, so runs are deterministic end to end and
+/// any single case can be replayed in isolation.
+///
+/// # Panics
+/// Panics if any case fails; the message includes the minimal
+/// counterexample, the failing assertion and the seed to replay it.
+pub fn run_property<G: Gen>(name: &str, cases: u32, gen: &G, test: impl Fn(G::Value)) {
+    install_quiet_hook();
+    let base = base_seed();
+    for case in 0..cases {
+        let mut rng = TestRng::seed_from(splitmix64(base ^ u64::from(case)));
+        let value = gen.generate(&mut rng);
+        let Some(first_msg) = run_case(&test, &value) else {
+            continue;
+        };
+        let (minimal, msg, steps) = shrink_failure(gen, value, first_msg, &test);
+        panic!(
+            "property '{name}' failed at case {case}/{cases} \
+             (base seed {base:#x});\n\
+             assertion: {msg}\n\
+             minimal counterexample after {steps} shrink steps:\n\
+             {minimal:#?}\n\
+             replay with RJAM_TESTKIT_SEED={base}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        // Counts invocations via a Cell captured by the closure.
+        let count = Cell::new(0u32);
+        run_property("always_true", 50, &(0u64..100), |_v| {
+            count.set(count.get() + 1);
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_panics_with_report() {
+        let err = catch_unwind(|| {
+            run_property("gt_threshold", 64, &(0u64..10_000), |v| {
+                assert!(v < 500, "value {v} exceeded threshold");
+            });
+        })
+        .expect_err("property must fail");
+        let msg = super::payload_message(&*err);
+        assert!(msg.contains("gt_threshold"), "{msg}");
+        assert!(msg.contains("RJAM_TESTKIT_SEED"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_converges_to_minimal_integer() {
+        // The minimal failing value of `v >= 500` over 0..10_000 is exactly
+        // 500; binary-search shrinking must find it, not just something
+        // small-ish.
+        let err = catch_unwind(|| {
+            run_property("min_int", 64, &(0u64..10_000), |v| {
+                assert!(v < 500);
+            });
+        })
+        .expect_err("property must fail");
+        let msg = super::payload_message(&*err);
+        assert!(
+            msg.contains("\n500"),
+            "expected minimal counterexample 500 in report:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_converges_to_minimal_vec() {
+        // Failure condition: contains an element >= 8. Minimal form: the
+        // shortest allowed vector (len 1) holding exactly [8].
+        let err = catch_unwind(|| {
+            run_property("min_vec", 64, &gen::vec(0u8..50, 1..40), |v: Vec<u8>| {
+                assert!(v.iter().all(|&x| x < 8));
+            });
+        })
+        .expect_err("property must fail");
+        let msg = super::payload_message(&*err);
+        assert!(
+            msg.contains("[\n    8,\n]") || msg.contains("[8]"),
+            "expected minimal counterexample [8] in report:\n{msg}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_generate_identical_values() {
+        let g = gen::vec(0u32..1000, 1..20);
+        for case in 0..10u64 {
+            let mut a = TestRng::seed_from(splitmix64(base_seed() ^ case));
+            let mut b = TestRng::seed_from(splitmix64(base_seed() ^ case));
+            assert_eq!(g.generate(&mut a), g.generate(&mut b));
+        }
+    }
+}

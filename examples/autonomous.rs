@@ -15,8 +15,7 @@ use rjam::sdr::rng::Rng;
 fn main() {
     let mut rng = Rng::seed_from(0xA07);
     let mut auto = AutonomousJammer::new(10.0, vec![(1, 0), (5, 1), (23, 2)]);
-    let mut noise =
-        rjam::channel::NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
+    let mut noise = rjam::channel::NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
 
     let show = |label: &str, auto: &AutonomousJammer| {
         println!("{label:<36} mode = {:?}", auto.mode());
@@ -34,17 +33,18 @@ fn main() {
         rjam::sdr::WIFI_SAMPLE_RATE,
     );
     scale_to_power(&mut w, 0.02);
-    let w: Vec<Cf64> = w.iter().map(|&s| s + noise.next()).collect();
+    let w: Vec<Cf64> = w.iter().map(|&s| s + noise.next_sample()).collect();
     auto.step(&w);
     show("WiFi frame appears", &auto);
-    let w2: Vec<Cf64> = w.iter().map(|&s| s + noise.next() * 0.3).collect();
+    let w2: Vec<Cf64> = w.iter().map(|&s| s + noise.next_sample() * 0.3).collect();
     auto.step(&w2);
     show("second WiFi frame (classified)", &auto);
-    let w3: Vec<Cf64> = w.iter().map(|&s| s + noise.next() * 0.3).collect();
+    let w3: Vec<Cf64> = w.iter().map(|&s| s + noise.next_sample() * 0.3).collect();
     let active = auto.step(&w3);
     println!(
         "{:<36} jammed {} samples of the next frame",
-        "", active.iter().filter(|&&a| a).count()
+        "",
+        active.iter().filter(|&&a| a).count()
     );
 
     // The WiFi station leaves; after ~150 ms of silence the jammer stands down.
@@ -63,7 +63,7 @@ fn main() {
     let act = bs.dl_subframe_samples();
     let mut wx = to_usrp_rate(&dl[..act], rjam::sdr::WIMAX_SAMPLE_RATE);
     scale_to_power(&mut wx, 0.02);
-    let wx: Vec<Cf64> = wx.iter().map(|&s| s + noise.next()).collect();
+    let wx: Vec<Cf64> = wx.iter().map(|&s| s + noise.next_sample()).collect();
     for chunk in wx.chunks(8000) {
         auto.step(chunk);
     }

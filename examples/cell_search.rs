@@ -13,15 +13,20 @@ use rjam::sdr::rng::Rng;
 fn main() {
     // An unknown base station appears on the band (we pretend not to know
     // its identity: Cell ID 23, segment 2).
-    let secret = DownlinkConfig { id_cell: 23, segment: 2, ..DownlinkConfig::default() };
+    let secret = DownlinkConfig {
+        id_cell: 23,
+        segment: 2,
+        ..DownlinkConfig::default()
+    };
     let mut bs = DownlinkGenerator::new(secret);
     let frame = bs.next_frame();
 
     // Add receiver noise at 10 dB SNR.
     let mut rng = Rng::seed_from(2);
     let p = rjam::sdr::power::mean_power(&frame[..1152]);
-    let mut noise = rjam::channel::NoiseSource::new(p / rjam::sdr::power::db_to_lin(10.0), rng.fork());
-    let noisy: Vec<_> = frame.iter().map(|&s| s + noise.next()).collect();
+    let mut noise =
+        rjam::channel::NoiseSource::new(p / rjam::sdr::power::db_to_lin(10.0), rng.fork());
+    let noisy: Vec<_> = frame.iter().map(|&s| s + noise.next_sample()).collect();
 
     // 1. Cell search over the full (IDcell, segment) codebook.
     let (best, margin) = identify_from_frame(&noisy).expect("frame long enough");
@@ -38,7 +43,10 @@ fn main() {
             segment: best.segment,
             threshold: 0.45,
         },
-        JammerPreset::Reactive { uptime_s: 100e-6, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 100e-6,
+            waveform: JamWaveform::Wgn,
+        },
     );
     jammer.set_lockout(100_000);
     let mut jammed = 0;
@@ -49,7 +57,7 @@ fn main() {
         let mut wave = up;
         rjam::sdr::power::scale_to_power(&mut wave, 0.02);
         for s in wave.iter_mut() {
-            *s += noise.next() * 0.02;
+            *s += noise.next_sample() * 0.02;
         }
         let (_tx, active) = jammer.process_block(&wave);
         if active.iter().any(|&a| a) {

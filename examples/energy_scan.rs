@@ -38,10 +38,10 @@ fn main() {
     let mut noise = rjam::channel::NoiseSource::new(noise_p, rng.fork());
     let mut stream: Vec<Cf64> = noise.block(2000);
     let wifi_at = stream.len();
-    stream.extend(wifi25.iter().map(|&s| s + noise.next()));
+    stream.extend(wifi25.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(4000));
     let wimax_at = stream.len();
-    stream.extend(wimax25.iter().map(|&s| s + noise.next()));
+    stream.extend(wimax25.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(2000));
 
     println!(
@@ -53,7 +53,9 @@ fn main() {
 
     for thr_db in [3.0, 10.0, 20.0] {
         let mut det = ReactiveJammer::new(
-            DetectionPreset::EnergyRise { threshold_db: thr_db },
+            DetectionPreset::EnergyRise {
+                threshold_db: thr_db,
+            },
             JammerPreset::Monitor,
         );
         det.set_lockout(2000);

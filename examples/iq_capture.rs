@@ -29,12 +29,15 @@ fn main() {
     let mut noise =
         rjam::channel::NoiseSource::new(0.02 / rjam::sdr::power::db_to_lin(25.0), rng.fork());
     let mut stream: Vec<Cf64> = noise.block(2000);
-    stream.extend(wave.iter().map(|&s| s + noise.next()));
+    stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(2000));
 
     let mut jammer = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-        JammerPreset::Reactive { uptime_s: 50e-6, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 50e-6,
+            waveform: JamWaveform::Wgn,
+        },
     );
     let (jam_tx, active) = jammer.process_block(&stream);
     // The capture is what a monitor receiver would see: scene + jam burst.
@@ -59,14 +62,26 @@ fn main() {
     // Spectral summary of the capture.
     let psd = welch_psd(&capture, 256);
     let frac_wifi_band = band_power_fraction(&psd, 0.8); // 20 of 25 MHz
-    println!("\npower within +-10 MHz (the WiFi channel): {:.1} %", 100.0 * frac_wifi_band);
+    println!(
+        "\npower within +-10 MHz (the WiFi channel): {:.1} %",
+        100.0 * frac_wifi_band
+    );
     let shifted = fftshift_bins(&psd);
     let peak = shifted.iter().cloned().fold(0.0f64, f64::max).max(1e-30);
     print!("PSD (dB rel. peak, -12.5..+12.5 MHz): ");
     for chunk in shifted.chunks(16) {
         let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
         let db = 10.0 * (avg / peak).log10();
-        print!("{}", if db > -10.0 { '#' } else if db > -25.0 { '+' } else { '.' });
+        print!(
+            "{}",
+            if db > -10.0 {
+                '#'
+            } else if db > -25.0 {
+                '+'
+            } else {
+                '.'
+            }
+        );
     }
     println!("\n(open the file in inspectrum or GNU Radio for the full view)");
     std::fs::remove_file(&path).ok(); // tidy up the demo artifact

@@ -34,11 +34,18 @@ fn window(
                     det.psdu_len,
                     snr,
                     sir,
-                    &[Burst { start_us: 2.64, end_us: 102.64 }],
+                    &[Burst {
+                        start_us: 2.64,
+                        end_us: 102.64,
+                    }],
                     false,
                 ),
             };
-            LinkObservation { rssi_dbm, rate, delivered: rng.chance(p) }
+            LinkObservation {
+                rssi_dbm,
+                rate,
+                delivered: rng.chance(p),
+            }
         })
         .collect()
 }
@@ -53,8 +60,20 @@ fn main() {
         ("healthy, strong signal", -62.0, Rate::R54, None, 1u64),
         ("below 54 Mb/s sensitivity", -78.5, Rate::R54, None, 2),
         ("weak signal (no jammer)", -90.0, Rate::R54, None, 3),
-        ("reactive jam, 0.1ms @ 12dB SIR", -62.0, Rate::R24, Some(12.0), 4),
-        ("reactive jam, 0.1ms @ 8dB SIR", -62.0, Rate::R24, Some(8.0), 5),
+        (
+            "reactive jam, 0.1ms @ 12dB SIR",
+            -62.0,
+            Rate::R24,
+            Some(12.0),
+            4,
+        ),
+        (
+            "reactive jam, 0.1ms @ 8dB SIR",
+            -62.0,
+            Rate::R24,
+            Some(8.0),
+            5,
+        ),
     ] {
         let obs = window(rssi, rate, sir, 150, seed);
         let v = det.analyze(&obs).expect("window");

@@ -20,9 +20,15 @@ fn main() {
     // 1. Configure the jammer: short-preamble detection, 10 us WGN bursts.
     let mut jammer = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-        JammerPreset::Reactive { uptime_s: 10e-6, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 10e-6,
+            waveform: JamWaveform::Wgn,
+        },
     );
-    println!("jammer configured ({} register writes)", jammer.reconfig_writes());
+    println!(
+        "jammer configured ({} register writes)",
+        jammer.reconfig_writes()
+    );
 
     // 2. Put one 802.11g frame on the air (20 MSPS native -> 25 MSPS RX).
     let mut rng = Rng::seed_from(42);
@@ -38,7 +44,7 @@ fn main() {
     let mut noise = rjam::channel::NoiseSource::new(noise_p, rng.fork());
     let lead = 500usize;
     let mut stream: Vec<Cf64> = noise.block(lead);
-    stream.extend(wave.iter().map(|&s| s + noise.next()));
+    stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(500));
 
     // 3. Stream through the detector/jammer.
@@ -54,7 +60,10 @@ fn main() {
 
     // 4. Timeline vs the paper's budget.
     let measured = measure(jammer.events(), jammer.jam_events(), lead as u64);
-    println!("\n{:<12} {:>12} {:>12}", "metric", "budget (ns)", "measured (ns)");
+    println!(
+        "\n{:<12} {:>12} {:>12}",
+        "metric", "budget (ns)", "measured (ns)"
+    );
     for (name, budget, meas) in comparison_rows(&TimelineBudget::paper(), &measured) {
         match meas {
             Some(m) => println!("{name:<12} {budget:>12.0} {m:>12.0}"),

@@ -1,9 +1,23 @@
 #!/bin/sh
 # Regenerates every table/figure at meaningful sample sizes.
-set -e
+#
+# Fails fast: the first figure binary that exits non-zero aborts the run
+# with a message naming the offending figure, and the partial transcript in
+# $OUT ends at that point so the failure is easy to localize.
+set -eu
 OUT=${1:-figures_output.txt}
 : > "$OUT"
-run() { echo "\n\n############ $1 ############" >> "$OUT"; shift; "$@" >> "$OUT" 2>&1; }
+run() {
+    name=$1
+    shift
+    printf '\n\n############ %s ############\n' "$name" >> "$OUT"
+    if ! "$@" >> "$OUT" 2>&1; then
+        status=$?
+        echo "run_figures.sh: FAILED at '$name' (exit $status): $*" >&2
+        echo "run_figures.sh: see the tail of $OUT for the panic/output" >&2
+        exit "$status"
+    fi
+}
 run fig5  cargo run -q --release -p rjam-bench --bin fig5_timelines -- --trials 40
 run table1 cargo run -q --release -p rjam-bench --bin table1_insertion_loss
 run fig6  cargo run -q --release -p rjam-bench --bin fig6_long_preamble -- --frames 250 --fa-samples 25000000
@@ -18,3 +32,4 @@ run corrlen cargo run -q --release -p rjam-bench --bin ablation_corr_len -- --fr
 run rtscts cargo run -q --release -p rjam-bench --bin ablation_rts_cts -- --seconds 6
 run fading cargo run -q --release -p rjam-bench --bin ablation_fading -- --frames 150
 echo DONE >> "$OUT"
+echo "run_figures.sh: all figures regenerated into $OUT"

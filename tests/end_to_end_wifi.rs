@@ -44,13 +44,19 @@ fn jammer_corrupts_frame_at_ap_through_five_port_network() {
     // The jammer detects and reacts: 200 us WGN burst at full drive.
     let mut jammer = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-        JammerPreset::Reactive { uptime_s: 200e-6, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 200e-6,
+            waveform: JamWaveform::Wgn,
+        },
     );
     // Normalize the observed level into the ADC's happy range.
     let rx_gain = (0.02 / mean_power(&at_jammer_25)).sqrt();
     let observed: Vec<Cf64> = at_jammer_25.iter().map(|s| s.scale(rx_gain)).collect();
     let (jam_tx_25, active) = jammer.process_block(&observed);
-    assert!(active.iter().any(|&a| a), "jammer must trigger on the frame");
+    assert!(
+        active.iter().any(|&a| a),
+        "jammer must trigger on the frame"
+    );
     let first_jam = active.iter().position(|&a| a).unwrap();
     // Response within the correlation budget: <= 2.64 us + template position.
     assert!(first_jam < 600, "jam started at sample {first_jam}");
@@ -61,7 +67,11 @@ fn jammer_corrupts_frame_at_ap_through_five_port_network() {
     // Superpose at the AP. The jam burst is strong relative to the signal.
     let mut scene = PortReceiver::new(&net);
     scene.add(Emission::new(Port::Client, 0, tx_wave.clone()));
-    scene.add(Emission::new(Port::JammerTx, 0, jam_tx_20.iter().map(|s| s.scale(4.0)).collect()));
+    scene.add(Emission::new(
+        Port::JammerTx,
+        0,
+        jam_tx_20.iter().map(|s| s.scale(4.0)).collect(),
+    ));
     let noise_p = mean_power(&net.propagate(Port::Client, Port::Ap, &tx_wave)) / db_to_lin(30.0);
     let mut noise = NoiseSource::new(noise_p, rng.fork());
     let at_ap = scene.render(Port::Ap, &mut noise);
@@ -121,9 +131,9 @@ fn energy_personality_is_protocol_agnostic() {
 
     let mut noise = NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
     let mut stream = noise.block(1000);
-    stream.extend(wifi25.iter().map(|&s| s + noise.next()));
+    stream.extend(wifi25.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(6000));
-    stream.extend(wimax25.iter().map(|&s| s + noise.next()));
+    stream.extend(wimax25.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(1000));
     det.process_block(&stream);
 
@@ -132,7 +142,10 @@ fn energy_personality_is_protocol_agnostic() {
         .iter()
         .filter(|e| matches!(e, rjam::fpga::CoreEvent::EnergyHigh { .. }))
         .count();
-    assert!(rises >= 2, "both standards must trigger energy rises, got {rises}");
+    assert!(
+        rises >= 2,
+        "both standards must trigger energy rises, got {rises}"
+    );
 }
 
 /// Protocol awareness: the WiFi template does not jam WiMAX and vice versa.
@@ -143,7 +156,10 @@ fn protocol_selectivity_across_standards() {
     // WiMAX downlink observed by a WiFi-templated jammer: no reaction.
     let mut wifi_jammer = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.45 },
-        JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 1e-5,
+            waveform: JamWaveform::Wgn,
+        },
     );
     let mut gen = rjam::phy80216::DownlinkGenerator::new(rjam::phy80216::DownlinkConfig::default());
     let dl = gen.next_frame();
@@ -151,7 +167,7 @@ fn protocol_selectivity_across_standards() {
     let mut wimax25 = to_usrp_rate(&dl[..active], rjam::sdr::WIMAX_SAMPLE_RATE);
     rjam::sdr::power::scale_to_power(&mut wimax25, 0.02);
     let mut noise = NoiseSource::new(0.02 / db_to_lin(20.0), rng.fork());
-    let stream: Vec<Cf64> = wimax25.iter().map(|&s| s + noise.next()).collect();
+    let stream: Vec<Cf64> = wimax25.iter().map(|&s| s + noise.next_sample()).collect();
     let (_tx, act) = wifi_jammer.process_block(&stream);
     assert!(
         act.iter().all(|&a| !a),
@@ -160,13 +176,20 @@ fn protocol_selectivity_across_standards() {
 
     // WiFi frame observed by a WiMAX-templated jammer: no reaction.
     let mut wimax_jammer = ReactiveJammer::new(
-        DetectionPreset::WimaxPreamble { id_cell: 1, segment: 0, threshold: 0.45 },
-        JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+        DetectionPreset::WimaxPreamble {
+            id_cell: 1,
+            segment: 0,
+            threshold: 0.45,
+        },
+        JammerPreset::Reactive {
+            uptime_s: 1e-5,
+            waveform: JamWaveform::Wgn,
+        },
     );
     let (_, wifi20) = make_frame(&mut rng, Rate::R12, 60);
     let mut wifi25 = to_usrp_rate(&wifi20, rjam::sdr::WIFI_SAMPLE_RATE);
     rjam::sdr::power::scale_to_power(&mut wifi25, 0.02);
-    let stream2: Vec<Cf64> = wifi25.iter().map(|&s| s + noise.next()).collect();
+    let stream2: Vec<Cf64> = wifi25.iter().map(|&s| s + noise.next_sample()).collect();
     let (_tx, act2) = wimax_jammer.process_block(&stream2);
     assert!(
         act2.iter().all(|&a| !a),

@@ -22,7 +22,7 @@ fn wifi_stream(seed: u64, snr_db: f64, lead: usize) -> Vec<Cf64> {
     scale_to_power(&mut wave, 0.02);
     let mut noise = rjam::channel::NoiseSource::new(0.02 / db_to_lin(snr_db), rng.fork());
     let mut stream = noise.block(lead);
-    stream.extend(wave.iter().map(|&s| s + noise.next()));
+    stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
     stream.extend(noise.block(300));
     stream
 }
@@ -34,7 +34,10 @@ fn timing_budget_holds_over_repeated_frames() {
     for k in 0..10u64 {
         let mut j = ReactiveJammer::new(
             DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-            JammerPreset::Reactive { uptime_s: 4e-5, waveform: JamWaveform::Wgn },
+            JammerPreset::Reactive {
+                uptime_s: 4e-5,
+                waveform: JamWaveform::Wgn,
+            },
         );
         let lead = 300 + (k as usize * 37) % 200;
         j.process_block(&wifi_stream(1000 + k, 25.0, lead));
@@ -45,7 +48,10 @@ fn timing_budget_holds_over_repeated_frames() {
         if let Some(t) = m.t_resp_ns {
             // Short-preamble templates can trigger on any of the 10 STS
             // repetitions; the first opportunity is within the budget.
-            assert!(t <= budget.t_resp_xcorr_ns + 8000.0, "T_resp {t} ns at k={k}");
+            assert!(
+                t <= budget.t_resp_xcorr_ns + 8000.0,
+                "T_resp {t} ns at k={k}"
+            );
         }
     }
 }
@@ -55,7 +61,10 @@ fn timing_budget_holds_over_repeated_frames() {
 fn replay_jamming_resembles_captured_signal() {
     let mut j = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-        JammerPreset::Reactive { uptime_s: 20e-6, waveform: JamWaveform::Replay },
+        JammerPreset::Reactive {
+            uptime_s: 20e-6,
+            waveform: JamWaveform::Replay,
+        },
     );
     let stream = wifi_stream(7, 30.0, 600);
     let (tx, active) = j.process_block(&stream);
@@ -115,8 +124,18 @@ fn jammer_effectiveness_ordering_at_fixed_sir() {
     let seconds = 3.0;
     let off = run_scenario(&scenario_for(JammerUnderTest::Off, sir, seconds, 5));
     let cont = run_scenario(&scenario_for(JammerUnderTest::Continuous, sir, seconds, 5));
-    let long = run_scenario(&scenario_for(JammerUnderTest::ReactiveLong, sir, seconds, 5));
-    let short = run_scenario(&scenario_for(JammerUnderTest::ReactiveShort, sir, seconds, 5));
+    let long = run_scenario(&scenario_for(
+        JammerUnderTest::ReactiveLong,
+        sir,
+        seconds,
+        5,
+    ));
+    let short = run_scenario(&scenario_for(
+        JammerUnderTest::ReactiveShort,
+        sir,
+        seconds,
+        5,
+    ));
     // At 14 dB SIR: continuous is most damaging, then 0.1 ms, then 0.01 ms.
     assert!(cont.bandwidth_kbps < 0.2 * off.bandwidth_kbps, "continuous");
     assert!(
@@ -153,7 +172,10 @@ fn budget_to_scenario_consistency() {
 fn feedback_polling_cycle() {
     let mut j = ReactiveJammer::new(
         DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-        JammerPreset::Reactive { uptime_s: 1e-5, waveform: JamWaveform::Wgn },
+        JammerPreset::Reactive {
+            uptime_s: 1e-5,
+            waveform: JamWaveform::Wgn,
+        },
     );
     assert_eq!(j.take_feedback(), 0, "no events before any stream");
     j.process_block(&wifi_stream(31, 25.0, 400));
@@ -196,7 +218,10 @@ fn sequence_trigger_combination_end_to_end() {
     // A WiFi frame rising out of silence satisfies BOTH stages in order:
     // energy rise at the frame edge, then the STS correlation.
     let (_tx, active) = j.process_block(&wifi_stream(41, 25.0, 500));
-    assert!(active.iter().any(|&x| x), "sequence must complete on a frame");
+    assert!(
+        active.iter().any(|&x| x),
+        "sequence must complete on a frame"
+    );
 
     // A pure CW burst (energy rise but no STS correlation) must NOT jam.
     let mut j2 = ReactiveJammer::from_config(&cfg);
@@ -218,8 +243,8 @@ fn ack_jamming_via_energy_fall() {
     let mut j = ReactiveJammer::new(
         DetectionPreset::EnergyFall { threshold_db: 10.0 },
         JammerPreset::Surgical {
-            uptime_s: 30e-6,                // cover the ~28 us ACK
-            delay_s: 10e-6,                 // SIFS
+            uptime_s: 30e-6, // cover the ~28 us ACK
+            delay_s: 10e-6,  // SIFS
             waveform: JamWaveform::Wgn,
         },
     );
@@ -230,17 +255,20 @@ fn ack_jamming_via_energy_fall() {
     let frame_end = 600 + frame_len;
     let mut extended = stream;
     extended.extend({
-        let mut n = rjam::channel::NoiseSource::new(
-            0.02 / db_to_lin(25.0),
-            Rng::seed_from(52),
-        );
+        let mut n = rjam::channel::NoiseSource::new(0.02 / db_to_lin(25.0), Rng::seed_from(52));
         n.block(3000)
     });
     let (_tx, active) = j.process_block(&extended);
-    let first_jam = active.iter().position(|&a| a).expect("fall trigger must fire");
+    let first_jam = active
+        .iter()
+        .position(|&a| a)
+        .expect("fall trigger must fire");
     // Burst must start after the frame ends (fall detection + SIFS delay),
     // inside the ACK window (within ~60 us of frame end).
-    assert!(first_jam > frame_end, "burst at {first_jam} vs frame end {frame_end}");
+    assert!(
+        first_jam > frame_end,
+        "burst at {first_jam} vs frame end {frame_end}"
+    );
     assert!(
         first_jam < frame_end + 1500,
         "burst {} must land in the ACK slot near {}",

@@ -1,6 +1,7 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, driven by the in-repo
+//! `rjam-testkit` (hermetic, zero external dependencies). Every property and
+//! case count from the original proptest suite is preserved.
 
-use proptest::prelude::*;
 use rjam::fpga::xcorr::Coeff3;
 use rjam::fpga::CrossCorrelator;
 use rjam::phy80211::bits::{append_fcs, bits_to_bytes, bytes_to_bits, check_fcs, Scrambler};
@@ -9,29 +10,37 @@ use rjam::phy80211::interleave::{deinterleave, interleave};
 use rjam::phy80211::{decode_frame, modulate_frame, Frame, Rate};
 use rjam::sdr::complex::{Cf64, IqI16};
 use rjam::sdr::fft::{fft, ifft};
+use rjam_testkit::{self as tk, prop_assert, prop_assert_eq, props, Gen};
 
-fn any_rate() -> impl Strategy<Value = Rate> {
-    prop_oneof![
-        Just(Rate::R6),
-        Just(Rate::R9),
-        Just(Rate::R12),
-        Just(Rate::R18),
-        Just(Rate::R24),
-        Just(Rate::R36),
-        Just(Rate::R48),
-        Just(Rate::R54),
-    ]
+fn any_rate() -> impl Gen<Value = Rate> {
+    tk::one_of(vec![
+        Rate::R6,
+        Rate::R9,
+        Rate::R12,
+        Rate::R18,
+        Rate::R24,
+        Rate::R36,
+        Rate::R48,
+        Rate::R54,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn any_code_rate() -> impl Gen<Value = CodeRate> {
+    tk::one_of(vec![
+        CodeRate::Half,
+        CodeRate::TwoThirds,
+        CodeRate::ThreeQuarters,
+    ])
+}
+
+props! {
+    cases = 24;
 
     /// The entire PHY is a bit-exact channel at infinite SNR for every rate,
     /// payload and scrambler seed.
-    #[test]
     fn phy_roundtrip_any_payload(
         rate in any_rate(),
-        payload in proptest::collection::vec(any::<u8>(), 1..300),
+        payload in tk::vec(tk::any::<u8>(), 1..300),
         seed in 1u8..0x7F,
     ) {
         let mut frame = Frame::new(rate, payload.clone());
@@ -43,10 +52,9 @@ proptest! {
     }
 
     /// FCS accepts every intact frame and rejects every single-bit flip.
-    #[test]
     fn fcs_detects_any_single_bit_error(
-        body in proptest::collection::vec(any::<u8>(), 1..200),
-        flip_byte in any::<prop::sample::Index>(),
+        body in tk::vec(tk::any::<u8>(), 1..200),
+        flip_byte in tk::any::<tk::Index>(),
         flip_bit in 0u8..8,
     ) {
         let framed = append_fcs(&body);
@@ -58,9 +66,8 @@ proptest! {
     }
 
     /// Scrambling twice with the same seed is the identity.
-    #[test]
     fn scrambler_involution(
-        bits in proptest::collection::vec(0u8..2, 1..500),
+        bits in tk::vec(0u8..2, 1..500),
         seed in 1u8..0x7F,
     ) {
         let mut data = bits.clone();
@@ -70,14 +77,9 @@ proptest! {
     }
 
     /// Viterbi inverts the encoder (with tail) at every rate.
-    #[test]
     fn conv_code_roundtrip(
-        mut bits in proptest::collection::vec(0u8..2, 24..240),
-        rate in prop_oneof![
-            Just(CodeRate::Half),
-            Just(CodeRate::TwoThirds),
-            Just(CodeRate::ThreeQuarters)
-        ],
+        mut bits in tk::vec(0u8..2, 24..240),
+        rate in any_code_rate(),
     ) {
         // Pattern-period alignment plus the 6-bit tail.
         let trim = bits.len() % 12;
@@ -88,10 +90,9 @@ proptest! {
     }
 
     /// Interleaving is a bijection for every 802.11 configuration.
-    #[test]
     fn interleaver_bijection(
-        cfg in prop_oneof![Just((48usize,1usize)), Just((96,2)), Just((192,4)), Just((288,6))],
-        seed in any::<u64>(),
+        cfg in tk::one_of(vec![(48usize, 1usize), (96, 2), (192, 4), (288, 6)]),
+        seed in tk::any::<u64>(),
     ) {
         let (n_cbps, n_bpsc) = cfg;
         let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
@@ -101,16 +102,14 @@ proptest! {
     }
 
     /// Bit packing round-trips arbitrary bytes.
-    #[test]
-    fn bit_packing_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+    fn bit_packing_roundtrip(bytes in tk::vec(tk::any::<u8>(), 0..100)) {
         prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&bytes)), bytes);
     }
 
     /// IFFT inverts FFT for any power-of-two-sized complex buffer.
-    #[test]
     fn fft_roundtrip(
         log_n in 1u32..10,
-        seed in any::<u64>(),
+        seed in tk::any::<u64>(),
     ) {
         let n = 1usize << log_n;
         let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
@@ -123,10 +122,9 @@ proptest! {
 
     /// The bit-sliced and reference correlator datapaths agree on arbitrary
     /// coefficients and sample streams.
-    #[test]
     fn correlator_datapaths_agree(
-        coeff_seed in any::<u64>(),
-        stream_seed in any::<u64>(),
+        coeff_seed in tk::any::<u64>(),
+        stream_seed in tk::any::<u64>(),
         threshold in 0u64..200_000,
     ) {
         let mut rng = rjam::sdr::rng::Rng::seed_from(coeff_seed);
@@ -151,8 +149,7 @@ proptest! {
     }
 
     /// Register-bus coefficient packing round-trips any valid template.
-    #[test]
-    fn coeff_bus_roundtrip(seed in any::<u64>()) {
+    fn coeff_bus_roundtrip(seed in tk::any::<u64>()) {
         let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
         let coeffs: Vec<i8> = (0..64).map(|_| rng.below(8) as i8 - 4).collect();
         let mut bus = rjam::fpga::RegisterBus::new();
@@ -164,8 +161,7 @@ proptest! {
     }
 
     /// The moving-sum recurrence never deviates from the direct window sum.
-    #[test]
-    fn moving_sum_matches_direct(values in proptest::collection::vec(0u64..1_000_000, 40..200)) {
+    fn moving_sum_matches_direct(values in tk::vec(0u64..1_000_000, 40..200)) {
         let mut ms = rjam::sdr::ring::MovingSum::new(32);
         for (n, &v) in values.iter().enumerate() {
             let got = ms.push(v);
@@ -176,19 +172,17 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+props! {
+    cases = 16;
 
     /// The DSSS PHY round-trips any payload at 1 Mb/s.
-    #[test]
-    fn dsss_roundtrip_any_payload(payload in proptest::collection::vec(any::<u8>(), 1..120)) {
+    fn dsss_roundtrip_any_payload(payload in tk::vec(tk::any::<u8>(), 1..120)) {
         let wave = rjam::phy80211::dsss::modulate_dsss(&payload);
         let back = rjam::phy80211::dsss::demodulate_dsss(&wave, payload.len());
         prop_assert_eq!(back, Some(payload));
     }
 
     /// Soft and hard demapping always agree on the sign of each bit.
-    #[test]
     fn soft_hard_demap_sign_agreement(
         re in -1.5f64..1.5,
         im in -1.5f64..1.5,
@@ -207,14 +201,9 @@ proptest! {
     }
 
     /// The soft Viterbi decoder inverts the encoder at every rate.
-    #[test]
     fn soft_viterbi_roundtrip(
-        mut bits in proptest::collection::vec(0u8..2, 24..240),
-        rate in prop_oneof![
-            Just(CodeRate::Half),
-            Just(CodeRate::TwoThirds),
-            Just(CodeRate::ThreeQuarters)
-        ],
+        mut bits in tk::vec(0u8..2, 24..240),
+        rate in any_code_rate(),
     ) {
         use rjam::phy80211::convcode::{depuncture_llr, viterbi_decode_soft};
         let trim = bits.len() % 12;
@@ -227,7 +216,6 @@ proptest! {
     }
 
     /// The rational resampler's output length follows up/down exactly.
-    #[test]
     fn resampler_length_property(
         up in 1usize..12,
         down in 1usize..12,
@@ -241,7 +229,6 @@ proptest! {
     }
 
     /// VITA timestamps round-trip cycle arithmetic exactly.
-    #[test]
     fn vita_time_roundtrip(cycle in 0u64..10_000_000_000, epoch in 0u64..1_000_000) {
         use rjam::fpga::VitaTime;
         let t = VitaTime::from_cycle(cycle, epoch);
@@ -251,8 +238,7 @@ proptest! {
     }
 
     /// The wide correlator at 64 taps is bit-identical to the fixed core.
-    #[test]
-    fn wide_correlator_matches_core_at_64(seed in any::<u64>()) {
+    fn wide_correlator_matches_core_at_64(seed in tk::any::<u64>()) {
         use rjam::fpga::xcorr::Coeff3;
         use rjam::fpga::{CrossCorrelator, WideCorrelator};
         let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
@@ -272,8 +258,7 @@ proptest! {
 
     /// Multipath realizations always carry unit energy and the receiver's
     /// CP absorbs any delay spread shorter than 16 samples.
-    #[test]
-    fn multipath_energy_normalized(seed in any::<u64>(), taps in 1usize..16) {
+    fn multipath_energy_normalized(seed in tk::any::<u64>(), taps in 1usize..16) {
         let mut rng = rjam::sdr::rng::Rng::seed_from(seed);
         let ch = rjam::channel::MultipathChannel::rayleigh(taps, 2.0, &mut rng);
         prop_assert!((ch.energy() - 1.0).abs() < 1e-9);
