@@ -15,6 +15,9 @@ cargo fmt --check
 step "clippy, deny warnings, all targets"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+step "rustdoc, deny warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 step "release build"
 cargo build --workspace --release --offline
 
@@ -31,6 +34,20 @@ RJAM_BENCH_SAMPLES=3 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
 step "bench report is valid JSON"
 test -s BENCH_xcorr_throughput.json
 cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_xcorr_throughput.json
+
+step "observability smoke: stats report + metrics snapshot round-trip"
+# `stats` exercises live episodes and must report the trigger-to-TX
+# histogram against the paper's response budget; `--metrics-out` must
+# write a rjam-metrics-v1 snapshot that `stats FILE` parses back.
+cargo run -q --release --offline -p rjam-cli -- stats | grep -q "== counters =="
+cargo run -q --release --offline -p rjam-cli -- stats | grep -q "2640 ns xcorr response budget"
+cargo run -q --release --offline -p rjam-cli -- \
+    timeline --trials 1 --metrics-out rjam_ci_metrics.json > /dev/null
+test -s rjam_ci_metrics.json
+grep -q '"schema": "rjam-metrics-v1"' rjam_ci_metrics.json
+cargo run -q --release --offline -p rjam-cli -- stats rjam_ci_metrics.json \
+    | grep -q "fpga.samples_in"
+rm -f rjam_ci_metrics.json
 
 echo
 echo "ci.sh: all gates passed"

@@ -43,6 +43,9 @@ fn main() {
         for &s in &stream {
             active += u32::from(core.process(black_box(s)).tx.is_some());
         }
+        // Host-side register poll: publishes the core's counter deltas so
+        // the bench record carries per-iteration work counts.
+        core.flush_obs();
         black_box(active)
     });
 

@@ -2,8 +2,9 @@
 //!
 //! Parses each file with the harness's own JSON parser and checks the
 //! record schema (`bench`, `params`, `median_ns`, `p95_ns`, `min_ns`,
-//! `throughput`), exiting non-zero on the first malformed report. Used by
-//! `ci.sh` to keep the benchmark emission format honest.
+//! `throughput`, plus the optional `counters` object of per-iteration
+//! `rjam-obs` registry deltas), exiting non-zero on the first malformed
+//! report. Used by `ci.sh` to keep the benchmark emission format honest.
 
 use rjam_bench::harness::json::{parse, Value};
 use std::process::ExitCode;
@@ -35,6 +36,25 @@ fn check_record(v: &Value) -> Result<String, String> {
                 "{name}: 'throughput' must be null or a non-negative number"
             ))
         }
+    }
+    match map.get("counters") {
+        None => {}
+        Some(Value::Object(counters)) => {
+            if counters.is_empty() {
+                return Err(format!("{name}: 'counters' present but empty"));
+            }
+            for (cname, v) in counters {
+                match v {
+                    Value::Number(n) if *n > 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "{name}: counter '{cname}' must be a positive number"
+                        ))
+                    }
+                }
+            }
+        }
+        Some(_) => return Err(format!("{name}: 'counters' must be an object")),
     }
     Ok(name.clone())
 }

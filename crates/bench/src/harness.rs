@@ -12,6 +12,14 @@
 //! records with schema
 //! `{bench, params, median_ns, p95_ns, min_ns, throughput}`.
 //!
+//! When the `obs` feature is on, each record additionally carries the
+//! per-iteration deltas of every `rjam-obs` registry counter that moved
+//! during the measurement phase, as an optional `"counters"` object
+//! (`{"fpga.samples_in": 25000, ...}`). Timings alone say *how fast*; the
+//! counter deltas say *what work* each iteration actually did, so a
+//! regression in one can be cross-checked against the other. With `obs`
+//! compiled out the field is simply absent and the schema is unchanged.
+//!
 //! Environment knobs (all optional):
 //!
 //! * `RJAM_BENCH_SAMPLES` — number of timed batches per bench (default 25);
@@ -72,20 +80,68 @@ pub struct BenchRecord {
     /// Work items per second at the median (iterations/s when the bench did
     /// not declare an element count).
     pub throughput: f64,
+    /// Per-iteration deltas of the `rjam-obs` registry counters that moved
+    /// during the measurement phase, sorted by name. Empty when nothing
+    /// moved or when observability is compiled out.
+    pub counters: Vec<(String, f64)>,
 }
 
 impl BenchRecord {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"bench\":{},\"params\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"throughput\":{}}}",
+        let mut out = format!(
+            "{{\"bench\":{},\"params\":{},\"median_ns\":{},\"p95_ns\":{},\"min_ns\":{},\"throughput\":{}",
             json_string(&self.bench),
             json_string(&self.params),
             json_number(self.median_ns),
             json_number(self.p95_ns),
             json_number(self.min_ns),
             json_number(self.throughput),
-        )
+        );
+        if !self.counters.is_empty() {
+            out.push_str(",\"counters\":{");
+            for (k, (name, v)) in self.counters.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_string(name));
+                out.push(':');
+                out.push_str(&json_number(*v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
     }
+}
+
+/// Registry counter values right now, as a sorted name → value list.
+/// Empty when the `obs` feature is compiled out.
+fn counter_values() -> Vec<(String, u64)> {
+    if rjam_obs::enabled() {
+        rjam_obs::registry::snapshot().counters
+    } else {
+        Vec::new()
+    }
+}
+
+/// Per-iteration counter deltas between two [`counter_values`] captures.
+/// Counters are monotonic, so a name absent from `before` started at zero.
+fn counter_deltas(
+    before: &[(String, u64)],
+    after: &[(String, u64)],
+    iters: u64,
+) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (name, end) in after {
+        let start = before
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v);
+        if *end > start {
+            out.push((name.clone(), (*end - start) as f64 / iters.max(1) as f64));
+        }
+    }
+    out
 }
 
 /// A suite of benchmarks sharing one configuration and one JSON report.
@@ -153,7 +209,9 @@ impl Harness {
             }
         }
 
-        // Measurement: `samples` timed batches.
+        // Measurement: `samples` timed batches, bracketed by registry
+        // captures so the report can carry per-iteration counter deltas.
+        let counters_before = counter_values();
         let mut per_iter_ns = Vec::with_capacity(self.cfg.samples);
         for _ in 0..self.cfg.samples {
             let t0 = Instant::now();
@@ -162,6 +220,8 @@ impl Harness {
             }
             per_iter_ns.push(t0.elapsed().as_nanos() as f64 / batch_iters as f64);
         }
+        let total_iters = self.cfg.samples as u64 * batch_iters;
+        let counters = counter_deltas(&counters_before, &counter_values(), total_iters);
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
 
         let median_ns = percentile(&per_iter_ns, 50.0);
@@ -176,6 +236,7 @@ impl Harness {
             p95_ns,
             min_ns,
             throughput,
+            counters,
         };
         let label = if params.is_empty() {
             bench.to_string()
@@ -189,6 +250,9 @@ impl Harness {
             fmt_ns(min_ns),
             fmt_si(throughput),
         );
+        for (name, v) in &record.counters {
+            println!("    {name:<44} {:>14}/iter", fmt_si(*v));
+        }
         self.results.push(record);
         self.results.last().expect("just pushed")
     }
@@ -572,6 +636,49 @@ mod tests {
             assert!(v > 0.0, "{field} must be positive, got {v}");
         }
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn counter_deltas_handle_new_and_unchanged_counters() {
+        let before = vec![("a".to_string(), 10), ("b".to_string(), 5)];
+        let after = vec![
+            ("a".to_string(), 30),
+            ("b".to_string(), 5),
+            ("c".to_string(), 4),
+        ];
+        let d = counter_deltas(&before, &after, 4);
+        assert_eq!(d, vec![("a".to_string(), 5.0), ("c".to_string(), 1.0)]);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn counter_deltas_are_per_iteration_and_serialized() {
+        let dir = std::env::temp_dir().join("rjam_bench_test_counters");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut h = Harness::with_config("counters", fast_config(&dir));
+        let r = h.bench("bump", "", || {
+            rjam_obs::registry::counter("bench.test_bump").inc();
+        });
+        let bump = r
+            .counters
+            .iter()
+            .find(|(n, _)| n == "bench.test_bump")
+            .map(|(_, v)| *v)
+            .expect("counter delta captured");
+        assert!(
+            (bump - 1.0).abs() < 1e-9,
+            "one inc per iteration, got {bump}"
+        );
+
+        let text = h.to_json();
+        let doc = json::parse(&text).expect("report with counters parses");
+        let obj = doc.as_array().unwrap()[0]
+            .get("counters")
+            .expect("counters object serialized");
+        assert_eq!(
+            obj.get("bench.test_bump").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
     }
 
     #[test]

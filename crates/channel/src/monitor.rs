@@ -39,6 +39,10 @@ impl ScopeTrace {
     /// Records a waveform's magnitude envelope.
     pub fn capture(&mut self, waveform: &[Cf64]) {
         self.envelope.extend(waveform.iter().map(|s| s.abs()));
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("channel.scope_captured_samples")
+                .add(waveform.len() as u64);
+        }
     }
 
     /// Appends a marker at an absolute sample index.
@@ -47,6 +51,9 @@ impl ScopeTrace {
             at,
             label: label.to_string(),
         });
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("channel.scope_markers").inc();
+        }
     }
 
     /// Recorded length in samples.
@@ -120,6 +127,35 @@ impl ScopeTrace {
             ));
         }
         Ok(pairs)
+    }
+
+    /// Serialises the marker timeline as JSON (the `rjam-obs` dialect):
+    /// `{"schema":"rjam-scope-markers-v1","sample_rate":…,"len":…,
+    /// "markers":[{"at":…,"label":…},…]}`. Markers are emitted in time
+    /// order (ties broken by label) so the output is deterministic
+    /// regardless of insertion order.
+    pub fn to_markers_json(&self) -> String {
+        use rjam_obs::json::{write_number, write_string};
+        let mut sorted: Vec<&Marker> = self.markers.iter().collect();
+        sorted.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.label.cmp(&b.label)));
+        let mut out = String::from("{\"schema\":\"rjam-scope-markers-v1\"");
+        out.push_str(",\"sample_rate\":");
+        out.push_str(&write_number(self.sample_rate));
+        out.push_str(",\"len\":");
+        out.push_str(&write_number(self.envelope.len() as f64));
+        out.push_str(",\"markers\":[");
+        for (k, m) in sorted.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"at\":");
+            out.push_str(&write_number(m.at as f64));
+            out.push_str(",\"label\":");
+            out.push_str(&write_string(&m.label));
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Renders an ASCII scope view: `width` columns, each showing the peak
@@ -279,5 +315,93 @@ mod tests {
     fn empty_render() {
         let t = ScopeTrace::new(25e6);
         assert_eq!(t.render_ascii(10, 3), "(empty trace)\n");
+    }
+
+    #[test]
+    fn render_markers_colliding_at_same_sample() {
+        // Regression: two markers with *different* labels at the same
+        // sample index must each keep their own lane — neither may clobber
+        // the other — and duplicate markers on one label must collapse to a
+        // single '^' in that label's lane, not corrupt the layout.
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(100, 1.0));
+        t.mark(50, "frame");
+        t.mark(50, "jam"); // same index, different label
+        t.mark(50, "jam"); // exact duplicate
+        let art = t.render_ascii(20, 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4, "2 signal rows + 2 marker lanes:\n{art}");
+        // Lanes are alphabetical: "frame" then "jam".
+        assert!(lines[2].ends_with("frame"), "{art}");
+        assert!(lines[3].ends_with("jam"), "{art}");
+        // Both lanes carry a caret in the SAME column (sample 50, bucket 10).
+        let frame_col = lines[2].find('^').expect("frame lane has a caret");
+        let jam_col = lines[3].find('^').expect("jam lane has a caret");
+        assert_eq!(frame_col, jam_col, "colliding markers share a column");
+        assert_eq!(frame_col, 10);
+        // The duplicate jam marker collapses: exactly one caret in the lane.
+        assert_eq!(lines[3].matches('^').count(), 1, "{art}");
+    }
+
+    #[test]
+    fn render_marker_beyond_envelope_clamps_to_last_column() {
+        // Regression: a marker past the end of the capture (e.g. a jam
+        // burst scheduled after the scope stopped) must clamp to the final
+        // column instead of indexing out of bounds.
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(100, 1.0));
+        t.mark(10_000, "late");
+        let art = t.render_ascii(10, 2);
+        let lane = art.lines().nth(2).unwrap();
+        assert_eq!(lane.find('^'), Some(9), "{art}");
+    }
+
+    #[test]
+    fn markers_json_is_sorted_and_escaped() {
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(4, 1.0));
+        t.mark(70, "jam");
+        t.mark(0, "frame \"A\"");
+        let json = t.to_markers_json();
+        let v = rjam_obs::json::parse(&json).expect("scope markers JSON parses");
+        let obj = v.as_object().unwrap();
+        assert_eq!(
+            obj["schema"].as_str(),
+            Some("rjam-scope-markers-v1"),
+            "{json}"
+        );
+        assert_eq!(obj["sample_rate"].as_f64(), Some(25e6));
+        assert_eq!(obj["len"].as_u64(), Some(4));
+        let markers = obj["markers"].as_array().unwrap();
+        assert_eq!(markers.len(), 2);
+        // Time order, not insertion order.
+        let first = markers[0].as_object().unwrap();
+        assert_eq!(first["at"].as_u64(), Some(0));
+        assert_eq!(first["label"].as_str(), Some("frame \"A\""));
+        let second = markers[1].as_object().unwrap();
+        assert_eq!(second["at"].as_u64(), Some(70));
+        assert_eq!(second["label"].as_str(), Some("jam"));
+    }
+
+    #[test]
+    fn markers_json_empty_trace() {
+        let t = ScopeTrace::new(25e6);
+        let v = rjam_obs::json::parse(&t.to_markers_json()).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj["len"].as_u64(), Some(0));
+        assert!(obj["markers"].as_array().unwrap().is_empty());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn scope_activity_feeds_registry() {
+        use rjam_obs::registry::counter_value;
+        let s0 = counter_value("channel.scope_captured_samples");
+        let m0 = counter_value("channel.scope_markers");
+        let mut t = ScopeTrace::new(25e6);
+        t.capture(&burst(128, 0.7));
+        t.mark(64, "jam");
+        assert!(counter_value("channel.scope_captured_samples") >= s0 + 128);
+        assert!(counter_value("channel.scope_markers") > m0);
     }
 }

@@ -3,13 +3,67 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// How a CLI failure maps to a process exit code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The invocation itself was malformed (unknown command, bad flag,
+    /// unparsable value). Exit code 2; usage text is shown.
+    Usage,
+    /// The command was well-formed but failed while running (missing file,
+    /// empty capture, unwritable output). Exit code 1; no usage spam.
+    Runtime,
+}
+
 /// A parse or execution failure surfaced to the operator.
+///
+/// Every error in the console flows through this one type so the binary has
+/// a single exit path: [`ErrorKind::Usage`] failures exit 2 with usage,
+/// [`ErrorKind::Runtime`] failures exit 1 without it.
 #[derive(Clone, Debug, PartialEq)]
-pub struct CliError(pub String);
+pub struct CliError {
+    kind: ErrorKind,
+    message: String,
+}
+
+impl CliError {
+    /// A malformed-invocation error (exit code 2, usage shown).
+    pub fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Usage,
+            message: message.into(),
+        }
+    }
+
+    /// A runtime failure (exit code 1, no usage).
+    pub fn runtime(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Runtime,
+            message: message.into(),
+        }
+    }
+
+    /// Which class of failure this is.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The operator-facing message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The process exit code this failure maps to.
+    pub fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Usage => 2,
+            ErrorKind::Runtime => 1,
+        }
+    }
+}
 
 impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.message)
     }
 }
 
@@ -35,7 +89,7 @@ impl PresetName {
             "wifi-long" => Ok(PresetName::WifiLong),
             "wimax" => Ok(PresetName::Wimax),
             "energy" => Ok(PresetName::Energy),
-            other => Err(CliError(format!(
+            other => Err(CliError::usage(format!(
                 "unknown preset '{other}' (expected wifi-short|wifi-long|wimax|energy)"
             ))),
         }
@@ -62,7 +116,7 @@ impl JammerName {
             "continuous" => Ok(JammerName::Continuous),
             "reactive-long" => Ok(JammerName::ReactiveLong),
             "reactive-short" => Ok(JammerName::ReactiveShort),
-            other => Err(CliError(format!(
+            other => Err(CliError::usage(format!(
                 "unknown jammer '{other}' (expected off|continuous|reactive-long|reactive-short)"
             ))),
         }
@@ -140,6 +194,13 @@ pub enum Command {
     },
     /// Print the FPGA resource footprint of the custom core.
     Resources,
+    /// Observability: render a metrics snapshot (live exercise or a saved
+    /// `--metrics-out` file).
+    Stats {
+        /// Optional path to a saved `rjam-metrics-v1` JSON snapshot; when
+        /// absent, a short live exercise is run and its metrics shown.
+        input: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -153,6 +214,31 @@ pub struct ParsedArgs {
     pub positionals: Vec<String>,
 }
 
+/// Strips the global `--metrics-out <file>` flag from an argument vector.
+///
+/// The flag is accepted anywhere on the command line and applies to every
+/// command: after execution, a `rjam-metrics-v1` JSON snapshot of the
+/// process-wide registry is written to the file. Returns the remaining
+/// arguments and the requested path, if any.
+pub fn extract_metrics_out(argv: &[String]) -> Result<(Vec<String>, Option<String>), CliError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut path = None;
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--metrics-out" {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| CliError::usage("--metrics-out needs a file path"))?;
+            path = Some(value.clone());
+            i += 2;
+        } else {
+            rest.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, path))
+}
+
 /// Splits argv into options and positionals.
 pub fn split(argv: &[String]) -> Result<ParsedArgs, CliError> {
     let mut out = ParsedArgs::default();
@@ -161,7 +247,7 @@ pub fn split(argv: &[String]) -> Result<ParsedArgs, CliError> {
         if let Some(key) = argv[i].strip_prefix("--") {
             let value = argv
                 .get(i + 1)
-                .ok_or_else(|| CliError(format!("--{key} needs a value")))?;
+                .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
             out.options.insert(key.to_string(), value.clone());
             i += 2;
         } else {
@@ -177,7 +263,7 @@ fn opt<T: std::str::FromStr>(p: &ParsedArgs, key: &str, default: T) -> Result<T,
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| CliError(format!("--{key}: cannot parse '{v}'"))),
+            .map_err(|_| CliError::usage(format!("--{key}: cannot parse '{v}'"))),
     }
 }
 
@@ -195,7 +281,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             preset: PresetName::parse(
                 rest.options
                     .get("preset")
-                    .ok_or_else(|| CliError("detect requires --preset".into()))?,
+                    .ok_or_else(|| CliError::usage("detect requires --preset"))?,
             )?,
             snr_db: opt(&rest, "snr", 5.0)?,
             frames: opt(&rest, "frames", 100)?,
@@ -208,7 +294,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             preset: PresetName::parse(
                 rest.options
                     .get("preset")
-                    .ok_or_else(|| CliError("fa requires --preset".into()))?,
+                    .ok_or_else(|| CliError::usage("fa requires --preset"))?,
             )?,
             threshold: opt(&rest, "threshold", 0.40)?,
             energy_db: opt(&rest, "energy-db", 10.0)?,
@@ -220,7 +306,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             jammer: JammerName::parse(
                 rest.options
                     .get("jammer")
-                    .ok_or_else(|| CliError("iperf requires --jammer".into()))?,
+                    .ok_or_else(|| CliError::usage("iperf requires --jammer"))?,
             )?,
             sir_db: opt(&rest, "sir", 20.0)?,
             seconds: opt(&rest, "seconds", 5.0)?,
@@ -230,14 +316,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                 .positionals
                 .first()
                 .cloned()
-                .ok_or_else(|| CliError("classify requires a capture path".into()))?;
+                .ok_or_else(|| CliError::usage("classify requires a capture path"))?;
             Ok(Command::Classify { path })
         }
         "roc" => Ok(Command::Roc {
             preset: PresetName::parse(
                 rest.options
                     .get("preset")
-                    .ok_or_else(|| CliError("roc requires --preset".into()))?,
+                    .ok_or_else(|| CliError::usage("roc requires --preset"))?,
             )?,
             snr_db: opt(&rest, "snr", 0.0)?,
             frames: opt(&rest, "frames", 60)?,
@@ -246,8 +332,13 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             segment: opt(&rest, "segment", 0)?,
         }),
         "resources" => Ok(Command::Resources),
+        "stats" => Ok(Command::Stats {
+            input: rest.positionals.first().cloned(),
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(CliError(format!("unknown command '{other}' (try 'help')"))),
+        other => Err(CliError::usage(format!(
+            "unknown command '{other}' (try 'help')"
+        ))),
     }
 }
 
@@ -265,11 +356,22 @@ USAGE:
   rjamctl roc       --preset ... [--snr dB] [--frames N] [--fa-samples N]
   rjamctl classify  <capture.cf32>
   rjamctl resources
+  rjamctl stats     [snapshot.json]
   rjamctl help
+
+GLOBAL OPTIONS:
+  --metrics-out FILE   after any command, write a rjam-metrics-v1 JSON
+                       snapshot of the observability registry to FILE
+                       (inspect later with 'rjamctl stats FILE')
 
 NOTES:
   detect/roc probe against full 802.11g frames; selecting --preset wimax
   there measures cross-standard rejection (it should stay near zero).
+  stats without a file runs a short live exercise and renders its metrics,
+  including the trigger-to-TX latency histogram against the paper budget.
+
+EXIT CODES:
+  0 success, 1 runtime failure, 2 usage error (usage shown on 2 only)
 ";
 
 #[cfg(test)]
@@ -313,7 +415,8 @@ mod tests {
     #[test]
     fn detect_requires_preset() {
         let err = parse(&argv("detect --snr 3")).unwrap_err();
-        assert!(err.0.contains("--preset"), "{err}");
+        assert!(err.message().contains("--preset"), "{err}");
+        assert_eq!(err.kind(), ErrorKind::Usage);
     }
 
     #[test]
@@ -356,7 +459,7 @@ mod tests {
     #[test]
     fn missing_value_reported() {
         let err = parse(&argv("detect --preset")).unwrap_err();
-        assert!(err.0.contains("needs a value"), "{err}");
+        assert!(err.message().contains("needs a value"), "{err}");
     }
 
     #[test]
@@ -367,6 +470,60 @@ mod tests {
     #[test]
     fn unparsable_number_reported() {
         let err = parse(&argv("iperf --jammer off --sir banana")).unwrap_err();
-        assert!(err.0.contains("--sir"), "{err}");
+        assert!(err.message().contains("--sir"), "{err}");
+    }
+
+    #[test]
+    fn error_kinds_map_to_exit_codes() {
+        assert_eq!(CliError::usage("x").exit_code(), 2);
+        assert_eq!(CliError::runtime("x").exit_code(), 1);
+        assert_eq!(CliError::usage("x").kind(), ErrorKind::Usage);
+        assert_eq!(CliError::runtime("x").kind(), ErrorKind::Runtime);
+    }
+
+    #[test]
+    fn all_parse_errors_are_usage_errors() {
+        for bad in [
+            "frobnicate",
+            "detect --snr 3",
+            "detect --preset zigbee",
+            "detect --preset",
+            "iperf --jammer off --sir banana",
+            "classify",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Usage, "'{bad}' -> {err}");
+            assert_eq!(err.exit_code(), 2, "'{bad}'");
+        }
+    }
+
+    #[test]
+    fn parses_stats() {
+        assert_eq!(
+            parse(&argv("stats")).unwrap(),
+            Command::Stats { input: None }
+        );
+        assert_eq!(
+            parse(&argv("stats snap.json")).unwrap(),
+            Command::Stats {
+                input: Some("snap.json".into())
+            }
+        );
+    }
+
+    #[test]
+    fn metrics_out_stripped_from_anywhere() {
+        let (rest, path) =
+            extract_metrics_out(&argv("iperf --metrics-out m.json --jammer off")).unwrap();
+        assert_eq!(path.as_deref(), Some("m.json"));
+        assert_eq!(rest, argv("iperf --jammer off"));
+
+        let (rest, path) = extract_metrics_out(&argv("timeline")).unwrap();
+        assert_eq!(path, None);
+        assert_eq!(rest, argv("timeline"));
+
+        let err = extract_metrics_out(&argv("resources --metrics-out")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(err.message().contains("--metrics-out"), "{err}");
     }
 }

@@ -107,6 +107,7 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Classify { path } => classify_report(path),
+        Command::Stats { input } => stats_report(input.as_deref()),
         Command::Roc {
             preset,
             snr_db,
@@ -160,11 +161,39 @@ fn resources_report() -> String {
     out
 }
 
-fn timeline_report(trials: usize) -> String {
+/// Drives one noisy WiFi frame through a freshly armed reactive jammer.
+/// Returns the jammer (with its event logs populated) and the lead-in
+/// length in samples.
+fn jam_episode(det: DetectionPreset, seed: u64) -> (ReactiveJammer, usize) {
     use rjam_fpga::JamWaveform;
     use rjam_sdr::complex::Cf64;
     use rjam_sdr::rng::Rng;
 
+    let mut j = ReactiveJammer::new(
+        det,
+        JammerPreset::Reactive {
+            uptime_s: 10e-6,
+            waveform: JamWaveform::Wgn,
+        },
+    );
+    let mut rng = Rng::seed_from(seed);
+    let mut psdu = vec![0u8; 80];
+    rng.fill_bytes(&mut psdu);
+    let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu);
+    let native = rjam_phy80211::tx::modulate_frame(&frame);
+    let mut wave = rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
+    rjam_sdr::power::scale_to_power(&mut wave, 0.02);
+    let noise_p = 0.02 / rjam_sdr::power::db_to_lin(20.0);
+    let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
+    let lead = 400usize;
+    let mut stream: Vec<Cf64> = noise.block(lead);
+    stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
+    stream.extend(noise.block(200));
+    j.process_block(&stream);
+    (j, lead)
+}
+
+fn timeline_report(trials: usize) -> String {
     let mut worst = rjam_core::timeline::MeasuredTimeline::default();
     let mut merge = |m: rjam_core::timeline::MeasuredTimeline| {
         let max = |a: Option<f64>, b: Option<f64>| match (a, b) {
@@ -182,28 +211,11 @@ fn timeline_report(trials: usize) -> String {
             DetectionPreset::EnergyRise { threshold_db: 10.0 },
             DetectionPreset::WifiShortPreamble { threshold: 0.35 },
         ] {
-            let mut j = ReactiveJammer::new(
-                det,
-                JammerPreset::Reactive {
-                    uptime_s: 10e-6,
-                    waveform: JamWaveform::Wgn,
-                },
-            );
-            let mut rng = Rng::seed_from(500 + k);
-            let mut psdu = vec![0u8; 80];
-            rng.fill_bytes(&mut psdu);
-            let frame = rjam_phy80211::tx::Frame::new(rjam_phy80211::Rate::R12, psdu);
-            let native = rjam_phy80211::tx::modulate_frame(&frame);
-            let mut wave = rjam_sdr::resample::to_usrp_rate(&native, rjam_sdr::WIFI_SAMPLE_RATE);
-            rjam_sdr::power::scale_to_power(&mut wave, 0.02);
-            let noise_p = 0.02 / rjam_sdr::power::db_to_lin(20.0);
-            let mut noise = rjam_channel::NoiseSource::new(noise_p, rng.fork());
-            let lead = 400usize;
-            let mut stream: Vec<Cf64> = noise.block(lead);
-            stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
-            stream.extend(noise.block(200));
-            j.process_block(&stream);
+            let (mut j, lead) = jam_episode(det, 500 + k);
             merge(measure(j.events(), j.jam_events(), lead as u64));
+            // Publish the episode's counters/latencies so a trailing
+            // --metrics-out snapshot reflects the run.
+            j.core_mut().flush_obs();
         }
     }
     let mut out = String::new();
@@ -227,9 +239,9 @@ fn timeline_report(trials: usize) -> String {
 
 fn classify_report(path: &str) -> Result<String, CliError> {
     let capture = rjam_sdr::io::read_cf32(std::path::Path::new(path))
-        .map_err(|e| CliError(format!("cannot read '{path}': {e}")))?;
+        .map_err(|e| CliError::runtime(format!("cannot read '{path}': {e}")))?;
     if capture.is_empty() {
-        return Err(CliError(format!("'{path}' holds no samples")));
+        return Err(CliError::runtime(format!("'{path}' holds no samples")));
     }
     let cells: Vec<(u8, u8)> = (0..32)
         .flat_map(|id| (0..3).map(move |s| (id, s)))
@@ -250,6 +262,83 @@ fn classify_report(path: &str) -> Result<String, CliError> {
         cls.wifi_score, cls.wimax_score
     );
     Ok(out)
+}
+
+/// Appends the Fig.-5 budget verdict for the trigger-to-TX histogram to a
+/// rendered snapshot.
+fn append_budget_line(out: &mut String, snap: &rjam_obs::MetricsSnapshot) {
+    let budget_ns = rjam_core::timeline::TimelineBudget::paper().t_resp_xcorr_ns;
+    match snap.histogram("fpga.trigger_to_tx_ns") {
+        Some(h) if h.count > 0 => {
+            let verdict = if (h.p99 as f64) <= budget_ns {
+                "within"
+            } else {
+                "OVER"
+            };
+            let _ = writeln!(
+                out,
+                "trigger-to-TX p99 = {} ns — {verdict} the paper's {budget_ns:.0} ns \
+                 xcorr response budget",
+                h.p99
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "trigger-to-TX histogram empty (budget {budget_ns:.0} ns not exercised)"
+            );
+        }
+    }
+}
+
+/// `rjamctl stats`: with a path, load and render a saved `rjam-metrics-v1`
+/// snapshot; without one, run a short live exercise (a handful of jam
+/// episodes through both detector paths) and render the resulting registry.
+fn stats_report(input: Option<&str>) -> Result<String, CliError> {
+    let snap = match input {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read '{path}': {e}")))?;
+            rjam_obs::MetricsSnapshot::from_json(&text).map_err(|e| {
+                CliError::runtime(format!("'{path}' is not a metrics snapshot: {e}"))
+            })?
+        }
+        None => {
+            // Live exercise: both detection paths, a few episodes each.
+            for k in 0..4u64 {
+                for det in [
+                    DetectionPreset::EnergyRise { threshold_db: 10.0 },
+                    DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+                ] {
+                    let (mut j, lead) = jam_episode(det, 900 + k);
+                    let m = measure(j.events(), j.jam_events(), lead as u64);
+                    if let Some(ns) = m.t_resp_ns {
+                        rjam_obs::registry::histogram("timeline.t_resp_ns").record(ns as u64);
+                    }
+                    j.core_mut().flush_obs();
+                }
+            }
+            rjam_obs::registry::snapshot()
+        }
+    };
+    let mut out = String::new();
+    if !rjam_obs::enabled() && input.is_none() {
+        let _ = writeln!(
+            out,
+            "observability disabled at compile time (rebuild with the 'obs' feature)"
+        );
+    }
+    out.push_str(&snap.render());
+    append_budget_line(&mut out, &snap);
+    Ok(out)
+}
+
+/// Writes a `rjam-metrics-v1` snapshot of the process-wide registry to
+/// `path` (the `--metrics-out` half of the observability loop).
+pub fn write_metrics_snapshot(path: &str) -> Result<(), CliError> {
+    let snap = rjam_obs::registry::snapshot();
+    std::fs::write(path, snap.to_json())
+        .map_err(|e| CliError::runtime(format!("cannot write metrics to '{path}': {e}")))
 }
 
 #[cfg(test)]
@@ -340,6 +429,59 @@ mod tests {
             path: "/nonexistent/x.cf32".into(),
         })
         .unwrap_err();
-        assert!(err.0.contains("cannot read"));
+        assert!(err.message().contains("cannot read"));
+        assert_eq!(err.kind(), crate::args::ErrorKind::Runtime);
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn stats_live_exercise_renders_registry() {
+        let out = execute(&Command::Stats { input: None }).unwrap();
+        assert!(out.contains("== counters =="), "{out}");
+        assert!(out.contains("== histograms =="), "{out}");
+        if rjam_obs::enabled() {
+            // The live exercise must surface the FPGA pipeline counters and
+            // a trigger-to-TX latency inside the paper budget.
+            assert!(out.contains("fpga.samples_in"), "{out}");
+            assert!(
+                out.contains("within the paper's 2640 ns xcorr response budget"),
+                "{out}"
+            );
+        } else {
+            assert!(out.contains("observability disabled"), "{out}");
+        }
+    }
+
+    #[test]
+    fn stats_roundtrips_through_metrics_out_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rjamctl_metrics_{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        // Run an exercise so the registry holds something, then snapshot.
+        execute(&Command::Stats { input: None }).unwrap();
+        write_metrics_snapshot(&path_s).unwrap();
+        let out = execute(&Command::Stats {
+            input: Some(path_s.clone()),
+        })
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(out.contains("== counters =="), "{out}");
+        if rjam_obs::enabled() {
+            assert!(out.contains("fpga.samples_in"), "{out}");
+        }
+    }
+
+    #[test]
+    fn stats_rejects_garbage_snapshot() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rjamctl_garbage_{}.json", std::process::id()));
+        std::fs::write(&path, "{\"schema\":\"wrong\"}").unwrap();
+        let err = execute(&Command::Stats {
+            input: Some(path.to_string_lossy().into()),
+        })
+        .unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Runtime);
+        assert!(err.message().contains("not a metrics snapshot"), "{err}");
     }
 }

@@ -12,10 +12,17 @@
 //! rjamctl iperf --jammer reactive-long --sir 14 --seconds 5
 //! rjamctl classify capture.cf32    # identify the standard in a capture
 //! rjamctl resources                # FPGA footprint of the core
+//! rjamctl stats                    # observability registry + histograms
 //! ```
 //!
+//! Any command also accepts the global `--metrics-out FILE` flag, which
+//! writes a `rjam-metrics-v1` JSON snapshot of the process-wide metrics
+//! registry after the command runs (`rjamctl stats FILE` renders it back).
+//!
 //! This library half holds the argument model and command implementations
-//! so they are unit-testable; `main.rs` is a thin dispatcher.
+//! so they are unit-testable; `main.rs` is a thin dispatcher. All failures
+//! flow through [`CliError`] and exit via [`fail`]: usage errors exit 2
+//! (with usage text), runtime errors exit 1.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,10 +30,26 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{CliError, Command, ParsedArgs};
+pub use args::{CliError, Command, ErrorKind, ParsedArgs};
 
 /// Entry point shared by the binary and tests: parse and run.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
-    let cmd = args::parse(argv)?;
-    commands::execute(&cmd)
+    let (argv, metrics_out) = args::extract_metrics_out(argv)?;
+    let cmd = args::parse(&argv)?;
+    let report = commands::execute(&cmd)?;
+    if let Some(path) = metrics_out {
+        commands::write_metrics_snapshot(&path)?;
+    }
+    Ok(report)
+}
+
+/// The single error-exit path of the console: reports the failure on
+/// stderr (appending usage only for malformed invocations) and returns the
+/// process exit code mandated by the error's kind.
+pub fn fail(e: &CliError) -> std::process::ExitCode {
+    eprintln!("error: {e}");
+    if e.kind() == ErrorKind::Usage {
+        eprintln!("{}", args::USAGE);
+    }
+    std::process::ExitCode::from(e.exit_code())
 }

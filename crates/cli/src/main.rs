@@ -1,13 +1,14 @@
 //! `rjamctl` — thin dispatcher over [`rjam_cli`].
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match rjam_cli::run(&argv) {
-        Ok(report) => print!("{report}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!("{}", rjam_cli::args::USAGE);
-            std::process::exit(2);
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
         }
+        Err(e) => rjam_cli::fail(&e),
     }
 }

@@ -1,0 +1,92 @@
+//! End-to-end exit-code contract of the `rjamctl` binary: every failure
+//! flows through one exit path, with distinct codes for usage (2) and
+//! runtime (1) errors, and usage text shown only for the former.
+
+use std::process::Command;
+
+fn rjamctl(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_rjamctl"))
+        .args(args)
+        .output()
+        .expect("spawn rjamctl")
+}
+
+#[test]
+fn unknown_command_exits_2_with_usage() {
+    let out = rjamctl(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("unknown command"), "{err}");
+    assert!(err.contains("USAGE:"), "usage must accompany exit 2: {err}");
+}
+
+#[test]
+fn bad_flag_value_exits_2() {
+    let out = rjamctl(&["iperf", "--jammer", "off", "--sir", "banana"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--sir"));
+}
+
+#[test]
+fn runtime_failure_exits_1_without_usage() {
+    let out = rjamctl(&["classify", "/nonexistent/rjam_capture.cf32"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("cannot read"), "{err}");
+    assert!(
+        !err.contains("USAGE:"),
+        "runtime failures must not spam usage: {err}"
+    );
+}
+
+#[test]
+fn success_exits_0() {
+    let out = rjamctl(&["resources"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("TOTAL"));
+}
+
+#[test]
+fn stats_prints_counters_and_latency_histogram() {
+    let out = rjamctl(&["stats"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("== counters =="), "{text}");
+    #[cfg(feature = "obs")]
+    {
+        assert!(text.contains("fpga.samples_in"), "{text}");
+        assert!(text.contains("fpga.trigger_to_tx_ns"), "{text}");
+        assert!(
+            text.contains("within the paper's 2640 ns xcorr response budget"),
+            "{text}"
+        );
+    }
+}
+
+#[test]
+fn metrics_out_writes_parseable_snapshot() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("rjamctl_e2e_metrics_{}.json", std::process::id()));
+    let path_s = path.to_string_lossy().to_string();
+    let out = rjamctl(&["timeline", "--trials", "1", "--metrics-out", &path_s]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = std::fs::read_to_string(&path).expect("snapshot written");
+    std::fs::remove_file(&path).ok();
+    let snap = rjam_obs::MetricsSnapshot::from_json(&text).expect("snapshot parses");
+    #[cfg(feature = "obs")]
+    assert!(
+        snap.counter("fpga.samples_in").unwrap_or(0) > 0,
+        "timeline run must have streamed samples: {text}"
+    );
+    #[cfg(not(feature = "obs"))]
+    assert!(snap.is_empty());
+}
+
+#[test]
+fn metrics_out_missing_value_exits_2() {
+    let out = rjamctl(&["resources", "--metrics-out"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics-out"));
+}

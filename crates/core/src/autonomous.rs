@@ -158,6 +158,17 @@ impl AutonomousJammer {
         &self.jammer
     }
 
+    /// Records an autonomous state transition to the global observability
+    /// layer: one `core.auto_*` counter bump plus a flight-recorder event
+    /// timestamped with the receive-stream sample index.
+    fn note_transition(&mut self, counter: &'static str, kind: &'static str, a: i64, b: i64) {
+        if rjam_obs::enabled() {
+            let t = self.jammer.core_mut().samples_processed();
+            rjam_obs::registry::counter(counter).inc();
+            rjam_obs::recorder::record_event(t, kind, a, b);
+        }
+    }
+
     /// Processes one receive block; returns the per-sample TX activity.
     pub fn step(&mut self, block: &[Cf64]) -> Vec<bool> {
         match self.mode {
@@ -177,6 +188,7 @@ impl AutonomousJammer {
                     self.mode = Mode::Capturing;
                     self.capture.clear();
                     self.capture.extend_from_slice(block);
+                    self.note_transition("core.auto_captures", "auto_capture_start", 0, 0);
                 }
                 active
             }
@@ -219,6 +231,15 @@ impl AutonomousJammer {
                         }
                     }
                     self.mode = Mode::Engaged(cls.class);
+                    // Flight-recorder payload: a = class code (0 WiFi,
+                    // 1 WiMAX, 2 unknown), b = winning score in permil.
+                    let (code, counter) = match cls.class {
+                        StandardClass::Wifi => (0, "core.auto_engage_wifi"),
+                        StandardClass::Wimax { .. } => (1, "core.auto_engage_wimax"),
+                        StandardClass::Unknown => (2, "core.auto_engage_unknown"),
+                    };
+                    let permil = (cls.score * 1000.0) as i64;
+                    self.note_transition(counter, "auto_engage", code, permil);
                     self.engagements.push(cls);
                     self.idle_run = 0;
                 }
@@ -245,6 +266,8 @@ impl AutonomousJammer {
                             .set_detection(DetectionPreset::EnergyRise { threshold_db: 10.0 });
                         self.jammer.set_reaction(JammerPreset::Monitor);
                         self.mode = Mode::Scanning;
+                        let idle = self.idle_run as i64;
+                        self.note_transition("core.auto_disengagements", "auto_disengage", idle, 0);
                     }
                 } else {
                     self.idle_run = 0;
@@ -371,6 +394,27 @@ mod tests {
             }
             other => panic!("expected WiMAX engagement, got {other:?}"),
         }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn engagement_transitions_feed_registry() {
+        use rjam_obs::registry::counter_value;
+        let cap0 = counter_value("core.auto_captures");
+        let eng0 = counter_value("core.auto_engage_wifi");
+        let mut rng = Rng::seed_from(5);
+        let mut auto = AutonomousJammer::new(10.0, vec![(1, 0)]);
+        let mut noise =
+            rjam_channel::NoiseSource::new(0.02 / rjam_sdr::power::db_to_lin(20.0), rng.fork());
+        auto.step(&noise.block(2000));
+        let frame = noisy(wifi_block(&mut rng), 20.0, 6);
+        auto.step(&frame);
+        let frame2 = noisy(wifi_block(&mut rng), 20.0, 7);
+        auto.step(&frame2);
+        assert_eq!(auto.mode(), Mode::Engaged(StandardClass::Wifi));
+        // Other tests share the global registry; assert growth, not equality.
+        assert!(counter_value("core.auto_captures") > cap0);
+        assert!(counter_value("core.auto_engage_wifi") > eng0);
     }
 
     #[test]

@@ -204,6 +204,16 @@ pub fn wifi_detection_sweep_in_channel(
             points[idx] = h.join().expect("sweep worker");
         }
     });
+    if rjam_obs::enabled() {
+        use rjam_obs::registry::counter;
+        let frames = (snrs_db.len() * frames_per_point) as u64;
+        let detected: f64 = points
+            .iter()
+            .map(|p| p.p_detect * frames_per_point as f64)
+            .sum();
+        counter("core.sweep_frames").add(frames);
+        counter("core.sweep_detections").add(detected.round() as u64);
+    }
     points
 }
 
@@ -233,6 +243,11 @@ pub fn false_alarm_rate(preset: &DetectionPreset, samples: usize, seed: u64) -> 
             }
         })
         .count();
+    if rjam_obs::enabled() {
+        use rjam_obs::registry::counter;
+        counter("core.fa_samples").add(samples as u64);
+        counter("core.fa_triggers").add(triggers as u64);
+    }
     triggers as f64 / (samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
 }
 
@@ -402,6 +417,22 @@ pub fn wimax_detection(
     let one_to_one = scope
         .correspondence("frame", "jam", frame_samples_25 as usize / 4)
         .is_ok();
+    if rjam_obs::enabled() {
+        use rjam_obs::registry::counter;
+        counter("core.wimax_frames").add(n_frames as u64);
+        counter("core.wimax_detections").add(detected as u64);
+        if !one_to_one {
+            // A Fig.-12 correspondence break is exactly the kind of anomaly
+            // the flight recorder exists for.
+            counter("core.wimax_correspondence_breaks").inc();
+            rjam_obs::recorder::record_event(
+                jammer.core_mut().samples_processed(),
+                "wimax_corr_break",
+                detected as i64,
+                n_frames as i64,
+            );
+        }
+    }
     WimaxResult {
         detect_fraction: detected as f64 / n_frames as f64,
         mean_latency_us: if detected > 0 {
@@ -570,6 +601,9 @@ pub fn jamming_sweep(
             out[idx] = h.join().expect("sweep worker");
         }
     });
+    if rjam_obs::enabled() {
+        rjam_obs::registry::counter("core.jamming_sweep_points").add(sirs_db.len() as u64);
+    }
     out
 }
 

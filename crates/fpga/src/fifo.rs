@@ -17,6 +17,8 @@ pub struct SampleFifo {
     depth: usize,
     /// Samples dropped because the FIFO was full (sticky until cleared).
     overflow: u64,
+    /// Deepest occupancy ever reached (sticky; sizing diagnostics).
+    high_water: usize,
 }
 
 impl SampleFifo {
@@ -30,6 +32,7 @@ impl SampleFifo {
             buf: std::collections::VecDeque::with_capacity(depth),
             depth,
             overflow: 0,
+            high_water: 0,
         }
     }
 
@@ -40,6 +43,9 @@ impl SampleFifo {
             self.overflow += 1;
         } else {
             self.buf.push_back(s);
+            if self.buf.len() > self.high_water {
+                self.high_water = self.buf.len();
+            }
         }
     }
 
@@ -67,6 +73,12 @@ impl SampleFifo {
     /// Clears the overflow counter (host acknowledgment).
     pub fn clear_overflow(&mut self) {
         self.overflow = 0;
+    }
+
+    /// Deepest occupancy reached since construction (never cleared by
+    /// reads; the hardware sizing diagnostic).
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 }
 
@@ -124,6 +136,11 @@ impl TriggerCapture {
     /// Host-side FIFO access.
     pub fn fifo_mut(&mut self) -> &mut SampleFifo {
         &mut self.fifo
+    }
+
+    /// Read-only FIFO access (status registers).
+    pub fn fifo(&self) -> &SampleFifo {
+        &self.fifo
     }
 
     /// Completed (started) captures.
@@ -215,6 +232,26 @@ mod tests {
         }
         assert!(c.fifo_mut().overflow() > 0, "a small FIFO must overflow");
         assert_eq!(c.fifo_mut().len(), 32);
+    }
+
+    #[test]
+    fn high_water_mark_is_sticky() {
+        let mut f = SampleFifo::new(8);
+        for _ in 0..5 {
+            f.push(IqI16::ZERO);
+        }
+        assert_eq!(f.high_water(), 5);
+        f.pop(5);
+        assert_eq!(f.len(), 0);
+        assert_eq!(f.high_water(), 5, "draining does not lower the mark");
+        for _ in 0..3 {
+            f.push(IqI16::ZERO);
+        }
+        assert_eq!(f.high_water(), 5, "shallower refill does not raise it");
+        for _ in 0..20 {
+            f.push(IqI16::ZERO);
+        }
+        assert_eq!(f.high_water(), 8, "capped at depth even when overflowing");
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod vita;
 pub mod xcorr;
 pub mod xcorr_wide;
 
-pub use crate::core::{CoreConfig, CoreEvent, DspCore};
+pub use crate::core::{CoreConfig, CoreEvent, CoreStats, DspCore};
 pub use energy::EnergyDifferentiator;
 pub use fifo::{SampleFifo, TriggerCapture};
 pub use jammer::{JamController, JamWaveform};
@@ -54,6 +54,9 @@ pub use xcorr_wide::WideCorrelator;
 
 /// FPGA clock cycles per baseband sample (100 MHz clock, 25 MSPS stream).
 pub const CLOCKS_PER_SAMPLE: u64 = rjam_sdr::CLOCKS_PER_SAMPLE;
+
+/// Nanoseconds per FPGA clock cycle (100 MHz clock).
+pub const NS_PER_CYCLE: u64 = 10;
 
 /// Clock cycles needed to initialize the transmit chain after a trigger
 /// (paper: "approximately seven more cycles required to populate the digital

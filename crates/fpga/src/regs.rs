@@ -59,6 +59,74 @@ impl RegisterMap {
     }
 }
 
+/// Base address of the modeled observability readback window.
+///
+/// The paper's design uses 24 registers (addresses 0–23) for run-time
+/// control; the bus itself addresses up to 255. We model the detection
+/// counters the host application displays as a *separate* read-only window
+/// at the top of the address space so the control budget test
+/// (`register_budget_is_24`) is untouched.
+pub const OBS_WINDOW_BASE: u8 = 224;
+
+/// Read-only observability registers (core → host), modeled after the
+/// detection counters the paper's host GUI polls over the register bus.
+///
+/// These are *computed* readbacks: [`crate::core::DspCore::read_stat`]
+/// muxes them from the core's statistics block instead of the register
+/// file, exactly like status registers in RTL. When the `obs` feature is
+/// disabled they all read zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum StatReg {
+    /// Samples processed, low 32 bits.
+    SamplesLo = 224,
+    /// Samples processed, high 32 bits.
+    SamplesHi = 225,
+    /// Energy-rise detections.
+    EnergyHighFires = 226,
+    /// Energy-fall detections.
+    EnergyLowFires = 227,
+    /// Cross-correlation detections.
+    XcorrFires = 228,
+    /// Completed jam-trigger combinations.
+    JamTriggers = 229,
+    /// Jam bursts that reached RF output.
+    BurstsStarted = 230,
+    /// p99 of the trigger-to-TX latency in ns (delay-compensated),
+    /// over the burst history since power-on.
+    TrigToTxP99Ns = 231,
+    /// Packet-assembly FIFO high-water mark, in samples.
+    FifoHighWater = 232,
+    /// Packet-assembly FIFO overflow (dropped samples).
+    CaptureOverflow = 233,
+}
+
+impl StatReg {
+    /// Every observability register, in address order.
+    pub const ALL: [StatReg; 10] = [
+        StatReg::SamplesLo,
+        StatReg::SamplesHi,
+        StatReg::EnergyHighFires,
+        StatReg::EnergyLowFires,
+        StatReg::XcorrFires,
+        StatReg::JamTriggers,
+        StatReg::BurstsStarted,
+        StatReg::TrigToTxP99Ns,
+        StatReg::FifoHighWater,
+        StatReg::CaptureOverflow,
+    ];
+
+    /// The bus address of this register.
+    pub fn addr(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a bus address inside the observability window.
+    pub fn from_addr(addr: u8) -> Option<StatReg> {
+        StatReg::ALL.into_iter().find(|r| r.addr() == addr)
+    }
+}
+
 /// Bit assignments inside [`RegisterMap::JammerControl`].
 pub mod jammer_control {
     /// Waveform select field mask (bits 1:0): 0 = WGN, 1 = replay, 2 = host.
@@ -298,6 +366,25 @@ mod tests {
         // The design must stay within the paper's 24-register budget:
         // highest used address is HostFeedback = 23.
         assert_eq!(RegisterMap::HostFeedback.addr(), 23);
+    }
+
+    #[test]
+    fn obs_window_is_disjoint_from_control_budget() {
+        // The readback window must not eat into the paper's 24 control
+        // registers and must stay inside the 255 addressable registers.
+        for reg in StatReg::ALL {
+            assert!(reg.addr() >= OBS_WINDOW_BASE, "{reg:?} below window");
+            assert!((reg.addr() as usize) < NUM_REGS, "{reg:?} beyond bus");
+            assert_eq!(StatReg::from_addr(reg.addr()), Some(reg));
+        }
+        // Addresses are unique.
+        let mut addrs: Vec<u8> = StatReg::ALL.iter().map(|r| r.addr()).collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        assert_eq!(addrs.len(), StatReg::ALL.len());
+        // Outside the window nothing decodes.
+        assert_eq!(StatReg::from_addr(0), None);
+        assert_eq!(StatReg::from_addr(23), None);
     }
 
     #[test]

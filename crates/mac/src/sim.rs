@@ -21,8 +21,45 @@ use crate::link::{ack_rate, frame_success_prob, Burst};
 use crate::model::{
     JammerKind, Scenario, Timings, ACK_BYTES, BEACON_BYTES, CTS_BYTES, PSDU_OVERHEAD, RTS_BYTES,
 };
+use rjam_obs::LocalCounter;
 use rjam_phy80211::Rate;
 use rjam_sdr::rng::Rng;
+
+/// Per-run MAC observability counters: plain `u64` increments during the
+/// discrete-event loop, flushed once into the global `rjam-obs` registry
+/// under `mac.*` names when the scenario completes. Zero-cost no-ops when
+/// the `obs` feature is disabled.
+#[derive(Default)]
+struct MacCounters {
+    sent: LocalCounter,
+    delivered: LocalCounter,
+    abandoned: LocalCounter,
+    tx_attempts: LocalCounter,
+    retries: LocalCounter,
+    cca_defers: LocalCounter,
+    beacons_ok: LocalCounter,
+    beacons_missed: LocalCounter,
+    disassociations: LocalCounter,
+    jam_bursts: LocalCounter,
+    jam_airtime_us: LocalCounter,
+}
+
+impl MacCounters {
+    fn flush(mut self) {
+        use rjam_obs::registry::flush_counter;
+        flush_counter("mac.datagrams_sent", &mut self.sent);
+        flush_counter("mac.datagrams_delivered", &mut self.delivered);
+        flush_counter("mac.datagrams_abandoned", &mut self.abandoned);
+        flush_counter("mac.tx_attempts", &mut self.tx_attempts);
+        flush_counter("mac.retries", &mut self.retries);
+        flush_counter("mac.cca_defers", &mut self.cca_defers);
+        flush_counter("mac.beacons_ok", &mut self.beacons_ok);
+        flush_counter("mac.beacons_missed", &mut self.beacons_missed);
+        flush_counter("mac.disassociations", &mut self.disassociations);
+        flush_counter("mac.jam_bursts", &mut self.jam_bursts);
+        flush_counter("mac.jam_airtime_us", &mut self.jam_airtime_us);
+    }
+}
 
 /// ARF: consecutive failures before stepping the rate down.
 const ARF_DOWN_AFTER: u32 = 2;
@@ -131,6 +168,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
     let mut rate_accum = 0.0f64;
     let mut rate_count = 0u64;
     let mut acct = JamAccounting::default();
+    let mut obs = MacCounters::default();
 
     'outer: while now_us < duration_us {
         // --- Beacons due before the next data activity.
@@ -154,10 +192,15 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
                 rng.chance(p)
             };
             if ok {
+                obs.beacons_ok.inc();
                 missed_beacons = 0;
             } else {
+                obs.beacons_missed.inc();
                 missed_beacons += 1;
                 if missed_beacons >= t.beacon_loss_limit {
+                    if !disassociated {
+                        obs.disassociations.inc();
+                    }
                     disassociated = true;
                 }
             }
@@ -172,8 +215,10 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         // One datagram enters the MAC queue.
         next_arrival += arrival_us;
         sent += 1;
+        obs.sent.inc();
         if disassociated {
             // The client has dropped off the network: datagram lost.
+            obs.abandoned.inc();
             continue;
         }
 
@@ -188,6 +233,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
             while continuous && rng.chance(sc.cca_defer_prob) {
                 now_us += DEFER_BUSY_US;
                 defers += 1;
+                obs.cca_defers.inc();
                 if defers >= MAX_DEFERS_PER_BACKOFF {
                     break;
                 }
@@ -198,6 +244,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
                 if continuous && rng.chance(sc.cca_defer_prob) {
                     now_us += DEFER_BUSY_US;
                     defers += 1;
+                    obs.cca_defers.inc();
                     if defers >= MAX_DEFERS_PER_BACKOFF {
                         // Medium never clears: the client cannot transmit.
                         break;
@@ -217,6 +264,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
 
             // --- Optional RTS/CTS protection exchange at the basic rate.
             attempt += 1;
+            obs.tx_attempts.inc();
             if sc.rts_cts {
                 let rts_rate = Rate::R6;
                 let rts_air = rts_rate.frame_airtime_us(RTS_BYTES);
@@ -254,6 +302,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
                     if attempt > t.retry_limit {
                         break;
                     }
+                    obs.retries.inc();
                     cw = ((cw + 1) * 2 - 1).min(t.cw_max);
                     continue;
                 }
@@ -313,6 +362,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
                 if !delivered {
                     delivered = true;
                     received += 1;
+                    obs.delivered.inc();
                     let sec = (now_us / 1e6) as usize;
                     if sec < per_second.len() {
                         per_second[sec] += 1;
@@ -330,7 +380,11 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
             if attempt > t.retry_limit {
                 break;
             }
+            obs.retries.inc();
             cw = ((cw + 1) * 2 - 1).min(t.cw_max);
+        }
+        if !delivered {
+            obs.abandoned.inc();
         }
     }
 
@@ -347,6 +401,9 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         acct.airtime_us = now_us.min(duration_us);
         acct.bursts = 1;
     }
+    obs.jam_bursts.add(acct.bursts);
+    obs.jam_airtime_us.add(acct.airtime_us as u64);
+    obs.flush();
     IperfReport::from_counts(
         sent,
         received,
@@ -695,6 +752,44 @@ mod tests {
         // 1 Mb/s of 1470 B datagrams for 2 s = ~170 datagrams.
         assert!((r.sent as i64 - 170).abs() <= 2, "sent={}", r.sent);
         assert!(r.prr_percent > 99.0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn scenario_run_flushes_mac_counters() {
+        use rjam_obs::registry::counter_value;
+        let before_sent = counter_value("mac.datagrams_sent");
+        let before_recv = counter_value("mac.datagrams_delivered");
+        let before_attempts = counter_value("mac.tx_attempts");
+        let r = run_scenario(&base());
+        // Other tests run in parallel against the same global registry, so
+        // assert growth by at least this run's contribution.
+        assert!(
+            counter_value("mac.datagrams_sent") >= before_sent + r.sent,
+            "sent counter must grow by at least {}",
+            r.sent
+        );
+        assert!(counter_value("mac.datagrams_delivered") >= before_recv + r.received);
+        // Every delivery took at least one attempt.
+        assert!(counter_value("mac.tx_attempts") >= before_attempts + r.received);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn continuous_jamming_records_cca_defers() {
+        use rjam_obs::registry::counter_value;
+        let before = counter_value("mac.cca_defers");
+        run_scenario(&Scenario {
+            jammer: JammerKind::Continuous,
+            sir_ap_db: 33.0,
+            sir_client_db: 27.0,
+            cca_defer_prob: 1.0,
+            ..base()
+        });
+        assert!(
+            counter_value("mac.cca_defers") > before,
+            "CCA-saturated run must record deferred slots"
+        );
     }
 
     #[test]

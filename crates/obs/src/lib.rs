@@ -1,0 +1,47 @@
+//! Zero-dependency observability for the reactive-jamming pipeline.
+//!
+//! The paper's host application steers and *inspects* the FPGA core over the
+//! UHD user-register bus: detection counters, threshold readback, and the
+//! Fig. 5 oscilloscope timeline are its only windows into a pipeline whose
+//! response budget is 80 ns–2.64 µs. This crate is the software analogue of
+//! that register bus for the whole reproduction:
+//!
+//! 1. a process-wide **metrics registry** ([`registry`]) with counters,
+//!    gauges, and log-linear histograms (p50/p95/p99/max) keyed by static
+//!    names;
+//! 2. a fixed-capacity ring-buffer **flight recorder** ([`recorder`]) of
+//!    timestamped structured events (cycle- or sample-indexed) with an
+//!    anomaly-triggered dump;
+//! 3. a **snapshot** type ([`snapshot::MetricsSnapshot`]) that serialises to
+//!    the same dependency-free JSON dialect as `rjam-bench::harness`.
+//!
+//! # Cost model
+//!
+//! Hot paths use [`registry::LocalCounter`] / [`registry::LocalHistogram`]
+//! (plain `u64` arithmetic, no atomics, no locks) and flush into the global
+//! registry at block or run boundaries. With the default-on `obs` feature
+//! disabled (`--no-default-features` on any instrumented crate), every
+//! instrumentation type becomes a zero-sized no-op with an identical API, so
+//! call sites compile unchanged and the datapath carries no overhead at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod snapshot;
+
+pub use hist::{HistSummary, LogHistogram};
+pub use recorder::{FlightRecorder, ObsEvent, TripInfo};
+pub use registry::{Counter, Gauge, HistHandle, LocalCounter, LocalHistogram};
+pub use snapshot::MetricsSnapshot;
+
+/// True when the crate was built with instrumentation compiled in.
+///
+/// Lets shells and reports distinguish "zero because nothing ran" from
+/// "zero because observability was compiled out".
+pub const fn enabled() -> bool {
+    cfg!(feature = "obs")
+}

@@ -1,0 +1,462 @@
+//! Point-in-time snapshot of the registry + flight recorder, serialisable
+//! to the dependency-free JSON dialect shared with `rjam-bench::harness`.
+//!
+//! Schema (`rjam-metrics-v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "rjam-metrics-v1",
+//!   "enabled": true,
+//!   "counters":   { "fpga.samples_in": 25000 },
+//!   "gauges":     { "fpga.fifo_high_water": 96 },
+//!   "histograms": { "fpga.trigger_to_tx_ns":
+//!       { "count": 12, "mean": 84.0, "min": 80, "max": 90,
+//!         "p50": 80, "p95": 90, "p99": 90 } },
+//!   "events": [ { "seq": 1, "t": 5120, "kind": "engage", "a": 1, "b": 0 } ],
+//!   "trip": null
+//! }
+//! ```
+//!
+//! `trip`, when non-null, is `{ "t": ..., "reason": "...", "seq": ... }` and
+//! `events` then holds the frozen pre-anomaly window.
+
+use crate::hist::HistSummary;
+use crate::json::{self, Value};
+use crate::recorder::{ObsEvent, TripInfo};
+
+/// Schema tag emitted and required by this version.
+pub const SCHEMA: &str = "rjam-metrics-v1";
+
+/// An owned flight-recorder event (JSON-safe variant of [`ObsEvent`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapEvent {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Timestamp in the recording component's unit.
+    pub t: u64,
+    /// Event kind.
+    pub kind: String,
+    /// First operand.
+    pub a: i64,
+    /// Second operand.
+    pub b: i64,
+}
+
+impl From<ObsEvent> for SnapEvent {
+    fn from(e: ObsEvent) -> Self {
+        SnapEvent {
+            seq: e.seq,
+            t: e.t,
+            kind: e.kind.to_string(),
+            a: e.a,
+            b: e.b,
+        }
+    }
+}
+
+/// An owned trip record (JSON-safe variant of [`TripInfo`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapTrip {
+    /// Timestamp of the anomaly.
+    pub t: u64,
+    /// Trip reason.
+    pub reason: String,
+    /// Sequence number at trip time.
+    pub seq: u64,
+}
+
+impl From<TripInfo> for SnapTrip {
+    fn from(t: TripInfo) -> Self {
+        SnapTrip {
+            t: t.t,
+            reason: t.reason.to_string(),
+            seq: t.seq,
+        }
+    }
+}
+
+/// Everything the registry and global flight recorder knew at one instant.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram name → quantile summary, sorted by name.
+    pub histograms: Vec<(String, HistSummary)>,
+    /// Flight-recorder window (frozen pre-anomaly window when tripped).
+    pub events: Vec<SnapEvent>,
+    /// The anomaly that tripped the recorder, if any.
+    pub trip: Option<SnapTrip>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Serialises to the `rjam-metrics-v1` JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json::write_string(SCHEMA)));
+        out.push_str(&format!("  \"enabled\": {},\n", crate::enabled()));
+        out.push_str("  \"counters\": {");
+        for (k, (name, v)) in self.counters.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json::write_string(name),
+                json::write_number(*v as f64)
+            ));
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (k, (name, v)) in self.gauges.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json::write_string(name),
+                json::write_number(*v as f64)
+            ));
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (k, (name, h)) in self.histograms.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                json::write_string(name),
+                json::write_number(h.count as f64),
+                json::write_number(h.mean),
+                json::write_number(h.min as f64),
+                json::write_number(h.max as f64),
+                json::write_number(h.p50 as f64),
+                json::write_number(h.p95 as f64),
+                json::write_number(h.p99 as f64),
+            ));
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"events\": [");
+        for (k, e) in self.events.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"seq\": {}, \"t\": {}, \"kind\": {}, \"a\": {}, \"b\": {}}}",
+                json::write_number(e.seq as f64),
+                json::write_number(e.t as f64),
+                json::write_string(&e.kind),
+                json::write_number(e.a as f64),
+                json::write_number(e.b as f64),
+            ));
+        }
+        out.push_str(if self.events.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        match &self.trip {
+            None => out.push_str("  \"trip\": null\n"),
+            Some(t) => out.push_str(&format!(
+                "  \"trip\": {{\"t\": {}, \"reason\": {}, \"seq\": {}}}\n",
+                json::write_number(t.t as f64),
+                json::write_string(&t.reason),
+                json::write_number(t.seq as f64),
+            )),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a `rjam-metrics-v1` document back into a snapshot.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = json::parse(text)?;
+        let obj = root.as_object().ok_or("top level is not an object")?;
+        match obj.get("schema").and_then(Value::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema '{other}'")),
+            None => return Err("missing string field 'schema'".into()),
+        }
+        let mut snap = MetricsSnapshot::default();
+        if let Some(map) = obj.get("counters").and_then(Value::as_object) {
+            for (k, v) in map {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter '{k}' is not a non-negative integer"))?;
+                snap.counters.push((k.clone(), n));
+            }
+        } else {
+            return Err("missing object field 'counters'".into());
+        }
+        if let Some(map) = obj.get("gauges").and_then(Value::as_object) {
+            for (k, v) in map {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("gauge '{k}' is not a non-negative integer"))?;
+                snap.gauges.push((k.clone(), n));
+            }
+        } else {
+            return Err("missing object field 'gauges'".into());
+        }
+        if let Some(map) = obj.get("histograms").and_then(Value::as_object) {
+            for (k, v) in map {
+                let h = v
+                    .as_object()
+                    .ok_or_else(|| format!("histogram '{k}' is not an object"))?;
+                let field = |f: &str| -> Result<u64, String> {
+                    h.get(f)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("histogram '{k}': bad field '{f}'"))
+                };
+                let mean = h
+                    .get("mean")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("histogram '{k}': bad field 'mean'"))?;
+                snap.histograms.push((
+                    k.clone(),
+                    HistSummary {
+                        count: field("count")?,
+                        mean,
+                        min: field("min")?,
+                        max: field("max")?,
+                        p50: field("p50")?,
+                        p95: field("p95")?,
+                        p99: field("p99")?,
+                    },
+                ));
+            }
+        } else {
+            return Err("missing object field 'histograms'".into());
+        }
+        if let Some(items) = obj.get("events").and_then(Value::as_array) {
+            for (k, it) in items.iter().enumerate() {
+                let e = it
+                    .as_object()
+                    .ok_or_else(|| format!("event {k} is not an object"))?;
+                let num = |f: &str| -> Result<u64, String> {
+                    e.get(f)
+                        .and_then(Value::as_u64)
+                        .ok_or_else(|| format!("event {k}: bad field '{f}'"))
+                };
+                let signed = |f: &str| -> Result<i64, String> {
+                    e.get(f)
+                        .and_then(Value::as_f64)
+                        .map(|n| n as i64)
+                        .ok_or_else(|| format!("event {k}: bad field '{f}'"))
+                };
+                snap.events.push(SnapEvent {
+                    seq: num("seq")?,
+                    t: num("t")?,
+                    kind: e
+                        .get("kind")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| format!("event {k}: bad field 'kind'"))?
+                        .to_string(),
+                    a: signed("a")?,
+                    b: signed("b")?,
+                });
+            }
+        } else {
+            return Err("missing array field 'events'".into());
+        }
+        match obj.get("trip") {
+            None | Some(Value::Null) => {}
+            Some(v) => {
+                let t = v.as_object().ok_or("'trip' is not an object or null")?;
+                snap.trip = Some(SnapTrip {
+                    t: t.get("t")
+                        .and_then(Value::as_u64)
+                        .ok_or("trip: bad field 't'")?,
+                    reason: t
+                        .get("reason")
+                        .and_then(Value::as_str)
+                        .ok_or("trip: bad field 'reason'")?
+                        .to_string(),
+                    seq: t
+                        .get("seq")
+                        .and_then(Value::as_u64)
+                        .ok_or("trip: bad field 'seq'")?,
+                });
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Renders a human-readable report (the `rjam stats` body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        if self.counters.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!("  {name:<34} {v:>12}\n"));
+        }
+        out.push_str("== gauges ==\n");
+        if self.gauges.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("  {name:<34} {v:>12}\n"));
+        }
+        out.push_str("== histograms ==\n");
+        if self.histograms.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "  {name:<34} n={} mean={:.1} p50={} p95={} p99={} max={}\n",
+                h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+        out.push_str("== flight recorder ==\n");
+        if self.events.is_empty() {
+            out.push_str("  (empty)\n");
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "  #{:<5} t={:<12} {:<24} a={} b={}\n",
+                e.seq, e.t, e.kind, e.a, e.b
+            ));
+        }
+        match &self.trip {
+            None => out.push_str("  trip: none\n"),
+            Some(t) => out.push_str(&format!(
+                "  trip: {} at t={} (seq {}) -- events above are the frozen pre-anomaly window\n",
+                t.reason, t.t, t.seq
+            )),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("fpga.samples_in".into(), 25_000),
+                ("mac.retries".into(), 7),
+            ],
+            gauges: vec![("fpga.fifo_high_water".into(), 96)],
+            histograms: vec![(
+                "fpga.trigger_to_tx_ns".into(),
+                HistSummary {
+                    count: 12,
+                    mean: 84.0,
+                    min: 80,
+                    max: 90,
+                    p50: 80,
+                    p95: 90,
+                    p99: 90,
+                },
+            )],
+            events: vec![SnapEvent {
+                seq: 1,
+                t: 5120,
+                kind: "engage".into(),
+                a: 1,
+                b: -2,
+            }],
+            trip: Some(SnapTrip {
+                t: 6000,
+                reason: "t_resp_over_budget".into(),
+                seq: 1,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = MetricsSnapshot::from_json(&text).expect("parse back");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms.len(), 1);
+        let (name, h) = &back.histograms[0];
+        assert_eq!(name, "fpga.trigger_to_tx_ns");
+        assert_eq!(h.count, 12);
+        assert_eq!(h.p99, 90);
+        assert_eq!(back.events, snap.events);
+        assert_eq!(back.trip, snap.trip);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = MetricsSnapshot::default();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).expect("parse");
+        assert!(back.is_empty());
+        assert!(back.trip.is_none());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let text = sample().to_json().replace(SCHEMA, "rjam-metrics-v0");
+        assert!(MetricsSnapshot::from_json(&text).is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let snap = sample();
+        assert_eq!(snap.counter("mac.retries"), Some(7));
+        assert_eq!(snap.counter("nope"), None);
+        assert_eq!(snap.gauge("fpga.fifo_high_water"), Some(96));
+        assert_eq!(snap.histogram("fpga.trigger_to_tx_ns").unwrap().p95, 90);
+    }
+
+    #[test]
+    fn render_mentions_trip_and_counters() {
+        let r = sample().render();
+        assert!(r.contains("fpga.samples_in"));
+        assert!(r.contains("t_resp_over_budget"));
+        assert!(r.contains("p99=90"));
+    }
+}

@@ -4,7 +4,7 @@
 //! uses, so `cargo test` needs no network and no external crates:
 //!
 //! * [`TestRng`] — deterministic SplitMix64-seeded xoshiro256** PRNG;
-//! * [`Gen`] — generator combinators ([`vec`], integer/float ranges,
+//! * [`Gen`] — generator combinators ([`vec()`], integer/float ranges,
 //!   [`one_of`], [`any`], [`Just`], tuples) with integrated binary-search
 //!   shrinking;
 //! * [`run_property`] — case loop + greedy shrinking to a minimal
