@@ -35,6 +35,13 @@ step "bench report is valid JSON"
 test -s BENCH_xcorr_throughput.json
 cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_xcorr_throughput.json
 
+step "no-default-features: obs layer compiles out (build + clippy)"
+# The whole observability/tracing layer must degrade to zero-sized no-ops
+# when the 'obs' feature is off; any accidental hard dependency on it is a
+# build or lint failure here.
+cargo build --workspace --no-default-features --offline
+cargo clippy --workspace --no-default-features --all-targets --offline -- -D warnings
+
 step "observability smoke: stats report + metrics snapshot round-trip"
 # `stats` exercises live episodes and must report the trigger-to-TX
 # histogram against the paper's response budget; `--metrics-out` must
@@ -48,6 +55,20 @@ grep -q '"schema": "rjam-metrics-v1"' rjam_ci_metrics.json
 cargo run -q --release --offline -p rjam-cli -- stats rjam_ci_metrics.json \
     | grep -q "fpga.samples_in"
 rm -f rjam_ci_metrics.json
+
+step "causal tracing smoke: rjamctl trace emits a valid rjam-trace-v1 doc"
+# A default traced run must produce a document the round-trip parser
+# accepts, in which at least one jammed frame carries the full causal
+# chain (MAC emit -> detector fire -> trigger -> jam TX -> MAC outcome).
+cargo run -q --release --offline -p rjam-cli -- \
+    trace --episodes 4 --out rjam_ci_trace.json --chrome rjam_ci_trace_chrome.json \
+    | grep -q "full causal chains"
+test -s rjam_ci_trace.json
+grep -q '"schema": "rjam-trace-v1"' rjam_ci_trace.json
+grep -q '"traceEvents"' rjam_ci_trace_chrome.json
+cargo run -q --release --offline -p rjam-bench --bin check_trace_json -- \
+    --require-chain rjam_ci_trace.json
+rm -f rjam_ci_trace.json rjam_ci_trace_chrome.json
 
 echo
 echo "ci.sh: all gates passed"

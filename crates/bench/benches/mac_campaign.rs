@@ -5,7 +5,7 @@
 use rjam_bench::harness::{BenchConfig, Harness};
 use rjam_core::campaign::{scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission};
 use rjam_core::DetectionPreset;
-use rjam_mac::run_scenario;
+use rjam_mac::{run_scenario, run_scenario_traced};
 use std::hint::black_box;
 
 fn main() {
@@ -22,9 +22,15 @@ fn main() {
         ("continuous_20db", JammerUnderTest::Continuous, 20.0),
         ("reactive_long_20db", JammerUnderTest::ReactiveLong, 20.0),
     ] {
-        h.bench("iperf_one_second", label, || {
+        // With RJAM_BENCH_TRACE set, each variant runs one extra untimed
+        // second with a live sink and exports every frame's MAC/PHY/jam
+        // causal spans to TRACE_mac_campaign_iperf_one_second.json.
+        h.bench_traced("iperf_one_second", label, 1, |sink| {
             let sc = scenario_for(jut, sir, 1.0, 77);
-            black_box(run_scenario(black_box(&sc)))
+            match sink {
+                Some(sink) => black_box(run_scenario_traced(black_box(&sc), Some(sink))),
+                None => black_box(run_scenario(black_box(&sc))),
+            }
         });
     }
 

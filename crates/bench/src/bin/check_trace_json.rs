@@ -1,0 +1,77 @@
+//! Validates `rjam-trace-v1` causal-span documents.
+//!
+//! Parses each file with [`rjam_obs::trace::TraceDoc::from_json`] (the
+//! same round-trip parser `rjamctl trace` and the bench harness use),
+//! runs the structural validator (monotone sequence numbers, balanced
+//! span begin/end per frame+stage+name), and prints a per-file summary.
+//! With `--require-chain`, at least one frame must carry the full causal
+//! chain — MAC emit → detector fire → trigger → jam TX → MAC outcome —
+//! which is what the acceptance smoke in `ci.sh` asserts on a default
+//! `rjamctl trace` episode. Exits non-zero on the first invalid file.
+
+use rjam_obs::trace::TraceDoc;
+use std::process::ExitCode;
+
+struct FileSummary {
+    events: usize,
+    frames: usize,
+    full_chains: usize,
+    stages: Vec<String>,
+}
+
+fn check_file(path: &str, require_chain: bool) -> Result<FileSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = TraceDoc::from_json(&text)?;
+    doc.validate()?;
+    let frames = doc.frames();
+    let full_chains = frames.iter().filter(|f| f.has_full_chain()).count();
+    if require_chain && full_chains == 0 {
+        return Err(String::from(
+            "no frame carries the full causal chain \
+             (emit -> fire -> trigger -> jam TX -> outcome)",
+        ));
+    }
+    Ok(FileSummary {
+        events: doc.events.len(),
+        frames: frames.len(),
+        full_chains,
+        stages: doc.stages(),
+    })
+}
+
+fn main() -> ExitCode {
+    let mut require_chain = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--require-chain" {
+            require_chain = true;
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: check_trace_json [--require-chain] TRACE.json [...]");
+        return ExitCode::FAILURE;
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path, require_chain) {
+            Ok(s) => println!(
+                "{path}: OK ({} events, {} frames, {} full chains, stages: {})",
+                s.events,
+                s.frames,
+                s.full_chains,
+                s.stages.join(",")
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -26,6 +26,7 @@ pub mod fading;
 pub mod fiveport;
 pub mod monitor;
 pub mod noise;
+pub mod trace;
 
 pub use atten::{Attenuator, VariableAttenuator};
 pub use combine::{Emission, PortReceiver};

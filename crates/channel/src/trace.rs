@@ -1,0 +1,117 @@
+//! Channel-stage trace attribution: one `channel.propagate` span per
+//! frame traversal of the five-port network.
+//!
+//! The paper's testbed is a cabled RF network whose Table 1 insertion
+//! losses decide who hears whom; for a causal timeline the interesting
+//! facts are *when* a frame's waveform occupied a path and *how much* of
+//! it survived. The span's operands carry both: `a` is the path insertion
+//! loss in milli-dB, `b` encodes the port pair as `from·10 + to` (paper
+//! port numbers), so a trace viewer can label the traversal without any
+//! side table.
+
+use crate::fiveport::{FivePortNetwork, Port};
+use rjam_obs::trace::{stage, FrameId, TraceSink};
+
+impl Port {
+    /// Stable lower-case label for traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Port::Ap => "ap",
+            Port::Client => "client",
+            Port::Monitor => "monitor",
+            Port::JammerTx => "jammer_tx",
+            Port::JammerRx => "jammer_rx",
+        }
+    }
+}
+
+/// Encodes a port pair into the span's `b` operand (`from·10 + to`,
+/// paper port numbers 1-5).
+pub fn path_code(from: Port, to: Port) -> i64 {
+    (from.number() * 10 + to.number()) as i64
+}
+
+/// Decodes a [`path_code`] back into the port pair, if valid.
+pub fn decode_path(code: i64) -> Option<(Port, Port)> {
+    let of = |n: i64| Port::ALL.iter().copied().find(|p| p.number() as i64 == n);
+    Some((of(code / 10)?, of(code % 10)?))
+}
+
+/// Records the propagation of `frame`'s waveform across `from → to` as a
+/// closed `channel.propagate` span covering `[t0_ns, t0_ns + dur_ns)`.
+///
+/// `a` = insertion loss in milli-dB (isolated pairs report
+/// [`crate::fiveport::ISOLATION_DB`]), `b` = [`path_code`].
+pub fn trace_propagation(
+    sink: &mut TraceSink,
+    frame: FrameId,
+    t0_ns: u64,
+    dur_ns: u64,
+    net: &FivePortNetwork,
+    from: Port,
+    to: Port,
+) {
+    let loss_mdb = (net.insertion_loss_db(from, to) * 1000.0).round() as i64;
+    sink.span_begin(frame, t0_ns, stage::CHANNEL, "propagate");
+    sink.instant(
+        frame,
+        t0_ns,
+        stage::CHANNEL,
+        "path",
+        loss_mdb,
+        path_code(from, to),
+    );
+    sink.span_end(frame, t0_ns + dur_ns, stage::CHANNEL, "propagate");
+}
+
+#[cfg(all(test, feature = "obs"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_codes_round_trip() {
+        for &from in &Port::ALL {
+            for &to in &Port::ALL {
+                let code = path_code(from, to);
+                assert_eq!(decode_path(code), Some((from, to)), "{from:?}->{to:?}");
+            }
+        }
+        assert_eq!(decode_path(99), None);
+        assert_eq!(decode_path(0), None);
+    }
+
+    #[test]
+    fn propagation_span_carries_loss_and_path() {
+        let net = FivePortNetwork::paper_table1();
+        let mut sink = TraceSink::with_capacity(16);
+        let f = FrameId(2);
+        trace_propagation(
+            &mut sink,
+            f,
+            1_000,
+            152_000,
+            &net,
+            Port::Client,
+            Port::JammerRx,
+        );
+        let doc = sink.to_doc();
+        doc.validate().unwrap();
+        let frames = doc.frames();
+        let ft = &frames[0];
+        let (t0, t1) = ft.span(stage::CHANNEL, "propagate").unwrap();
+        assert_eq!((t0, t1), (1_000, 153_000));
+        let loss_mdb = ft.instant_a(stage::CHANNEL, "path").unwrap();
+        let expect = (net.insertion_loss_db(Port::Client, Port::JammerRx) * 1000.0).round() as i64;
+        assert_eq!(loss_mdb, expect);
+        assert!(loss_mdb > 0, "a real path attenuates");
+    }
+
+    #[test]
+    fn port_labels_are_stable() {
+        let labels: Vec<&str> = Port::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["ap", "client", "monitor", "jammer_tx", "jammer_rx"]
+        );
+    }
+}

@@ -200,6 +200,26 @@ pub enum Command {
         /// Optional path to a saved `rjam-metrics-v1` JSON snapshot; when
         /// absent, a short live exercise is run and its metrics shown.
         input: Option<String>,
+        /// Response budget the trigger-to-TX p99 is judged against, in ns.
+        /// `None` derives it from the detection presets the live exercise
+        /// arms (the paper's xcorr budget when the correlator is in play).
+        budget_ns: Option<f64>,
+    },
+    /// Causal tracing: capture traced jam episodes, render the per-frame
+    /// latency attribution, and export Perfetto-loadable timelines.
+    Trace {
+        /// Frame episodes to capture.
+        episodes: usize,
+        /// Write the compact `rjam-trace-v1` JSON document here.
+        out: Option<String>,
+        /// Write Chrome trace-event JSON (Perfetto / `chrome://tracing`)
+        /// here.
+        chrome: Option<String>,
+        /// Response budget per frame, ns; `None` derives it from the armed
+        /// presets.
+        budget_ns: Option<f64>,
+        /// How many of the slowest frames to detail.
+        top: usize,
     },
     /// Print usage.
     Help,
@@ -263,6 +283,17 @@ fn opt<T: std::str::FromStr>(p: &ParsedArgs, key: &str, default: T) -> Result<T,
         None => Ok(default),
         Some(v) => v
             .parse()
+            .map_err(|_| CliError::usage(format!("--{key}: cannot parse '{v}'"))),
+    }
+}
+
+/// Like [`opt`] but with no default: absent flags stay `None`.
+fn opt_maybe<T: std::str::FromStr>(p: &ParsedArgs, key: &str) -> Result<Option<T>, CliError> {
+    match p.options.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
             .map_err(|_| CliError::usage(format!("--{key}: cannot parse '{v}'"))),
     }
 }
@@ -334,6 +365,14 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
         "resources" => Ok(Command::Resources),
         "stats" => Ok(Command::Stats {
             input: rest.positionals.first().cloned(),
+            budget_ns: opt_maybe(&rest, "budget-ns")?,
+        }),
+        "trace" => Ok(Command::Trace {
+            episodes: opt(&rest, "episodes", 8)?,
+            out: rest.options.get("out").cloned(),
+            chrome: rest.options.get("chrome").cloned(),
+            budget_ns: opt_maybe(&rest, "budget-ns")?,
+            top: opt(&rest, "top", 5)?,
         }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::usage(format!(
@@ -356,7 +395,9 @@ USAGE:
   rjamctl roc       --preset ... [--snr dB] [--frames N] [--fa-samples N]
   rjamctl classify  <capture.cf32>
   rjamctl resources
-  rjamctl stats     [snapshot.json]
+  rjamctl stats     [snapshot.json] [--budget-ns NS]
+  rjamctl trace     [--episodes N] [--out trace.json] [--chrome chrome.json]
+                    [--budget-ns NS] [--top K]
   rjamctl help
 
 GLOBAL OPTIONS:
@@ -368,7 +409,12 @@ NOTES:
   detect/roc probe against full 802.11g frames; selecting --preset wimax
   there measures cross-standard rejection (it should stay near zero).
   stats without a file runs a short live exercise and renders its metrics,
-  including the trigger-to-TX latency histogram against the paper budget.
+  including the trigger-to-TX latency histogram against the response budget
+  (derived from the armed presets unless --budget-ns overrides it).
+  trace captures causally-linked jam episodes: every frame gets a
+  correlation ID at MAC emission and a per-stage latency decomposition;
+  --out writes the rjam-trace-v1 document, --chrome writes a Perfetto /
+  chrome://tracing loadable timeline with one track per pipeline stage.
 
 EXIT CODES:
   0 success, 1 runtime failure, 2 usage error (usage shown on 2 only)
@@ -501,14 +547,55 @@ mod tests {
     fn parses_stats() {
         assert_eq!(
             parse(&argv("stats")).unwrap(),
-            Command::Stats { input: None }
+            Command::Stats {
+                input: None,
+                budget_ns: None
+            }
         );
         assert_eq!(
             parse(&argv("stats snap.json")).unwrap(),
             Command::Stats {
-                input: Some("snap.json".into())
+                input: Some("snap.json".into()),
+                budget_ns: None
             }
         );
+        assert_eq!(
+            parse(&argv("stats --budget-ns 3000")).unwrap(),
+            Command::Stats {
+                input: None,
+                budget_ns: Some(3000.0)
+            }
+        );
+        let err = parse(&argv("stats --budget-ns fast")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            parse(&argv("trace")).unwrap(),
+            Command::Trace {
+                episodes: 8,
+                out: None,
+                chrome: None,
+                budget_ns: None,
+                top: 5
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "trace --episodes 3 --out t.json --chrome c.json --budget-ns 2640 --top 2"
+            ))
+            .unwrap(),
+            Command::Trace {
+                episodes: 3,
+                out: Some("t.json".into()),
+                chrome: Some("c.json".into()),
+                budget_ns: Some(2640.0),
+                top: 2
+            }
+        );
+        assert!(parse(&argv("trace --episodes many")).is_err());
     }
 
     #[test]

@@ -107,7 +107,20 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             Ok(out)
         }
         Command::Classify { path } => classify_report(path),
-        Command::Stats { input } => stats_report(input.as_deref()),
+        Command::Stats { input, budget_ns } => stats_report(input.as_deref(), *budget_ns),
+        Command::Trace {
+            episodes,
+            out,
+            chrome,
+            budget_ns,
+            top,
+        } => trace_report(
+            *episodes,
+            out.as_deref(),
+            chrome.as_deref(),
+            *budget_ns,
+            *top,
+        ),
         Command::Roc {
             preset,
             snr_db,
@@ -264,10 +277,39 @@ fn classify_report(path: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The detection presets the live `stats` / `trace` exercises arm: both
+/// detector paths (energy rise and the WiFi short-preamble correlator).
+fn exercised_presets() -> [DetectionPreset; 2] {
+    [
+        DetectionPreset::EnergyRise { threshold_db: 10.0 },
+        DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+    ]
+}
+
+/// The response budget to judge against: the operator's `--budget-ns` when
+/// given, otherwise derived from the armed presets (the slowest applicable
+/// path bounds the exercise). Returns the value and how it was obtained.
+fn resolve_budget(budget_ns: Option<f64>) -> (f64, &'static str) {
+    match budget_ns {
+        Some(ns) => (ns, "operator"),
+        None => (
+            exercised_presets()
+                .iter()
+                .map(DetectionPreset::response_budget_ns)
+                .fold(0.0, f64::max),
+            "paper",
+        ),
+    }
+}
+
 /// Appends the Fig.-5 budget verdict for the trigger-to-TX histogram to a
 /// rendered snapshot.
-fn append_budget_line(out: &mut String, snap: &rjam_obs::MetricsSnapshot) {
-    let budget_ns = rjam_core::timeline::TimelineBudget::paper().t_resp_xcorr_ns;
+fn append_budget_line(out: &mut String, snap: &rjam_obs::MetricsSnapshot, budget: Option<f64>) {
+    let (budget_ns, source) = resolve_budget(budget);
+    let label = match source {
+        "operator" => format!("the operator's {budget_ns:.0} ns response budget (--budget-ns)"),
+        _ => format!("the paper's {budget_ns:.0} ns xcorr response budget"),
+    };
     match snap.histogram("fpga.trigger_to_tx_ns") {
         Some(h) if h.count > 0 => {
             let verdict = if (h.p99 as f64) <= budget_ns {
@@ -275,12 +317,7 @@ fn append_budget_line(out: &mut String, snap: &rjam_obs::MetricsSnapshot) {
             } else {
                 "OVER"
             };
-            let _ = writeln!(
-                out,
-                "trigger-to-TX p99 = {} ns — {verdict} the paper's {budget_ns:.0} ns \
-                 xcorr response budget",
-                h.p99
-            );
+            let _ = writeln!(out, "trigger-to-TX p99 = {} ns — {verdict} {label}", h.p99);
         }
         _ => {
             let _ = writeln!(
@@ -294,7 +331,7 @@ fn append_budget_line(out: &mut String, snap: &rjam_obs::MetricsSnapshot) {
 /// `rjamctl stats`: with a path, load and render a saved `rjam-metrics-v1`
 /// snapshot; without one, run a short live exercise (a handful of jam
 /// episodes through both detector paths) and render the resulting registry.
-fn stats_report(input: Option<&str>) -> Result<String, CliError> {
+fn stats_report(input: Option<&str>, budget_ns: Option<f64>) -> Result<String, CliError> {
     let snap = match input {
         Some(path) => {
             let text = std::fs::read_to_string(path)
@@ -306,10 +343,7 @@ fn stats_report(input: Option<&str>) -> Result<String, CliError> {
         None => {
             // Live exercise: both detection paths, a few episodes each.
             for k in 0..4u64 {
-                for det in [
-                    DetectionPreset::EnergyRise { threshold_db: 10.0 },
-                    DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-                ] {
+                for det in exercised_presets() {
                     let (mut j, lead) = jam_episode(det, 900 + k);
                     let m = measure(j.events(), j.jam_events(), lead as u64);
                     if let Some(ns) = m.t_resp_ns {
@@ -329,7 +363,144 @@ fn stats_report(input: Option<&str>) -> Result<String, CliError> {
         );
     }
     out.push_str(&snap.render());
-    append_budget_line(&mut out, &snap);
+    append_budget_line(&mut out, &snap, budget_ns);
+    Ok(out)
+}
+
+/// `rjamctl trace`: capture traced jam episodes, export the requested
+/// documents and render the per-frame causal attribution.
+fn trace_report(
+    episodes: usize,
+    out_path: Option<&str>,
+    chrome_path: Option<&str>,
+    budget_ns: Option<f64>,
+    top: usize,
+) -> Result<String, CliError> {
+    use rjam_obs::trace::{stage, Outcome};
+
+    if episodes == 0 {
+        return Err(CliError::usage("trace needs at least one episode"));
+    }
+    let (reports, doc) = rjam_core::trace::default_traced_capture(episodes, 0x7AC3);
+    if let Some(path) = out_path {
+        std::fs::write(path, doc.to_json())
+            .map_err(|e| CliError::runtime(format!("cannot write trace to '{path}': {e}")))?;
+    }
+    if let Some(path) = chrome_path {
+        std::fs::write(path, doc.to_chrome_json()).map_err(|e| {
+            CliError::runtime(format!("cannot write chrome trace to '{path}': {e}"))
+        })?;
+    }
+
+    let (budget, _) = resolve_budget(budget_ns);
+    let mut out = String::new();
+    if !rjam_obs::enabled() {
+        let _ = writeln!(
+            out,
+            "observability disabled at compile time — episodes ran, but no events \
+             were recorded (rebuild with the 'obs' feature)"
+        );
+    }
+    let count = |o: Outcome| reports.iter().filter(|r| r.outcome == o).count();
+    let _ = writeln!(
+        out,
+        "traced {episodes} episodes: {} jammed, {} missed, {} delivered — {} events \
+         ({} dropped)",
+        count(Outcome::Jammed),
+        count(Outcome::Missed),
+        count(Outcome::Delivered),
+        doc.events.len(),
+        doc.dropped
+    );
+
+    // Per-frame causal rows, slowest first by response latency.
+    let frames = doc.frames();
+    let mut rows: Vec<_> = frames
+        .iter()
+        .map(|ft| {
+            let delay = ft.span(stage::FPGA, "delay").map_or(0, |(a, b)| b - a);
+            let init = ft.span(stage::FPGA, "tx_init").map_or(0, |(a, b)| b - a);
+            (
+                ft.frame,
+                ft.outcome(),
+                ft.response_ns(),
+                ft.trigger_to_tx_ns(),
+                delay,
+                init,
+            )
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.2));
+
+    if !rows.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n== top {} slowest frames (budget {budget:.0} ns) ==",
+            top.min(rows.len())
+        );
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>11} {:>13} {:>10} {:>11}  verdict",
+            "frame", "outcome", "t_resp(ns)", "trig->tx(ns)", "delay(ns)", "tx_init(ns)"
+        );
+        for (fid, outcome, resp, t2t, delay, init) in rows.iter().take(top) {
+            let verdict = match resp {
+                Some(r) if (*r as f64) <= budget => "within",
+                Some(_) => "OVER",
+                None => "-",
+            };
+            let opt = |v: &Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+            let _ = writeln!(
+                out,
+                "{:>6} {:>10} {:>11} {:>13} {:>10} {:>11}  {verdict}",
+                fid.raw(),
+                outcome.map_or("?", Outcome::as_str),
+                opt(resp),
+                opt(t2t),
+                delay,
+                init
+            );
+        }
+    }
+
+    // Per-stage attribution: total closed-span time per pipeline stage
+    // across the capture, so a budget regression names its stage.
+    let mut stage_totals: Vec<(String, u64)> = Vec::new();
+    for ft in &frames {
+        for (s, d) in ft.stage_durations() {
+            match stage_totals.iter_mut().find(|(n, _)| *n == s) {
+                Some((_, t)) => *t += d,
+                None => stage_totals.push((s, d)),
+            }
+        }
+    }
+    if !stage_totals.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n== per-stage attribution (closed spans, all frames) =="
+        );
+        for (s, total) in &stage_totals {
+            let _ = writeln!(out, "  {s:<8} {total:>12} ns");
+        }
+    }
+
+    // The causal-chain verdict the Fig. 5 claim rests on.
+    let full_chains = frames.iter().filter(|f| f.has_full_chain()).count();
+    let _ = writeln!(
+        out,
+        "\nfull causal chains (emit → fire → trigger → jam TX → outcome): \
+         {full_chains}/{}",
+        frames.len().max(reports.len())
+    );
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "wrote rjam-trace-v1 document to {path}");
+    }
+    if let Some(path) = chrome_path {
+        let _ = writeln!(
+            out,
+            "wrote Chrome trace-event JSON to {path} (load in Perfetto)"
+        );
+    }
     Ok(out)
 }
 
@@ -436,7 +607,11 @@ mod tests {
 
     #[test]
     fn stats_live_exercise_renders_registry() {
-        let out = execute(&Command::Stats { input: None }).unwrap();
+        let out = execute(&Command::Stats {
+            input: None,
+            budget_ns: None,
+        })
+        .unwrap();
         assert!(out.contains("== counters =="), "{out}");
         assert!(out.contains("== histograms =="), "{out}");
         if rjam_obs::enabled() {
@@ -458,10 +633,15 @@ mod tests {
         path.push(format!("rjamctl_metrics_{}.json", std::process::id()));
         let path_s = path.to_string_lossy().to_string();
         // Run an exercise so the registry holds something, then snapshot.
-        execute(&Command::Stats { input: None }).unwrap();
+        execute(&Command::Stats {
+            input: None,
+            budget_ns: None,
+        })
+        .unwrap();
         write_metrics_snapshot(&path_s).unwrap();
         let out = execute(&Command::Stats {
             input: Some(path_s.clone()),
+            budget_ns: None,
         })
         .unwrap();
         std::fs::remove_file(&path).ok();
@@ -478,10 +658,107 @@ mod tests {
         std::fs::write(&path, "{\"schema\":\"wrong\"}").unwrap();
         let err = execute(&Command::Stats {
             input: Some(path.to_string_lossy().into()),
+            budget_ns: None,
         })
         .unwrap_err();
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), crate::args::ErrorKind::Runtime);
         assert!(err.message().contains("not a metrics snapshot"), "{err}");
+    }
+
+    #[test]
+    fn stats_operator_budget_overrides_default() {
+        let out = execute(&Command::Stats {
+            input: None,
+            budget_ns: Some(5000.0),
+        })
+        .unwrap();
+        if rjam_obs::enabled() {
+            assert!(
+                out.contains("5000 ns response budget (--budget-ns)"),
+                "{out}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_zero_episodes_is_usage_error() {
+        let err = execute(&Command::Trace {
+            episodes: 0,
+            out: None,
+            chrome: None,
+            budget_ns: None,
+            top: 5,
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn trace_report_renders_attribution_and_chain() {
+        let out = execute(&Command::Trace {
+            episodes: 4,
+            out: None,
+            chrome: None,
+            budget_ns: None,
+            top: 3,
+        })
+        .unwrap();
+        if rjam_obs::enabled() {
+            assert!(out.contains("traced 4 episodes:"), "{out}");
+            assert!(out.contains("slowest frames"), "{out}");
+            assert!(out.contains("== per-stage attribution"), "{out}");
+            assert!(out.contains("full causal chains"), "{out}");
+        } else {
+            assert!(out.contains("observability disabled"), "{out}");
+        }
+    }
+
+    #[test]
+    fn trace_out_file_roundtrips_and_validates() {
+        if !rjam_obs::enabled() {
+            return;
+        }
+        let mut path = std::env::temp_dir();
+        path.push(format!("rjamctl_trace_{}.json", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let mut chrome = std::env::temp_dir();
+        chrome.push(format!("rjamctl_chrome_{}.json", std::process::id()));
+        let chrome_s = chrome.to_string_lossy().to_string();
+        let out = execute(&Command::Trace {
+            episodes: 4,
+            out: Some(path_s.clone()),
+            chrome: Some(chrome_s.clone()),
+            budget_ns: None,
+            top: 2,
+        })
+        .unwrap();
+        assert!(out.contains(&path_s), "{out}");
+        assert!(out.contains(&chrome_s), "{out}");
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let doc = rjam_obs::trace::TraceDoc::from_json(&text).unwrap();
+        doc.validate().unwrap();
+        // At least one frame must carry the complete causal chain
+        // MAC emit -> detector fire -> trigger -> jam TX -> MAC outcome.
+        let full = doc
+            .frames()
+            .into_iter()
+            .filter(|f| f.has_full_chain())
+            .count();
+        assert!(full >= 1, "no frame with a full causal chain");
+
+        let chrome_text = std::fs::read_to_string(&chrome).unwrap();
+        std::fs::remove_file(&chrome).ok();
+        assert!(
+            chrome_text.contains("traceEvents"),
+            "missing traceEvents array"
+        );
+        assert!(
+            chrome_text.contains("\"ph\": \"X\"") || chrome_text.contains("\"ph\":\"X\""),
+            "no complete (X) span events in chrome trace"
+        );
     }
 }

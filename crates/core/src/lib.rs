@@ -23,7 +23,10 @@
 //! * [`campaign`] — the experiment runners that regenerate every figure:
 //!   detection-probability sweeps (Figs 6-8), false-alarm calibration,
 //!   iperf jamming sweeps (Figs 10-11) and the WiMAX detection/jamming
-//!   correspondence experiment (Fig 12).
+//!   correspondence experiment (Fig 12);
+//! * [`trace`] — traced jam episodes: every frame gets a correlation ID at
+//!   MAC emission and a causal chain (PHY → channel → FPGA → jam → outcome)
+//!   in one exportable [`rjam_obs::trace::TraceDoc`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +39,7 @@ pub mod jammer;
 pub mod presets;
 pub mod testbed;
 pub mod timeline;
+pub mod trace;
 
 pub use autonomous::AutonomousJammer;
 pub use jammer::ReactiveJammer;

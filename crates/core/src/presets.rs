@@ -86,6 +86,25 @@ impl DetectionPreset {
         }
     }
 
+    /// The paper's end-to-end response budget for this preset, in ns.
+    ///
+    /// Derived from the platform constants, not a literal: presets that arm
+    /// the correlator are bounded by the slower cross-correlation path
+    /// (T_resp_xcorr); energy-only presets by the energy path
+    /// (T_resp_energy).
+    pub fn response_budget_ns(&self) -> f64 {
+        let b = crate::timeline::TimelineBudget::paper();
+        let uses_xcorr = match self.trigger_mode() {
+            TriggerMode::Any(sources) => sources.contains(&TriggerSource::Xcorr),
+            TriggerMode::Sequence { stages, .. } => stages.contains(&TriggerSource::Xcorr),
+        };
+        if uses_xcorr {
+            b.t_resp_xcorr_ns
+        } else {
+            b.t_resp_energy_ns
+        }
+    }
+
     /// Applies the preset's detection fields onto a config.
     pub fn apply(&self, cfg: &mut CoreConfig) {
         if let Some(t) = self.template() {
@@ -293,6 +312,23 @@ mod tests {
         assert_eq!(cfg.delay_samples, 625); // 25 us at 25 MSPS
         assert_eq!(cfg.uptime_samples, 250);
         assert_eq!(cfg.waveform, JamWaveform::Replay);
+    }
+
+    #[test]
+    fn response_budget_follows_trigger_path() {
+        let b = crate::timeline::TimelineBudget::paper();
+        let xcorr = DetectionPreset::WifiShortPreamble { threshold: 0.35 };
+        assert_eq!(xcorr.response_budget_ns(), b.t_resp_xcorr_ns);
+        let energy = DetectionPreset::EnergyRise { threshold_db: 10.0 };
+        assert_eq!(energy.response_budget_ns(), b.t_resp_energy_ns);
+        // Fusion arms the correlator, so the slower path bounds it.
+        let fused = DetectionPreset::WimaxFused {
+            id_cell: 1,
+            segment: 0,
+            threshold: 0.5,
+            energy_db: 10.0,
+        };
+        assert_eq!(fused.response_budget_ns(), b.t_resp_xcorr_ns);
     }
 
     #[test]

@@ -323,6 +323,15 @@ impl DspCore {
             .unwrap_or_default()
     }
 
+    /// Samples currently queued in the capture FIFO toward the host
+    /// (0 when capture is disabled) — the occupancy a causal trace records.
+    pub fn capture_occupancy(&self) -> u64 {
+        self.capture
+            .as_ref()
+            .map(|c| c.fifo().len() as u64)
+            .unwrap_or(0)
+    }
+
     /// Capture-FIFO overflow count (samples dropped), if enabled.
     pub fn capture_overflow(&mut self) -> u64 {
         self.capture

@@ -37,6 +37,7 @@ pub mod fifo;
 pub mod jammer;
 pub mod regs;
 pub mod resources;
+pub mod trace;
 pub mod trigger;
 pub mod vita;
 pub mod xcorr;

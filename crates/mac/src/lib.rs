@@ -31,4 +31,4 @@ pub mod sim;
 pub use defense::{JammingDetector, JammingVerdict, LinkObservation};
 pub use iperf::IperfReport;
 pub use model::{JammerKind, Scenario};
-pub use sim::run_scenario;
+pub use sim::{run_scenario, run_scenario_traced};

@@ -21,6 +21,7 @@ use crate::link::{ack_rate, frame_success_prob, Burst};
 use crate::model::{
     JammerKind, Scenario, Timings, ACK_BYTES, BEACON_BYTES, CTS_BYTES, PSDU_OVERHEAD, RTS_BYTES,
 };
+use rjam_obs::trace::{stage, FrameId, FrameIdGen, Outcome, TraceSink};
 use rjam_obs::LocalCounter;
 use rjam_phy80211::Rate;
 use rjam_sdr::rng::Rng;
@@ -146,8 +147,85 @@ fn reactive_bursts(jammer: &JammerKind, rng: &mut Rng, acct: &mut JamAccounting)
     }
 }
 
+/// Threads a causal-trace sink through the DES loop: mints one
+/// [`FrameId`] per datagram at MAC emission and records the emission
+/// instant, each data transmission's airtime span, overlapping jam-burst
+/// spans and the final outcome instant. With no sink attached (or the
+/// `obs` feature compiled out) every call is a no-op.
+struct MacTracer<'a> {
+    sink: Option<&'a mut TraceSink>,
+    ids: FrameIdGen,
+}
+
+impl MacTracer<'_> {
+    /// Microseconds of simulation time → trace nanoseconds.
+    fn ns(us: f64) -> u64 {
+        (us * 1000.0).round().max(0.0) as u64
+    }
+
+    /// The MAC emits a datagram: mint its correlation ID.
+    fn emit(&mut self, now_us: f64, payload_bytes: usize) -> FrameId {
+        let id = self.ids.mint();
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.instant(
+                id,
+                Self::ns(now_us),
+                stage::MAC,
+                "emit",
+                payload_bytes as i64,
+                0,
+            );
+        }
+        id
+    }
+
+    /// One data-frame transmission attempt, plus the jam bursts it drew.
+    fn data_tx(
+        &mut self,
+        id: FrameId,
+        t0_us: f64,
+        airtime_us: f64,
+        attempt: u32,
+        bursts: &[Burst],
+    ) {
+        if let Some(s) = self.sink.as_deref_mut() {
+            let t0 = Self::ns(t0_us);
+            s.span_begin(id, t0, stage::PHY, "tx");
+            s.instant(id, t0, stage::PHY, "attempt", attempt as i64, 0);
+            s.span_end(id, Self::ns(t0_us + airtime_us), stage::PHY, "tx");
+            for b in bursts {
+                s.span_begin(id, Self::ns(t0_us + b.start_us), stage::JAM, "tx");
+                s.span_end(id, Self::ns(t0_us + b.end_us), stage::JAM, "tx");
+            }
+        }
+    }
+
+    /// The datagram's fate, closing its causal chain.
+    fn outcome(&mut self, id: FrameId, now_us: f64, outcome: Outcome, attempts: u32) {
+        if let Some(s) = self.sink.as_deref_mut() {
+            s.instant(
+                id,
+                Self::ns(now_us),
+                stage::MAC,
+                "outcome",
+                outcome.code(),
+                attempts as i64,
+            );
+        }
+    }
+}
+
 /// Runs one scenario to completion and reports iperf-style results.
 pub fn run_scenario(sc: &Scenario) -> IperfReport {
+    run_scenario_traced(sc, None)
+}
+
+/// [`run_scenario`] with a causal-trace sink attached: every datagram is
+/// assigned a [`FrameId`] at MAC emission and its emission, transmission
+/// attempts, drawn jam bursts and final outcome (delivered / jammed /
+/// missed) are recorded as trace events on the simulation's microsecond
+/// clock (stored in nanoseconds).
+pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> IperfReport {
     let t = Timings::default();
     let mut rng = Rng::seed_from(sc.seed);
     let duration_us = sc.duration_s * 1e6;
@@ -169,6 +247,10 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
     let mut rate_count = 0u64;
     let mut acct = JamAccounting::default();
     let mut obs = MacCounters::default();
+    let mut tracer = MacTracer {
+        sink: trace,
+        ids: FrameIdGen::new(),
+    };
 
     'outer: while now_us < duration_us {
         // --- Beacons due before the next data activity.
@@ -216,9 +298,11 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         next_arrival += arrival_us;
         sent += 1;
         obs.sent.inc();
+        let fid = tracer.emit(now_us, sc.payload_bytes);
         if disassociated {
             // The client has dropped off the network: datagram lost.
             obs.abandoned.inc();
+            tracer.outcome(fid, now_us, Outcome::Missed, 0);
             continue;
         }
 
@@ -226,6 +310,7 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         let mut cw = t.cw_min;
         let mut attempt = 0u32;
         let mut delivered = false;
+        let mut frame_jammed = false;
         loop {
             // Medium must be idle through DIFS; continuous jamming energy
             // above the CCA threshold keeps deferring it.
@@ -312,6 +397,8 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
             let rate = rc.rate();
             let airtime = rate.frame_airtime_us(psdu_len);
             let bursts = reactive_bursts(&sc.jammer, &mut rng, &mut acct);
+            tracer.data_tx(fid, now_us, airtime, attempt, &bursts);
+            frame_jammed |= !bursts.is_empty();
             let p_data = frame_success_prob(
                 rate,
                 psdu_len,
@@ -386,6 +473,14 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
         if !delivered {
             obs.abandoned.inc();
         }
+        let oc = if delivered {
+            Outcome::Delivered
+        } else if frame_jammed {
+            Outcome::Jammed
+        } else {
+            Outcome::Missed
+        };
+        tracer.outcome(fid, now_us, oc, attempt);
     }
 
     let per_second_kbps: Vec<f64> = per_second

@@ -320,6 +320,60 @@ mod tests {
     }
 
     #[test]
+    fn empty_percentiles_are_zero_at_every_q() {
+        // The percentile-of-nothing contract: an operator reading `rjamctl
+        // stats` before any trigger has fired must see 0, not a sentinel or
+        // a panic.
+        let h = LogHistogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q} of an empty histogram");
+        }
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn cleared_histogram_behaves_like_new() {
+        let mut h = LogHistogram::new();
+        h.record(123);
+        h.record_n(77, 3);
+        assert!(!h.is_empty());
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.summary(), HistSummary::EMPTY);
+        // min must reset too (regression guard: a stale min of u64::MAX or
+        // of the pre-clear data would corrupt the next quantile clamp).
+        h.record(9);
+        assert_eq!(h.min(), 9);
+        assert_eq!(h.quantile(0.5), 9);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let mut h = LogHistogram::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn absorbing_empty_is_a_no_op() {
+        let mut a = LogHistogram::new();
+        a.record(42);
+        let before = a.summary();
+        a.absorb(&LogHistogram::new());
+        assert_eq!(a.summary(), before);
+        // And empty.absorb(empty) stays empty.
+        let mut e = LogHistogram::new();
+        e.absorb(&LogHistogram::new());
+        assert_eq!(e.summary(), HistSummary::EMPTY);
+    }
+
+    #[test]
     fn huge_values_do_not_panic() {
         let mut h = LogHistogram::new();
         h.record(u64::MAX);

@@ -13,7 +13,11 @@
 //!    timestamped structured events (cycle- or sample-indexed) with an
 //!    anomaly-triggered dump;
 //! 3. a **snapshot** type ([`snapshot::MetricsSnapshot`]) that serialises to
-//!    the same dependency-free JSON dialect as `rjam-bench::harness`.
+//!    the same dependency-free JSON dialect as `rjam-bench::harness`;
+//! 4. a **causal trace** layer ([`trace`]): a fixed-capacity
+//!    [`trace::TraceSink`] of span/instant events keyed by a
+//!    [`trace::FrameId`] correlation ID, exported as Chrome trace-event
+//!    JSON (Perfetto-loadable) or the compact `rjam-trace-v1` schema.
 //!
 //! # Cost model
 //!
@@ -32,11 +36,15 @@ pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
+pub mod trace;
 
 pub use hist::{HistSummary, LogHistogram};
 pub use recorder::{FlightRecorder, ObsEvent, TripInfo};
 pub use registry::{Counter, Gauge, HistHandle, LocalCounter, LocalHistogram};
 pub use snapshot::MetricsSnapshot;
+pub use trace::{
+    FrameId, FrameIdGen, FrameTrace, Outcome, SpanKind, TraceDoc, TraceEvent, TraceSink,
+};
 
 /// True when the crate was built with instrumentation compiled in.
 ///

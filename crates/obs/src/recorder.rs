@@ -287,6 +287,68 @@ mod tests {
     }
 
     #[test]
+    fn wrapped_ring_dumps_in_chronological_order() {
+        // Wrap the ring almost three times: the dump must still read
+        // oldest-first with contiguous sequence numbers, exactly like a
+        // logic analyzer's pre-trigger window.
+        let mut r = FlightRecorder::new(4);
+        for t in 1..=11u64 {
+            r.record(t * 10, "tick", t as i64, 0);
+        }
+        let dump = r.dump();
+        assert_eq!(dump.len(), 4);
+        let ts: Vec<u64> = dump.iter().map(|e| e.t).collect();
+        assert_eq!(ts, vec![80, 90, 100, 110], "oldest-first after wrap");
+        let seqs: Vec<u64> = dump.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![8, 9, 10, 11], "seq contiguous across eviction");
+        assert_eq!(r.total(), 11);
+    }
+
+    #[test]
+    fn trip_at_capacity_preserves_pre_anomaly_window() {
+        let mut r = FlightRecorder::new(3);
+        for t in 1..=3u64 {
+            r.record(t, "fill", 0, 0);
+        }
+        // Ring exactly full: a trip at this boundary must freeze the whole
+        // window, and later floods must not leak into the dump.
+        r.trip(4, "at_capacity");
+        for t in 5..=20u64 {
+            r.record(t, "post", 0, 0);
+        }
+        let dump = r.dump();
+        assert_eq!(dump.iter().map(|e| e.t).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.trip_info().expect("tripped").seq, 3);
+    }
+
+    #[test]
+    fn trip_global_near_capacity_keeps_trip_and_window() {
+        // The only test in this binary that touches the process-wide
+        // recorder (registry tests don't), so no cross-test interference.
+        global_reset();
+        for t in 0..(GLOBAL_CAPACITY as u64 + 10) {
+            record_event(t, "flood", t as i64, 0);
+        }
+        trip_global(99_999, "global_anomaly");
+        // Keep flooding after the trip: the frozen dump must survive.
+        for t in 0..50u64 {
+            record_event(t + 1_000_000, "after", 0, 0);
+        }
+        let (dump, trip) = global_dump();
+        let trip = trip.expect("trip survived the flood");
+        assert_eq!(trip.reason, "global_anomaly");
+        assert_eq!(trip.t, 99_999);
+        assert_eq!(
+            dump.len(),
+            GLOBAL_CAPACITY,
+            "full pre-anomaly window, nothing dropped"
+        );
+        assert!(dump.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        assert!(dump.iter().all(|e| e.kind == "flood"), "no post-trip leak");
+        global_reset();
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut r = FlightRecorder::new(2);
         r.record(1, "x", 0, 0);
