@@ -35,6 +35,30 @@ step "bench report is valid JSON"
 test -s BENCH_xcorr_throughput.json
 cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_xcorr_throughput.json
 
+step "campaign engine bench smoke (threads 1/2/4 + inline determinism cross-check)"
+# The bench itself panics if any sharded run diverges bitwise from the
+# serial reference, so a passing run doubles as a determinism gate.
+RJAM_BENCH_SAMPLES=2 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+    RJAM_BENCH_OUT="$(pwd)" \
+    cargo bench -q -p rjam-bench --offline --bench campaign_engine
+test -s BENCH_campaign_engine.json
+cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_campaign_engine.json
+
+step "campaign determinism: RJAM_THREADS=1 and RJAM_THREADS=4 outputs are byte-identical"
+# The whole-engine contract, checked through the operator console: the same
+# campaign at different worker counts must print the same bytes.
+for cmd in \
+    "detect --preset wifi-short --snr 5 --frames 20" \
+    "fa --preset wifi-long --threshold 0.34 --samples 2000000" \
+    "iperf --jammer reactive-long --sir 14 --seconds 1"; do
+    RJAM_THREADS=1 cargo run -q --release --offline -p rjam-cli -- $cmd > rjam_ci_t1.out
+    RJAM_THREADS=4 cargo run -q --release --offline -p rjam-cli -- $cmd > rjam_ci_t4.out
+    diff rjam_ci_t1.out rjam_ci_t4.out || {
+        echo "determinism violation: '$cmd' differs between 1 and 4 threads"; exit 1;
+    }
+done
+rm -f rjam_ci_t1.out rjam_ci_t4.out
+
 step "no-default-features: obs layer compiles out (build + clippy)"
 # The whole observability/tracing layer must degrade to zero-sized no-ops
 # when the 'obs' feature is off; any accidental hard dependency on it is a

@@ -3,9 +3,9 @@
 //! quantities that determine how long the figure regeneration takes.
 
 use rjam_bench::harness::{BenchConfig, Harness};
-use rjam_core::campaign::{scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission};
-use rjam_core::DetectionPreset;
-use rjam_mac::{run_scenario, run_scenario_traced};
+use rjam_core::campaign::{scenario_for, CampaignSpec, JammerUnderTest, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
+use rjam_mac::ScenarioRun;
 use std::hint::black_box;
 
 fn main() {
@@ -27,24 +27,29 @@ fn main() {
         // causal spans to TRACE_mac_campaign_iperf_one_second.json.
         h.bench_traced("iperf_one_second", label, 1, |sink| {
             let sc = scenario_for(jut, sir, 1.0, 77);
+            let run = ScenarioRun::new(black_box(&sc));
             match sink {
-                Some(sink) => black_box(run_scenario_traced(black_box(&sc), Some(sink))),
-                None => black_box(run_scenario(black_box(&sc))),
+                Some(sink) => black_box(run.trace(sink).run()),
+                None => black_box(run.run()),
             }
         });
     }
 
+    let engine = CampaignEngine::serial();
     h.bench(
         "detection_point",
         "short_preamble_20_frames_one_snr",
         || {
-            black_box(wifi_detection_sweep(
-                &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-                WifiEmission::FullFrames { psdu_len: 100 },
-                &[5.0],
-                20,
-                99,
-            ))
+            black_box(
+                CampaignSpec::wifi_detection(&DetectionPreset::WifiShortPreamble {
+                    threshold: 0.35,
+                })
+                .emission(WifiEmission::FullFrames { psdu_len: 100 })
+                .snrs(&[5.0])
+                .trials(20)
+                .seed(99)
+                .run(&engine),
+            )
         },
     );
 

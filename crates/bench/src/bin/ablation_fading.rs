@@ -7,8 +7,8 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{wifi_detection_sweep_in_channel, ChannelModel, WifiEmission};
-use rjam_core::DetectionPreset;
+use rjam_core::campaign::{CampaignSpec, ChannelModel, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
 
 fn main() {
     let args = Args::parse();
@@ -21,30 +21,19 @@ fn main() {
     // FA-safe threshold (noise metric peaks ~0.42 of ideal on this template).
     let preset = DetectionPreset::WifiShortPreamble { threshold: 0.46 };
     let snrs: Vec<f64> = (-3..=5).map(|k| k as f64 * 3.0).collect();
-    let awgn = wifi_detection_sweep_in_channel(
-        &preset,
-        WifiEmission::FullFrames { psdu_len: 100 },
-        ChannelModel::Awgn,
-        &snrs,
-        frames,
-        0xFAD,
-    );
-    let mild = wifi_detection_sweep_in_channel(
-        &preset,
-        WifiEmission::FullFrames { psdu_len: 100 },
-        ChannelModel::Rayleigh { taps: 4, rms: 1.0 },
-        &snrs,
-        frames,
-        0xFAD,
-    );
-    let harsh = wifi_detection_sweep_in_channel(
-        &preset,
-        WifiEmission::FullFrames { psdu_len: 100 },
-        ChannelModel::Rayleigh { taps: 12, rms: 3.0 },
-        &snrs,
-        frames,
-        0xFAD,
-    );
+    let engine = CampaignEngine::from_env();
+    let sweep = |channel: ChannelModel| {
+        CampaignSpec::wifi_detection(&preset)
+            .emission(WifiEmission::FullFrames { psdu_len: 100 })
+            .channel(channel)
+            .snrs(&snrs)
+            .trials(frames)
+            .seed(0xFAD)
+            .run(&engine)
+    };
+    let awgn = sweep(ChannelModel::Awgn);
+    let mild = sweep(ChannelModel::Rayleigh { taps: 4, rms: 1.0 });
+    let harsh = sweep(ChannelModel::Rayleigh { taps: 12, rms: 3.0 });
     println!(
         "{:>10} {:>10} {:>16} {:>16}",
         "SNR (dB)", "AWGN", "Rayleigh mild", "Rayleigh harsh"

@@ -13,11 +13,21 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{energy_at_operating_point, jamming_sweep, EnergyPoint, JammerUnderTest};
+use rjam_core::campaign::{energy_at_operating_point, CampaignSpec, EnergyPoint, JammerUnderTest};
+use rjam_core::CampaignEngine;
 
-fn find_kill_sir(jut: JammerUnderTest, ceiling: f64, seconds: f64) -> Option<f64> {
+fn find_kill_sir(
+    engine: &CampaignEngine,
+    jut: JammerUnderTest,
+    ceiling: f64,
+    seconds: f64,
+) -> Option<f64> {
     let sirs: Vec<f64> = (0..=26).map(|k| 50.0 - 2.0 * k as f64).collect();
-    jamming_sweep(jut, &sirs, seconds, 0xEE)
+    CampaignSpec::jamming(jut)
+        .sirs(&sirs)
+        .duration_s(seconds)
+        .seed(0xEE)
+        .run(engine)
         .into_iter()
         .find(|p| p.report.bandwidth_kbps < 0.05 * ceiling)
         .map(|p| p.sir_ap_db)
@@ -33,7 +43,12 @@ fn main() {
          energy and airtime than continuous jamming",
     );
 
-    let ceiling = jamming_sweep(JammerUnderTest::Off, &[60.0], seconds, 0xEE)[0]
+    let engine = CampaignEngine::from_env();
+    let ceiling = CampaignSpec::jamming(JammerUnderTest::Off)
+        .sirs(&[60.0])
+        .duration_s(seconds)
+        .seed(0xEE)
+        .run(&engine)[0]
         .report
         .bandwidth_kbps;
     println!("clean goodput ceiling: {ceiling:.0} kbps over {seconds} s\n");
@@ -44,7 +59,7 @@ fn main() {
         JammerUnderTest::ReactiveLong,
         JammerUnderTest::ReactiveShort,
     ] {
-        match find_kill_sir(jut, ceiling, seconds) {
+        match find_kill_sir(&engine, jut, ceiling, seconds) {
             Some(sir) => {
                 rows.push(energy_at_operating_point(jut, sir, seconds, ceiling, 0xEE));
             }

@@ -6,11 +6,20 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{jamming_sweep, JammerUnderTest};
+use rjam_core::campaign::{CampaignSpec, JammerUnderTest};
+use rjam_core::CampaignEngine;
 
 fn main() {
     let args = Args::parse();
     let seconds: f64 = args.get("seconds", 10.0);
+    let engine = CampaignEngine::from_env();
+    let sweep = |jut: JammerUnderTest, sirs: &[f64]| {
+        CampaignSpec::jamming(jut)
+            .sirs(sirs)
+            .duration_s(seconds)
+            .seed(0xF10)
+            .run(&engine)
+    };
     figure_header(
         "Fig. 10",
         "WiFi UDP bandwidth reported by iperf (jam power increases left->right)",
@@ -20,7 +29,7 @@ fn main() {
 
     // Descending SIR, as the paper plots it.
     let sirs: Vec<f64> = (0..=17).map(|k| 50.0 - 3.0 * k as f64).collect();
-    let ceiling = jamming_sweep(JammerUnderTest::Off, &[60.0], seconds, 0xF10)[0]
+    let ceiling = sweep(JammerUnderTest::Off, &[60.0])[0]
         .report
         .bandwidth_kbps;
     println!("jammer-off ceiling: {ceiling:.0} kbps\n");
@@ -30,10 +39,7 @@ fn main() {
         JammerUnderTest::ReactiveLong,
         JammerUnderTest::ReactiveShort,
     ];
-    let results: Vec<_> = arms
-        .iter()
-        .map(|&j| jamming_sweep(j, &sirs, seconds, 0xF10))
-        .collect();
+    let results: Vec<_> = arms.iter().map(|&j| sweep(j, &sirs)).collect();
 
     println!(
         "{:>10} {:>14} {:>14} {:>14}",

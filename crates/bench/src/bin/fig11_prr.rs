@@ -6,7 +6,8 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{jamming_sweep, JammerUnderTest};
+use rjam_core::campaign::{CampaignSpec, JammerUnderTest};
+use rjam_core::CampaignEngine;
 
 fn main() {
     let args = Args::parse();
@@ -24,9 +25,16 @@ fn main() {
         JammerUnderTest::ReactiveLong,
         JammerUnderTest::ReactiveShort,
     ];
+    let engine = CampaignEngine::from_env();
     let results: Vec<_> = arms
         .iter()
-        .map(|&j| jamming_sweep(j, &sirs, seconds, 0xF11))
+        .map(|&j| {
+            CampaignSpec::jamming(j)
+                .sirs(&sirs)
+                .duration_s(seconds)
+                .seed(0xF11)
+                .run(&engine)
+        })
         .collect();
 
     println!(

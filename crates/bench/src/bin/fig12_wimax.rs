@@ -11,7 +11,8 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::wimax_detection;
+use rjam_core::campaign::CampaignSpec;
+use rjam_core::CampaignEngine;
 
 fn main() {
     let args = Args::parse();
@@ -24,6 +25,7 @@ fn main() {
          with one-to-one jam bursts",
     );
 
+    let engine = CampaignEngine::from_env();
     println!(
         "{:<34} {:>10} {:>14} {:>8}",
         "detector", "P(det)", "latency (us)", "1:1?"
@@ -33,7 +35,13 @@ fn main() {
         ("xcorr alone (strict threshold)", false, 0.62),
         ("xcorr OR energy (fused)", true, 0.45),
     ] {
-        let r = wimax_detection(fused, frames, snr, thr, 0xF12);
+        let r = CampaignSpec::wimax_detection()
+            .fused(fused)
+            .frames(frames)
+            .snr_db(snr)
+            .threshold(thr)
+            .seed(0xF12)
+            .run(&engine);
         println!(
             "{:<34} {:>10.2} {:>14.1} {:>8}",
             label,
@@ -43,7 +51,13 @@ fn main() {
         );
     }
 
-    let fused = wimax_detection(true, frames.min(8), snr, 0.45, 0xF12);
+    let fused = CampaignSpec::wimax_detection()
+        .fused(true)
+        .frames(frames.min(8))
+        .snr_db(snr)
+        .threshold(0.45)
+        .seed(0xF12)
+        .run(&engine);
     println!(
         "\nscope capture (envelope + frame/jam markers), first {} frames:",
         frames.min(8)

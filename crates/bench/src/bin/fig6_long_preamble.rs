@@ -12,34 +12,25 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{false_alarm_rate, wifi_detection_sweep, WifiEmission};
-use rjam_core::DetectionPreset;
+use rjam_core::campaign::{CampaignSpec, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
 
-/// Measures the FA rate at a ladder of thresholds (in parallel) and picks
-/// two operating points: a strict one with (near-)zero measured FA and the
-/// loosest one whose FA stays within a few triggers per second — the two
-/// regimes the paper's 0.083/s and 0.52/s settings represent.
-fn calibrate_thresholds(fa_samples: usize) -> ((f64, f64), (f64, f64)) {
+/// Measures the FA rate at a ladder of thresholds and picks two operating
+/// points: a strict one with (near-)zero measured FA and the loosest one
+/// whose FA stays within a few triggers per second — the two regimes the
+/// paper's 0.083/s and 0.52/s settings represent. Each measurement is
+/// sharded across the campaign engine's workers.
+fn calibrate_thresholds(engine: &CampaignEngine, fa_samples: usize) -> ((f64, f64), (f64, f64)) {
     let candidates: Vec<f64> = (0..10).map(|k| 0.24 + 0.02 * k as f64).collect();
-    let mut rates = vec![0.0f64; candidates.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &frac) in candidates.iter().enumerate() {
-            handles.push((
-                i,
-                scope.spawn(move || {
-                    false_alarm_rate(
-                        &DetectionPreset::WifiLongPreamble { threshold: frac },
-                        fa_samples,
-                        0xFA,
-                    )
-                }),
-            ));
-        }
-        for (i, h) in handles {
-            rates[i] = h.join().expect("fa worker");
-        }
-    });
+    let rates: Vec<f64> = candidates
+        .iter()
+        .map(|&frac| {
+            CampaignSpec::false_alarm(&DetectionPreset::WifiLongPreamble { threshold: frac })
+                .samples(fa_samples)
+                .seed(0xFA)
+                .run(engine)
+        })
+        .collect();
     let strict_idx = rates
         .iter()
         .position(|&fa| fa < 0.1)
@@ -65,22 +56,26 @@ fn main() {
         "single LTS ~50% above 5 dB SNR; full frames >75%; FA 0.083 and 0.52/s",
     );
 
+    let engine = CampaignEngine::from_env();
     let snrs: Vec<f64> = (-4..=8).map(|k| k as f64 * 2.0).collect();
-    let (loose, strict) = calibrate_thresholds(fa_samples);
+    let (loose, strict) = calibrate_thresholds(&engine, fa_samples);
     for ((frac, measured_fa), regime) in [(loose, "higher-FA"), (strict, "low-FA")] {
         println!(
             "\n--- {regime} operating point: threshold {frac:.2} x ideal peak (measured FA {measured_fa:.3}/s) ---"
         );
         let preset = DetectionPreset::WifiLongPreamble { threshold: frac };
-        let single =
-            wifi_detection_sweep(&preset, WifiEmission::SingleLongPreamble, &snrs, frames, 61);
-        let full = wifi_detection_sweep(
-            &preset,
-            WifiEmission::FullFrames { psdu_len: 100 },
-            &snrs,
-            frames,
-            62,
-        );
+        let single = CampaignSpec::wifi_detection(&preset)
+            .emission(WifiEmission::SingleLongPreamble)
+            .snrs(&snrs)
+            .trials(frames)
+            .seed(61)
+            .run(&engine);
+        let full = CampaignSpec::wifi_detection(&preset)
+            .emission(WifiEmission::FullFrames { psdu_len: 100 })
+            .snrs(&snrs)
+            .trials(frames)
+            .seed(62)
+            .run(&engine);
         println!(
             "{:>10} {:>18} {:>18}",
             "SNR (dB)", "P(det) single LTS", "P(det) full frame"

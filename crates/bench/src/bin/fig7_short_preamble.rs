@@ -7,8 +7,8 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{false_alarm_rate, wifi_detection_sweep, WifiEmission};
-use rjam_core::DetectionPreset;
+use rjam_core::campaign::{CampaignSpec, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
 
 fn main() {
     let args = Args::parse();
@@ -21,14 +21,14 @@ fn main() {
     );
 
     // Calibrate the threshold for a near-zero FA (paper: 0.059 triggers/s).
+    let engine = CampaignEngine::from_env();
     let mut frac = 0.50;
     for step in 0..12 {
         let cand = 0.30 + 0.02 * step as f64;
-        let fa = false_alarm_rate(
-            &DetectionPreset::WifiShortPreamble { threshold: cand },
-            fa_samples,
-            0x57,
-        );
+        let fa = CampaignSpec::false_alarm(&DetectionPreset::WifiShortPreamble { threshold: cand })
+            .samples(fa_samples)
+            .seed(0x57)
+            .run(&engine);
         if fa < 0.5 {
             frac = cand;
             println!("threshold {cand:.2} x ideal peak -> measured FA {fa:.3}/s");
@@ -38,13 +38,12 @@ fn main() {
 
     let preset = DetectionPreset::WifiShortPreamble { threshold: frac };
     let snrs: Vec<f64> = (-5..=5).map(|k| k as f64 * 3.0).collect();
-    let pts = wifi_detection_sweep(
-        &preset,
-        WifiEmission::FullFrames { psdu_len: 100 },
-        &snrs,
-        frames,
-        71,
-    );
+    let pts = CampaignSpec::wifi_detection(&preset)
+        .emission(WifiEmission::FullFrames { psdu_len: 100 })
+        .snrs(&snrs)
+        .trials(frames)
+        .seed(71)
+        .run(&engine);
     println!("\n{:>10} {:>20}", "SNR (dB)", "P(det) full frames");
     for p in &pts {
         println!("{:>10.1} {:>20.3}", p.snr_db, p.p_detect);

@@ -11,8 +11,8 @@
 //! ```
 
 use rjam_bench::{figure_header, Args};
-use rjam_core::campaign::{false_alarm_rate, wifi_detection_sweep, WifiEmission};
-use rjam_core::DetectionPreset;
+use rjam_core::campaign::{CampaignSpec, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
 
 fn main() {
     let args = Args::parse();
@@ -25,18 +25,21 @@ fn main() {
          single detection/frame above 10 dB; FA = 0/s at the 10 dB threshold",
     );
 
+    let engine = CampaignEngine::from_env();
     let preset = DetectionPreset::EnergyRise { threshold_db: 10.0 };
-    let fa = false_alarm_rate(&preset, fa_samples, 0x8E);
+    let fa = CampaignSpec::false_alarm(&preset)
+        .samples(fa_samples)
+        .seed(0x8E)
+        .run(&engine);
     println!("false-alarm rate at 10 dB threshold: {fa:.3}/s (paper: 0/s)\n");
 
     let snrs: Vec<f64> = (-4..=9).map(|k| k as f64 * 2.0).collect();
-    let pts = wifi_detection_sweep(
-        &preset,
-        WifiEmission::FullFrames { psdu_len: 100 },
-        &snrs,
-        frames,
-        81,
-    );
+    let pts = CampaignSpec::wifi_detection(&preset)
+        .emission(WifiEmission::FullFrames { psdu_len: 100 })
+        .snrs(&snrs)
+        .trials(frames)
+        .seed(81)
+        .run(&engine);
     println!(
         "{:>10} {:>12} {:>22}",
         "SNR (dB)", "P(det)", "mean triggers/frame"

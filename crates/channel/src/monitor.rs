@@ -56,6 +56,42 @@ impl ScopeTrace {
         }
     }
 
+    /// Appends another trace at an absolute sample offset: `other`'s
+    /// envelope lands at `self.envelope[offset..]` (zero-padding any gap)
+    /// and every marker is shifted by `offset`. This is how the sharded
+    /// campaign engine merges per-shard scope captures back into one global
+    /// timeline — concatenating shard `k` at the cumulative length of
+    /// shards `0..k` reproduces the serial capture exactly.
+    pub fn append_shifted(&mut self, other: &ScopeTrace, offset: usize) {
+        debug_assert!(
+            offset >= self.envelope.len(),
+            "append_shifted must not overwrite captured samples \
+             (offset {} < len {})",
+            offset,
+            self.envelope.len()
+        );
+        if self.envelope.len() < offset {
+            self.envelope.resize(offset, 0.0);
+        }
+        self.envelope.extend_from_slice(&other.envelope);
+        for m in &other.markers {
+            self.markers.push(Marker {
+                at: m.at + offset,
+                label: m.label.clone(),
+            });
+        }
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("channel.scope_captured_samples")
+                .add(other.envelope.len() as u64);
+            rjam_obs::registry::counter("channel.scope_markers").add(other.markers.len() as u64);
+        }
+    }
+
+    /// The captured magnitude envelope, one value per sample.
+    pub fn envelope(&self) -> &[f64] {
+        &self.envelope
+    }
+
     /// Recorded length in samples.
     pub fn len(&self) -> usize {
         self.envelope.len()
@@ -230,6 +266,43 @@ mod tests {
         assert_eq!(t.markers_labeled("jam"), vec![20, 50]);
         assert_eq!(t.markers_labeled("frame"), vec![10]);
         assert!(t.markers_labeled("nothing").is_empty());
+    }
+
+    #[test]
+    fn append_shifted_reproduces_serial_capture() {
+        // A serial capture of two bursts …
+        let mut serial = ScopeTrace::new(25e6);
+        serial.capture(&burst(10, 0.5));
+        serial.mark(3, "frame");
+        serial.capture(&burst(5, 1.0));
+        serial.mark(12, "jam");
+        // … equals two shard-local traces merged at cumulative offsets.
+        let mut shard0 = ScopeTrace::new(25e6);
+        shard0.capture(&burst(10, 0.5));
+        shard0.mark(3, "frame");
+        let mut shard1 = ScopeTrace::new(25e6);
+        shard1.capture(&burst(5, 1.0));
+        shard1.mark(2, "jam");
+        let mut merged = ScopeTrace::new(25e6);
+        merged.append_shifted(&shard0, 0);
+        merged.append_shifted(&shard1, shard0.len());
+        assert_eq!(merged.len(), serial.len());
+        assert_eq!(merged.to_markers_json(), serial.to_markers_json());
+        assert_eq!(merged.markers_labeled("jam"), vec![12]);
+    }
+
+    #[test]
+    fn append_shifted_zero_pads_gaps() {
+        let mut t = ScopeTrace::new(25e6);
+        let mut shard = ScopeTrace::new(25e6);
+        shard.capture(&burst(4, 1.0));
+        shard.mark(1, "jam");
+        t.append_shifted(&shard, 6);
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.markers_labeled("jam"), vec![7]);
+        // The gap rendered as silence, the burst as signal.
+        let art = t.render_ascii(10, 1);
+        assert!(art.starts_with("      ####"), "{art}");
     }
 
     #[test]

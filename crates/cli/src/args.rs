@@ -259,6 +259,38 @@ pub fn extract_metrics_out(argv: &[String]) -> Result<(Vec<String>, Option<Strin
     Ok((rest, path))
 }
 
+/// Strips the global `--threads <N>` flag from an argument vector.
+///
+/// The flag is accepted anywhere on the command line and sets the worker
+/// count of the campaign engine for this invocation, overriding the
+/// `RJAM_THREADS` environment variable. `N` must be a positive integer.
+/// Campaign output is bit-identical at any thread count, so this is purely
+/// a wall-clock knob.
+pub fn extract_threads(argv: &[String]) -> Result<(Vec<String>, Option<usize>), CliError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut threads = None;
+    let mut i = 0;
+    while i < argv.len() {
+        if argv[i] == "--threads" {
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| CliError::usage("--threads needs a positive integer"))?;
+            let n: usize = value.parse().map_err(|_| {
+                CliError::usage(format!("--threads: cannot parse '{value}' as an integer"))
+            })?;
+            if n == 0 {
+                return Err(CliError::usage("--threads must be at least 1"));
+            }
+            threads = Some(n);
+            i += 2;
+        } else {
+            rest.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    Ok((rest, threads))
+}
+
 /// Splits argv into options and positionals.
 pub fn split(argv: &[String]) -> Result<ParsedArgs, CliError> {
     let mut out = ParsedArgs::default();
@@ -404,6 +436,9 @@ GLOBAL OPTIONS:
   --metrics-out FILE   after any command, write a rjam-metrics-v1 JSON
                        snapshot of the observability registry to FILE
                        (inspect later with 'rjamctl stats FILE')
+  --threads N          worker threads for the campaign engine (detect, fa,
+                       roc, iperf); overrides RJAM_THREADS, defaults to all
+                       cores. Output is bit-identical at any N
 
 NOTES:
   detect/roc probe against full 802.11g frames; selecting --preset wimax
@@ -596,6 +631,23 @@ mod tests {
             }
         );
         assert!(parse(&argv("trace --episodes many")).is_err());
+    }
+
+    #[test]
+    fn threads_stripped_from_anywhere() {
+        let (rest, threads) = extract_threads(&argv("detect --threads 4 --preset energy")).unwrap();
+        assert_eq!(threads, Some(4));
+        assert_eq!(rest, argv("detect --preset energy"));
+
+        let (rest, threads) = extract_threads(&argv("fa --preset energy")).unwrap();
+        assert_eq!(threads, None);
+        assert_eq!(rest, argv("fa --preset energy"));
+
+        for bad in ["roc --threads", "roc --threads zero", "roc --threads 0"] {
+            let err = extract_threads(&argv(bad)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Usage, "'{bad}'");
+            assert!(err.message().contains("--threads"), "'{bad}' -> {err}");
+        }
     }
 
     #[test]

@@ -2,21 +2,24 @@
 //! can assert on output without capturing stdout.
 
 use crate::args::{CliError, Command, JammerName, PresetName};
-use rjam_core::campaign::{
-    false_alarm_rate, roc_curve, scenario_for, wifi_detection_sweep, JammerUnderTest, WifiEmission,
-};
+use rjam_core::campaign::{CampaignSpec, JammerUnderTest, WifiEmission};
 use rjam_core::timeline::{comparison_rows, measure, TimelineBudget};
-use rjam_core::{DetectionPreset, JammerPreset, ReactiveJammer};
+use rjam_core::{CampaignEngine, DetectionPreset, JammerPreset, ReactiveJammer};
 use std::fmt::Write as _;
 
+/// Builds the requested detection preset and validates the FPGA core
+/// configuration it compiles to, so a bad operating point (zero correlation
+/// threshold, energy threshold outside the detector's 3-30 dB range) is
+/// rejected *before* any campaign runs — through the console's single
+/// error-exit path, as a usage error.
 fn preset_for(
     name: PresetName,
     threshold: f64,
     energy_db: f64,
     cell: u8,
     segment: u8,
-) -> DetectionPreset {
-    match name {
+) -> Result<DetectionPreset, CliError> {
+    let p = match name {
         PresetName::WifiShort => DetectionPreset::WifiShortPreamble { threshold },
         PresetName::WifiLong => DetectionPreset::WifiLongPreamble { threshold },
         PresetName::Wimax => DetectionPreset::WimaxPreamble {
@@ -27,11 +30,25 @@ fn preset_for(
         PresetName::Energy => DetectionPreset::EnergyRise {
             threshold_db: energy_db,
         },
-    }
+    };
+    rjam_core::presets::build_config(&p, &JammerPreset::Monitor, 0)
+        .validate()
+        .map_err(|e: rjam_fpga::ConfigError| {
+            CliError::usage(format!("invalid detector configuration: {e}"))
+        })?;
+    Ok(p)
 }
 
-/// Executes a parsed command, returning the printable report.
+/// Executes a parsed command with the environment's engine
+/// (`RJAM_THREADS`, else all cores). The binary routes `--threads` through
+/// [`execute_with`] instead.
 pub fn execute(cmd: &Command) -> Result<String, CliError> {
+    execute_with(cmd, &CampaignEngine::from_env())
+}
+
+/// Executes a parsed command on the given campaign engine, returning the
+/// printable report.
+pub fn execute_with(cmd: &Command, engine: &CampaignEngine) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Resources => Ok(resources_report()),
@@ -45,14 +62,13 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             cell,
             segment,
         } => {
-            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
-            let pts = wifi_detection_sweep(
-                &p,
-                WifiEmission::FullFrames { psdu_len: 100 },
-                &[*snr_db],
-                *frames,
-                0xC11,
-            );
+            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment)?;
+            let pts = CampaignSpec::wifi_detection(&p)
+                .emission(WifiEmission::FullFrames { psdu_len: 100 })
+                .snrs(&[*snr_db])
+                .trials(*frames)
+                .seed(0xC11)
+                .run(engine);
             let mut out = String::new();
             let _ = writeln!(out, "detector: {p:?}");
             let _ = writeln!(
@@ -70,8 +86,11 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
             cell,
             segment,
         } => {
-            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment);
-            let fa = false_alarm_rate(&p, *samples, 0xFA2);
+            let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment)?;
+            let fa = CampaignSpec::false_alarm(&p)
+                .samples(*samples)
+                .seed(0xFA2)
+                .run(engine);
             Ok(format!(
                 "detector: {p:?}\nfalse alarms on {samples} noise samples ({:.2} s of air): {fa:.3}/s\n",
                 *samples as f64 / rjam_sdr::USRP_SAMPLE_RATE
@@ -88,8 +107,12 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 JammerName::ReactiveLong => JammerUnderTest::ReactiveLong,
                 JammerName::ReactiveShort => JammerUnderTest::ReactiveShort,
             };
-            let sc = scenario_for(jut, *sir_db, *seconds, 0x1EF);
-            let r = rjam_mac::run_scenario(&sc);
+            let pts = CampaignSpec::jamming(jut)
+                .sirs(&[*sir_db])
+                .duration_s(*seconds)
+                .seed(0x1EF)
+                .run(engine);
+            let r = &pts[0].report;
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -135,16 +158,29 @@ pub fn execute(cmd: &Command) -> Result<String, CliError> {
                 (0..8).map(|k| 0.26 + 0.04 * k as f64).collect(),
             );
             let (cell, segment) = (*cell, *segment);
-            let make = move |t: f64| preset_for(name, t, e_db, cell, segment);
-            let pts = roc_curve(
-                &make,
-                WifiEmission::FullFrames { psdu_len: 100 },
-                *snr_db,
-                &thresholds,
-                *frames,
-                *fa_samples,
-                0x20C,
-            );
+            // Validate once at the tightest threshold of the sweep: if the
+            // lowest fraction compiles to a legal core config, every higher
+            // one does too.
+            let lowest = thresholds.iter().cloned().fold(f64::INFINITY, f64::min);
+            preset_for(name, lowest, e_db, cell, segment)?;
+            let make = move |t: f64| match name {
+                PresetName::WifiShort => DetectionPreset::WifiShortPreamble { threshold: t },
+                PresetName::WifiLong => DetectionPreset::WifiLongPreamble { threshold: t },
+                PresetName::Wimax => DetectionPreset::WimaxPreamble {
+                    id_cell: cell,
+                    segment,
+                    threshold: t,
+                },
+                PresetName::Energy => DetectionPreset::EnergyRise { threshold_db: e_db },
+            };
+            let pts = CampaignSpec::roc(&make)
+                .emission(WifiEmission::FullFrames { psdu_len: 100 })
+                .snr_db(*snr_db)
+                .thresholds(&thresholds)
+                .trials(*frames)
+                .fa_samples(*fa_samples)
+                .seed(0x20C)
+                .run(engine);
             let mut out = String::new();
             let _ = writeln!(
                 out,
@@ -549,6 +585,50 @@ mod tests {
             execute(&parse(&argv("detect --preset wifi-short --snr 10 --frames 25")).unwrap())
                 .unwrap();
         assert!(out.contains("P(det)"), "{out}");
+    }
+
+    #[test]
+    fn invalid_operating_points_are_usage_errors() {
+        // Energy threshold outside the detector's 3-30 dB range: the core
+        // config validator rejects it before any campaign runs.
+        let err =
+            execute(&parse(&argv("detect --preset energy --energy-db 45")).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
+        assert!(
+            err.message().contains("invalid detector configuration"),
+            "{err}"
+        );
+        // Zero correlation threshold compiles to a trigger-on-everything
+        // core; equally rejected.
+        let err =
+            execute(&parse(&argv("fa --preset wifi-long --threshold 0 --samples 1000")).unwrap())
+                .unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn detect_output_is_thread_count_invariant() {
+        let cmd = parse(&argv("detect --preset wifi-short --snr 5 --frames 20")).unwrap();
+        let serial = execute_with(&cmd, &CampaignEngine::serial()).unwrap();
+        let sharded = execute_with(&cmd, &CampaignEngine::with_threads(4)).unwrap();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn threads_flag_reaches_the_engine() {
+        // Through the full run() path: --threads parses, is stripped, and
+        // the command output matches the serial engine byte for byte.
+        let with_flag = crate::run(&argv(
+            "detect --preset energy --snr 8 --frames 10 --threads 3",
+        ))
+        .unwrap();
+        let serial = execute_with(
+            &parse(&argv("detect --preset energy --snr 8 --frames 10")).unwrap(),
+            &CampaignEngine::serial(),
+        )
+        .unwrap();
+        assert_eq!(with_flag, serial);
     }
 
     #[test]

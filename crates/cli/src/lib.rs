@@ -17,7 +17,9 @@
 //!
 //! Any command also accepts the global `--metrics-out FILE` flag, which
 //! writes a `rjam-metrics-v1` JSON snapshot of the process-wide metrics
-//! registry after the command runs (`rjamctl stats FILE` renders it back).
+//! registry after the command runs (`rjamctl stats FILE` renders it back),
+//! and the global `--threads N` flag, which sets the campaign engine's
+//! worker count (campaign results are bit-identical at any `N`).
 //!
 //! This library half holds the argument model and command implementations
 //! so they are unit-testable; `main.rs` is a thin dispatcher. All failures
@@ -33,10 +35,20 @@ pub mod commands;
 pub use args::{CliError, Command, ErrorKind, ParsedArgs};
 
 /// Entry point shared by the binary and tests: parse and run.
+///
+/// The global `--threads N` flag picks the campaign engine's worker count
+/// for this invocation (over `RJAM_THREADS`, over all cores); campaign
+/// output is bit-identical at any thread count, so the flag only changes
+/// wall-clock time.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (argv, metrics_out) = args::extract_metrics_out(argv)?;
+    let (argv, threads) = args::extract_threads(&argv)?;
+    let engine = match threads {
+        Some(n) => rjam_core::CampaignEngine::with_threads(n),
+        None => rjam_core::CampaignEngine::from_env(),
+    };
     let cmd = args::parse(&argv)?;
-    let report = commands::execute(&cmd)?;
+    let report = commands::execute_with(&cmd, &engine)?;
     if let Some(path) = metrics_out {
         commands::write_metrics_snapshot(&path)?;
     }

@@ -1,17 +1,24 @@
 //! Experiment campaign runners — one per figure of the paper.
 //!
-//! Each runner reproduces a figure's methodology end to end in the
-//! simulated testbed and returns plain data rows; the `rjam-bench` figure
-//! binaries print them in the paper's format.
+//! Every campaign is described by a [`CampaignSpec`] builder and executed
+//! by a [`CampaignEngine`]: the spec decides *what* to measure (preset,
+//! emission, SNR grid, trial count, seed), the engine decides *how many
+//! worker threads* run the independent shards. Output is bit-identical for
+//! any thread count — see the [`crate::engine`] module docs for the
+//! determinism contract.
+//!
+//! The `rjam-bench` figure binaries print the returned rows in the paper's
+//! format.
 
-use crate::jammer::ReactiveJammer;
+use crate::engine::CampaignEngine;
+use crate::jammer::{BlockScratch, ReactiveJammer, DEFAULT_LOCKOUT};
 use crate::presets::{DetectionPreset, JammerPreset};
 use crate::testbed::TestbedBudget;
 use rjam_channel::monitor::ScopeTrace;
 use rjam_channel::noise::NoiseSource;
 use rjam_fpga::CoreEvent;
 use rjam_mac::model::{JammerKind, Scenario};
-use rjam_mac::{run_scenario, IperfReport};
+use rjam_mac::{run_scenario, IperfReport, MacObsDelta, ScenarioRun};
 use rjam_sdr::complex::Cf64;
 use rjam_sdr::power::{db_to_lin, mean_power, scale_to_power};
 use rjam_sdr::resample::{fractional_delay, to_usrp_rate};
@@ -49,6 +56,13 @@ const RX_LEVEL: f64 = 0.02;
 const LEAD_IN: usize = 256;
 /// Noise tail after each frame.
 const TAIL: usize = 128;
+/// Noise samples per false-alarm shard. Shard boundaries are a pure
+/// function of the requested sample count, never of the thread count.
+const FA_SHARD_SAMPLES: usize = 1 << 20;
+/// Block size the false-alarm measurement streams noise in.
+const FA_CHUNK: usize = 65_536;
+/// Downlink frames per WiMAX shard.
+const WIMAX_FRAMES_PER_SHARD: usize = 4;
 
 /// Builds the 25 MSPS emission waveform for one trial. Each frame gets a
 /// random fractional sampling phase — transmitter and receiver clocks are
@@ -99,156 +113,277 @@ pub enum ChannelModel {
     },
 }
 
-/// Runs a WiFi detection-probability sweep (the methodology of Figs 6-8):
-/// `frames_per_point` emissions per SNR value, each embedded in AWGN at the
-/// requested SNR, streamed through the detector; detections are counted in
-/// the frame's occupancy window.
+/// Entry point to the campaign vocabulary: each constructor returns a
+/// typed builder whose `run(&engine)` executes the experiment sharded.
 ///
-/// Set `energy_detector` when the preset under test is the energy
-/// differentiator (counts energy-rise triggers instead of correlation
-/// triggers).
-pub fn wifi_detection_sweep(
-    preset: &DetectionPreset,
-    kind: WifiEmission,
-    snrs_db: &[f64],
-    frames_per_point: usize,
-    seed: u64,
-) -> Vec<DetectionPoint> {
-    wifi_detection_sweep_in_channel(
-        preset,
-        kind,
-        ChannelModel::Awgn,
-        snrs_db,
-        frames_per_point,
-        seed,
-    )
-}
+/// ```no_run
+/// use rjam_core::campaign::{CampaignSpec, WifiEmission};
+/// use rjam_core::engine::CampaignEngine;
+/// use rjam_core::presets::DetectionPreset;
+///
+/// let engine = CampaignEngine::from_env();
+/// let points = CampaignSpec::wifi_detection(&DetectionPreset::WifiShortPreamble {
+///     threshold: 0.3,
+/// })
+/// .emission(WifiEmission::FullFrames { psdu_len: 60 })
+/// .snr_range(-9.0, 12.0, 3.0)
+/// .trials(100)
+/// .seed(7)
+/// .run(&engine);
+/// assert!(!points.is_empty());
+/// ```
+pub struct CampaignSpec;
 
-/// [`wifi_detection_sweep`] under an explicit channel model — the
-/// over-the-air question the paper's conducted setup deliberately avoids:
-/// how much detection the correlator loses to frequency-selective fading.
-pub fn wifi_detection_sweep_in_channel(
-    preset: &DetectionPreset,
-    kind: WifiEmission,
-    channel: ChannelModel,
-    snrs_db: &[f64],
-    frames_per_point: usize,
-    seed: u64,
-) -> Vec<DetectionPoint> {
-    let energy_detector = matches!(preset, DetectionPreset::EnergyRise { .. });
-    let mut points = vec![
-        DetectionPoint {
+impl CampaignSpec {
+    /// A WiFi detection-probability sweep (methodology of Figs 6-8).
+    pub fn wifi_detection(preset: &DetectionPreset) -> WifiDetectionSpec {
+        WifiDetectionSpec {
+            preset: preset.clone(),
+            emission: WifiEmission::FullFrames { psdu_len: 60 },
+            channel: ChannelModel::Awgn,
+            snrs_db: Vec::new(),
+            frames_per_point: 40,
+            seed: 0,
+        }
+    }
+
+    /// A noise-only false-alarm measurement.
+    pub fn false_alarm(preset: &DetectionPreset) -> FalseAlarmSpec {
+        FalseAlarmSpec {
+            preset: preset.clone(),
+            samples: 1_000_000,
+            seed: 0,
+        }
+    }
+
+    /// A receiver-operating-characteristic sweep over thresholds.
+    pub fn roc(make_preset: &(dyn Fn(f64) -> DetectionPreset + Sync)) -> RocSpec<'_> {
+        RocSpec {
+            make_preset,
+            emission: WifiEmission::FullFrames { psdu_len: 60 },
             snr_db: 0.0,
-            p_detect: 0.0,
-            triggers_per_frame: 0.0
-        };
-        snrs_db.len()
-    ];
-    // SNR points are independent; fan them out across threads.
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, &snr_db) in snrs_db.iter().enumerate() {
-            let preset = preset.clone();
-            handles.push((
-                idx,
-                scope.spawn(move || {
-                    let mut rng = Rng::seed_from(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
-                    let mut jammer = ReactiveJammer::new(preset, JammerPreset::Monitor);
-                    // Correlation sweeps use a lockout so the 10 STS repetitions
-                    // count as one detection; the energy sweep counts raw rise
-                    // triggers (the paper reports "multiple detections per
-                    // frame" in the mid-SNR band).
-                    jammer.set_lockout(if energy_detector {
-                        0
-                    } else {
-                        crate::jammer::DEFAULT_LOCKOUT
-                    });
-                    let noise_power = RX_LEVEL / db_to_lin(snr_db);
-                    let mut noise = NoiseSource::new(noise_power, rng.fork());
-                    let mut detected_frames = 0usize;
-                    let mut total_triggers = 0usize;
-                    for _ in 0..frames_per_point {
-                        let mut wave = emission_waveform(kind, rjam_phy80211::Rate::R12, &mut rng);
-                        if let ChannelModel::Rayleigh { taps, rms } = channel {
-                            let ch = rjam_channel::MultipathChannel::rayleigh(taps, rms, &mut rng);
-                            wave = ch.apply(&wave);
-                        }
-                        scale_to_power(&mut wave, RX_LEVEL);
-                        let mut stream = noise.block(LEAD_IN);
-                        let frame_lo = stream.len() as u64;
-                        stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
-                        let frame_hi = stream.len() as u64 + 64; // allow pipeline lag
-                        stream.extend(noise.block(TAIL));
-                        let base = jammer.core_mut().samples_processed();
-                        jammer.process_block(&stream);
-                        let n = count_in_window(
-                            jammer.events(),
-                            base + frame_lo,
-                            base + frame_hi,
-                            energy_detector,
-                        );
-                        if n > 0 {
-                            detected_frames += 1;
-                        }
-                        total_triggers += n;
-                    }
-                    DetectionPoint {
-                        snr_db,
-                        p_detect: detected_frames as f64 / frames_per_point as f64,
-                        triggers_per_frame: total_triggers as f64 / frames_per_point as f64,
-                    }
-                }),
-            ));
+            thresholds: Vec::new(),
+            frames_per_point: 40,
+            fa_samples: 300_000,
+            seed: 0,
         }
-        for (idx, h) in handles {
-            points[idx] = h.join().expect("sweep worker");
-        }
-    });
-    if rjam_obs::enabled() {
-        use rjam_obs::registry::counter;
-        let frames = (snrs_db.len() * frames_per_point) as u64;
-        let detected: f64 = points
-            .iter()
-            .map(|p| p.p_detect * frames_per_point as f64)
-            .sum();
-        counter("core.sweep_frames").add(frames);
-        counter("core.sweep_detections").add(detected.round() as u64);
     }
-    points
+
+    /// The WiMAX downlink detection/jamming correspondence experiment
+    /// (Fig. 12).
+    pub fn wimax_detection() -> WimaxDetectionSpec {
+        WimaxDetectionSpec {
+            fused: true,
+            frames: 12,
+            snr_db: 20.0,
+            xcorr_threshold: 0.45,
+            seed: 0,
+        }
+    }
+
+    /// A Fig. 10/11 iperf jamming sweep for one jammer variant.
+    pub fn jamming(jammer: JammerUnderTest) -> JammingSweepSpec {
+        JammingSweepSpec {
+            jammer,
+            sirs_db: Vec::new(),
+            duration_s: 3.0,
+            seed: 0,
+        }
+    }
 }
 
-/// Measures the detector's false-alarm rate on noise alone, extrapolated to
-/// triggers per second (the paper terminates the receiver input and counts
-/// for 30 minutes; we process `samples` noise samples and scale).
-pub fn false_alarm_rate(preset: &DetectionPreset, samples: usize, seed: u64) -> f64 {
-    let energy_detector = matches!(preset, DetectionPreset::EnergyRise { .. });
-    let mut jammer = ReactiveJammer::new(preset.clone(), JammerPreset::Monitor);
-    // A terminated input still shows the receiver noise floor.
-    let mut noise = NoiseSource::new(RX_LEVEL / db_to_lin(20.0), Rng::seed_from(seed));
-    let chunk = 65_536;
-    let mut done = 0usize;
-    while done < samples {
-        let n = chunk.min(samples - done);
-        jammer.process_block(&noise.block(n));
-        done += n;
+/// Builder for WiFi detection sweeps — see [`CampaignSpec::wifi_detection`].
+#[derive(Clone, Debug)]
+pub struct WifiDetectionSpec {
+    preset: DetectionPreset,
+    emission: WifiEmission,
+    channel: ChannelModel,
+    snrs_db: Vec<f64>,
+    frames_per_point: usize,
+    seed: u64,
+}
+
+impl WifiDetectionSpec {
+    /// What the transmitter emits each trial.
+    pub fn emission(mut self, emission: WifiEmission) -> Self {
+        self.emission = emission;
+        self
     }
-    let triggers = jammer
-        .events()
-        .iter()
-        .filter(|e| {
-            if energy_detector {
-                matches!(e, CoreEvent::EnergyHigh { .. })
-            } else {
-                matches!(e, CoreEvent::XcorrDetection { .. })
+
+    /// Channel model between transmitter and detector.
+    pub fn channel(mut self, channel: ChannelModel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Explicit SNR grid in dB.
+    pub fn snrs(mut self, snrs_db: &[f64]) -> Self {
+        self.snrs_db = snrs_db.to_vec();
+        self
+    }
+
+    /// Inclusive SNR range `lo..=hi` in `step`-dB increments.
+    pub fn snr_range(mut self, lo_db: f64, hi_db: f64, step_db: f64) -> Self {
+        assert!(step_db > 0.0, "snr_range needs a positive step");
+        self.snrs_db.clear();
+        let mut snr = lo_db;
+        while snr <= hi_db + 1e-9 {
+            self.snrs_db.push(snr);
+            snr += step_db;
+        }
+        self
+    }
+
+    /// Frames emitted per SNR point.
+    pub fn trials(mut self, frames_per_point: usize) -> Self {
+        self.frames_per_point = frames_per_point;
+        self
+    }
+
+    /// Campaign seed; every shard derives its own stream from it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the sweep, one shard per SNR point: each shard owns a fresh
+    /// detector core, PRNG stream and scratch buffers, and streams
+    /// `trials` frames through the allocation-free block path.
+    pub fn run(&self, engine: &CampaignEngine) -> Vec<DetectionPoint> {
+        let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
+        let points = engine.run_shards(self.snrs_db.len(), self.seed, |ctx| {
+            let snr_db = self.snrs_db[ctx.index];
+            let mut rng = Rng::seed_from(ctx.seed);
+            let mut jammer = ReactiveJammer::new(self.preset.clone(), JammerPreset::Monitor);
+            // Correlation sweeps use a lockout so the 10 STS repetitions
+            // count as one detection; the energy sweep counts raw rise
+            // triggers (the paper reports "multiple detections per frame"
+            // in the mid-SNR band).
+            jammer.set_lockout(if energy_detector { 0 } else { DEFAULT_LOCKOUT });
+            let noise_power = RX_LEVEL / db_to_lin(snr_db);
+            let mut noise = NoiseSource::new(noise_power, rng.fork());
+            let mut scratch = BlockScratch::new();
+            let mut stream: Vec<Cf64> = Vec::new();
+            let mut detected_frames = 0usize;
+            let mut total_triggers = 0usize;
+            for _ in 0..self.frames_per_point {
+                let mut wave = emission_waveform(self.emission, rjam_phy80211::Rate::R12, &mut rng);
+                if let ChannelModel::Rayleigh { taps, rms } = self.channel {
+                    let ch = rjam_channel::MultipathChannel::rayleigh(taps, rms, &mut rng);
+                    wave = ch.apply(&wave);
+                }
+                scale_to_power(&mut wave, RX_LEVEL);
+                stream.clear();
+                for _ in 0..LEAD_IN {
+                    stream.push(noise.next_sample());
+                }
+                let frame_lo = stream.len() as u64;
+                stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
+                let frame_hi = stream.len() as u64 + 64; // allow pipeline lag
+                for _ in 0..TAIL {
+                    stream.push(noise.next_sample());
+                }
+                let base = jammer.core_mut().samples_processed();
+                jammer.process_block_into(&stream, &mut scratch);
+                let n = count_in_window(
+                    jammer.events(),
+                    base + frame_lo,
+                    base + frame_hi,
+                    energy_detector,
+                );
+                if n > 0 {
+                    detected_frames += 1;
+                }
+                total_triggers += n;
             }
-        })
-        .count();
-    if rjam_obs::enabled() {
-        use rjam_obs::registry::counter;
-        counter("core.fa_samples").add(samples as u64);
-        counter("core.fa_triggers").add(triggers as u64);
+            DetectionPoint {
+                snr_db,
+                p_detect: detected_frames as f64 / self.frames_per_point as f64,
+                triggers_per_frame: total_triggers as f64 / self.frames_per_point as f64,
+            }
+        });
+        if rjam_obs::enabled() {
+            use rjam_obs::registry::counter;
+            let frames = (self.snrs_db.len() * self.frames_per_point) as u64;
+            let detected: f64 = points
+                .iter()
+                .map(|p| p.p_detect * self.frames_per_point as f64)
+                .sum();
+            counter("core.sweep_frames").add(frames);
+            counter("core.sweep_detections").add(detected.round() as u64);
+        }
+        points
     }
-    triggers as f64 / (samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
+}
+
+/// Builder for false-alarm measurements — see [`CampaignSpec::false_alarm`].
+#[derive(Clone, Debug)]
+pub struct FalseAlarmSpec {
+    preset: DetectionPreset,
+    samples: usize,
+    seed: u64,
+}
+
+impl FalseAlarmSpec {
+    /// Total noise samples to stream.
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Measures the detector's false-alarm rate on noise alone,
+    /// extrapolated to triggers per second (the paper terminates the
+    /// receiver input and counts for 30 minutes; we process `samples`
+    /// noise samples and scale). Sharded into
+    /// fixed-size (`FA_SHARD_SAMPLES`, 2^20) sample segments, each with its own detector
+    /// and noise stream; trigger counts are summed in shard order.
+    pub fn run(&self, engine: &CampaignEngine) -> f64 {
+        let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
+        let n_shards = self.samples.div_ceil(FA_SHARD_SAMPLES);
+        let counts = engine.run_shards(n_shards, self.seed, |ctx| {
+            let lo = ctx.index * FA_SHARD_SAMPLES;
+            let n = FA_SHARD_SAMPLES.min(self.samples - lo);
+            let mut jammer = ReactiveJammer::new(self.preset.clone(), JammerPreset::Monitor);
+            // A terminated input still shows the receiver noise floor.
+            let mut noise = NoiseSource::new(RX_LEVEL / db_to_lin(20.0), Rng::seed_from(ctx.seed));
+            let mut scratch = BlockScratch::new();
+            let mut block: Vec<Cf64> = Vec::new();
+            let mut done = 0usize;
+            while done < n {
+                let m = FA_CHUNK.min(n - done);
+                block.clear();
+                for _ in 0..m {
+                    block.push(noise.next_sample());
+                }
+                jammer.process_block_into(&block, &mut scratch);
+                done += m;
+            }
+            jammer
+                .events()
+                .iter()
+                .filter(|e| {
+                    if energy_detector {
+                        matches!(e, CoreEvent::EnergyHigh { .. })
+                    } else {
+                        matches!(e, CoreEvent::XcorrDetection { .. })
+                    }
+                })
+                .count()
+        });
+        let triggers: usize = counts.iter().sum();
+        if rjam_obs::enabled() {
+            use rjam_obs::registry::counter;
+            counter("core.fa_samples").add(self.samples as u64);
+            counter("core.fa_triggers").add(triggers as u64);
+        }
+        triggers as f64 / (self.samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
+    }
 }
 
 /// One point of a receiver-operating-characteristic sweep.
@@ -262,58 +397,83 @@ pub struct RocPoint {
     pub p_detect: f64,
 }
 
-/// Sweeps the correlation threshold to trace the detector's ROC at one SNR:
-/// the quantitative form of Fig. 6's two-operating-point comparison
-/// ("aiming for a lower false alarm rate generally decreases the
-/// probability of detection").
-///
-/// `make_preset` builds the detection preset for a given threshold fraction
-/// (so the same sweep works for any template).
-pub fn roc_curve(
-    make_preset: &(dyn Fn(f64) -> DetectionPreset + Sync),
-    kind: WifiEmission,
+/// Builder for ROC sweeps — see [`CampaignSpec::roc`].
+pub struct RocSpec<'a> {
+    make_preset: &'a (dyn Fn(f64) -> DetectionPreset + Sync),
+    emission: WifiEmission,
     snr_db: f64,
-    thresholds: &[f64],
+    thresholds: Vec<f64>,
     frames_per_point: usize,
     fa_samples: usize,
     seed: u64,
-) -> Vec<RocPoint> {
-    let mut out = vec![
-        RocPoint {
-            threshold: 0.0,
-            fa_per_s: 0.0,
-            p_detect: 0.0
-        };
-        thresholds.len()
-    ];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, &thr) in thresholds.iter().enumerate() {
-            handles.push((
-                idx,
-                scope.spawn(move || {
-                    let preset = make_preset(thr);
-                    let fa = false_alarm_rate(&preset, fa_samples, seed ^ 0xFA);
-                    let det = wifi_detection_sweep(
-                        &preset,
-                        kind,
-                        &[snr_db],
-                        frames_per_point,
-                        seed ^ idx as u64,
-                    );
-                    RocPoint {
-                        threshold: thr,
-                        fa_per_s: fa,
-                        p_detect: det[0].p_detect,
-                    }
-                }),
-            ));
-        }
-        for (idx, h) in handles {
-            out[idx] = h.join().expect("roc worker");
-        }
-    });
-    out
+}
+
+impl RocSpec<'_> {
+    /// What the transmitter emits for the detection half of each point.
+    pub fn emission(mut self, emission: WifiEmission) -> Self {
+        self.emission = emission;
+        self
+    }
+
+    /// Probe SNR for the detection measurement, dB.
+    pub fn snr_db(mut self, snr_db: f64) -> Self {
+        self.snr_db = snr_db;
+        self
+    }
+
+    /// Threshold fractions to sweep.
+    pub fn thresholds(mut self, thresholds: &[f64]) -> Self {
+        self.thresholds = thresholds.to_vec();
+        self
+    }
+
+    /// Frames per threshold for the detection half.
+    pub fn trials(mut self, frames_per_point: usize) -> Self {
+        self.frames_per_point = frames_per_point;
+        self
+    }
+
+    /// Noise samples per threshold for the false-alarm half.
+    pub fn fa_samples(mut self, fa_samples: usize) -> Self {
+        self.fa_samples = fa_samples;
+        self
+    }
+
+    /// Campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sweeps the correlation threshold to trace the detector's ROC at one
+    /// SNR: the quantitative form of Fig. 6's two-operating-point
+    /// comparison ("aiming for a lower false alarm rate generally
+    /// decreases the probability of detection"). One shard per threshold;
+    /// every threshold's false-alarm half reuses the *same* derived noise
+    /// stream so the FA axis is monotone in the threshold by construction.
+    pub fn run(&self, engine: &CampaignEngine) -> Vec<RocPoint> {
+        // One shared noise stream for the FA half of every threshold.
+        let fa_seed = self.seed ^ 0xFA;
+        engine.run_shards(self.thresholds.len(), self.seed, |ctx| {
+            let thr = self.thresholds[ctx.index];
+            let preset = (self.make_preset)(thr);
+            let fa = CampaignSpec::false_alarm(&preset)
+                .samples(self.fa_samples)
+                .seed(fa_seed)
+                .run(&CampaignEngine::serial());
+            let det = CampaignSpec::wifi_detection(&preset)
+                .emission(self.emission)
+                .snrs(&[self.snr_db])
+                .trials(self.frames_per_point)
+                .seed(ctx.seed)
+                .run(&CampaignEngine::serial());
+            RocPoint {
+                threshold: thr,
+                fa_per_s: fa,
+                p_detect: det[0].p_detect,
+            }
+        })
+    }
 }
 
 /// Result of the WiMAX detection experiment (Fig. 12 / §5).
@@ -329,119 +489,183 @@ pub struct WimaxResult {
     pub one_to_one: bool,
 }
 
-/// Runs the WiMAX downlink detection/jamming experiment: `n_frames` TDD
-/// frames from the modeled Air4G base station, received at 25 MSPS with
-/// AWGN at `snr_db`, against either the correlator alone or the fused
-/// correlator+energy detector.
-///
-/// `xcorr_threshold` is the correlation threshold as a fraction of the
-/// template's ideal peak (0.45 keeps false alarms near zero; the paper's
-/// partially-detected operating point corresponds to stricter settings —
-/// our host-side templates are resampled to 25 MSPS before quantization,
-/// which recovers most of the detection the paper's rate-mismatched
-/// correlation lost; see EXPERIMENTS.md).
-pub fn wimax_detection(
+/// Builder for the WiMAX experiment — see [`CampaignSpec::wimax_detection`].
+#[derive(Clone, Debug)]
+pub struct WimaxDetectionSpec {
     fused: bool,
-    n_frames: usize,
+    frames: usize,
     snr_db: f64,
     xcorr_threshold: f64,
     seed: u64,
-) -> WimaxResult {
-    let detection = if fused {
-        DetectionPreset::WimaxFused {
-            id_cell: 1,
-            segment: 0,
-            threshold: xcorr_threshold,
-            energy_db: 10.0,
-        }
-    } else {
-        DetectionPreset::WimaxPreamble {
-            id_cell: 1,
-            segment: 0,
-            threshold: xcorr_threshold,
-        }
-    };
-    let mut jammer = ReactiveJammer::new(
-        detection,
-        JammerPreset::Reactive {
-            uptime_s: 100e-6,
-            waveform: rjam_fpga::JamWaveform::Wgn,
-        },
-    );
-    // One lockout per frame: suppress retriggers (correlator false triggers
-    // on payload symbols, energy re-rises) across the whole 5 ms frame
-    // (125 000 samples at 25 MSPS), re-arming before the next preamble.
-    jammer.set_lockout(100_000);
+}
 
-    let mut gen = rjam_phy80216::DownlinkGenerator::new(rjam_phy80216::DownlinkConfig {
-        seed,
-        ..rjam_phy80216::DownlinkConfig::default()
-    });
-    let mut rng = Rng::seed_from(seed ^ 0x16e);
-    let noise_power = RX_LEVEL / db_to_lin(snr_db);
-    let mut noise = NoiseSource::new(noise_power, rng.fork());
-    let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
+impl WimaxDetectionSpec {
+    /// Use the fused correlator+energy detector (vs the correlator alone).
+    pub fn fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
+    }
 
-    let mut detected = 0usize;
-    let mut latency_acc = 0.0f64;
-    let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
-    for k in 0..n_frames {
-        let native = gen.next_frame();
-        let up = to_usrp_rate(&native, rjam_sdr::WIMAX_SAMPLE_RATE);
-        // Random per-frame sampling phase (unsynchronized clocks).
-        let mut wave = fractional_delay(&up, rng.uniform() * 0.999);
-        // Scale relative to the active subframe power.
-        let active = (gen.dl_subframe_samples() as f64 * 25.0 / 11.4) as usize;
-        let p = mean_power(&wave[..active.min(wave.len())]);
-        let k_scale = (RX_LEVEL / p).sqrt();
-        for s in wave.iter_mut() {
-            *s = s.scale(k_scale);
-        }
-        for s in wave.iter_mut() {
-            *s += noise.next_sample();
-        }
-        let base = jammer.core_mut().samples_processed();
-        let (_tx, activity) = jammer.process_block(&wave);
-        scope.capture(&wave);
-        // Mark the frame at its actual position in the receive stream (the
-        // per-frame fractional resample makes frames a sample or two short
-        // of the nominal 125 000-sample spacing).
-        scope.mark(base as usize, "frame");
-        let _ = k;
-        if let Some(first_jam) = activity.iter().position(|&a| a) {
-            scope.mark((base + first_jam as u64) as usize, "jam");
-            detected += 1;
-            latency_acc += first_jam as f64 / 25.0; // us at 25 MSPS
-        }
+    /// Number of TDD downlink frames to receive.
+    pub fn frames(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
     }
-    let one_to_one = scope
-        .correspondence("frame", "jam", frame_samples_25 as usize / 4)
-        .is_ok();
-    if rjam_obs::enabled() {
-        use rjam_obs::registry::counter;
-        counter("core.wimax_frames").add(n_frames as u64);
-        counter("core.wimax_detections").add(detected as u64);
-        if !one_to_one {
-            // A Fig.-12 correspondence break is exactly the kind of anomaly
-            // the flight recorder exists for.
-            counter("core.wimax_correspondence_breaks").inc();
-            rjam_obs::recorder::record_event(
-                jammer.core_mut().samples_processed(),
-                "wimax_corr_break",
-                detected as i64,
-                n_frames as i64,
-            );
-        }
+
+    /// Receive SNR, dB.
+    pub fn snr_db(mut self, snr_db: f64) -> Self {
+        self.snr_db = snr_db;
+        self
     }
-    WimaxResult {
-        detect_fraction: detected as f64 / n_frames as f64,
-        mean_latency_us: if detected > 0 {
-            latency_acc / detected as f64
+
+    /// Correlation threshold as a fraction of the template's ideal peak
+    /// (0.45 keeps false alarms near zero; the paper's partially-detected
+    /// operating point corresponds to stricter settings — our host-side
+    /// templates are resampled to 25 MSPS before quantization, which
+    /// recovers most of the detection the paper's rate-mismatched
+    /// correlation lost; see EXPERIMENTS.md).
+    pub fn threshold(mut self, xcorr_threshold: f64) -> Self {
+        self.xcorr_threshold = xcorr_threshold;
+        self
+    }
+
+    /// Campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the WiMAX downlink detection/jamming experiment: `frames` TDD
+    /// frames from the modeled Air4G base station, received at 25 MSPS
+    /// with AWGN at `snr_db`, against either the correlator alone or the
+    /// fused correlator+energy detector. Sharded in
+    /// `WIMAX_FRAMES_PER_SHARD`-frame (4-frame) groups, each with its own base
+    /// station, jammer and scope; shard scopes are merged back onto one
+    /// timeline with [`ScopeTrace::append_shifted`] and the Fig. 12
+    /// one-to-one correspondence is evaluated on the merged capture.
+    pub fn run(&self, engine: &CampaignEngine) -> WimaxResult {
+        struct WimaxShard {
+            scope: ScopeTrace,
+            detected: usize,
+            latency_acc: f64,
+        }
+        let detection = if self.fused {
+            DetectionPreset::WimaxFused {
+                id_cell: 1,
+                segment: 0,
+                threshold: self.xcorr_threshold,
+                energy_db: 10.0,
+            }
         } else {
-            f64::NAN
-        },
-        scope,
-        one_to_one,
+            DetectionPreset::WimaxPreamble {
+                id_cell: 1,
+                segment: 0,
+                threshold: self.xcorr_threshold,
+            }
+        };
+        let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
+        let n_shards = self.frames.div_ceil(WIMAX_FRAMES_PER_SHARD);
+        let shards = engine.run_shards(n_shards, self.seed, |ctx| {
+            let lo = ctx.index * WIMAX_FRAMES_PER_SHARD;
+            let n = WIMAX_FRAMES_PER_SHARD.min(self.frames - lo);
+            let mut jammer = ReactiveJammer::new(
+                detection.clone(),
+                JammerPreset::Reactive {
+                    uptime_s: 100e-6,
+                    waveform: rjam_fpga::JamWaveform::Wgn,
+                },
+            );
+            // One lockout per frame: suppress retriggers (correlator false
+            // triggers on payload symbols, energy re-rises) across the
+            // whole 5 ms frame (125 000 samples at 25 MSPS), re-arming
+            // before the next preamble.
+            jammer.set_lockout(100_000);
+            let mut gen = rjam_phy80216::DownlinkGenerator::new(rjam_phy80216::DownlinkConfig {
+                seed: ctx.seed,
+                ..rjam_phy80216::DownlinkConfig::default()
+            });
+            let mut rng = Rng::seed_from(ctx.seed ^ 0x16e);
+            let noise_power = RX_LEVEL / db_to_lin(self.snr_db);
+            let mut noise = NoiseSource::new(noise_power, rng.fork());
+            let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
+            let mut scratch = BlockScratch::new();
+            let mut detected = 0usize;
+            let mut latency_acc = 0.0f64;
+            for _ in 0..n {
+                let native = gen.next_frame();
+                let up = to_usrp_rate(&native, rjam_sdr::WIMAX_SAMPLE_RATE);
+                // Random per-frame sampling phase (unsynchronized clocks).
+                let mut wave = fractional_delay(&up, rng.uniform() * 0.999);
+                // Scale relative to the active subframe power.
+                let active = (gen.dl_subframe_samples() as f64 * 25.0 / 11.4) as usize;
+                let p = mean_power(&wave[..active.min(wave.len())]);
+                let k_scale = (RX_LEVEL / p).sqrt();
+                for s in wave.iter_mut() {
+                    *s = s.scale(k_scale);
+                }
+                for s in wave.iter_mut() {
+                    *s += noise.next_sample();
+                }
+                let base = jammer.core_mut().samples_processed();
+                jammer.process_block_into(&wave, &mut scratch);
+                scope.capture(&wave);
+                // Mark the frame at its actual position in the receive
+                // stream (the per-frame fractional resample makes frames a
+                // sample or two short of the nominal 125 000-sample
+                // spacing).
+                scope.mark(base as usize, "frame");
+                if let Some(first_jam) = scratch.active().iter().position(|&a| a) {
+                    scope.mark((base + first_jam as u64) as usize, "jam");
+                    detected += 1;
+                    latency_acc += first_jam as f64 / 25.0; // us at 25 MSPS
+                }
+            }
+            WimaxShard {
+                scope,
+                detected,
+                latency_acc,
+            }
+        });
+        // Ordered merge: shard k lands at the cumulative sample count of
+        // shards 0..k, reproducing one continuous scope timeline.
+        let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
+        let mut detected = 0usize;
+        let mut latency_acc = 0.0f64;
+        for sh in &shards {
+            let offset = scope.len();
+            scope.append_shifted(&sh.scope, offset);
+            detected += sh.detected;
+            latency_acc += sh.latency_acc;
+        }
+        let one_to_one = scope
+            .correspondence("frame", "jam", frame_samples_25 as usize / 4)
+            .is_ok();
+        if rjam_obs::enabled() {
+            use rjam_obs::registry::counter;
+            counter("core.wimax_frames").add(self.frames as u64);
+            counter("core.wimax_detections").add(detected as u64);
+            if !one_to_one {
+                // A Fig.-12 correspondence break is exactly the kind of
+                // anomaly the flight recorder exists for.
+                counter("core.wimax_correspondence_breaks").inc();
+                rjam_obs::recorder::record_event(
+                    scope.len() as u64,
+                    "wimax_corr_break",
+                    detected as i64,
+                    self.frames as i64,
+                );
+            }
+        }
+        WimaxResult {
+            detect_fraction: detected as f64 / self.frames as f64,
+            mean_latency_us: if detected > 0 {
+                latency_acc / detected as f64
+            } else {
+                f64::NAN
+            },
+            scope,
+            one_to_one,
+        }
     }
 }
 
@@ -477,6 +701,171 @@ impl JammerUnderTest {
             JammerUnderTest::ReactiveShort => "Reactive Jammer 0.01ms Uptime",
         }
     }
+}
+
+/// Builder for jamming sweeps — see [`CampaignSpec::jamming`].
+#[derive(Clone, Debug)]
+pub struct JammingSweepSpec {
+    jammer: JammerUnderTest,
+    sirs_db: Vec<f64>,
+    duration_s: f64,
+    seed: u64,
+}
+
+impl JammingSweepSpec {
+    /// SIR grid at the AP, dB.
+    pub fn sirs(mut self, sirs_db: &[f64]) -> Self {
+        self.sirs_db = sirs_db.to_vec();
+        self
+    }
+
+    /// iperf run duration per point, seconds.
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the Fig. 10/11 sweep for one jammer variant across SIR
+    /// points, one shard per point. Each shard runs its scenario with a
+    /// deferred [`MacObsDelta`]; the deltas are merged in shard order and
+    /// published once at join, so the obs registry sees the same totals
+    /// as a serial run.
+    pub fn run(&self, engine: &CampaignEngine) -> Vec<JammingPoint> {
+        let results = engine.run_shards(self.sirs_db.len(), self.seed, |ctx| {
+            let sir = self.sirs_db[ctx.index];
+            let sc = scenario_for(self.jammer, sir, self.duration_s, ctx.seed);
+            let mut delta = MacObsDelta::new();
+            let report = ScenarioRun::new(&sc).obs_into(&mut delta).run();
+            (
+                JammingPoint {
+                    sir_ap_db: sir,
+                    report,
+                },
+                delta,
+            )
+        });
+        let mut merged = MacObsDelta::new();
+        let mut out = Vec::with_capacity(results.len());
+        for (pt, mut delta) in results {
+            merged.merge(&mut delta);
+            out.push(pt);
+        }
+        merged.publish();
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("core.jamming_sweep_points").add(self.sirs_db.len() as u64);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated positional-argument wrappers (one release of grace).
+// ---------------------------------------------------------------------------
+
+/// Runs a WiFi detection-probability sweep (the methodology of Figs 6-8).
+#[deprecated(note = "use CampaignSpec::wifi_detection(preset).emission(..).snrs(..).run(&engine)")]
+pub fn wifi_detection_sweep(
+    preset: &DetectionPreset,
+    kind: WifiEmission,
+    snrs_db: &[f64],
+    frames_per_point: usize,
+    seed: u64,
+) -> Vec<DetectionPoint> {
+    CampaignSpec::wifi_detection(preset)
+        .emission(kind)
+        .snrs(snrs_db)
+        .trials(frames_per_point)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
+}
+
+/// [`wifi_detection_sweep`] under an explicit channel model.
+#[deprecated(note = "use CampaignSpec::wifi_detection(preset).channel(..).run(&engine)")]
+pub fn wifi_detection_sweep_in_channel(
+    preset: &DetectionPreset,
+    kind: WifiEmission,
+    channel: ChannelModel,
+    snrs_db: &[f64],
+    frames_per_point: usize,
+    seed: u64,
+) -> Vec<DetectionPoint> {
+    CampaignSpec::wifi_detection(preset)
+        .emission(kind)
+        .channel(channel)
+        .snrs(snrs_db)
+        .trials(frames_per_point)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
+}
+
+/// Measures the detector's false-alarm rate on noise alone.
+#[deprecated(note = "use CampaignSpec::false_alarm(preset).samples(..).run(&engine)")]
+pub fn false_alarm_rate(preset: &DetectionPreset, samples: usize, seed: u64) -> f64 {
+    CampaignSpec::false_alarm(preset)
+        .samples(samples)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
+}
+
+/// Sweeps the correlation threshold to trace the detector's ROC at one SNR.
+#[deprecated(note = "use CampaignSpec::roc(make_preset).thresholds(..).run(&engine)")]
+#[allow(clippy::too_many_arguments)]
+pub fn roc_curve(
+    make_preset: &(dyn Fn(f64) -> DetectionPreset + Sync),
+    kind: WifiEmission,
+    snr_db: f64,
+    thresholds: &[f64],
+    frames_per_point: usize,
+    fa_samples: usize,
+    seed: u64,
+) -> Vec<RocPoint> {
+    CampaignSpec::roc(make_preset)
+        .emission(kind)
+        .snr_db(snr_db)
+        .thresholds(thresholds)
+        .trials(frames_per_point)
+        .fa_samples(fa_samples)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
+}
+
+/// Runs the WiMAX downlink detection/jamming experiment.
+#[deprecated(note = "use CampaignSpec::wimax_detection().fused(..).frames(..).run(&engine)")]
+pub fn wimax_detection(
+    fused: bool,
+    n_frames: usize,
+    snr_db: f64,
+    xcorr_threshold: f64,
+    seed: u64,
+) -> WimaxResult {
+    CampaignSpec::wimax_detection()
+        .fused(fused)
+        .frames(n_frames)
+        .snr_db(snr_db)
+        .threshold(xcorr_threshold)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
+}
+
+/// Runs the Fig. 10/11 sweep for one jammer variant across SIR points.
+#[deprecated(note = "use CampaignSpec::jamming(jut).sirs(..).duration_s(..).run(&engine)")]
+pub fn jamming_sweep(
+    jut: JammerUnderTest,
+    sirs_db: &[f64],
+    duration_s: f64,
+    seed: u64,
+) -> Vec<JammingPoint> {
+    CampaignSpec::jamming(jut)
+        .sirs(sirs_db)
+        .duration_s(duration_s)
+        .seed(seed)
+        .run(&CampaignEngine::from_env())
 }
 
 /// Detection probability the reactive jammer achieves per frame, taken from
@@ -569,57 +958,22 @@ pub fn energy_at_operating_point(
     }
 }
 
-/// Runs the Fig. 10/11 sweep for one jammer variant across SIR points.
-pub fn jamming_sweep(
-    jut: JammerUnderTest,
-    sirs_db: &[f64],
-    duration_s: f64,
-    seed: u64,
-) -> Vec<JammingPoint> {
-    let mut out = vec![
-        JammingPoint {
-            sir_ap_db: 0.0,
-            report: IperfReport::default()
-        };
-        sirs_db.len()
-    ];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (idx, &sir) in sirs_db.iter().enumerate() {
-            handles.push((
-                idx,
-                scope.spawn(move || {
-                    let sc = scenario_for(jut, sir, duration_s, seed ^ idx as u64);
-                    JammingPoint {
-                        sir_ap_db: sir,
-                        report: run_scenario(&sc),
-                    }
-                }),
-            ));
-        }
-        for (idx, h) in handles {
-            out[idx] = h.join().expect("sweep worker");
-        }
-    });
-    if rjam_obs::enabled() {
-        rjam_obs::registry::counter("core.jamming_sweep_points").add(sirs_db.len() as u64);
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn serial() -> CampaignEngine {
+        CampaignEngine::serial()
+    }
+
     #[test]
     fn short_preamble_detection_high_at_good_snr() {
-        let pts = wifi_detection_sweep(
-            &DetectionPreset::WifiShortPreamble { threshold: 0.25 },
-            WifiEmission::FullFrames { psdu_len: 60 },
-            &[10.0],
-            40,
-            7,
-        );
+        let pts =
+            CampaignSpec::wifi_detection(&DetectionPreset::WifiShortPreamble { threshold: 0.25 })
+                .snrs(&[10.0])
+                .trials(40)
+                .seed(7)
+                .run(&serial());
         assert!(pts[0].p_detect > 0.9, "p={}", pts[0].p_detect);
     }
 
@@ -627,13 +981,13 @@ mod tests {
     fn long_preamble_detection_suboptimal() {
         // The 20->25 MSPS mismatch caps single-LTS detection well below 1
         // even at high SNR (paper: ~50 %).
-        let pts = wifi_detection_sweep(
-            &DetectionPreset::WifiLongPreamble { threshold: 0.30 },
-            WifiEmission::SingleLongPreamble,
-            &[15.0],
-            40,
-            8,
-        );
+        let pts =
+            CampaignSpec::wifi_detection(&DetectionPreset::WifiLongPreamble { threshold: 0.30 })
+                .emission(WifiEmission::SingleLongPreamble)
+                .snrs(&[15.0])
+                .trials(40)
+                .seed(8)
+                .run(&serial());
         assert!(
             pts[0].p_detect < 0.95,
             "single-LTS detection should be degraded, got {}",
@@ -643,25 +997,33 @@ mod tests {
 
     #[test]
     fn detection_improves_with_snr() {
-        let pts = wifi_detection_sweep(
-            &DetectionPreset::WifiShortPreamble { threshold: 0.30 },
-            WifiEmission::FullFrames { psdu_len: 60 },
-            &[-9.0, 3.0],
-            30,
-            9,
-        );
+        let pts =
+            CampaignSpec::wifi_detection(&DetectionPreset::WifiShortPreamble { threshold: 0.30 })
+                .snrs(&[-9.0, 3.0])
+                .trials(30)
+                .seed(9)
+                .run(&serial());
         assert!(pts[1].p_detect >= pts[0].p_detect, "{pts:?}");
     }
 
     #[test]
-    fn energy_detector_single_trigger_at_high_snr() {
-        let pts = wifi_detection_sweep(
-            &DetectionPreset::EnergyRise { threshold_db: 10.0 },
-            WifiEmission::FullFrames { psdu_len: 60 },
-            &[20.0],
-            30,
-            10,
+    fn snr_range_builds_inclusive_grid() {
+        let spec =
+            CampaignSpec::wifi_detection(&DetectionPreset::EnergyRise { threshold_db: 10.0 })
+                .snr_range(-9.0, 12.0, 3.0);
+        assert_eq!(
+            spec.snrs_db,
+            vec![-9.0, -6.0, -3.0, 0.0, 3.0, 6.0, 9.0, 12.0]
         );
+    }
+
+    #[test]
+    fn energy_detector_single_trigger_at_high_snr() {
+        let pts = CampaignSpec::wifi_detection(&DetectionPreset::EnergyRise { threshold_db: 10.0 })
+            .snrs(&[20.0])
+            .trials(30)
+            .seed(10)
+            .run(&serial());
         assert!(pts[0].p_detect > 0.95, "p={}", pts[0].p_detect);
         assert!(
             pts[0].triggers_per_frame < 1.5,
@@ -672,36 +1034,42 @@ mod tests {
 
     #[test]
     fn energy_detector_silent_below_noise() {
-        let pts = wifi_detection_sweep(
-            &DetectionPreset::EnergyRise { threshold_db: 10.0 },
-            WifiEmission::FullFrames { psdu_len: 60 },
-            &[-10.0],
-            20,
-            11,
-        );
+        let pts = CampaignSpec::wifi_detection(&DetectionPreset::EnergyRise { threshold_db: 10.0 })
+            .snrs(&[-10.0])
+            .trials(20)
+            .seed(11)
+            .run(&serial());
         assert!(pts[0].p_detect < 0.2, "p={}", pts[0].p_detect);
     }
 
     #[test]
     fn false_alarm_rate_scales_with_threshold() {
-        let loose = false_alarm_rate(
-            &DetectionPreset::WifiLongPreamble { threshold: 0.08 },
-            400_000,
-            12,
-        );
-        let strict = false_alarm_rate(
-            &DetectionPreset::WifiLongPreamble { threshold: 0.6 },
-            400_000,
-            12,
-        );
+        let loose =
+            CampaignSpec::false_alarm(&DetectionPreset::WifiLongPreamble { threshold: 0.08 })
+                .samples(400_000)
+                .seed(12)
+                .run(&serial());
+        let strict =
+            CampaignSpec::false_alarm(&DetectionPreset::WifiLongPreamble { threshold: 0.6 })
+                .samples(400_000)
+                .seed(12)
+                .run(&serial());
         assert!(loose > strict, "loose {loose}/s vs strict {strict}/s");
         assert_eq!(strict, 0.0, "a high threshold must not fire on noise");
     }
 
     #[test]
     fn wimax_fusion_reaches_full_detection() {
-        let alone = wimax_detection(false, 12, 20.0, 0.45, 13);
-        let fused = wimax_detection(true, 12, 20.0, 0.45, 13);
+        let alone = CampaignSpec::wimax_detection()
+            .fused(false)
+            .frames(12)
+            .seed(13)
+            .run(&serial());
+        let fused = CampaignSpec::wimax_detection()
+            .fused(true)
+            .frames(12)
+            .seed(13)
+            .run(&serial());
         assert!(
             fused.detect_fraction >= alone.detect_fraction,
             "fused {} vs alone {}",
@@ -719,8 +1087,14 @@ mod tests {
     #[test]
     fn jamming_sweep_shapes() {
         let sirs = [40.0, 4.0];
-        let clean = jamming_sweep(JammerUnderTest::Off, &[40.0], 3.0, 14);
-        let cont = jamming_sweep(JammerUnderTest::Continuous, &sirs, 3.0, 14);
+        let clean = CampaignSpec::jamming(JammerUnderTest::Off)
+            .sirs(&[40.0])
+            .seed(14)
+            .run(&serial());
+        let cont = CampaignSpec::jamming(JammerUnderTest::Continuous)
+            .sirs(&sirs)
+            .seed(14)
+            .run(&serial());
         // Weak jamming: near the clean ceiling; strong: dead or nearly so.
         assert!(cont[0].report.bandwidth_kbps > 0.5 * clean[0].report.bandwidth_kbps);
         assert!(cont[1].report.bandwidth_kbps < 0.1 * clean[0].report.bandwidth_kbps);
@@ -747,22 +1121,17 @@ mod tests {
     #[test]
     fn fading_degrades_detection_but_not_to_zero() {
         let preset = DetectionPreset::WifiShortPreamble { threshold: 0.30 };
-        let awgn = wifi_detection_sweep_in_channel(
-            &preset,
-            WifiEmission::FullFrames { psdu_len: 60 },
-            ChannelModel::Awgn,
-            &[8.0],
-            40,
-            31,
-        );
-        let faded = wifi_detection_sweep_in_channel(
-            &preset,
-            WifiEmission::FullFrames { psdu_len: 60 },
-            ChannelModel::Rayleigh { taps: 8, rms: 2.0 },
-            &[8.0],
-            40,
-            31,
-        );
+        let awgn = CampaignSpec::wifi_detection(&preset)
+            .snrs(&[8.0])
+            .trials(40)
+            .seed(31)
+            .run(&serial());
+        let faded = CampaignSpec::wifi_detection(&preset)
+            .channel(ChannelModel::Rayleigh { taps: 8, rms: 2.0 })
+            .snrs(&[8.0])
+            .trials(40)
+            .seed(31)
+            .run(&serial());
         assert!(
             faded[0].p_detect <= awgn[0].p_detect + 0.05,
             "{faded:?} vs {awgn:?}"
@@ -775,20 +1144,87 @@ mod tests {
 
     #[test]
     fn roc_tradeoff_monotone() {
-        let pts = roc_curve(
-            &|t| DetectionPreset::WifiShortPreamble { threshold: t },
-            WifiEmission::FullFrames { psdu_len: 60 },
-            -3.0,
-            &[0.22, 0.34, 0.50],
-            30,
-            300_000,
-            21,
-        );
+        let pts = CampaignSpec::roc(&|t| DetectionPreset::WifiShortPreamble { threshold: t })
+            .snr_db(-3.0)
+            .thresholds(&[0.22, 0.34, 0.50])
+            .trials(30)
+            .fa_samples(300_000)
+            .seed(21)
+            .run(&serial());
         // Raising the threshold must not raise either FA or detection.
         for w in pts.windows(2) {
             assert!(w[1].fa_per_s <= w[0].fa_per_s + 1e-9, "{pts:?}");
             assert!(w[1].p_detect <= w[0].p_detect + 1e-9, "{pts:?}");
         }
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        // The determinism contract, asserted at the data level: detection,
+        // FA, WiMAX and jamming campaigns all produce identical results
+        // serially and sharded.
+        let preset = DetectionPreset::WifiShortPreamble { threshold: 0.30 };
+        let spec = CampaignSpec::wifi_detection(&preset)
+            .snrs(&[-3.0, 3.0, 9.0])
+            .trials(10)
+            .seed(40);
+        let a = spec.run(&CampaignEngine::serial());
+        let b = spec.run(&CampaignEngine::with_threads(3));
+        assert_eq!(a, b);
+
+        let fa_spec = CampaignSpec::false_alarm(&preset)
+            .samples(3 * FA_SHARD_SAMPLES / 2)
+            .seed(41);
+        assert_eq!(
+            fa_spec.run(&CampaignEngine::serial()),
+            fa_spec.run(&CampaignEngine::with_threads(2)),
+        );
+
+        let wx = CampaignSpec::wimax_detection().frames(6).seed(42);
+        let wa = wx.run(&CampaignEngine::serial());
+        let wb = wx.run(&CampaignEngine::with_threads(4));
+        assert_eq!(wa.detect_fraction, wb.detect_fraction);
+        assert_eq!(wa.mean_latency_us, wb.mean_latency_us);
+        assert_eq!(wa.one_to_one, wb.one_to_one);
+        assert_eq!(wa.scope.to_markers_json(), wb.scope.to_markers_json());
+
+        let jm = CampaignSpec::jamming(JammerUnderTest::ReactiveLong)
+            .sirs(&[30.0, 10.0])
+            .duration_s(1.0)
+            .seed(43);
+        let ja = jm.run(&CampaignEngine::serial());
+        let jb = jm.run(&CampaignEngine::with_threads(2));
+        assert_eq!(ja.len(), jb.len());
+        for (x, y) in ja.iter().zip(&jb) {
+            assert_eq!(x.sir_ap_db, y.sir_ap_db);
+            assert_eq!(x.report.sent, y.report.sent);
+            assert_eq!(x.report.received, y.report.received);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_spec_api() {
+        let preset = DetectionPreset::WifiShortPreamble { threshold: 0.30 };
+        let old = wifi_detection_sweep(
+            &preset,
+            WifiEmission::FullFrames { psdu_len: 60 },
+            &[5.0],
+            10,
+            50,
+        );
+        let new = CampaignSpec::wifi_detection(&preset)
+            .snrs(&[5.0])
+            .trials(10)
+            .seed(50)
+            .run(&CampaignEngine::from_env());
+        assert_eq!(old, new);
+        let old_fa = false_alarm_rate(&preset, 100_000, 51);
+        let new_fa = CampaignSpec::false_alarm(&preset)
+            .samples(100_000)
+            .seed(51)
+            .run(&CampaignEngine::from_env());
+        assert_eq!(old_fa, new_fa);
     }
 
     #[test]

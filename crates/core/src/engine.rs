@@ -1,0 +1,266 @@
+//! Deterministic sharded campaign engine.
+//!
+//! Every campaign the paper's evaluation runs (detection sweeps, ROC
+//! curves, false-alarm calibration, WiMAX correspondence, iperf jamming
+//! sweeps) decomposes into *shards*: independent work units that share no
+//! state — each shard owns its own [`rjam_fpga::DspCore`], its own PRNG
+//! stream and its own observability buffers. [`CampaignEngine`] runs those
+//! shards on a scoped thread pool and merges the results **in shard
+//! order**, which yields the determinism contract the whole repo leans on:
+//!
+//! > For any thread count — 1, 4, or 128 — a campaign's output is
+//! > bit-identical to the serial run.
+//!
+//! Three ingredients make that true:
+//!
+//! 1. **Seed-splitting, not seed-sharing.** Each shard's PRNG stream is
+//!    derived from the campaign seed and the shard index through
+//!    [`shard_seed`] (rjam-testkit's `splitmix64` bijection), so streams
+//!    never overlap and never depend on which worker ran the shard.
+//! 2. **Shard-local state.** The closure receives a [`ShardCtx`] and
+//!    builds everything it needs locally; nothing is read from or written
+//!    to shared state during execution.
+//! 3. **Ordered merge.** Workers pull shard indices from an atomic
+//!    counter (dynamic load balancing), but results are reassembled by
+//!    index after the scope joins — including per-shard obs deltas and
+//!    scope traces, which the campaign layer publishes in shard order.
+//!
+//! Worker count resolution: an explicit [`CampaignEngine::with_threads`]
+//! wins, else the `RJAM_THREADS` environment variable, else
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker count.
+pub const THREADS_ENV: &str = "RJAM_THREADS";
+
+/// Derives the PRNG stream for one shard of a campaign.
+///
+/// The map `shard -> seed` is injective for any fixed `campaign_seed`:
+/// the shard index passes through an odd-multiplier mix (injective on
+/// `u64`) and two applications of the splitmix64 finalizer (a bijection on
+/// `u64`), so two distinct shards can never collide onto one stream —
+/// the property `rjam-testkit`'s seed-splitting test pins down.
+pub fn shard_seed(campaign_seed: u64, shard: u64) -> u64 {
+    use rjam_testkit::rng::splitmix64;
+    let mixed = shard
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678_9ABC_DEF1);
+    splitmix64(campaign_seed ^ splitmix64(mixed))
+}
+
+/// Everything a shard closure is allowed to depend on: its index and its
+/// derived PRNG stream. If a shard computes from anything else, determinism
+/// across thread counts is forfeit — keep this struct minimal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCtx {
+    /// Shard index, `0..n_shards`.
+    pub index: usize,
+    /// PRNG stream for this shard, from [`shard_seed`].
+    pub seed: u64,
+}
+
+/// A deterministic sharded campaign runner.
+///
+/// ```
+/// use rjam_core::engine::CampaignEngine;
+/// let engine = CampaignEngine::with_threads(4);
+/// let squares = engine.run_shards(8, 42, |ctx| ctx.index * ctx.index);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// // Bit-identical at any thread count:
+/// assert_eq!(squares, CampaignEngine::serial().run_shards(8, 42, |ctx| ctx.index * ctx.index));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CampaignEngine {
+    threads: usize,
+}
+
+impl CampaignEngine {
+    /// An engine with the environment's worker count: `RJAM_THREADS` if
+    /// set to a positive integer, else `available_parallelism()`, else 1.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        CampaignEngine { threads }
+    }
+
+    /// A single-threaded engine — the reference path the determinism
+    /// contract is stated against.
+    pub fn serial() -> Self {
+        CampaignEngine { threads: 1 }
+    }
+
+    /// An engine with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        CampaignEngine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker count this engine will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `n_shards` independent shards of campaign `seed` and returns
+    /// their results **in shard order**, regardless of worker count or
+    /// scheduling. The closure must derive all randomness from
+    /// [`ShardCtx::seed`] and all identity from [`ShardCtx::index`].
+    ///
+    /// Workers are `std::thread::scope` threads pulling shard indices
+    /// from a shared atomic counter; a panicking shard propagates the
+    /// panic to the caller after the scope joins.
+    pub fn run_shards<T, F>(&self, n_shards: usize, seed: u64, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShardCtx) -> T + Sync,
+    {
+        let ctx = |index: usize| ShardCtx {
+            index,
+            seed: shard_seed(seed, index as u64),
+        };
+        self.note_run(n_shards);
+        let workers = self.threads.min(n_shards);
+        if workers <= 1 {
+            // Serial reference path: no pool, same ShardCtx sequence.
+            return (0..n_shards).map(|i| f(ctx(i))).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..n_shards).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n_shards {
+                                break;
+                            }
+                            out.push((i, f(ctx(i))));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            // Ordered merge: scheduling decided who computed each shard,
+            // the index decides where its result lands.
+            for h in handles {
+                for (i, v) in h.join().expect("campaign shard worker panicked") {
+                    slots[i] = Some(v);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("every shard index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Publishes engine activity to the obs registry (no-op without `obs`).
+    fn note_run(&self, n_shards: usize) {
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("core.engine_campaigns").inc();
+            rjam_obs::registry::counter("core.engine_shards").add(n_shards as u64);
+            rjam_obs::registry::gauge("core.engine_threads").set_max(self.threads as u64);
+        }
+    }
+}
+
+impl Default for CampaignEngine {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_shard_order_for_any_thread_count() {
+        for threads in [1, 2, 3, 7, 16] {
+            let engine = CampaignEngine::with_threads(threads);
+            let got = engine.run_shards(33, 0xABCD, |ctx| ctx.index);
+            assert_eq!(got, (0..33).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_and_thread_independent() {
+        let serial = CampaignEngine::serial().run_shards(17, 99, |ctx| ctx.seed);
+        for threads in [2, 7] {
+            let sharded = CampaignEngine::with_threads(threads).run_shards(17, 99, |ctx| ctx.seed);
+            assert_eq!(serial, sharded, "threads={threads}");
+        }
+        // And they match the free derivation function.
+        for (i, &s) in serial.iter().enumerate() {
+            assert_eq!(s, shard_seed(99, i as u64));
+        }
+    }
+
+    #[test]
+    fn shard_seed_never_collides_within_a_campaign() {
+        use std::collections::HashSet;
+        for campaign_seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let mut seen = HashSet::new();
+            for shard in 0..4096u64 {
+                assert!(
+                    seen.insert(shard_seed(campaign_seed, shard)),
+                    "collision at campaign={campaign_seed:#x} shard={shard}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_seed_separates_campaigns() {
+        // Different campaign seeds must not map shard 0 onto one stream.
+        assert_ne!(shard_seed(1, 0), shard_seed(2, 0));
+        assert_ne!(shard_seed(0, 0), shard_seed(0, 1));
+        // A shard seed is not the campaign seed itself (streams split).
+        assert_ne!(shard_seed(7, 0), 7);
+    }
+
+    #[test]
+    fn zero_shards_and_zero_threads_are_safe() {
+        let engine = CampaignEngine::with_threads(0);
+        assert_eq!(engine.threads(), 1);
+        let empty: Vec<u64> = engine.run_shards(0, 5, |ctx| ctx.seed);
+        assert!(empty.is_empty());
+        // More workers than shards degrades gracefully.
+        let one = CampaignEngine::with_threads(64).run_shards(1, 5, |ctx| ctx.index);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn shards_actually_run_concurrently_when_asked() {
+        // Not a timing assertion — just that the pool path (workers > 1)
+        // covers all shards exactly once under contention.
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        let n = 257;
+        let r = CampaignEngine::with_threads(7).run_shards(n, 1, |ctx| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            ctx.index as u64
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), n as u64);
+        assert_eq!(r, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn engine_activity_reaches_registry() {
+        use rjam_obs::registry::counter_value;
+        let before = counter_value("core.engine_shards");
+        CampaignEngine::with_threads(2).run_shards(5, 3, |ctx| ctx.index);
+        assert!(counter_value("core.engine_shards") >= before + 5);
+    }
+}

@@ -16,6 +16,40 @@ use rjam_sdr::complex::{Cf64, IqI16};
 /// within one frame; ~40 us at 25 MSPS).
 pub const DEFAULT_LOCKOUT: u64 = 1000;
 
+/// Reusable buffers for [`ReactiveJammer::process_block_into`]: the
+/// quantized receive block, the fixed-point transmit block and the
+/// per-sample activity mask. Hold one per streaming loop and the jammer's
+/// block path performs no per-block allocation.
+#[derive(Debug, Default)]
+pub struct BlockScratch {
+    quant: Vec<IqI16>,
+    tx: Vec<IqI16>,
+    active: Vec<bool>,
+}
+
+impl BlockScratch {
+    /// Empty scratch buffers; capacity grows to the largest block seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-sample jammer activity mask from the last block.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Fixed-point transmit waveform from the last block (zeros while
+    /// silent), time-aligned with the input.
+    pub fn tx(&self) -> &[IqI16] {
+        &self.tx
+    }
+
+    /// The transmit waveform converted to floating point (allocates).
+    pub fn tx_cf64(&self) -> Vec<Cf64> {
+        self.tx.iter().map(|s| s.to_cf64()).collect()
+    }
+}
+
 /// A configured reactive jamming instance.
 ///
 /// ```
@@ -131,10 +165,29 @@ impl ReactiveJammer {
     /// Processes a floating-point 25 MSPS block through the ADC quantizer
     /// and the core; returns the transmitted jamming waveform time-aligned
     /// with the input (zeros while silent) and the per-sample activity mask.
+    ///
+    /// Allocates four buffers per call. Campaign inner loops stream many
+    /// blocks through one jammer — use [`ReactiveJammer::process_block_into`]
+    /// with a reused [`BlockScratch`] there.
     pub fn process_block(&mut self, rx: &[Cf64]) -> (Vec<Cf64>, Vec<bool>) {
-        let fixed: Vec<IqI16> = rx.iter().map(|&s| IqI16::from_cf64(s)).collect();
-        let (tx, active) = self.core.process_block(&fixed);
-        (tx.iter().map(|s| s.to_cf64()).collect(), active)
+        let mut scratch = BlockScratch::new();
+        self.process_block_into(rx, &mut scratch);
+        (scratch.tx_cf64(), std::mem::take(&mut scratch.active))
+    }
+
+    /// Allocation-free block processing: quantizes `rx` and streams it
+    /// through the core entirely within `scratch`'s reusable buffers.
+    /// After the first few blocks the buffers reach steady capacity and
+    /// the per-block heap traffic drops to zero — this is the campaign
+    /// engine's datapath.
+    pub fn process_block_into(&mut self, rx: &[Cf64], scratch: &mut BlockScratch) {
+        scratch.quant.clear();
+        scratch.quant.reserve(rx.len());
+        scratch
+            .quant
+            .extend(rx.iter().map(|&s| IqI16::from_cf64(s)));
+        self.core
+            .process_block_into(&scratch.quant, &mut scratch.tx, &mut scratch.active);
     }
 
     /// Detection/trigger event log.
@@ -192,6 +245,34 @@ mod tests {
         assert!(!j.events().is_empty());
         // Burst length is 250 samples (10 us).
         assert_eq!(active.iter().filter(|&&a| a).count(), 250);
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path_across_blocks() {
+        let mk = || {
+            ReactiveJammer::new(
+                DetectionPreset::WifiShortPreamble { threshold: 0.5 },
+                JammerPreset::Reactive {
+                    uptime_s: 1e-5,
+                    waveform: JamWaveform::Wgn,
+                },
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let mut scratch = BlockScratch::new();
+        let mut stream = vec![Cf64::ZERO; 1000];
+        stream.extend(wifi_frame_at_25msps(2.0));
+        // Stream the same signal twice as two blocks each; the scratch is
+        // reused across blocks (the whole point) and must match exactly.
+        for block in [&stream[..700], &stream[700..]] {
+            let (tx_alloc, active_alloc) = a.process_block(block);
+            b.process_block_into(block, &mut scratch);
+            assert_eq!(scratch.active(), &active_alloc[..]);
+            assert_eq!(scratch.tx_cf64(), tx_alloc);
+            assert_eq!(scratch.tx().len(), block.len());
+        }
+        assert_eq!(a.events().len(), b.events().len());
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //! * [`campaign`] — the experiment runners that regenerate every figure:
 //!   detection-probability sweeps (Figs 6-8), false-alarm calibration,
 //!   iperf jamming sweeps (Figs 10-11) and the WiMAX detection/jamming
-//!   correspondence experiment (Fig 12);
+//!   correspondence experiment (Fig 12), all described by [`campaign::CampaignSpec`];
+//! * [`engine`] — the deterministic sharded campaign engine: splits every
+//!   campaign into seed-split shards, runs them on scoped worker threads
+//!   (`RJAM_THREADS`) and merges in shard order, so output is bit-identical
+//!   to the serial path at any thread count;
 //! * [`trace`] — traced jam episodes: every frame gets a correlation ID at
 //!   MAC emission and a causal chain (PHY → channel → FPGA → jam → outcome)
 //!   in one exportable [`rjam_obs::trace::TraceDoc`].
@@ -34,6 +38,7 @@
 pub mod autonomous;
 pub mod campaign;
 pub mod coeff;
+pub mod engine;
 pub mod export;
 pub mod jammer;
 pub mod presets;
@@ -42,6 +47,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use autonomous::AutonomousJammer;
-pub use jammer::ReactiveJammer;
+pub use engine::{CampaignEngine, ShardCtx};
+pub use jammer::{BlockScratch, ReactiveJammer};
 pub use presets::{DetectionPreset, JammerPreset};
 pub use testbed::TestbedBudget;

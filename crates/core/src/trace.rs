@@ -16,7 +16,7 @@
 //! [`EpisodeReport`]s stay accurate because outcomes are derived from the
 //! jammer's activity mask, not from the trace.
 
-use crate::jammer::ReactiveJammer;
+use crate::jammer::{BlockScratch, ReactiveJammer};
 use crate::presets::{DetectionPreset, JammerPreset};
 use rjam_channel::fiveport::{FivePortNetwork, Port};
 use rjam_channel::NoiseSource;
@@ -64,6 +64,7 @@ pub struct EpisodeTracer {
     ids: FrameIdGen,
     net: FivePortNetwork,
     cursor_ns: u64,
+    scratch: BlockScratch,
 }
 
 impl EpisodeTracer {
@@ -74,6 +75,7 @@ impl EpisodeTracer {
             ids: FrameIdGen::new(),
             net: FivePortNetwork::paper_table1(),
             cursor_ns: 0,
+            scratch: BlockScratch::new(),
         }
     }
 
@@ -148,7 +150,10 @@ impl EpisodeTracer {
         // personalities, capture FIFO live so occupancy is observable.
         let mut j = ReactiveJammer::new(det.clone(), reaction.clone());
         j.core_mut().enable_capture(16, 240, 1024);
-        let (_tx, active) = j.process_block(&stream);
+        // Allocation-free datapath: the tracer's scratch buffers are
+        // reused across episodes, same as the campaign engine's shards.
+        j.process_block_into(&stream, &mut self.scratch);
+        let active = self.scratch.active();
         let eos_cycle = stream.len() as u64 * CLOCKS_PER_SAMPLE;
         rjam_fpga::trace::trace_frame(
             &mut self.sink,

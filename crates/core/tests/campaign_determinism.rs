@@ -1,26 +1,24 @@
 //! Every campaign runner is exactly reproducible from its seed, including
 //! the thread-parallel sweeps (workers are seeded per-index, so scheduling
-//! order cannot leak into results).
+//! order cannot leak into results). These tests run through the
+//! [`rjam_core::campaign::CampaignSpec`] builders, with engines of several
+//! thread counts, pinning the determinism contract from the outside.
 
-use rjam_core::campaign::{
-    false_alarm_rate, jamming_sweep, wifi_detection_sweep, wimax_detection, JammerUnderTest,
-    WifiEmission,
-};
-use rjam_core::DetectionPreset;
+use rjam_core::campaign::{CampaignSpec, JammerUnderTest, WifiEmission};
+use rjam_core::{CampaignEngine, DetectionPreset};
 
 #[test]
 fn detection_sweep_is_deterministic() {
-    let run = || {
-        wifi_detection_sweep(
-            &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
-            WifiEmission::FullFrames { psdu_len: 80 },
-            &[-3.0, 3.0, 9.0],
-            30,
-            777,
-        )
+    let run = |engine: &CampaignEngine| {
+        CampaignSpec::wifi_detection(&DetectionPreset::WifiShortPreamble { threshold: 0.35 })
+            .emission(WifiEmission::FullFrames { psdu_len: 80 })
+            .snrs(&[-3.0, 3.0, 9.0])
+            .trials(30)
+            .seed(777)
+            .run(engine)
     };
-    let a = run();
-    let b = run();
+    let a = run(&CampaignEngine::serial());
+    let b = run(&CampaignEngine::with_threads(4));
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.p_detect, y.p_detect);
         assert_eq!(x.triggers_per_frame, y.triggers_per_frame);
@@ -29,9 +27,15 @@ fn detection_sweep_is_deterministic() {
 
 #[test]
 fn jamming_sweep_is_deterministic() {
-    let run = || jamming_sweep(JammerUnderTest::ReactiveLong, &[20.0, 8.0], 2.0, 31337);
-    let a = run();
-    let b = run();
+    let run = |engine: &CampaignEngine| {
+        CampaignSpec::jamming(JammerUnderTest::ReactiveLong)
+            .sirs(&[20.0, 8.0])
+            .duration_s(2.0)
+            .seed(31337)
+            .run(engine)
+    };
+    let a = run(&CampaignEngine::serial());
+    let b = run(&CampaignEngine::with_threads(3));
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.report.sent, y.report.sent);
         assert_eq!(x.report.received, y.report.received);
@@ -41,21 +45,43 @@ fn jamming_sweep_is_deterministic() {
 
 #[test]
 fn fa_and_wimax_are_deterministic() {
-    let p = DetectionPreset::WifiLongPreamble { threshold: 0.34 };
+    let fa = |engine: &CampaignEngine| {
+        CampaignSpec::false_alarm(&DetectionPreset::WifiLongPreamble { threshold: 0.34 })
+            .samples(1_000_000)
+            .seed(9)
+            .run(engine)
+    };
     assert_eq!(
-        false_alarm_rate(&p, 1_000_000, 9),
-        false_alarm_rate(&p, 1_000_000, 9)
+        fa(&CampaignEngine::serial()),
+        fa(&CampaignEngine::with_threads(2))
     );
-    let a = wimax_detection(true, 6, 20.0, 0.45, 11);
-    let b = wimax_detection(true, 6, 20.0, 0.45, 11);
+    let wimax = |engine: &CampaignEngine| {
+        CampaignSpec::wimax_detection()
+            .fused(true)
+            .frames(6)
+            .snr_db(20.0)
+            .threshold(0.45)
+            .seed(11)
+            .run(engine)
+    };
+    let a = wimax(&CampaignEngine::serial());
+    let b = wimax(&CampaignEngine::with_threads(4));
     assert_eq!(a.detect_fraction, b.detect_fraction);
     assert_eq!(a.mean_latency_us, b.mean_latency_us);
 }
 
 #[test]
 fn different_seeds_differ_somewhere() {
-    let a = jamming_sweep(JammerUnderTest::ReactiveLong, &[14.0], 2.0, 1);
-    let b = jamming_sweep(JammerUnderTest::ReactiveLong, &[14.0], 2.0, 2);
+    let engine = CampaignEngine::serial();
+    let run = |seed: u64| {
+        CampaignSpec::jamming(JammerUnderTest::ReactiveLong)
+            .sirs(&[14.0])
+            .duration_s(2.0)
+            .seed(seed)
+            .run(&engine)
+    };
+    let a = run(1);
+    let b = run(2);
     assert_ne!(
         (a[0].report.received, a[0].report.jam_bursts),
         (b[0].report.received, b[0].report.jam_bursts),

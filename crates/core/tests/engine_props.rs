@@ -1,0 +1,91 @@
+//! Property tests for the sharded campaign engine, driven by
+//! `rjam-testkit`: the determinism contract stated over the *external*
+//! JSON export surface, and the injectivity of the seed-splitting map.
+
+use rjam_core::campaign::{CampaignSpec, JammerUnderTest, WifiEmission};
+use rjam_core::engine::shard_seed;
+use rjam_core::export::{detection_json, false_alarm_json, jamming_json};
+use rjam_core::{CampaignEngine, DetectionPreset};
+use rjam_testkit::{prop_assert, props};
+
+props! {
+    cases = 4;
+
+    /// A detection sweep exports byte-identical JSON at 1, 2 and 7
+    /// worker threads, for any campaign seed — the determinism contract
+    /// observed from the outside.
+    fn detection_export_thread_invariant(seed in 0u64..1_000_000) {
+        let run = |threads: usize| {
+            let pts = CampaignSpec::wifi_detection(
+                &DetectionPreset::WifiShortPreamble { threshold: 0.35 },
+            )
+            .emission(WifiEmission::FullFrames { psdu_len: 60 })
+            .snrs(&[-3.0, 3.0, 9.0])
+            .trials(8)
+            .seed(seed)
+            .run(&CampaignEngine::with_threads(threads));
+            detection_json(&pts)
+        };
+        let serial = run(1);
+        for threads in [2usize, 7] {
+            let sharded = run(threads);
+            prop_assert!(
+                serial == sharded,
+                "JSON diverged at {threads} threads for seed {seed}"
+            );
+        }
+    }
+
+    /// Same contract for the MAC-layer jamming sweep and the false-alarm
+    /// calibration (which shards by sample segment, not by point).
+    fn jamming_and_fa_exports_thread_invariant(seed in 0u64..1_000_000) {
+        let jam = |threads: usize| {
+            let pts = CampaignSpec::jamming(JammerUnderTest::ReactiveShort)
+                .sirs(&[20.0, 6.0])
+                .duration_s(0.5)
+                .seed(seed)
+                .run(&CampaignEngine::with_threads(threads));
+            jamming_json(&pts)
+        };
+        let fa = |threads: usize| {
+            let rate = CampaignSpec::false_alarm(
+                &DetectionPreset::WifiLongPreamble { threshold: 0.30 },
+            )
+            // 1.5 shards' worth of samples, so the partial-shard path runs.
+            .samples((1 << 20) + (1 << 19))
+            .seed(seed)
+            .run(&CampaignEngine::with_threads(threads));
+            false_alarm_json(rate)
+        };
+        let (jam1, fa1) = (jam(1), fa(1));
+        for threads in [2usize, 7] {
+            prop_assert!(jam(threads) == jam1, "jamming JSON diverged at {threads} threads");
+            prop_assert!(fa(threads) == fa1, "FA JSON diverged at {threads} threads");
+        }
+    }
+}
+
+props! {
+    cases = 16;
+
+    /// `shard_seed` never collides within a campaign (injective in the
+    /// shard index) and separates campaigns at every shard.
+    fn shard_seed_splits_cleanly(campaign_a in 0u64..u64::MAX, campaign_b in 0u64..u64::MAX) {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for shard in 0..512u64 {
+            prop_assert!(
+                seen.insert(shard_seed(campaign_a, shard)),
+                "collision within campaign {campaign_a:#x} at shard {shard}"
+            );
+        }
+        if campaign_a != campaign_b {
+            for shard in 0..64u64 {
+                prop_assert!(
+                    shard_seed(campaign_a, shard) != shard_seed(campaign_b, shard),
+                    "campaigns {campaign_a:#x}/{campaign_b:#x} share shard {shard}'s stream"
+                );
+            }
+        }
+    }
+}

@@ -200,11 +200,96 @@ impl CoreEvent {
     }
 }
 
+/// A configuration the validating constructor rejected.
+///
+/// [`CoreConfig::validate`] (and [`CoreConfigBuilder::build`]) check the
+/// hardware's representable ranges *at construction time*, so an invalid
+/// personality can never reach [`DspCore::configure`] — the modeled
+/// register writes would silently truncate or panic otherwise.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A correlator coefficient is outside the 3-bit signed range `-4..=3`.
+    CoeffOutOfRange {
+        /// Which rail the bad coefficient was on.
+        rail: CoeffRail,
+        /// Tap index (0..64).
+        index: usize,
+        /// The rejected value.
+        value: i8,
+    },
+    /// The correlation threshold is zero (would fire on every sample).
+    ZeroXcorrThreshold,
+    /// An energy threshold is outside the paper's 3-30 dB detector range.
+    EnergyDbOutOfRange {
+        /// Which comparator the bad threshold was for.
+        edge: EnergyEdge,
+        /// The rejected value in dB.
+        value_db: f64,
+    },
+}
+
+/// Correlator rail named by [`ConfigError::CoeffOutOfRange`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoeffRail {
+    /// In-phase coefficient bank.
+    I,
+    /// Quadrature coefficient bank.
+    Q,
+}
+
+/// Energy comparator named by [`ConfigError::EnergyDbOutOfRange`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnergyEdge {
+    /// Rising-edge (signal appears) threshold.
+    High,
+    /// Falling-edge (signal disappears) threshold.
+    Low,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::CoeffOutOfRange { rail, index, value } => {
+                let rail = match rail {
+                    CoeffRail::I => "I",
+                    CoeffRail::Q => "Q",
+                };
+                write!(
+                    f,
+                    "coeff_{rail}[{index}] = {value} outside the 3-bit signed range -4..=3"
+                )
+            }
+            ConfigError::ZeroXcorrThreshold => {
+                write!(
+                    f,
+                    "xcorr_threshold must be nonzero (0 fires on every sample)"
+                )
+            }
+            ConfigError::EnergyDbOutOfRange { edge, value_db } => {
+                let edge = match edge {
+                    EnergyEdge::High => "high",
+                    EnergyEdge::Low => "low",
+                };
+                write!(
+                    f,
+                    "energy_{edge}_db = {value_db} outside the detector's 3-30 dB range"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// One-shot configuration applied through the register bus.
 ///
 /// This is the host-side convenience the GNU Radio GUI provides: a complete
 /// "jamming personality" that [`DspCore::configure`] writes register by
 /// register, so reconfiguration cost is observable as bus traffic.
+///
+/// Construct free-form (the fields are public) or through the validating
+/// [`CoreConfig::builder`], which rejects unrepresentable personalities with
+/// a typed [`ConfigError`] before they reach the register bus.
 #[derive(Clone, Debug)]
 pub struct CoreConfig {
     /// Correlator I-rail coefficients (64 x 3-bit signed).
@@ -252,6 +337,150 @@ impl Default for CoreConfig {
             continuous: false,
             amplitude: 1.0,
         }
+    }
+}
+
+impl CoreConfig {
+    /// Starts a validating builder seeded from the default personality.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            cfg: CoreConfig::default(),
+        }
+    }
+
+    /// Checks every field against the hardware's representable ranges:
+    /// coefficients in the 3-bit signed range `-4..=3`, a nonzero
+    /// correlation threshold, and energy thresholds inside the detector's
+    /// 3-30 dB window.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (index, &value) in self.coeff_i.iter().enumerate() {
+            if !(-4..=3).contains(&value) {
+                return Err(ConfigError::CoeffOutOfRange {
+                    rail: CoeffRail::I,
+                    index,
+                    value,
+                });
+            }
+        }
+        for (index, &value) in self.coeff_q.iter().enumerate() {
+            if !(-4..=3).contains(&value) {
+                return Err(ConfigError::CoeffOutOfRange {
+                    rail: CoeffRail::Q,
+                    index,
+                    value,
+                });
+            }
+        }
+        if self.xcorr_threshold == 0 {
+            return Err(ConfigError::ZeroXcorrThreshold);
+        }
+        if !(3.0..=30.0).contains(&self.energy_high_db) {
+            return Err(ConfigError::EnergyDbOutOfRange {
+                edge: EnergyEdge::High,
+                value_db: self.energy_high_db,
+            });
+        }
+        if !(3.0..=30.0).contains(&self.energy_low_db) {
+            return Err(ConfigError::EnergyDbOutOfRange {
+                edge: EnergyEdge::Low,
+                value_db: self.energy_low_db,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and returns the configuration, consuming it.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
+    }
+}
+
+/// Validating builder for [`CoreConfig`]. Setters are infallible; range
+/// checks run once at [`CoreConfigBuilder::build`], which returns a typed
+/// [`ConfigError`] instead of letting `configure` truncate or panic later.
+#[derive(Clone, Debug)]
+pub struct CoreConfigBuilder {
+    cfg: CoreConfig,
+}
+
+impl CoreConfigBuilder {
+    /// Sets both correlator coefficient rails.
+    pub fn coeffs(mut self, coeff_i: [i8; 64], coeff_q: [i8; 64]) -> Self {
+        self.cfg.coeff_i = coeff_i;
+        self.cfg.coeff_q = coeff_q;
+        self
+    }
+
+    /// Sets the correlation threshold on the squared-magnitude metric.
+    pub fn xcorr_threshold(mut self, threshold: u64) -> Self {
+        self.cfg.xcorr_threshold = threshold;
+        self
+    }
+
+    /// Sets the energy-rise threshold in dB.
+    pub fn energy_high_db(mut self, db: f64) -> Self {
+        self.cfg.energy_high_db = db;
+        self
+    }
+
+    /// Sets the energy-fall threshold in dB.
+    pub fn energy_low_db(mut self, db: f64) -> Self {
+        self.cfg.energy_low_db = db;
+        self
+    }
+
+    /// Sets the trigger combination.
+    pub fn trigger_mode(mut self, mode: TriggerMode) -> Self {
+        self.cfg.trigger_mode = mode;
+        self
+    }
+
+    /// Sets the post-detection lockout in samples.
+    pub fn lockout(mut self, samples: u64) -> Self {
+        self.cfg.lockout = samples;
+        self
+    }
+
+    /// Sets the jamming waveform.
+    pub fn waveform(mut self, waveform: JamWaveform) -> Self {
+        self.cfg.waveform = waveform;
+        self
+    }
+
+    /// Sets the jam burst length in samples.
+    pub fn uptime_samples(mut self, samples: u64) -> Self {
+        self.cfg.uptime_samples = samples;
+        self
+    }
+
+    /// Sets the trigger-to-burst delay in samples.
+    pub fn delay_samples(mut self, samples: u64) -> Self {
+        self.cfg.delay_samples = samples;
+        self
+    }
+
+    /// Enables or disables reactive jamming.
+    pub fn enabled(mut self, enabled: bool) -> Self {
+        self.cfg.enabled = enabled;
+        self
+    }
+
+    /// Enables or disables continuous (always-on) transmission.
+    pub fn continuous(mut self, continuous: bool) -> Self {
+        self.cfg.continuous = continuous;
+        self
+    }
+
+    /// Sets the jammer output amplitude as a fraction of full scale.
+    pub fn amplitude(mut self, amplitude: f64) -> Self {
+        self.cfg.amplitude = amplitude;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CoreConfig, ConfigError> {
+        self.cfg.validated()
     }
 }
 
@@ -568,15 +797,36 @@ impl DspCore {
 
     /// Processes a block, returning a TX waveform time-aligned with the
     /// input (silence as zero samples) plus an activity mask.
+    ///
+    /// Allocates fresh output buffers on every call; hot loops should hold
+    /// a pair of buffers and use [`DspCore::process_block_into`] instead.
     pub fn process_block(&mut self, rx: &[IqI16]) -> (Vec<IqI16>, Vec<bool>) {
-        let mut tx = Vec::with_capacity(rx.len());
-        let mut active = Vec::with_capacity(rx.len());
+        let mut tx = Vec::new();
+        let mut active = Vec::new();
+        self.process_block_into(rx, &mut tx, &mut active);
+        (tx, active)
+    }
+
+    /// Allocation-free block processing: clears and refills caller-provided
+    /// output buffers, so a loop that reuses the same buffers across blocks
+    /// performs no per-block heap allocation once the buffers reach steady
+    /// capacity. On return `tx.len() == active.len() == rx.len()`, with `tx`
+    /// time-aligned with the input (silence as zero samples).
+    pub fn process_block_into(
+        &mut self,
+        rx: &[IqI16],
+        tx: &mut Vec<IqI16>,
+        active: &mut Vec<bool>,
+    ) {
+        tx.clear();
+        active.clear();
+        tx.reserve(rx.len());
+        active.reserve(rx.len());
         for &s in rx {
             let out = self.process(s);
             active.push(out.tx.is_some());
             tx.push(out.tx.unwrap_or(IqI16::ZERO));
         }
-        (tx, active)
     }
 
     /// Accounts newly-started jam bursts: records the trigger-to-TX latency
@@ -1089,6 +1339,108 @@ mod tests {
         assert_eq!(core.read_stat(StatReg::SamplesLo), 0);
         core.flush_obs(); // must be a no-op, not a panic
         assert!(rjam_obs::registry::snapshot().is_empty());
+    }
+
+    #[test]
+    fn process_block_into_matches_allocating_path() {
+        let mut a = DspCore::new();
+        let mut b = DspCore::new();
+        a.configure(&energy_jam_config());
+        b.configure(&energy_jam_config());
+        let mut stream = quiet(300);
+        stream.extend(loud(500));
+        let (tx_alloc, active_alloc) = a.process_block(&stream);
+        // Pre-dirty the reusable buffers: process_block_into must clear them.
+        let mut tx = vec![IqI16::new(7, 7); 9];
+        let mut active = vec![true; 3];
+        b.process_block_into(&stream, &mut tx, &mut active);
+        assert_eq!(tx, tx_alloc);
+        assert_eq!(active, active_alloc);
+        assert_eq!(tx.len(), stream.len());
+    }
+
+    #[test]
+    fn builder_accepts_valid_personality() {
+        let cfg = CoreConfig::builder()
+            .coeffs([3; 64], [-4; 64])
+            .xcorr_threshold(1_000)
+            .energy_high_db(10.0)
+            .energy_low_db(3.0)
+            .lockout(1000)
+            .uptime_samples(100)
+            .enabled(true)
+            .build()
+            .expect("in-range personality");
+        assert_eq!(cfg.coeff_i[0], 3);
+        assert_eq!(cfg.coeff_q[0], -4);
+        let mut core = DspCore::new();
+        assert!(core.configure(&cfg) > 0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_coefficient() {
+        let mut bad_q = [0i8; 64];
+        bad_q[17] = 4; // one past the 3-bit max
+        let err = CoreConfig::builder()
+            .coeffs([0; 64], bad_q)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CoeffOutOfRange {
+                rail: CoeffRail::Q,
+                index: 17,
+                value: 4
+            }
+        );
+        assert!(err.to_string().contains("coeff_Q[17]"));
+        let mut bad_i = [0i8; 64];
+        bad_i[0] = -5;
+        let err = CoreConfig::builder()
+            .coeffs(bad_i, [0; 64])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::CoeffOutOfRange {
+                rail: CoeffRail::I,
+                index: 0,
+                value: -5
+            }
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_zero_threshold_and_bad_energy_db() {
+        let err = CoreConfig::builder()
+            .xcorr_threshold(0)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroXcorrThreshold);
+        let err = CoreConfig::builder()
+            .energy_high_db(31.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::EnergyDbOutOfRange {
+                edge: EnergyEdge::High,
+                ..
+            }
+        ));
+        let err = CoreConfig::builder()
+            .energy_low_db(2.9)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::EnergyDbOutOfRange {
+                edge: EnergyEdge::Low,
+                ..
+            }
+        ));
+        // The default personality itself is valid.
+        CoreConfig::default().validate().expect("default is valid");
     }
 
     #[test]

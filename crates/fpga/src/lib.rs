@@ -43,7 +43,10 @@ pub mod vita;
 pub mod xcorr;
 pub mod xcorr_wide;
 
-pub use crate::core::{CoreConfig, CoreEvent, CoreStats, DspCore};
+pub use crate::core::{
+    CoeffRail, ConfigError, CoreConfig, CoreConfigBuilder, CoreEvent, CoreStats, DspCore,
+    EnergyEdge,
+};
 pub use energy::EnergyDifferentiator;
 pub use fifo::{SampleFifo, TriggerCapture};
 pub use jammer::{JamController, JamWaveform};

@@ -31,4 +31,6 @@ pub mod sim;
 pub use defense::{JammingDetector, JammingVerdict, LinkObservation};
 pub use iperf::IperfReport;
 pub use model::{JammerKind, Scenario};
-pub use sim::{run_scenario, run_scenario_traced};
+#[allow(deprecated)]
+pub use sim::run_scenario_traced;
+pub use sim::{run_scenario, MacObsDelta, ScenarioRun};

@@ -46,7 +46,7 @@ struct MacCounters {
 }
 
 impl MacCounters {
-    fn flush(mut self) {
+    fn flush(&mut self) {
         use rjam_obs::registry::flush_counter;
         flush_counter("mac.datagrams_sent", &mut self.sent);
         flush_counter("mac.datagrams_delivered", &mut self.delivered);
@@ -59,6 +59,58 @@ impl MacCounters {
         flush_counter("mac.disassociations", &mut self.disassociations);
         flush_counter("mac.jam_bursts", &mut self.jam_bursts);
         flush_counter("mac.jam_airtime_us", &mut self.jam_airtime_us);
+    }
+
+    /// Drains `other` into `self` (field-wise counter addition).
+    fn absorb(&mut self, other: &mut MacCounters) {
+        self.sent.add(other.sent.take());
+        self.delivered.add(other.delivered.take());
+        self.abandoned.add(other.abandoned.take());
+        self.tx_attempts.add(other.tx_attempts.take());
+        self.retries.add(other.retries.take());
+        self.cca_defers.add(other.cca_defers.take());
+        self.beacons_ok.add(other.beacons_ok.take());
+        self.beacons_missed.add(other.beacons_missed.take());
+        self.disassociations.add(other.disassociations.take());
+        self.jam_bursts.add(other.jam_bursts.take());
+        self.jam_airtime_us.add(other.jam_airtime_us.take());
+    }
+}
+
+/// A mergeable batch of `mac.*` counter deltas whose publication into the
+/// global `rjam-obs` registry is *deferred*.
+///
+/// The sharded campaign engine hands each worker its own `MacObsDelta`
+/// (via [`ScenarioRun::obs_into`]), merges the per-shard deltas in shard
+/// order at join, and publishes once — so the registry sees exactly the
+/// same totals as a serial run, independent of thread count. With the
+/// `obs` feature disabled this is a zero-sized no-op.
+#[derive(Default)]
+pub struct MacObsDelta {
+    counters: MacCounters,
+}
+
+impl MacObsDelta {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drains `other`'s deltas into `self`.
+    pub fn merge(&mut self, other: &mut MacObsDelta) {
+        self.counters.absorb(&mut other.counters);
+    }
+
+    /// Publishes the batched deltas into the global registry and zeroes
+    /// the batch.
+    pub fn publish(&mut self) {
+        self.counters.flush();
+    }
+
+    /// Datagrams sent recorded in this (unpublished) batch. Zero with the
+    /// `obs` feature disabled.
+    pub fn datagrams_sent(&self) -> u64 {
+        self.counters.sent.get()
     }
 }
 
@@ -216,18 +268,101 @@ impl MacTracer<'_> {
 }
 
 /// Runs one scenario to completion and reports iperf-style results.
+///
+/// Equivalent to `ScenarioRun::new(sc).run()`; use [`ScenarioRun`] to
+/// attach a causal-trace sink, defer obs publication, or override the
+/// RNG stream.
 pub fn run_scenario(sc: &Scenario) -> IperfReport {
-    run_scenario_traced(sc, None)
+    ScenarioRun::new(sc).run()
 }
 
-/// [`run_scenario`] with a causal-trace sink attached: every datagram is
-/// assigned a [`FrameId`] at MAC emission and its emission, transmission
-/// attempts, drawn jam bursts and final outcome (delivered / jammed /
-/// missed) are recorded as trace events on the simulation's microsecond
-/// clock (stored in nanoseconds).
+/// [`run_scenario`] with a causal-trace sink attached.
+#[deprecated(note = "use ScenarioRun::new(sc).trace(sink).run()")]
 pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> IperfReport {
+    let mut run = ScenarioRun::new(sc);
+    if let Some(sink) = trace {
+        run = run.trace(sink);
+    }
+    run.run()
+}
+
+/// One configured execution of the DES loop: the scenario plus every
+/// optional coupling that used to live in positional-argument variants.
+///
+/// ```
+/// use rjam_mac::{Scenario, sim::ScenarioRun};
+/// let sc = Scenario { duration_s: 0.05, ..Scenario::default() };
+/// let report = ScenarioRun::new(&sc).run();
+/// assert!(report.sent > 0);
+/// ```
+///
+/// Options compose freely:
+/// * [`ScenarioRun::trace`] — record the causal chain of every datagram
+///   into a [`TraceSink`] (replaces the `run_scenario_traced` special
+///   case);
+/// * [`ScenarioRun::obs_into`] — batch `mac.*` counter deltas into a
+///   [`MacObsDelta`] instead of publishing them at run end (the sharded
+///   campaign engine's deferred-merge path);
+/// * [`ScenarioRun::rng_stream`] — run on a derived PRNG stream without
+///   mutating the scenario (per-shard seed-splitting).
+pub struct ScenarioRun<'a> {
+    scenario: &'a Scenario,
+    trace: Option<&'a mut TraceSink>,
+    obs_out: Option<&'a mut MacObsDelta>,
+    rng_stream: Option<u64>,
+}
+
+impl<'a> ScenarioRun<'a> {
+    /// A run with no trace sink, immediate obs publication, and the
+    /// scenario's own seed.
+    pub fn new(scenario: &'a Scenario) -> Self {
+        ScenarioRun {
+            scenario,
+            trace: None,
+            obs_out: None,
+            rng_stream: None,
+        }
+    }
+
+    /// Attaches a causal-trace sink: every datagram is assigned a
+    /// [`FrameId`] at MAC emission and its emission, transmission
+    /// attempts, drawn jam bursts and final outcome (delivered / jammed /
+    /// missed) are recorded as trace events on the simulation's
+    /// microsecond clock (stored in nanoseconds).
+    pub fn trace(mut self, sink: &'a mut TraceSink) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Defers obs publication: `mac.*` counter deltas accumulate into
+    /// `delta` instead of the global registry, for later
+    /// [`MacObsDelta::publish`] (typically after a shard merge).
+    pub fn obs_into(mut self, delta: &'a mut MacObsDelta) -> Self {
+        self.obs_out = Some(delta);
+        self
+    }
+
+    /// Runs on the given PRNG stream instead of the scenario's `seed`
+    /// field, leaving the scenario untouched.
+    pub fn rng_stream(mut self, seed: u64) -> Self {
+        self.rng_stream = Some(seed);
+        self
+    }
+
+    /// Executes the DES loop to completion.
+    pub fn run(self) -> IperfReport {
+        run_inner(self.scenario, self.trace, self.obs_out, self.rng_stream)
+    }
+}
+
+fn run_inner(
+    sc: &Scenario,
+    trace: Option<&mut TraceSink>,
+    obs_out: Option<&mut MacObsDelta>,
+    rng_stream: Option<u64>,
+) -> IperfReport {
     let t = Timings::default();
-    let mut rng = Rng::seed_from(sc.seed);
+    let mut rng = Rng::seed_from(rng_stream.unwrap_or(sc.seed));
     let duration_us = sc.duration_s * 1e6;
     let psdu_len = sc.payload_bytes + PSDU_OVERHEAD;
     // CBR arrival interval for the offered load.
@@ -498,7 +633,12 @@ pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> Iper
     }
     obs.jam_bursts.add(acct.bursts);
     obs.jam_airtime_us.add(acct.airtime_us as u64);
-    obs.flush();
+    match obs_out {
+        // Deferred: the caller batches this run's deltas (shard merge).
+        Some(delta) => delta.counters.absorb(&mut obs),
+        // Immediate: publish into the global registry at run end.
+        None => obs.flush(),
+    }
     IperfReport::from_counts(
         sent,
         received,
@@ -545,6 +685,71 @@ mod tests {
         let b = run_scenario(&sc);
         assert_eq!(a.sent, b.sent);
         assert_eq!(a.received, b.received);
+    }
+
+    #[test]
+    fn scenario_run_options_do_not_change_results() {
+        // Attaching a trace sink or deferring obs must not perturb the DES
+        // outcome — options only observe, never couple into the RNG.
+        let sc = base();
+        let plain = run_scenario(&sc);
+        let mut sink = TraceSink::with_capacity(16_384);
+        let traced = ScenarioRun::new(&sc).trace(&mut sink).run();
+        assert_eq!(plain.sent, traced.sent);
+        assert_eq!(plain.received, traced.received);
+        let mut delta = MacObsDelta::new();
+        let deferred = ScenarioRun::new(&sc).obs_into(&mut delta).run();
+        assert_eq!(plain.sent, deferred.sent);
+        assert_eq!(plain.received, deferred.received);
+    }
+
+    #[test]
+    fn rng_stream_overrides_scenario_seed() {
+        let sc = base();
+        let other_seed = Scenario {
+            seed: 0xD15EA5E,
+            ..base()
+        };
+        let a = ScenarioRun::new(&sc).rng_stream(0xD15EA5E).run();
+        let b = run_scenario(&other_seed);
+        assert_eq!(a.sent, b.sent);
+        assert_eq!(a.received, b.received);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_traced_wrapper_matches_scenario_run() {
+        let sc = base();
+        let mut sink_old = TraceSink::with_capacity(16_384);
+        let mut sink_new = TraceSink::with_capacity(16_384);
+        let old = run_scenario_traced(&sc, Some(&mut sink_old));
+        let new = ScenarioRun::new(&sc).trace(&mut sink_new).run();
+        assert_eq!(old.sent, new.sent);
+        assert_eq!(old.received, new.received);
+        assert_eq!(sink_old.len(), sink_new.len());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn deferred_obs_batches_merge_like_serial_flushes() {
+        use rjam_obs::registry::counter_value;
+        let sc = Scenario {
+            duration_s: 1.0,
+            ..base()
+        };
+        // Two deferred runs merged into one batch...
+        let mut a = MacObsDelta::new();
+        let mut b = MacObsDelta::new();
+        let ra = ScenarioRun::new(&sc).obs_into(&mut a).run();
+        let rb = ScenarioRun::new(&sc).rng_stream(999).obs_into(&mut b).run();
+        a.merge(&mut b);
+        assert_eq!(a.datagrams_sent(), ra.sent + rb.sent);
+        assert_eq!(b.datagrams_sent(), 0, "merge drains the source");
+        // ...publish exactly once, as one registry delta.
+        let before = counter_value("mac.datagrams_sent");
+        a.publish();
+        assert!(counter_value("mac.datagrams_sent") >= before + ra.sent + rb.sent);
+        assert_eq!(a.datagrams_sent(), 0, "publish drains the batch");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! cargo run --release --example wifi_jamming -- [seconds-per-point]
 //! ```
 
-use rjam::core::campaign::{jamming_sweep, JammerUnderTest};
+use rjam::core::campaign::{CampaignSpec, JammerUnderTest};
+use rjam::core::CampaignEngine;
 
 fn main() {
     let seconds: f64 = std::env::args()
@@ -15,7 +16,17 @@ fn main() {
         .unwrap_or(5.0);
     let sirs: Vec<f64> = (0..=12).map(|k| 48.0 - 4.0 * k as f64).collect();
 
-    let clean = jamming_sweep(JammerUnderTest::Off, &[60.0], seconds, 99);
+    // One engine for the whole campaign: RJAM_THREADS (or all cores)
+    // workers, output bit-identical to a serial run at any thread count.
+    let engine = CampaignEngine::from_env();
+    let sweep = |jut: JammerUnderTest, sirs: &[f64]| {
+        CampaignSpec::jamming(jut)
+            .sirs(sirs)
+            .duration_s(seconds)
+            .seed(99)
+            .run(&engine)
+    };
+    let clean = sweep(JammerUnderTest::Off, &[60.0]);
     println!(
         "no-jamming ceiling: {:.1} Mb/s (paper: ~29 Mb/s)\n",
         clean[0].report.bandwidth_kbps / 1000.0
@@ -31,7 +42,7 @@ fn main() {
             "{:>10} {:>12} {:>8} {:>10} {:>6}",
             "SIR (dB)", "BW (kbps)", "PRR (%)", "rate(Mb/s)", "link"
         );
-        for p in jamming_sweep(jut, &sirs, seconds, 99) {
+        for p in sweep(jut, &sirs) {
             println!(
                 "{:>10.2} {:>12.0} {:>8.1} {:>10.1} {:>6}",
                 p.sir_ap_db,

@@ -6,16 +6,27 @@
 //! cargo run --release --example wimax_jamming -- [frames]
 //! ```
 
-use rjam::core::campaign::wimax_detection;
+use rjam::core::campaign::CampaignSpec;
+use rjam::core::CampaignEngine;
 
 fn main() {
     let frames: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(8);
+    let engine = CampaignEngine::from_env();
+    let detect = |fused: bool| {
+        CampaignSpec::wimax_detection()
+            .fused(fused)
+            .frames(frames)
+            .snr_db(20.0)
+            .threshold(0.45)
+            .seed(7)
+            .run(&engine)
+    };
 
     println!("cross-correlator alone (64-sample window over the 25 us code):");
-    let alone = wimax_detection(false, frames, 20.0, 0.45, 7);
+    let alone = detect(false);
     println!(
         "  detected {}/{} downlink frames ({:.0} %; paper: ~1/3)",
         (alone.detect_fraction * frames as f64).round(),
@@ -27,7 +38,7 @@ fn main() {
     );
 
     println!("\ncross-correlator OR energy differentiator (fused):");
-    let fused = wimax_detection(true, frames, 20.0, 0.45, 7);
+    let fused = detect(true);
     println!(
         "  detected {}/{} downlink frames ({:.0} %; paper: 100 %)",
         (fused.detect_fraction * frames as f64).round(),
