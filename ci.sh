@@ -38,11 +38,19 @@ cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_x
 step "campaign engine bench smoke (threads 1/2/4 + inline determinism cross-check)"
 # The bench itself panics if any sharded run diverges bitwise from the
 # serial reference, so a passing run doubles as a determinism gate.
-RJAM_BENCH_SAMPLES=2 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+RJAM_BENCH_SAMPLES=3 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
     RJAM_BENCH_OUT="$(pwd)" \
     cargo bench -q -p rjam-bench --offline --bench campaign_engine
 test -s BENCH_campaign_engine.json
 cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_campaign_engine.json
+
+step "campaign engine scaling gate (threads_4 vs threads_1 medians)"
+# Fails the build if the parallel engine regresses: on >= 4 cores the
+# 4-thread median must be a real speedup (<= 0.7x serial); on smaller
+# runners, where speedup is physically impossible, it must at least stay
+# within scheduling-overhead range of serial (<= 1.15x). The old
+# one-shard-per-point engine sat at 1.19x and would fail either bound.
+cargo run -q --release --offline -p rjam-bench --bin check_scaling -- BENCH_campaign_engine.json
 
 step "campaign determinism: RJAM_THREADS=1 and RJAM_THREADS=4 outputs are byte-identical"
 # The whole-engine contract, checked through the operator console: the same

@@ -1,0 +1,156 @@
+//! Scaling gate over `BENCH_campaign_engine.json`: fails when the
+//! parallel engine stops paying for itself.
+//!
+//! PR history motivates this gate: the engine once sharded one-shard-per-
+//! SNR-point with per-shard core construction, and `threads_4` came out
+//! *slower* than `threads_1` (33.2 ms vs 27.9 ms) — negative scaling that
+//! nothing caught. This binary parses the bench report and enforces, on
+//! the `threads_1` vs `threads_4` medians of the detection sweep:
+//!
+//! * **≥ 4 usable cores:** `threads_4 ≤ RATIO × threads_1`
+//!   (default 0.7 — threads must yield a real speedup);
+//! * **fewer cores:** a speedup is physically impossible, so the gate
+//!   degrades to an overhead bound `threads_4 ≤ OVERHEAD × threads_1`
+//!   (default 1.15 — fine shards and worker pools must keep the threaded
+//!   run within scheduling noise of serial; the old negative-scaling
+//!   regression at 1.19× fails this bound too) and says so loudly.
+//!
+//! The measured numbers are never adjusted: on a single-core runner the
+//! report shows ~1.0×, and the README documents that true speedup must be
+//! read from a multi-core run.
+//!
+//! Environment overrides: `RJAM_SCALING_RATIO`, `RJAM_SCALING_OVERHEAD`
+//! (both fractions of the serial median) and `RJAM_SCALING_CORES`
+//! (pretend core count, for testing the gate itself).
+
+use rjam_bench::harness::json::{parse, Value};
+use std::process::ExitCode;
+
+/// Median for one `params` label, from the report's record array.
+fn median_for(records: &[Value], params: &str) -> Result<f64, String> {
+    for rec in records {
+        let Value::Object(map) = rec else { continue };
+        if map.get("params").and_then(Value::as_str) == Some(params) {
+            return map
+                .get("median_ns")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("record '{params}' has no numeric median_ns"));
+        }
+    }
+    Err(format!("no record with params '{params}' in report"))
+}
+
+fn env_f64(name: &str, default: f64) -> Result<f64, String> {
+    match std::env::var(name) {
+        Err(_) => Ok(default),
+        Ok(v) => v
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("{name} must be a number, got {v:?}")),
+    }
+}
+
+fn usable_cores() -> usize {
+    if let Ok(v) = std::env::var("RJAM_SCALING_CORES") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    let root = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Value::Array(records) = root else {
+        return Err(format!("{path}: top level is not an array"));
+    };
+    let t1 = median_for(&records, "threads_1")?;
+    let t4 = median_for(&records, "threads_4")?;
+    if t1 <= 0.0 {
+        return Err(format!("threads_1 median is not positive ({t1})"));
+    }
+    let ratio = t4 / t1;
+    let cores = usable_cores();
+    println!(
+        "campaign engine scaling: threads_1 median {:.2} ms, threads_4 median {:.2} ms \
+         (ratio {ratio:.3}, {cores} usable core(s))",
+        t1 / 1e6,
+        t4 / 1e6,
+    );
+    if cores >= 4 {
+        let bound = env_f64("RJAM_SCALING_RATIO", 0.7)?;
+        if ratio <= bound {
+            println!("OK: threads_4 is {ratio:.3}x threads_1 (bound {bound})");
+            Ok(())
+        } else {
+            Err(format!(
+                "SCALING REGRESSION: threads_4 median is {ratio:.3}x threads_1 on {cores} cores \
+                 (bound {bound}); the parallel engine is not paying for its threads"
+            ))
+        }
+    } else {
+        let bound = env_f64("RJAM_SCALING_OVERHEAD", 1.15)?;
+        println!(
+            "NOTE: only {cores} usable core(s) — a real speedup is unmeasurable here, so the \
+             gate degrades to an overhead bound; run on >= 4 cores to verify speedup"
+        );
+        if ratio <= bound {
+            println!("OK: threads_4 is within {bound}x of threads_1 (overhead bound)");
+            Ok(())
+        } else {
+            Err(format!(
+                "SCALING REGRESSION: threads_4 median is {ratio:.3}x threads_1 even on \
+                 {cores} core(s) (overhead bound {bound}); thread overhead has crept back in"
+            ))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => p.clone(),
+        [] => "BENCH_campaign_engine.json".to_string(),
+        _ => {
+            eprintln!("usage: check_scaling [BENCH_campaign_engine.json]");
+            return ExitCode::from(2);
+        }
+    };
+    match check(&path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("check_scaling: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(t1: f64, t4: f64) -> Vec<Value> {
+        let mk = |params: &str, median: f64| {
+            let mut m = std::collections::BTreeMap::new();
+            m.insert("params".to_string(), Value::String(params.to_string()));
+            m.insert("median_ns".to_string(), Value::Number(median));
+            Value::Object(m)
+        };
+        vec![
+            mk("threads_1", t1),
+            mk("threads_2", (t1 + t4) / 2.0),
+            mk("threads_4", t4),
+        ]
+    }
+
+    #[test]
+    fn median_lookup_finds_params() {
+        let r = report(100.0, 50.0);
+        assert_eq!(median_for(&r, "threads_1").unwrap(), 100.0);
+        assert_eq!(median_for(&r, "threads_4").unwrap(), 50.0);
+        assert!(median_for(&r, "threads_8").is_err());
+    }
+}

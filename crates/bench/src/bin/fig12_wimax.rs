@@ -16,7 +16,7 @@ use rjam_core::CampaignEngine;
 
 fn main() {
     let args = Args::parse();
-    let frames: usize = args.get("frames", 20);
+    let frames: usize = args.get("frames", 40);
     let snr: f64 = args.get("snr", 20.0);
     figure_header(
         "Fig. 12",

@@ -48,8 +48,8 @@ fn calibrate_thresholds(engine: &CampaignEngine, fa_samples: usize) -> ((f64, f6
 
 fn main() {
     let args = Args::parse();
-    let frames: usize = args.get("frames", 200);
-    let fa_samples: usize = args.get("fa-samples", 8_000_000);
+    let frames: usize = args.get("frames", 1000);
+    let fa_samples: usize = args.get("fa-samples", 20_000_000);
     figure_header(
         "Fig. 6",
         "Cross-correlator detection probability - WiFi long preamble",

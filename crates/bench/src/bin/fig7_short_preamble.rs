@@ -12,8 +12,8 @@ use rjam_core::{CampaignEngine, DetectionPreset};
 
 fn main() {
     let args = Args::parse();
-    let frames: usize = args.get("frames", 200);
-    let fa_samples: usize = args.get("fa-samples", 8_000_000);
+    let frames: usize = args.get("frames", 1000);
+    let fa_samples: usize = args.get("fa-samples", 20_000_000);
     figure_header(
         "Fig. 7",
         "Cross-correlator detection probability - WiFi short preamble",

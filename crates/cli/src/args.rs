@@ -347,7 +347,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::usage("detect requires --preset"))?,
             )?,
             snr_db: opt(&rest, "snr", 5.0)?,
-            frames: opt(&rest, "frames", 100)?,
+            frames: opt(&rest, "frames", 1000)?,
             threshold: opt(&rest, "threshold", 0.35)?,
             energy_db: opt(&rest, "energy-db", 10.0)?,
             cell: opt(&rest, "cell", 1)?,
@@ -361,7 +361,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             )?,
             threshold: opt(&rest, "threshold", 0.40)?,
             energy_db: opt(&rest, "energy-db", 10.0)?,
-            samples: opt(&rest, "samples", 5_000_000)?,
+            samples: opt(&rest, "samples", 20_000_000)?,
             cell: opt(&rest, "cell", 1)?,
             segment: opt(&rest, "segment", 0)?,
         }),
@@ -389,8 +389,8 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
                     .ok_or_else(|| CliError::usage("roc requires --preset"))?,
             )?,
             snr_db: opt(&rest, "snr", 0.0)?,
-            frames: opt(&rest, "frames", 60)?,
-            fa_samples: opt(&rest, "fa-samples", 2_000_000)?,
+            frames: opt(&rest, "frames", 200)?,
+            fa_samples: opt(&rest, "fa-samples", 5_000_000)?,
             cell: opt(&rest, "cell", 1)?,
             segment: opt(&rest, "segment", 0)?,
         }),

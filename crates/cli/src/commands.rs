@@ -87,13 +87,18 @@ pub fn execute_with(cmd: &Command, engine: &CampaignEngine) -> Result<String, Cl
             segment,
         } => {
             let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment)?;
-            let fa = CampaignSpec::false_alarm(&p)
+            let (triggers, processed) = CampaignSpec::false_alarm(&p)
                 .samples(*samples)
                 .seed(0xFA2)
-                .run(engine);
+                .run_counts(engine);
+            let air_s = processed as f64 / rjam_sdr::USRP_SAMPLE_RATE;
+            let fa = if processed == 0 {
+                0.0
+            } else {
+                triggers as f64 / air_s
+            };
             Ok(format!(
-                "detector: {p:?}\nfalse alarms on {samples} noise samples ({:.2} s of air): {fa:.3}/s\n",
-                *samples as f64 / rjam_sdr::USRP_SAMPLE_RATE
+                "detector: {p:?}\n{triggers} false alarms on {processed} noise samples ({air_s:.2} s of air): {fa:.3}/s\n",
             ))
         }
         Command::Iperf {

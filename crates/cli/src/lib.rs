@@ -45,7 +45,19 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     let (argv, threads) = args::extract_threads(&argv)?;
     let engine = match threads {
         Some(n) => rjam_core::CampaignEngine::with_threads(n),
-        None => rjam_core::CampaignEngine::from_env(),
+        // No --threads flag: defer to RJAM_THREADS, but strictly. The
+        // engine's own fallback degrades garbage to serial; the console
+        // rejects it outright (exit 2), mirroring `--threads` validation.
+        None => match rjam_core::engine::threads_from_env() {
+            Ok(Some(0)) => {
+                return Err(CliError::usage(format!(
+                    "{} must be at least 1 (unset it to use all cores)",
+                    rjam_core::engine::THREADS_ENV
+                )))
+            }
+            Ok(_) => rjam_core::CampaignEngine::from_env(),
+            Err(msg) => return Err(CliError::usage(msg)),
+        },
     };
     let cmd = args::parse(&argv)?;
     let report = commands::execute_with(&cmd, &engine)?;

@@ -29,6 +29,31 @@ fn bad_flag_value_exits_2() {
 }
 
 #[test]
+fn garbage_rjam_threads_env_exits_2_with_usage() {
+    // The engine alone degrades a bad override to serial, but the console
+    // must reject it loudly through the usage-error path — same contract
+    // as a malformed --threads flag.
+    for bad in ["four", "-2", "0"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_rjamctl"))
+            .args(["resources"])
+            .env("RJAM_THREADS", bad)
+            .output()
+            .expect("spawn rjamctl");
+        assert_eq!(out.status.code(), Some(2), "RJAM_THREADS={bad}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("RJAM_THREADS"), "RJAM_THREADS={bad}: {err}");
+        assert!(err.contains("USAGE:"), "RJAM_THREADS={bad}: {err}");
+    }
+    // An explicit --threads flag wins over a bad environment value.
+    let out = Command::new(env!("CARGO_BIN_EXE_rjamctl"))
+        .args(["resources", "--threads", "2"])
+        .env("RJAM_THREADS", "garbage")
+        .output()
+        .expect("spawn rjamctl");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+}
+
+#[test]
 fn runtime_failure_exits_1_without_usage() {
     let out = rjamctl(&["classify", "/nonexistent/rjam_capture.cf32"]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");

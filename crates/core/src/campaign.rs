@@ -56,13 +56,18 @@ const RX_LEVEL: f64 = 0.02;
 const LEAD_IN: usize = 256;
 /// Noise tail after each frame.
 const TAIL: usize = 128;
-/// Noise samples per false-alarm shard. Shard boundaries are a pure
+/// Frames per detection-sweep work unit: each SNR point splits into
+/// `(snr, seed-block)` cells of this many frames, so the engine has far
+/// more units than workers to balance. Unit boundaries are a pure function
+/// of the spec, never of the thread count.
+const DETECTION_FRAMES_PER_UNIT: usize = 8;
+/// Noise samples per false-alarm work unit. Unit boundaries are a pure
 /// function of the requested sample count, never of the thread count.
-const FA_SHARD_SAMPLES: usize = 1 << 20;
+const FA_UNIT_SAMPLES: usize = 1 << 18;
 /// Block size the false-alarm measurement streams noise in.
 const FA_CHUNK: usize = 65_536;
-/// Downlink frames per WiMAX shard.
-const WIMAX_FRAMES_PER_SHARD: usize = 4;
+/// Downlink frames per WiMAX work unit.
+const WIMAX_FRAMES_PER_UNIT: usize = 4;
 
 /// Builds the 25 MSPS emission waveform for one trial. Each frame gets a
 /// random fractional sampling phase — transmitter and receiver clocks are
@@ -136,13 +141,18 @@ pub struct CampaignSpec;
 
 impl CampaignSpec {
     /// A WiFi detection-probability sweep (methodology of Figs 6-8).
+    ///
+    /// Default campaign sizes are calibrated to the fine-grained engine:
+    /// 400 frames per point keeps the binomial error bars under ~2.5 %
+    /// and still finishes faster than the old 40-frame default did before
+    /// worker pools (shard setup used to dominate).
     pub fn wifi_detection(preset: &DetectionPreset) -> WifiDetectionSpec {
         WifiDetectionSpec {
             preset: preset.clone(),
             emission: WifiEmission::FullFrames { psdu_len: 60 },
             channel: ChannelModel::Awgn,
             snrs_db: Vec::new(),
-            frames_per_point: 40,
+            frames_per_point: 400,
             seed: 0,
         }
     }
@@ -151,7 +161,7 @@ impl CampaignSpec {
     pub fn false_alarm(preset: &DetectionPreset) -> FalseAlarmSpec {
         FalseAlarmSpec {
             preset: preset.clone(),
-            samples: 1_000_000,
+            samples: 10_000_000,
             seed: 0,
         }
     }
@@ -163,8 +173,8 @@ impl CampaignSpec {
             emission: WifiEmission::FullFrames { psdu_len: 60 },
             snr_db: 0.0,
             thresholds: Vec::new(),
-            frames_per_point: 40,
-            fa_samples: 300_000,
+            frames_per_point: 200,
+            fa_samples: 1_500_000,
             seed: 0,
         }
     }
@@ -174,7 +184,7 @@ impl CampaignSpec {
     pub fn wimax_detection() -> WimaxDetectionSpec {
         WimaxDetectionSpec {
             fused: true,
-            frames: 12,
+            frames: 48,
             snr_db: 20.0,
             xcorr_threshold: 0.45,
             seed: 0,
@@ -246,62 +256,104 @@ impl WifiDetectionSpec {
         self
     }
 
-    /// Runs the sweep, one shard per SNR point: each shard owns a fresh
-    /// detector core, PRNG stream and scratch buffers, and streams
-    /// `trials` frames through the allocation-free block path.
+    /// Runs the sweep over fine-grained `(snr, seed-block)` cells: each
+    /// SNR point splits into `DETECTION_FRAMES_PER_UNIT`-frame units, so
+    /// the engine always has many more units than workers. Each worker
+    /// owns one pooled detector core, scratch and stream buffer
+    /// ([`ReactiveJammer::reset`] between units instead of a rebuild);
+    /// every unit derives its frames and noise from its own
+    /// [`crate::engine::ShardCtx`] seed and per-point results are summed
+    /// in unit order, so output is bit-identical at any thread count.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<DetectionPoint> {
+        struct DetectionPool {
+            jammer: ReactiveJammer,
+            scratch: BlockScratch,
+            stream: Vec<Cf64>,
+        }
         let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
-        let points = engine.run_shards(self.snrs_db.len(), self.seed, |ctx| {
-            let snr_db = self.snrs_db[ctx.index];
-            let mut rng = Rng::seed_from(ctx.seed);
-            let mut jammer = ReactiveJammer::new(self.preset.clone(), JammerPreset::Monitor);
-            // Correlation sweeps use a lockout so the 10 STS repetitions
-            // count as one detection; the energy sweep counts raw rise
-            // triggers (the paper reports "multiple detections per frame"
-            // in the mid-SNR band).
-            jammer.set_lockout(if energy_detector { 0 } else { DEFAULT_LOCKOUT });
-            let noise_power = RX_LEVEL / db_to_lin(snr_db);
-            let mut noise = NoiseSource::new(noise_power, rng.fork());
-            let mut scratch = BlockScratch::new();
-            let mut stream: Vec<Cf64> = Vec::new();
-            let mut detected_frames = 0usize;
-            let mut total_triggers = 0usize;
-            for _ in 0..self.frames_per_point {
-                let mut wave = emission_waveform(self.emission, rjam_phy80211::Rate::R12, &mut rng);
-                if let ChannelModel::Rayleigh { taps, rms } = self.channel {
-                    let ch = rjam_channel::MultipathChannel::rayleigh(taps, rms, &mut rng);
-                    wave = ch.apply(&wave);
+        let blocks_per_point = self
+            .frames_per_point
+            .div_ceil(DETECTION_FRAMES_PER_UNIT)
+            .max(1);
+        let cells = engine.run_units(
+            self.snrs_db.len() * blocks_per_point,
+            self.seed,
+            || DetectionPool {
+                // Correlation sweeps use a lockout so the 10 STS
+                // repetitions count as one detection; the energy sweep
+                // counts raw rise triggers (the paper reports "multiple
+                // detections per frame" in the mid-SNR band).
+                jammer: ReactiveJammer::from_presets(
+                    &self.preset,
+                    &JammerPreset::Monitor,
+                    if energy_detector { 0 } else { DEFAULT_LOCKOUT },
+                ),
+                scratch: BlockScratch::new(),
+                stream: Vec::new(),
+            },
+            |pool, ctx| {
+                let snr_db = self.snrs_db[ctx.index / blocks_per_point];
+                let lo = (ctx.index % blocks_per_point) * DETECTION_FRAMES_PER_UNIT;
+                let frames = DETECTION_FRAMES_PER_UNIT.min(self.frames_per_point - lo);
+                let mut rng = Rng::seed_from(ctx.seed);
+                pool.jammer.reset();
+                let noise_power = RX_LEVEL / db_to_lin(snr_db);
+                let mut noise = NoiseSource::new(noise_power, rng.fork());
+                let mut detected_frames = 0usize;
+                let mut total_triggers = 0usize;
+                for _ in 0..frames {
+                    let mut wave =
+                        emission_waveform(self.emission, rjam_phy80211::Rate::R12, &mut rng);
+                    if let ChannelModel::Rayleigh { taps, rms } = self.channel {
+                        let ch = rjam_channel::MultipathChannel::rayleigh(taps, rms, &mut rng);
+                        wave = ch.apply(&wave);
+                    }
+                    scale_to_power(&mut wave, RX_LEVEL);
+                    pool.stream.clear();
+                    for _ in 0..LEAD_IN {
+                        pool.stream.push(noise.next_sample());
+                    }
+                    let frame_lo = pool.stream.len() as u64;
+                    pool.stream
+                        .extend(wave.iter().map(|&s| s + noise.next_sample()));
+                    let frame_hi = pool.stream.len() as u64 + 64; // allow pipeline lag
+                    for _ in 0..TAIL {
+                        pool.stream.push(noise.next_sample());
+                    }
+                    let base = pool.jammer.core_mut().samples_processed();
+                    pool.jammer
+                        .process_block_into(&pool.stream, &mut pool.scratch);
+                    let n = count_in_window(
+                        pool.jammer.events(),
+                        base + frame_lo,
+                        base + frame_hi,
+                        energy_detector,
+                    );
+                    if n > 0 {
+                        detected_frames += 1;
+                    }
+                    total_triggers += n;
                 }
-                scale_to_power(&mut wave, RX_LEVEL);
-                stream.clear();
-                for _ in 0..LEAD_IN {
-                    stream.push(noise.next_sample());
+                (detected_frames, total_triggers)
+            },
+        );
+        // Per-point reduction in unit order: integer sums, so the merged
+        // ratios are bit-identical regardless of how units were grouped.
+        let points: Vec<DetectionPoint> = self
+            .snrs_db
+            .iter()
+            .enumerate()
+            .map(|(p, &snr_db)| {
+                let (detected, triggers) = cells[p * blocks_per_point..(p + 1) * blocks_per_point]
+                    .iter()
+                    .fold((0usize, 0usize), |(d, t), &(cd, ct)| (d + cd, t + ct));
+                DetectionPoint {
+                    snr_db,
+                    p_detect: detected as f64 / self.frames_per_point as f64,
+                    triggers_per_frame: triggers as f64 / self.frames_per_point as f64,
                 }
-                let frame_lo = stream.len() as u64;
-                stream.extend(wave.iter().map(|&s| s + noise.next_sample()));
-                let frame_hi = stream.len() as u64 + 64; // allow pipeline lag
-                for _ in 0..TAIL {
-                    stream.push(noise.next_sample());
-                }
-                let base = jammer.core_mut().samples_processed();
-                jammer.process_block_into(&stream, &mut scratch);
-                let n = count_in_window(
-                    jammer.events(),
-                    base + frame_lo,
-                    base + frame_hi,
-                    energy_detector,
-                );
-                if n > 0 {
-                    detected_frames += 1;
-                }
-                total_triggers += n;
-            }
-            DetectionPoint {
-                snr_db,
-                p_detect: detected_frames as f64 / self.frames_per_point as f64,
-                triggers_per_frame: total_triggers as f64 / self.frames_per_point as f64,
-            }
-        });
+            })
+            .collect();
         if rjam_obs::enabled() {
             use rjam_obs::registry::counter;
             let frames = (self.snrs_db.len() * self.frames_per_point) as u64;
@@ -340,49 +392,86 @@ impl FalseAlarmSpec {
     /// Measures the detector's false-alarm rate on noise alone,
     /// extrapolated to triggers per second (the paper terminates the
     /// receiver input and counts for 30 minutes; we process `samples`
-    /// noise samples and scale). Sharded into
-    /// fixed-size (`FA_SHARD_SAMPLES`, 2^20) sample segments, each with its own detector
-    /// and noise stream; trigger counts are summed in shard order.
+    /// noise samples and scale). See [`FalseAlarmSpec::run_counts`] for
+    /// the sharding and the raw numerator/denominator.
     pub fn run(&self, engine: &CampaignEngine) -> f64 {
+        let (triggers, samples) = self.run_counts(engine);
+        if samples == 0 {
+            return 0.0;
+        }
+        triggers as f64 / (samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
+    }
+
+    /// Runs the measurement and returns `(triggers, samples)` — the raw
+    /// trigger count and the noise samples actually streamed. The
+    /// denominator always equals the requested sample count: the campaign
+    /// splits into fixed-size (`FA_UNIT_SAMPLES`, 2^18) sample units whose
+    /// boundaries depend only on the request, and the final unit processes
+    /// exactly the remainder. Each worker pools one detector core and
+    /// scratch buffers (reset between units); per-unit counts are summed
+    /// in unit order.
+    pub fn run_counts(&self, engine: &CampaignEngine) -> (u64, u64) {
+        struct FaPool {
+            jammer: ReactiveJammer,
+            scratch: BlockScratch,
+            block: Vec<Cf64>,
+        }
         let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
-        let n_shards = self.samples.div_ceil(FA_SHARD_SAMPLES);
-        let counts = engine.run_shards(n_shards, self.seed, |ctx| {
-            let lo = ctx.index * FA_SHARD_SAMPLES;
-            let n = FA_SHARD_SAMPLES.min(self.samples - lo);
-            let mut jammer = ReactiveJammer::new(self.preset.clone(), JammerPreset::Monitor);
-            // A terminated input still shows the receiver noise floor.
-            let mut noise = NoiseSource::new(RX_LEVEL / db_to_lin(20.0), Rng::seed_from(ctx.seed));
-            let mut scratch = BlockScratch::new();
-            let mut block: Vec<Cf64> = Vec::new();
-            let mut done = 0usize;
-            while done < n {
-                let m = FA_CHUNK.min(n - done);
-                block.clear();
-                for _ in 0..m {
-                    block.push(noise.next_sample());
-                }
-                jammer.process_block_into(&block, &mut scratch);
-                done += m;
-            }
-            jammer
-                .events()
-                .iter()
-                .filter(|e| {
-                    if energy_detector {
-                        matches!(e, CoreEvent::EnergyHigh { .. })
-                    } else {
-                        matches!(e, CoreEvent::XcorrDetection { .. })
+        let n_units = self.samples.div_ceil(FA_UNIT_SAMPLES);
+        let counts = engine.run_units(
+            n_units,
+            self.seed,
+            || FaPool {
+                jammer: ReactiveJammer::from_presets(
+                    &self.preset,
+                    &JammerPreset::Monitor,
+                    DEFAULT_LOCKOUT,
+                ),
+                scratch: BlockScratch::new(),
+                block: Vec::new(),
+            },
+            |pool, ctx| {
+                let lo = ctx.index * FA_UNIT_SAMPLES;
+                let n = FA_UNIT_SAMPLES.min(self.samples - lo);
+                pool.jammer.reset();
+                // A terminated input still shows the receiver noise floor.
+                let mut noise =
+                    NoiseSource::new(RX_LEVEL / db_to_lin(20.0), Rng::seed_from(ctx.seed));
+                let mut done = 0usize;
+                while done < n {
+                    let m = FA_CHUNK.min(n - done);
+                    pool.block.clear();
+                    for _ in 0..m {
+                        pool.block.push(noise.next_sample());
                     }
-                })
-                .count()
-        });
-        let triggers: usize = counts.iter().sum();
+                    pool.jammer
+                        .process_block_into(&pool.block, &mut pool.scratch);
+                    done += m;
+                }
+                let triggers = pool
+                    .jammer
+                    .events()
+                    .iter()
+                    .filter(|e| {
+                        if energy_detector {
+                            matches!(e, CoreEvent::EnergyHigh { .. })
+                        } else {
+                            matches!(e, CoreEvent::XcorrDetection { .. })
+                        }
+                    })
+                    .count();
+                (triggers as u64, n as u64)
+            },
+        );
+        let (triggers, samples) = counts
+            .iter()
+            .fold((0u64, 0u64), |(t, s), &(ct, cs)| (t + ct, s + cs));
         if rjam_obs::enabled() {
             use rjam_obs::registry::counter;
-            counter("core.fa_samples").add(self.samples as u64);
-            counter("core.fa_triggers").add(triggers as u64);
+            counter("core.fa_samples").add(samples);
+            counter("core.fa_triggers").add(triggers);
         }
-        triggers as f64 / (self.samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
+        (triggers, samples)
     }
 }
 
@@ -450,10 +539,15 @@ impl RocSpec<'_> {
     /// comparison ("aiming for a lower false alarm rate generally
     /// decreases the probability of detection"). One shard per threshold;
     /// every threshold's false-alarm half reuses the *same* derived noise
-    /// stream so the FA axis is monotone in the threshold by construction.
+    /// stream and its detection half the *same* derived emission stream,
+    /// so both ROC axes are monotone in the threshold by construction —
+    /// a stricter threshold sees the identical air and can only lose
+    /// triggers, never gain them.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<RocPoint> {
-        // One shared noise stream for the FA half of every threshold.
+        // Shared streams across thresholds: one for the FA half, one for
+        // the detection half.
         let fa_seed = self.seed ^ 0xFA;
+        let det_seed = self.seed ^ 0xD7;
         engine.run_shards(self.thresholds.len(), self.seed, |ctx| {
             let thr = self.thresholds[ctx.index];
             let preset = (self.make_preset)(thr);
@@ -465,7 +559,7 @@ impl RocSpec<'_> {
                 .emission(self.emission)
                 .snrs(&[self.snr_db])
                 .trials(self.frames_per_point)
-                .seed(ctx.seed)
+                .seed(det_seed)
                 .run(&CampaignEngine::serial());
             RocPoint {
                 threshold: thr,
@@ -538,16 +632,22 @@ impl WimaxDetectionSpec {
     /// Runs the WiMAX downlink detection/jamming experiment: `frames` TDD
     /// frames from the modeled Air4G base station, received at 25 MSPS
     /// with AWGN at `snr_db`, against either the correlator alone or the
-    /// fused correlator+energy detector. Sharded in
-    /// `WIMAX_FRAMES_PER_SHARD`-frame (4-frame) groups, each with its own base
-    /// station, jammer and scope; shard scopes are merged back onto one
-    /// timeline with [`ScopeTrace::append_shifted`] and the Fig. 12
-    /// one-to-one correspondence is evaluated on the merged capture.
+    /// fused correlator+energy detector. Split into
+    /// `WIMAX_FRAMES_PER_UNIT`-frame (4-frame) work units, each with its
+    /// own base station, noise stream and scope; workers pool one jammer
+    /// core and scratch (reset between units). Unit scopes are merged back
+    /// onto one timeline with [`ScopeTrace::append_shifted`] and the
+    /// Fig. 12 one-to-one correspondence is evaluated on the merged
+    /// capture.
     pub fn run(&self, engine: &CampaignEngine) -> WimaxResult {
-        struct WimaxShard {
+        struct WimaxUnit {
             scope: ScopeTrace,
             detected: usize,
             latency_acc: f64,
+        }
+        struct WimaxPool {
+            jammer: ReactiveJammer,
+            scratch: BlockScratch,
         }
         let detection = if self.fused {
             DetectionPreset::WimaxFused {
@@ -564,78 +664,86 @@ impl WimaxDetectionSpec {
             }
         };
         let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
-        let n_shards = self.frames.div_ceil(WIMAX_FRAMES_PER_SHARD);
-        let shards = engine.run_shards(n_shards, self.seed, |ctx| {
-            let lo = ctx.index * WIMAX_FRAMES_PER_SHARD;
-            let n = WIMAX_FRAMES_PER_SHARD.min(self.frames - lo);
-            let mut jammer = ReactiveJammer::new(
-                detection.clone(),
-                JammerPreset::Reactive {
-                    uptime_s: 100e-6,
-                    waveform: rjam_fpga::JamWaveform::Wgn,
-                },
-            );
-            // One lockout per frame: suppress retriggers (correlator false
-            // triggers on payload symbols, energy re-rises) across the
-            // whole 5 ms frame (125 000 samples at 25 MSPS), re-arming
-            // before the next preamble.
-            jammer.set_lockout(100_000);
-            let mut gen = rjam_phy80216::DownlinkGenerator::new(rjam_phy80216::DownlinkConfig {
-                seed: ctx.seed,
-                ..rjam_phy80216::DownlinkConfig::default()
-            });
-            let mut rng = Rng::seed_from(ctx.seed ^ 0x16e);
-            let noise_power = RX_LEVEL / db_to_lin(self.snr_db);
-            let mut noise = NoiseSource::new(noise_power, rng.fork());
-            let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
-            let mut scratch = BlockScratch::new();
-            let mut detected = 0usize;
-            let mut latency_acc = 0.0f64;
-            for _ in 0..n {
-                let native = gen.next_frame();
-                let up = to_usrp_rate(&native, rjam_sdr::WIMAX_SAMPLE_RATE);
-                // Random per-frame sampling phase (unsynchronized clocks).
-                let mut wave = fractional_delay(&up, rng.uniform() * 0.999);
-                // Scale relative to the active subframe power.
-                let active = (gen.dl_subframe_samples() as f64 * 25.0 / 11.4) as usize;
-                let p = mean_power(&wave[..active.min(wave.len())]);
-                let k_scale = (RX_LEVEL / p).sqrt();
-                for s in wave.iter_mut() {
-                    *s = s.scale(k_scale);
+        let n_units = self.frames.div_ceil(WIMAX_FRAMES_PER_UNIT);
+        let units = engine.run_units(
+            n_units,
+            self.seed,
+            || WimaxPool {
+                // One lockout per frame: suppress retriggers (correlator
+                // false triggers on payload symbols, energy re-rises)
+                // across the whole 5 ms frame (125 000 samples at
+                // 25 MSPS), re-arming before the next preamble.
+                jammer: ReactiveJammer::from_presets(
+                    &detection,
+                    &JammerPreset::Reactive {
+                        uptime_s: 100e-6,
+                        waveform: rjam_fpga::JamWaveform::Wgn,
+                    },
+                    100_000,
+                ),
+                scratch: BlockScratch::new(),
+            },
+            |pool, ctx| {
+                let lo = ctx.index * WIMAX_FRAMES_PER_UNIT;
+                let n = WIMAX_FRAMES_PER_UNIT.min(self.frames - lo);
+                pool.jammer.reset();
+                let mut gen =
+                    rjam_phy80216::DownlinkGenerator::new(rjam_phy80216::DownlinkConfig {
+                        seed: ctx.seed,
+                        ..rjam_phy80216::DownlinkConfig::default()
+                    });
+                let mut rng = Rng::seed_from(ctx.seed ^ 0x16e);
+                let noise_power = RX_LEVEL / db_to_lin(self.snr_db);
+                let mut noise = NoiseSource::new(noise_power, rng.fork());
+                let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
+                let mut detected = 0usize;
+                let mut latency_acc = 0.0f64;
+                for _ in 0..n {
+                    let native = gen.next_frame();
+                    let up = to_usrp_rate(&native, rjam_sdr::WIMAX_SAMPLE_RATE);
+                    // Random per-frame sampling phase (unsynchronized clocks).
+                    let mut wave = fractional_delay(&up, rng.uniform() * 0.999);
+                    // Scale relative to the active subframe power.
+                    let active = (gen.dl_subframe_samples() as f64 * 25.0 / 11.4) as usize;
+                    let p = mean_power(&wave[..active.min(wave.len())]);
+                    let k_scale = (RX_LEVEL / p).sqrt();
+                    for s in wave.iter_mut() {
+                        *s = s.scale(k_scale);
+                    }
+                    for s in wave.iter_mut() {
+                        *s += noise.next_sample();
+                    }
+                    let base = pool.jammer.core_mut().samples_processed();
+                    pool.jammer.process_block_into(&wave, &mut pool.scratch);
+                    scope.capture(&wave);
+                    // Mark the frame at its actual position in the receive
+                    // stream (the per-frame fractional resample makes
+                    // frames a sample or two short of the nominal
+                    // 125 000-sample spacing).
+                    scope.mark(base as usize, "frame");
+                    if let Some(first_jam) = pool.scratch.active().iter().position(|&a| a) {
+                        scope.mark((base + first_jam as u64) as usize, "jam");
+                        detected += 1;
+                        latency_acc += first_jam as f64 / 25.0; // us at 25 MSPS
+                    }
                 }
-                for s in wave.iter_mut() {
-                    *s += noise.next_sample();
+                WimaxUnit {
+                    scope,
+                    detected,
+                    latency_acc,
                 }
-                let base = jammer.core_mut().samples_processed();
-                jammer.process_block_into(&wave, &mut scratch);
-                scope.capture(&wave);
-                // Mark the frame at its actual position in the receive
-                // stream (the per-frame fractional resample makes frames a
-                // sample or two short of the nominal 125 000-sample
-                // spacing).
-                scope.mark(base as usize, "frame");
-                if let Some(first_jam) = scratch.active().iter().position(|&a| a) {
-                    scope.mark((base + first_jam as u64) as usize, "jam");
-                    detected += 1;
-                    latency_acc += first_jam as f64 / 25.0; // us at 25 MSPS
-                }
-            }
-            WimaxShard {
-                scope,
-                detected,
-                latency_acc,
-            }
-        });
-        // Ordered merge: shard k lands at the cumulative sample count of
-        // shards 0..k, reproducing one continuous scope timeline.
+            },
+        );
+        // Ordered merge: unit k lands at the cumulative sample count of
+        // units 0..k, reproducing one continuous scope timeline.
         let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
         let mut detected = 0usize;
         let mut latency_acc = 0.0f64;
-        for sh in &shards {
+        for u in &units {
             let offset = scope.len();
-            scope.append_shifted(&sh.scope, offset);
-            detected += sh.detected;
-            latency_acc += sh.latency_acc;
+            scope.append_shifted(&u.scope, offset);
+            detected += u.detected;
+            latency_acc += u.latency_acc;
         }
         let one_to_one = scope
             .correspondence("frame", "jam", frame_samples_25 as usize / 4)
@@ -752,8 +860,8 @@ impl JammingSweepSpec {
         });
         let mut merged = MacObsDelta::new();
         let mut out = Vec::with_capacity(results.len());
-        for (pt, mut delta) in results {
-            merged.merge(&mut delta);
+        for (pt, delta) in results {
+            merged.absorb(delta);
             out.push(pt);
         }
         merged.publish();
@@ -1059,6 +1167,25 @@ mod tests {
     }
 
     #[test]
+    fn fa_denominator_matches_requested_samples() {
+        // Regression: with a sample count that is NOT a multiple of the
+        // unit size, the final unit must process exactly the remainder —
+        // the exported rate's denominator is the requested count, not a
+        // rounded-up unit multiple.
+        let preset = DetectionPreset::WifiLongPreamble { threshold: 0.30 };
+        let samples = 2 * FA_UNIT_SAMPLES + 12_345;
+        let spec = CampaignSpec::false_alarm(&preset).samples(samples).seed(5);
+        let (t1, n1) = spec.run_counts(&serial());
+        assert_eq!(n1, samples as u64, "denominator must equal the request");
+        let (t3, n3) = spec.run_counts(&CampaignEngine::with_threads(3));
+        assert_eq!((t1, n1), (t3, n3), "counts must be thread-invariant");
+        // And the rate is derived from exactly those counts.
+        let rate = spec.run(&serial());
+        let expect = t1 as f64 / (samples as f64 / rjam_sdr::USRP_SAMPLE_RATE);
+        assert_eq!(rate.to_bits(), expect.to_bits());
+    }
+
+    #[test]
     fn wimax_fusion_reaches_full_detection() {
         let alone = CampaignSpec::wimax_detection()
             .fused(false)
@@ -1173,7 +1300,7 @@ mod tests {
         assert_eq!(a, b);
 
         let fa_spec = CampaignSpec::false_alarm(&preset)
-            .samples(3 * FA_SHARD_SAMPLES / 2)
+            .samples(3 * FA_UNIT_SAMPLES / 2)
             .seed(41);
         assert_eq!(
             fa_spec.run(&CampaignEngine::serial()),

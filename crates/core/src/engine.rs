@@ -2,44 +2,71 @@
 //!
 //! Every campaign the paper's evaluation runs (detection sweeps, ROC
 //! curves, false-alarm calibration, WiMAX correspondence, iperf jamming
-//! sweeps) decomposes into *shards*: independent work units that share no
-//! state — each shard owns its own [`rjam_fpga::DspCore`], its own PRNG
-//! stream and its own observability buffers. [`CampaignEngine`] runs those
-//! shards on a scoped thread pool and merges the results **in shard
-//! order**, which yields the determinism contract the whole repo leans on:
+//! sweeps) decomposes into *units*: independent pieces of work that share
+//! no state — a `(snr, seed-block)` cell of a detection sweep, one noise
+//! segment of a false-alarm calibration, one frame group of the WiMAX
+//! capture. [`CampaignEngine`] runs those units on a scoped thread pool
+//! and merges the results **in unit order**, which yields the determinism
+//! contract the whole repo leans on:
 //!
 //! > For any thread count — 1, 4, or 128 — a campaign's output is
 //! > bit-identical to the serial run.
 //!
 //! Three ingredients make that true:
 //!
-//! 1. **Seed-splitting, not seed-sharing.** Each shard's PRNG stream is
-//!    derived from the campaign seed and the shard index through
+//! 1. **Seed-splitting, not seed-sharing.** Each unit's PRNG stream is
+//!    derived from the campaign seed and the unit index through
 //!    [`shard_seed`] (rjam-testkit's `splitmix64` bijection), so streams
-//!    never overlap and never depend on which worker ran the shard.
-//! 2. **Shard-local state.** The closure receives a [`ShardCtx`] and
-//!    builds everything it needs locally; nothing is read from or written
-//!    to shared state during execution.
-//! 3. **Ordered merge.** Workers pull shard indices from an atomic
-//!    counter (dynamic load balancing), but results are reassembled by
-//!    index after the scope joins — including per-shard obs deltas and
-//!    scope traces, which the campaign layer publishes in shard order.
+//!    never overlap and never depend on which worker ran the unit.
+//! 2. **Unit-local state.** The closure receives a [`ShardCtx`] and
+//!    derives everything that affects its *result* from it; the per-worker
+//!    pool (see below) only carries resettable scratch whose post-reset
+//!    behavior is identical to freshly built state.
+//! 3. **Ordered merge.** Workers claim contiguous unit ranges from an
+//!    atomic cursor over a [`ShardPlan`] (dynamic load balancing), but
+//!    results are **moved** into pre-sized slots by unit index after the
+//!    scope joins — no clones, no order dependence.
+//!
+//! ## Shard planning and worker pools
+//!
+//! Granularity is decoupled from dispatch: a campaign declares its natural
+//! unit count (which depends only on the spec, never on the thread count)
+//! and [`ShardPlan`] groups the units into at least [`OVERSHARD`]× the
+//! worker count of near-equal contiguous ranges, so a slow unit cannot
+//! serialize the tail of the run. Because seeds and merge order are
+//! per-*unit*, the grouping — and therefore the thread count — cannot
+//! change the output.
+//!
+//! Shard setup cost is amortized with per-worker pools:
+//! [`CampaignEngine::run_units`] calls `make_pool` once per worker thread
+//! (building e.g. a `DspCore`, quantization scratch and stream buffers)
+//! and hands each unit a `&mut` to its worker's pool; units reset the
+//! pooled state instead of rebuilding it. That turns the engine's
+//! per-shard overhead from dominant (one core build per SNR point) to
+//! negligible (one core build per worker).
 //!
 //! Worker count resolution: an explicit [`CampaignEngine::with_threads`]
-//! wins, else the `RJAM_THREADS` environment variable, else
-//! `std::thread::available_parallelism()`.
+//! wins, else the `RJAM_THREADS` environment variable (strictly parsed by
+//! [`threads_from_env`]; `0` clamps to one worker exactly like
+//! `with_threads(0)`, unparsable values degrade to serial rather than
+//! silently going wide), else `std::thread::available_parallelism()`.
 
+use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "RJAM_THREADS";
 
-/// Derives the PRNG stream for one shard of a campaign.
+/// Minimum shards-per-worker ratio a [`ShardPlan`] aims for, so dynamic
+/// load balancing has slack even when unit costs are skewed.
+pub const OVERSHARD: usize = 4;
+
+/// Derives the PRNG stream for one unit of a campaign.
 ///
-/// The map `shard -> seed` is injective for any fixed `campaign_seed`:
-/// the shard index passes through an odd-multiplier mix (injective on
+/// The map `unit -> seed` is injective for any fixed `campaign_seed`:
+/// the unit index passes through an odd-multiplier mix (injective on
 /// `u64`) and two applications of the splitmix64 finalizer (a bijection on
-/// `u64`), so two distinct shards can never collide onto one stream —
+/// `u64`), so two distinct units can never collide onto one stream —
 /// the property `rjam-testkit`'s seed-splitting test pins down.
 pub fn shard_seed(campaign_seed: u64, shard: u64) -> u64 {
     use rjam_testkit::rng::splitmix64;
@@ -49,15 +76,90 @@ pub fn shard_seed(campaign_seed: u64, shard: u64) -> u64 {
     splitmix64(campaign_seed ^ splitmix64(mixed))
 }
 
-/// Everything a shard closure is allowed to depend on: its index and its
-/// derived PRNG stream. If a shard computes from anything else, determinism
-/// across thread counts is forfeit — keep this struct minimal.
+/// Strictly parses a thread-count override string (the value of
+/// [`THREADS_ENV`] or a `--threads` argument).
+///
+/// `None` or an empty/whitespace string means "no override" (`Ok(None)`);
+/// a decimal integer parses to `Ok(Some(n))` — including `0`, which
+/// [`CampaignEngine::with_threads`] clamps to one worker; anything else is
+/// an error with an operator-facing message. Front-ends that own a usage
+/// channel (`rjamctl`) surface the error; [`CampaignEngine::from_env`]
+/// degrades to serial instead, so a typo can never silently fan out.
+pub fn parse_threads(value: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = value else { return Ok(None) };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    trimmed
+        .parse::<usize>()
+        .map(Some)
+        .map_err(|_| format!("{THREADS_ENV} must be a non-negative integer, got {raw:?}"))
+}
+
+/// [`parse_threads`] applied to the [`THREADS_ENV`] environment variable.
+pub fn threads_from_env() -> Result<Option<usize>, String> {
+    match std::env::var(THREADS_ENV) {
+        Ok(raw) => parse_threads(Some(&raw)),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Everything a unit closure is allowed to depend on for its *result*: its
+/// index and its derived PRNG stream. If a unit computes from anything
+/// else (other than properly reset pooled scratch), determinism across
+/// thread counts is forfeit — keep this struct minimal.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ShardCtx {
-    /// Shard index, `0..n_shards`.
+    /// Unit index, `0..n_units`.
     pub index: usize,
-    /// PRNG stream for this shard, from [`shard_seed`].
+    /// PRNG stream for this unit, from [`shard_seed`].
     pub seed: u64,
+}
+
+/// How `n_units` of work are grouped into contiguous dispatch ranges.
+///
+/// The plan targets at least [`OVERSHARD`] ranges per worker (capped at
+/// one unit per range) with sizes differing by at most one, so the atomic
+/// dispenser can load-balance without the grouping ever influencing
+/// results: seeds and merge order are per-unit, not per-range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    ranges: Vec<Range<usize>>,
+    n_units: usize,
+}
+
+impl ShardPlan {
+    /// Plans `n_units` of work for `workers` threads.
+    pub fn new(n_units: usize, workers: usize) -> Self {
+        let target = n_units.min(workers.max(1).saturating_mul(OVERSHARD));
+        let mut ranges = Vec::with_capacity(target);
+        if let Some(base) = n_units.checked_div(target) {
+            let rem = n_units % target;
+            let mut lo = 0;
+            for k in 0..target {
+                let len = base + usize::from(k < rem);
+                ranges.push(lo..lo + len);
+                lo += len;
+            }
+        }
+        ShardPlan { ranges, n_units }
+    }
+
+    /// Total units covered by the plan.
+    pub fn n_units(&self) -> usize {
+        self.n_units
+    }
+
+    /// Number of dispatch ranges.
+    pub fn n_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The contiguous unit ranges, in order.
+    pub fn ranges(&self) -> &[Range<usize>] {
+        &self.ranges
+    }
 }
 
 /// A deterministic sharded campaign runner.
@@ -77,18 +179,21 @@ pub struct CampaignEngine {
 
 impl CampaignEngine {
     /// An engine with the environment's worker count: `RJAM_THREADS` if
-    /// set to a positive integer, else `available_parallelism()`, else 1.
+    /// set (strictly parsed; `0` clamps to 1 like [`Self::with_threads`],
+    /// unparsable values degrade to serial), else
+    /// `available_parallelism()`, else 1.
     pub fn from_env() -> Self {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
+        match threads_from_env() {
+            Ok(Some(n)) => Self::with_threads(n),
+            Ok(None) => Self::with_threads(
                 std::thread::available_parallelism()
                     .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        CampaignEngine { threads }
+                    .unwrap_or(1),
+            ),
+            // A garbage override must not silently fan out to every core;
+            // rjamctl additionally rejects it through its usage-error path.
+            Err(_) => Self::serial(),
+        }
     }
 
     /// A single-threaded engine — the reference path the determinism
@@ -114,62 +219,96 @@ impl CampaignEngine {
     /// scheduling. The closure must derive all randomness from
     /// [`ShardCtx::seed`] and all identity from [`ShardCtx::index`].
     ///
-    /// Workers are `std::thread::scope` threads pulling shard indices
-    /// from a shared atomic counter; a panicking shard propagates the
-    /// panic to the caller after the scope joins.
+    /// Thin wrapper over [`Self::run_units`] with a unit pool of `()` —
+    /// use `run_units` when shard setup (core construction, template
+    /// generation, buffer allocation) is worth amortizing per worker.
     pub fn run_shards<T, F>(&self, n_shards: usize, seed: u64, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(ShardCtx) -> T + Sync,
     {
+        self.run_units(n_shards, seed, || (), |_, ctx| f(ctx))
+    }
+
+    /// Runs `n_units` independent units of campaign `seed` with per-worker
+    /// pools, returning the results **in unit order** regardless of worker
+    /// count or scheduling.
+    ///
+    /// `make_pool` is called once per worker thread (once total on the
+    /// serial path); `f` receives a `&mut` to its worker's pool plus the
+    /// unit's [`ShardCtx`]. The pool must be *reset-equivalent*: a unit
+    /// run against a reused pool must produce the same result as against a
+    /// freshly built one (e.g. `DspCore::reset` restores streaming state
+    /// while keeping configuration). All randomness must come from
+    /// [`ShardCtx::seed`].
+    ///
+    /// Workers are `std::thread::scope` threads claiming contiguous unit
+    /// ranges of a [`ShardPlan`] from a shared atomic cursor; results are
+    /// moved into pre-sized slots, and a panicking unit propagates the
+    /// panic to the caller after the scope joins.
+    pub fn run_units<T, P, M, F>(&self, n_units: usize, seed: u64, make_pool: M, f: F) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> P + Sync,
+        F: Fn(&mut P, ShardCtx) -> T + Sync,
+    {
         let ctx = |index: usize| ShardCtx {
             index,
             seed: shard_seed(seed, index as u64),
         };
-        self.note_run(n_shards);
-        let workers = self.threads.min(n_shards);
+        let workers = self.threads.min(n_units);
+        let plan = ShardPlan::new(n_units, workers);
+        self.note_run(&plan, workers.max(1));
         if workers <= 1 {
-            // Serial reference path: no pool, same ShardCtx sequence.
-            return (0..n_shards).map(|i| f(ctx(i))).collect();
+            // Serial reference path: one pool, same ShardCtx sequence.
+            let mut pool = make_pool();
+            return (0..n_units).map(|i| f(&mut pool, ctx(i))).collect();
         }
+        let ranges = plan.ranges();
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = (0..n_shards).map(|_| None).collect();
+        let mut slots: Vec<Option<T>> = (0..n_units).map(|_| None).collect();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
+                        let mut pool = make_pool();
                         let mut out = Vec::new();
                         loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n_shards {
+                            let r = next.fetch_add(1, Ordering::Relaxed);
+                            if r >= ranges.len() {
                                 break;
                             }
-                            out.push((i, f(ctx(i))));
+                            for i in ranges[r].clone() {
+                                out.push((i, f(&mut pool, ctx(i))));
+                            }
                         }
                         out
                     })
                 })
                 .collect();
-            // Ordered merge: scheduling decided who computed each shard,
-            // the index decides where its result lands.
+            // Ordered merge: scheduling decided who computed each unit,
+            // the index decides where its result lands — moved, not cloned.
             for h in handles {
-                for (i, v) in h.join().expect("campaign shard worker panicked") {
+                for (i, v) in h.join().expect("campaign unit worker panicked") {
                     slots[i] = Some(v);
                 }
             }
         });
         slots
             .into_iter()
-            .map(|o| o.expect("every shard index was claimed exactly once"))
+            .map(|o| o.expect("every unit index was claimed exactly once"))
             .collect()
     }
 
     /// Publishes engine activity to the obs registry (no-op without `obs`).
-    fn note_run(&self, n_shards: usize) {
+    fn note_run(&self, plan: &ShardPlan, workers: usize) {
         if rjam_obs::enabled() {
             rjam_obs::registry::counter("core.engine_campaigns").inc();
-            rjam_obs::registry::counter("core.engine_shards").add(n_shards as u64);
-            rjam_obs::registry::gauge("core.engine_threads").set_max(self.threads as u64);
+            rjam_obs::registry::counter("core.engine_units").add(plan.n_units() as u64);
+            rjam_obs::registry::counter("core.engine_shards").add(plan.n_shards() as u64);
+            // The *last* campaign's worker count, not a lifetime max —
+            // `rjamctl stats` reports what the most recent run actually used.
+            rjam_obs::registry::gauge("core.engine_threads").set(workers as u64);
         }
     }
 }
@@ -230,6 +369,79 @@ mod tests {
     }
 
     #[test]
+    fn plan_covers_every_unit_exactly_once_in_order() {
+        for n_units in [0usize, 1, 2, 7, 8, 33, 100, 257] {
+            for workers in [1usize, 2, 3, 4, 7, 64] {
+                let plan = ShardPlan::new(n_units, workers);
+                let covered: Vec<usize> = plan.ranges().iter().cloned().flatten().collect();
+                assert_eq!(
+                    covered,
+                    (0..n_units).collect::<Vec<_>>(),
+                    "n_units={n_units} workers={workers}"
+                );
+                assert_eq!(plan.n_units(), n_units);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_overshards_and_balances() {
+        // Enough units: at least OVERSHARD ranges per worker, sizes within 1.
+        let plan = ShardPlan::new(1000, 4);
+        assert_eq!(plan.n_shards(), 4 * OVERSHARD);
+        let sizes: Vec<usize> = plan.ranges().iter().map(|r| r.len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "{sizes:?}");
+        // Fewer units than the target: one unit per range, never empty.
+        let tiny = ShardPlan::new(3, 4);
+        assert_eq!(tiny.n_shards(), 3);
+        assert!(tiny.ranges().iter().all(|r| r.len() == 1));
+    }
+
+    #[test]
+    fn pooled_units_match_run_shards() {
+        // The pool must not leak into results: a counting pool changes
+        // nothing, and run_units == run_shards for the same closure.
+        let plain = CampaignEngine::serial().run_shards(50, 7, |ctx| ctx.seed ^ ctx.index as u64);
+        for threads in [1usize, 2, 7, 64] {
+            let pooled = CampaignEngine::with_threads(threads).run_units(
+                50,
+                7,
+                || 0u64,
+                |scratch, ctx| {
+                    *scratch += 1; // worker-local, must not affect output
+                    ctx.seed ^ ctx.index as u64
+                },
+            );
+            assert_eq!(pooled, plain, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workers_exceeding_shards_degrade_gracefully() {
+        // 64 workers, 3 units: the plan has 3 single-unit ranges and the
+        // extra workers find the cursor exhausted.
+        let got = CampaignEngine::with_threads(64).run_units(3, 9, || (), |_, ctx| ctx.index);
+        assert_eq!(got, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parse_threads_contract() {
+        assert_eq!(parse_threads(None), Ok(None));
+        assert_eq!(parse_threads(Some("")), Ok(None));
+        assert_eq!(parse_threads(Some("  ")), Ok(None));
+        assert_eq!(parse_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_threads(Some(" 8 ")), Ok(Some(8)));
+        // 0 parses; with_threads clamps it to 1 — consistent with the
+        // explicit API instead of silently fanning out to every core.
+        assert_eq!(parse_threads(Some("0")), Ok(Some(0)));
+        assert_eq!(CampaignEngine::with_threads(0).threads(), 1);
+        for garbage in ["four", "-2", "3.5", "0x4", "4 threads"] {
+            assert!(parse_threads(Some(garbage)).is_err(), "{garbage:?}");
+        }
+    }
+
+    #[test]
     fn zero_shards_and_zero_threads_are_safe() {
         let engine = CampaignEngine::with_threads(0);
         assert_eq!(engine.threads(), 1);
@@ -259,8 +471,8 @@ mod tests {
     #[test]
     fn engine_activity_reaches_registry() {
         use rjam_obs::registry::counter_value;
-        let before = counter_value("core.engine_shards");
+        let before = counter_value("core.engine_units");
         CampaignEngine::with_threads(2).run_shards(5, 3, |ctx| ctx.index);
-        assert!(counter_value("core.engine_shards") >= before + 5);
+        assert!(counter_value("core.engine_units") >= before + 5);
     }
 }

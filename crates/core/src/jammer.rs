@@ -84,14 +84,27 @@ pub struct ReactiveJammer {
 impl ReactiveJammer {
     /// Creates a jammer with the given personalities applied.
     pub fn new(detection: DetectionPreset, reaction: JammerPreset) -> Self {
+        Self::from_presets(&detection, &reaction, DEFAULT_LOCKOUT)
+    }
+
+    /// Creates a jammer from borrowed personalities with an explicit
+    /// lockout — the campaign worker-pool constructor: the spec keeps
+    /// ownership of its presets and each worker clones them exactly once,
+    /// with the lockout programmed in the same configuration pass instead
+    /// of a second register walk through [`ReactiveJammer::set_lockout`].
+    pub fn from_presets(
+        detection: &DetectionPreset,
+        reaction: &JammerPreset,
+        lockout: u64,
+    ) -> Self {
         let mut core = DspCore::new();
-        let cfg = build_config(&detection, &reaction, DEFAULT_LOCKOUT);
+        let cfg = build_config(detection, reaction, lockout);
         let writes = core.configure(&cfg);
         ReactiveJammer {
             core,
-            detection,
-            reaction,
-            lockout: DEFAULT_LOCKOUT,
+            detection: detection.clone(),
+            reaction: reaction.clone(),
+            lockout,
             reconfig_writes: writes,
         }
     }

@@ -1,11 +1,13 @@
 //! Property tests for the sharded campaign engine, driven by
 //! `rjam-testkit`: the determinism contract stated over the *external*
-//! JSON export surface, and the injectivity of the seed-splitting map.
+//! JSON export surface, the injectivity of the seed-splitting map, and
+//! the pool-reuse contract (a reset core is indistinguishable from a
+//! fresh one).
 
 use rjam_core::campaign::{CampaignSpec, JammerUnderTest, WifiEmission};
 use rjam_core::engine::shard_seed;
 use rjam_core::export::{detection_json, false_alarm_json, jamming_json};
-use rjam_core::{CampaignEngine, DetectionPreset};
+use rjam_core::{CampaignEngine, DetectionPreset, JammerPreset, ReactiveJammer};
 use rjam_testkit::{prop_assert, props};
 
 props! {
@@ -13,7 +15,9 @@ props! {
 
     /// A detection sweep exports byte-identical JSON at 1, 2 and 7
     /// worker threads, for any campaign seed — the determinism contract
-    /// observed from the outside.
+    /// observed from the outside. The trial count is deliberately NOT a
+    /// multiple of the engine's frames-per-unit, so remainder-bearing
+    /// `(snr, seed-block)` cells are always in play.
     fn detection_export_thread_invariant(seed in 0u64..1_000_000) {
         let run = |threads: usize| {
             let pts = CampaignSpec::wifi_detection(
@@ -21,7 +25,7 @@ props! {
             )
             .emission(WifiEmission::FullFrames { psdu_len: 60 })
             .snrs(&[-3.0, 3.0, 9.0])
-            .trials(8)
+            .trials(11)
             .seed(seed)
             .run(&CampaignEngine::with_threads(threads));
             detection_json(&pts)
@@ -37,7 +41,9 @@ props! {
     }
 
     /// Same contract for the MAC-layer jamming sweep and the false-alarm
-    /// calibration (which shards by sample segment, not by point).
+    /// calibration (which shards by sample segment, not by point). The
+    /// jamming sweep runs with far more workers than shards; the FA
+    /// sample count leaves a partial final segment.
     fn jamming_and_fa_exports_thread_invariant(seed in 0u64..1_000_000) {
         let jam = |threads: usize| {
             let pts = CampaignSpec::jamming(JammerUnderTest::ReactiveShort)
@@ -51,17 +57,75 @@ props! {
             let rate = CampaignSpec::false_alarm(
                 &DetectionPreset::WifiLongPreamble { threshold: 0.30 },
             )
-            // 1.5 shards' worth of samples, so the partial-shard path runs.
-            .samples((1 << 20) + (1 << 19))
+            // 2.x units' worth of samples, so the partial-unit path runs.
+            .samples(2 * (1 << 18) + 54_321)
             .seed(seed)
             .run(&CampaignEngine::with_threads(threads));
             false_alarm_json(rate)
         };
         let (jam1, fa1) = (jam(1), fa(1));
-        for threads in [2usize, 7] {
+        // 32 workers against 2 jamming shards: workers > shards must
+        // degrade gracefully and change nothing.
+        for threads in [2usize, 7, 32] {
             prop_assert!(jam(threads) == jam1, "jamming JSON diverged at {threads} threads");
             prop_assert!(fa(threads) == fa1, "FA JSON diverged at {threads} threads");
         }
+    }
+
+    /// The pool-reuse contract behind `CampaignEngine::run_units`: a core
+    /// that processed unrelated traffic and was `reset` produces output
+    /// bit-identical to a freshly built, identically configured core —
+    /// events, transmit waveform and activity mask alike.
+    fn reset_jammer_matches_fresh_jammer(seed in 0u64..1_000_000) {
+        use rjam_core::BlockScratch;
+        use rjam_sdr::complex::Cf64;
+
+        let make = || {
+            ReactiveJammer::from_presets(
+                &DetectionPreset::WifiShortPreamble { threshold: 0.30 },
+                &JammerPreset::Reactive {
+                    uptime_s: 10e-6,
+                    waveform: rjam_fpga::JamWaveform::Wgn,
+                },
+                1000,
+            )
+        };
+        let mut rng = rjam_sdr::rng::Rng::seed_from(seed);
+        let noise = rjam_channel::noise::NoiseSource::new(1e-4, rng.fork());
+        let frame = rjam_phy80211::tx::modulate_frame(&rjam_phy80211::tx::Frame::new(
+            rjam_phy80211::Rate::R12,
+            vec![0x5A; 40],
+        ));
+        let wave = rjam_sdr::resample::to_usrp_rate(&frame, rjam_sdr::WIFI_SAMPLE_RATE);
+        let mut noise = noise;
+        let mut stream: Vec<Cf64> = (0..256).map(|_| noise.next_sample()).collect();
+        stream.extend(wave.iter().map(|&s| s.scale(0.2) + noise.next_sample()));
+        let dirt: Vec<Cf64> = (0..2048).map(|_| noise.next_sample()).collect();
+
+        // Dirty path: unrelated traffic, then reset, then the stream.
+        let mut dirty = make();
+        let mut scratch_d = BlockScratch::new();
+        dirty.process_block_into(&dirt, &mut scratch_d);
+        dirty.reset();
+        dirty.process_block_into(&stream, &mut scratch_d);
+
+        // Fresh path: the stream alone.
+        let mut fresh = make();
+        let mut scratch_f = BlockScratch::new();
+        fresh.process_block_into(&stream, &mut scratch_f);
+
+        prop_assert!(
+            dirty.events() == fresh.events(),
+            "event log differs after reset (seed {seed})"
+        );
+        prop_assert!(
+            scratch_d.tx() == scratch_f.tx(),
+            "transmit waveform differs after reset (seed {seed})"
+        );
+        prop_assert!(
+            scratch_d.active() == scratch_f.active(),
+            "activity mask differs after reset (seed {seed})"
+        );
     }
 }
 

@@ -968,6 +968,13 @@ impl DspCore {
     }
 
     /// Clears streaming state and logs, keeping configuration.
+    ///
+    /// After a reset the core is stream-indistinguishable from a freshly
+    /// built and identically configured one: datapath pipelines, event
+    /// logs, the capture FIFO (contents, not its `pre`/`post`/depth
+    /// configuration) and the sticky host-feedback flags are all cleared.
+    /// The campaign engine's worker pools lean on exactly this property —
+    /// one core per worker, `reset` between units instead of a rebuild.
     pub fn reset(&mut self) {
         self.xcorr.reset();
         self.energy.reset();
@@ -975,6 +982,12 @@ impl DspCore {
         self.jammer.reset();
         self.events.clear();
         self.now = 0;
+        if let Some(cap) = self.capture.as_mut() {
+            cap.reset();
+        }
+        // Sticky feedback from the previous stream must not leak into the
+        // next host read; a fresh core starts with the register clear.
+        self.bus.write_reg_if_changed(RegisterMap::HostFeedback, 0);
         // The jammer's event log was cleared; restart the accounting cursor.
         // Lifetime statistics survive a stream reset, like hardware counters.
         self.stats.burst_cursor = 0;

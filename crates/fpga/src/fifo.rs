@@ -80,6 +80,16 @@ impl SampleFifo {
     pub fn high_water(&self) -> usize {
         self.high_water
     }
+
+    /// Stream reset: drops queued samples and clears the sticky overflow
+    /// and high-water diagnostics, keeping the configured depth — the
+    /// FIFO's part of a core-wide `reset` that must leave the block
+    /// indistinguishable from a freshly built one.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.overflow = 0;
+        self.high_water = 0;
+    }
 }
 
 /// Trigger-gated capture: pre-trigger history plus a post-trigger window,
@@ -151,6 +161,16 @@ impl TriggerCapture {
     /// True while a post-trigger window is still streaming.
     pub fn is_streaming(&self) -> bool {
         self.streaming > 0
+    }
+
+    /// Stream reset: clears the FIFO, the pre-trigger history, any
+    /// in-flight post-trigger window and the capture count, keeping the
+    /// `pre`/`post`/depth configuration.
+    pub fn reset(&mut self) {
+        self.fifo.reset();
+        self.history.clear();
+        self.streaming = 0;
+        self.captures = 0;
     }
 }
 

@@ -101,6 +101,13 @@ impl MacObsDelta {
         self.counters.absorb(&mut other.counters);
     }
 
+    /// Move-based merge: consumes `other` and folds its deltas into
+    /// `self`. The campaign engine's ordered merge moves shard results
+    /// into place without clones; this is the obs-delta leg of that path.
+    pub fn absorb(&mut self, mut other: MacObsDelta) {
+        self.counters.absorb(&mut other.counters);
+    }
+
     /// Publishes the batched deltas into the global registry and zeroes
     /// the batch.
     pub fn publish(&mut self) {
