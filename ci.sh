@@ -52,6 +52,22 @@ step "campaign engine scaling gate (threads_4 vs threads_1 medians)"
 # one-shard-per-point engine sat at 1.19x and would fail either bound.
 cargo run -q --release --offline -p rjam-bench --bin check_scaling -- BENCH_campaign_engine.json
 
+step "perf baseline gate (fresh smoke medians vs committed baselines/)"
+# Bounds median regressions against committed snapshots measured on the
+# same runner class with the same smoke settings. The default bound
+# (RJAM_BASELINE_RATIO, 1.25) absorbs shared-runner noise while still
+# catching algorithmic regressions; after an intentional perf change,
+# regenerate the snapshots (see baselines/README.md) in the same PR.
+# The campaign gate watches the serial record only: oversubscribed
+# threads_2/4 wall-clocks on a small runner are scheduler noise, and
+# check_scaling above already bounds them *relative to* threads_1 within
+# this same run.
+cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
+    BENCH_xcorr_throughput.json baselines/BENCH_xcorr_throughput.json
+cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
+    BENCH_campaign_engine.json baselines/BENCH_campaign_engine.json \
+    --params threads_1
+
 step "campaign determinism: RJAM_THREADS=1 and RJAM_THREADS=4 outputs are byte-identical"
 # The whole-engine contract, checked through the operator console: the same
 # campaign at different worker counts must print the same bytes.
@@ -74,6 +90,23 @@ step "no-default-features: obs layer compiles out (build + clippy)"
 cargo build --workspace --no-default-features --offline
 cargo clippy --workspace --no-default-features --all-targets --offline -- -D warnings
 
+step "telemetry overhead gate: obs-on engine within 1.02x of obs-off (threads_1 median)"
+# The engine's per-unit timing, stream hooks and profile publication must
+# cost <= 2 % on the serial hot path. Both runs use identical settings,
+# back to back, on this runner; the no-default build compiles the whole
+# obs layer to zero-sized no-ops.
+mkdir -p target/ci_obs_off target/ci_obs_on
+RJAM_BENCH_SAMPLES=5 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+    RJAM_BENCH_OUT="$(pwd)/target/ci_obs_off" \
+    cargo bench -q -p rjam-bench --no-default-features --offline --bench campaign_engine
+RJAM_BENCH_SAMPLES=5 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+    RJAM_BENCH_OUT="$(pwd)/target/ci_obs_on" \
+    cargo bench -q -p rjam-bench --offline --bench campaign_engine
+cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
+    target/ci_obs_on/BENCH_campaign_engine.json \
+    target/ci_obs_off/BENCH_campaign_engine.json \
+    --max-ratio 1.02 --params threads_1
+
 step "observability smoke: stats report + metrics snapshot round-trip"
 # `stats` exercises live episodes and must report the trigger-to-TX
 # histogram against the paper's response budget; `--metrics-out` must
@@ -87,6 +120,38 @@ grep -q '"schema": "rjam-metrics-v1"' rjam_ci_metrics.json
 cargo run -q --release --offline -p rjam-cli -- stats rjam_ci_metrics.json \
     | grep -q "fpga.samples_in"
 rm -f rjam_ci_metrics.json
+
+step "live progress smoke: rjamctl --progress streams a valid start->done chain"
+# A real campaign through the console must emit a complete, schema-valid
+# rjam-progress-v1 chain — to a file via --progress=FILE and to stderr via
+# bare --progress.
+cargo run -q --release --offline -p rjam-cli -- \
+    --progress=rjam_ci_progress.ndjson \
+    detect --preset wifi-short --snr 3 --frames 16 > /dev/null
+test -s rjam_ci_progress.ndjson
+grep -q "campaign_started" rjam_ci_progress.ndjson
+grep -q "campaign_done" rjam_ci_progress.ndjson
+cargo run -q --release --offline -p rjam-bench --bin check_progress_json -- \
+    rjam_ci_progress.ndjson
+cargo run -q --release --offline -p rjam-cli -- \
+    --progress detect --preset wifi-short --snr 3 --frames 16 \
+    > /dev/null 2> rjam_ci_progress_err.ndjson
+cargo run -q --release --offline -p rjam-bench --bin check_progress_json -- \
+    rjam_ci_progress_err.ndjson
+rm -f rjam_ci_progress.ndjson rjam_ci_progress_err.ndjson
+
+step "engine profile report: rjamctl report attributes >= 95% of worker wall-clock"
+# The post-run profile must account for (busy + idle + merge-wait) at
+# least 95 % of total worker wall-clock on a real campaign — anything
+# less means the engine is losing time the profile cannot explain.
+cargo run -q --release --offline -p rjam-cli -- report --frames 32 --top 3 \
+    > rjam_ci_report.out
+grep -q "engine profile: wifi_detection" rjam_ci_report.out
+awk '/^attributed /{p=$2; sub(/%/,"",p); found=1;
+         if (p+0 < 95.0) { print "attribution below 95%: " p; exit 1 } }
+     END { if (!found) { print "no attribution line in report"; exit 1 } }' \
+    rjam_ci_report.out
+rm -f rjam_ci_report.out
 
 step "causal tracing smoke: rjamctl trace emits a valid rjam-trace-v1 doc"
 # A default traced run must produce a document the round-trip parser

@@ -56,6 +56,7 @@ fn main() {
 
     for threads in [1usize, 2, 4] {
         let engine = CampaignEngine::with_threads(threads);
+        h.set_threads(engine.threads());
         h.bench(
             "detection_sweep_8pt_120f",
             &format!("threads_{threads}"),

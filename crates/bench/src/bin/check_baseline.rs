@@ -1,0 +1,246 @@
+//! Performance-baseline gate: diffs a fresh `BENCH_*.json` report against
+//! a committed baseline and fails on median regressions.
+//!
+//! ```text
+//! check_baseline <fresh.json> <baseline.json> [--max-ratio R] [--params P]
+//! ```
+//!
+//! For every `(bench, params)` record in the baseline (optionally filtered
+//! to one `params` label with `--params`), the fresh report must contain a
+//! matching record whose `median_ns` is at most `R ×` the baseline median.
+//! `R` defaults to `RJAM_BASELINE_RATIO` (itself defaulting to 1.25 — a
+//! generous bound sized for shared CI runners, still far below the 2–10×
+//! of a genuine algorithmic regression).
+//!
+//! `ci.sh` runs this gate twice:
+//!
+//! * fresh bench output vs the committed `baselines/` snapshots at the
+//!   default ratio — the *regression* gate;
+//! * a default-features campaign-engine run vs a `--no-default-features`
+//!   run at `--max-ratio 1.02 --params threads_1` — the *telemetry
+//!   overhead* gate, proving the `obs` instrumentation costs ≤ 2 % on the
+//!   serial hot path.
+//!
+//! Exit codes: 0 within bounds, 1 regression/malformed report, 2 usage.
+
+use rjam_bench::harness::json::{parse, Value};
+use std::process::ExitCode;
+
+/// `(bench, params) → median_ns` rows of one report.
+fn medians(records: &[Value]) -> Result<Vec<(String, String, f64)>, String> {
+    let mut out = Vec::new();
+    for (k, rec) in records.iter().enumerate() {
+        let bench = rec
+            .get("bench")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("record {k}: missing string field 'bench'"))?;
+        let params = rec
+            .get("params")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("record {k}: missing string field 'params'"))?;
+        let median = rec
+            .get("median_ns")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("record {k}: missing number field 'median_ns'"))?;
+        out.push((bench.to_string(), params.to_string(), median));
+    }
+    Ok(out)
+}
+
+fn load(path: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
+    let root = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let Value::Array(records) = root else {
+        return Err(format!("{path}: top level is not an array"));
+    };
+    medians(&records).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Compares fresh medians against baseline medians. Returns the printable
+/// comparison table on success, the first violation on failure.
+fn compare(
+    fresh: &[(String, String, f64)],
+    base: &[(String, String, f64)],
+    max_ratio: f64,
+    params_filter: Option<&str>,
+) -> Result<String, String> {
+    let mut out = String::new();
+    let mut checked = 0usize;
+    for (bench, params, base_median) in base {
+        if params_filter.is_some_and(|p| p != params) {
+            continue;
+        }
+        let label = if params.is_empty() {
+            bench.clone()
+        } else {
+            format!("{bench}/{params}")
+        };
+        if *base_median <= 0.0 {
+            return Err(format!(
+                "{label}: baseline median is not positive ({base_median})"
+            ));
+        }
+        let fresh_median = fresh
+            .iter()
+            .find(|(b, p, _)| b == bench && p == params)
+            .map(|(_, _, m)| *m)
+            .ok_or_else(|| format!("{label}: present in baseline but missing from fresh report"))?;
+        let ratio = fresh_median / base_median;
+        out.push_str(&format!(
+            "{label:<44} base {:>10.3} ms  fresh {:>10.3} ms  ratio {ratio:.3}\n",
+            base_median / 1e6,
+            fresh_median / 1e6,
+        ));
+        if ratio > max_ratio {
+            return Err(format!(
+                "REGRESSION: {label} median is {ratio:.3}x the baseline \
+                 ({:.3} ms vs {:.3} ms, bound {max_ratio})",
+                fresh_median / 1e6,
+                base_median / 1e6,
+            ));
+        }
+        checked += 1;
+    }
+    if checked == 0 {
+        return Err(match params_filter {
+            Some(p) => format!("baseline has no record with params '{p}'"),
+            None => "baseline report contains no records".into(),
+        });
+    }
+    out.push_str(&format!(
+        "OK: {checked} record(s) within {max_ratio}x of baseline\n"
+    ));
+    Ok(out)
+}
+
+fn default_ratio() -> Result<f64, String> {
+    match std::env::var("RJAM_BASELINE_RATIO") {
+        Err(_) => Ok(1.25),
+        Ok(v) => v
+            .trim()
+            .parse::<f64>()
+            .map_err(|_| format!("RJAM_BASELINE_RATIO must be a number, got {v:?}")),
+    }
+}
+
+fn run(args: &[String]) -> Result<String, (u8, String)> {
+    let usage = "usage: check_baseline <fresh.json> <baseline.json> [--max-ratio R] [--params P]";
+    let mut positional = Vec::new();
+    let mut max_ratio: Option<f64> = None;
+    let mut params_filter: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-ratio" => {
+                let v = it
+                    .next()
+                    .ok_or((2, format!("--max-ratio needs a value\n{usage}")))?;
+                max_ratio = Some(
+                    v.parse::<f64>()
+                        .ok()
+                        .filter(|r| r.is_finite() && *r > 0.0)
+                        .ok_or((
+                            2,
+                            format!("--max-ratio must be a positive number, got {v:?}"),
+                        ))?,
+                );
+            }
+            "--params" => {
+                let v = it
+                    .next()
+                    .ok_or((2, format!("--params needs a value\n{usage}")))?;
+                params_filter = Some(v.clone());
+            }
+            _ if arg.starts_with('-') => {
+                return Err((2, format!("unknown flag '{arg}'\n{usage}")));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let [fresh_path, base_path] = positional.as_slice() else {
+        return Err((2, usage.to_string()));
+    };
+    let max_ratio = match max_ratio {
+        Some(r) => r,
+        None => default_ratio().map_err(|e| (2, e))?,
+    };
+    let fresh = load(fresh_path).map_err(|e| (1, e))?;
+    let base = load(base_path).map_err(|e| (1, e))?;
+    compare(&fresh, &base, max_ratio, params_filter.as_deref()).map_err(|e| (1, e))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(table) => {
+            print!("{table}");
+            ExitCode::SUCCESS
+        }
+        Err((code, msg)) => {
+            eprintln!("check_baseline: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(medians: &[(&str, &str, f64)]) -> Vec<(String, String, f64)> {
+        medians
+            .iter()
+            .map(|(b, p, m)| (b.to_string(), p.to_string(), *m))
+            .collect()
+    }
+
+    #[test]
+    fn within_bound_passes_and_tabulates() {
+        let base = rows(&[("sweep", "threads_1", 100e6), ("sweep", "threads_4", 110e6)]);
+        let fresh = rows(&[("sweep", "threads_1", 110e6), ("sweep", "threads_4", 100e6)]);
+        let out = compare(&fresh, &base, 1.25, None).unwrap();
+        assert!(out.contains("OK: 2 record(s)"), "{out}");
+        assert!(out.contains("sweep/threads_1"), "{out}");
+    }
+
+    #[test]
+    fn regression_fails_with_ratio() {
+        let base = rows(&[("sweep", "threads_1", 100e6)]);
+        let fresh = rows(&[("sweep", "threads_1", 140e6)]);
+        let err = compare(&fresh, &base, 1.25, None).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("1.400x"), "{err}");
+    }
+
+    #[test]
+    fn params_filter_restricts_the_gate() {
+        // threads_4 regresses badly, but the gate only watches threads_1.
+        let base = rows(&[("sweep", "threads_1", 100e6), ("sweep", "threads_4", 100e6)]);
+        let fresh = rows(&[("sweep", "threads_1", 101e6), ("sweep", "threads_4", 500e6)]);
+        let out = compare(&fresh, &base, 1.02, Some("threads_1")).unwrap();
+        assert!(out.contains("OK: 1 record(s)"), "{out}");
+        assert!(compare(&fresh, &base, 1.02, None).is_err());
+    }
+
+    #[test]
+    fn missing_fresh_record_fails() {
+        let base = rows(&[("sweep", "threads_1", 100e6)]);
+        let err = compare(&rows(&[]), &base, 1.25, None).unwrap_err();
+        assert!(err.contains("missing from fresh"), "{err}");
+    }
+
+    #[test]
+    fn unmatched_filter_fails_instead_of_passing_vacuously() {
+        let base = rows(&[("sweep", "threads_1", 100e6)]);
+        let fresh = rows(&[("sweep", "threads_1", 100e6)]);
+        let err = compare(&fresh, &base, 1.25, Some("threads_9")).unwrap_err();
+        assert!(err.contains("no record with params"), "{err}");
+    }
+
+    #[test]
+    fn bad_baseline_median_fails() {
+        let base = rows(&[("sweep", "threads_1", 0.0)]);
+        let fresh = rows(&[("sweep", "threads_1", 1.0)]);
+        assert!(compare(&fresh, &base, 1.25, None).is_err());
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! Parses each file with the harness's own JSON parser and checks the
 //! record schema (`bench`, `params`, `median_ns`, `p95_ns`, `min_ns`,
-//! `throughput`, plus the optional `counters` object of per-iteration
-//! `rjam-obs` registry deltas), exiting non-zero on the first malformed
-//! report. Used by `ci.sh` to keep the benchmark emission format honest.
+//! `throughput`, `host_cores`, `threads`, plus the optional `counters`
+//! object of per-iteration `rjam-obs` registry deltas), exiting non-zero
+//! on the first malformed report. Used by `ci.sh` to keep the benchmark
+//! emission format honest. `host_cores` and `threads` are mandatory
+//! positive integers: scaling records are uninterpretable without knowing
+//! the host's parallelism.
 
 use rjam_bench::harness::json::{parse, Value};
 use std::process::ExitCode;
@@ -24,6 +27,17 @@ fn check_record(v: &Value) -> Result<String, String> {
             Some(Value::Number(n)) if *n >= 0.0 => {}
             Some(Value::Number(n)) => {
                 return Err(format!("{name}: {field} is negative ({n})"));
+            }
+            _ => return Err(format!("{name}: missing number field '{field}'")),
+        }
+    }
+    for field in ["host_cores", "threads"] {
+        match map.get(field) {
+            Some(Value::Number(n)) if *n >= 1.0 && n.fract() == 0.0 => {}
+            Some(Value::Number(n)) => {
+                return Err(format!(
+                    "{name}: {field} must be a positive integer, got {n}"
+                ));
             }
             _ => return Err(format!("{name}: missing number field '{field}'")),
         }

@@ -1,0 +1,181 @@
+//! Validates `rjam-progress-v1` NDJSON streams (the `rjamctl --progress`
+//! output) against the schema and the campaign-chain state machine.
+//!
+//! Every line must parse as a progress event; by default the file must
+//! then decompose into one or more *complete* campaign chains —
+//! `campaign_started` first, `campaign_done` last, snapshots monotone,
+//! shard coverage exact — via [`rjam_obs::stream::validate_chain`]. A
+//! stream that ends mid-campaign is an error unless `--partial` is given,
+//! which checks parsing only (useful for tailing a live run).
+//!
+//! Exit codes: 0 valid, 1 invalid stream, 2 usage error. Used by `ci.sh`
+//! to assert that a real `rjamctl` campaign emits a full start→done chain.
+
+use rjam_obs::stream::{parse_stream, validate_chain, ProgressEvent};
+use std::process::ExitCode;
+
+/// Parses `text` and, unless `partial`, validates every campaign chain in
+/// it. Returns a one-line summary.
+fn check_text(text: &str, partial: bool) -> Result<String, String> {
+    let events = parse_stream(text)?;
+    if partial {
+        return Ok(format!(
+            "{} event(s) parsed (chain not checked)",
+            events.len()
+        ));
+    }
+    if events.is_empty() {
+        return Err("stream holds no events".into());
+    }
+    // A file may hold several campaigns back to back (one rjamctl run can
+    // launch more than one): each `campaign_done` closes one chain.
+    let mut chains = 0usize;
+    let mut start = 0usize;
+    for (k, e) in events.iter().enumerate() {
+        if matches!(e, ProgressEvent::Done { .. }) {
+            validate_chain(&events[start..=k]).map_err(|e| format!("chain {chains}: {e}"))?;
+            chains += 1;
+            start = k + 1;
+        }
+    }
+    if start != events.len() {
+        return Err(format!(
+            "{} trailing event(s) after the last campaign_done — the stream ends \
+             mid-campaign (use --partial to accept truncated streams)",
+            events.len() - start
+        ));
+    }
+    Ok(format!(
+        "{} event(s), {} complete campaign chain(s)",
+        events.len(),
+        chains
+    ))
+}
+
+fn check_file(path: &str, partial: bool) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    check_text(&text, partial)
+}
+
+fn main() -> ExitCode {
+    let mut partial = false;
+    let mut paths = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--partial" => partial = true,
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag '{arg}'");
+                eprintln!("usage: check_progress_json [--partial] progress.ndjson [...]");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: check_progress_json [--partial] progress.ndjson [...]");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path, partial) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal valid single-campaign stream, built from the real
+    /// emitter so the test tracks the wire format.
+    fn chain_lines() -> String {
+        [
+            ProgressEvent::Started {
+                kind: "t".into(),
+                units: 4,
+                shards: 2,
+                workers: 1,
+                seed: 7,
+            },
+            ProgressEvent::ShardFinished {
+                shard: 0,
+                worker: 0,
+                units: 2,
+                busy_ns: 10,
+            },
+            ProgressEvent::Snapshot {
+                done: 2,
+                total: 4,
+                elapsed_ns: 10,
+                eta_ns: 10,
+            },
+            ProgressEvent::ShardFinished {
+                shard: 1,
+                worker: 0,
+                units: 2,
+                busy_ns: 10,
+            },
+            ProgressEvent::Snapshot {
+                done: 4,
+                total: 4,
+                elapsed_ns: 20,
+                eta_ns: 0,
+            },
+            ProgressEvent::Done {
+                units: 4,
+                elapsed_ns: 20,
+                workers: 1,
+                busy_ns: 20,
+                idle_ns: 0,
+                merge_wait_ns: 0,
+            },
+        ]
+        .iter()
+        .map(|e| e.to_line() + "\n")
+        .collect()
+    }
+
+    #[test]
+    fn complete_chain_passes() {
+        let s = check_text(&chain_lines(), false).unwrap();
+        assert!(s.contains("1 complete campaign chain"), "{s}");
+    }
+
+    #[test]
+    fn two_back_to_back_chains_pass() {
+        let text = chain_lines() + &chain_lines();
+        let s = check_text(&text, false).unwrap();
+        assert!(s.contains("2 complete campaign chain"), "{s}");
+    }
+
+    #[test]
+    fn truncated_stream_fails_unless_partial() {
+        let full = chain_lines();
+        let cut: String = full.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let err = check_text(&cut, false).unwrap_err();
+        assert!(err.contains("mid-campaign"), "{err}");
+        assert!(check_text(&cut, true).is_ok());
+    }
+
+    #[test]
+    fn malformed_line_fails_even_partial() {
+        let text = chain_lines() + "{\"not\":\"an event\"}\n";
+        assert!(check_text(&text, false).is_err());
+        assert!(check_text(&text, true).is_err());
+    }
+
+    #[test]
+    fn empty_stream_fails() {
+        assert!(check_text("", false).is_err());
+    }
+}

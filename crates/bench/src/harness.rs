@@ -85,6 +85,13 @@ pub struct BenchRecord {
     /// Work items per second at the median (iterations/s when the bench did
     /// not declare an element count).
     pub throughput: f64,
+    /// Logical CPU cores on the measuring host. Scaling numbers are
+    /// meaningless without this: `threads_4` on a single-core runner is
+    /// *expected* to match `threads_1`.
+    pub host_cores: u64,
+    /// Effective worker-thread count the bench ran with (1 unless the bench
+    /// declared otherwise via [`Harness::set_threads`]).
+    pub threads: u64,
     /// Per-iteration deltas of the `rjam-obs` registry counters that moved
     /// during the measurement phase, sorted by name. Empty when nothing
     /// moved or when observability is compiled out.
@@ -102,6 +109,10 @@ impl BenchRecord {
             json_number(self.min_ns),
             json_number(self.throughput),
         );
+        out.push_str(&format!(
+            ",\"host_cores\":{},\"threads\":{}",
+            self.host_cores, self.threads
+        ));
         if !self.counters.is_empty() {
             out.push_str(",\"counters\":{");
             for (k, (name, v)) in self.counters.iter().enumerate() {
@@ -117,6 +128,13 @@ impl BenchRecord {
         out.push('}');
         out
     }
+}
+
+/// Logical cores on this host (1 if the platform will not say).
+fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// Registry counter values right now, as a sorted name → value list.
@@ -154,6 +172,7 @@ fn counter_deltas(
 pub struct Harness {
     suite: String,
     cfg: BenchConfig,
+    threads: u64,
     results: Vec<BenchRecord>,
 }
 
@@ -175,8 +194,16 @@ impl Harness {
         Harness {
             suite: suite.to_string(),
             cfg,
+            threads: 1,
             results: Vec::new(),
         }
+    }
+
+    /// Declares the worker-thread count for subsequent records (e.g. the
+    /// campaign engine's effective worker count). Benches whose workload is
+    /// single-threaded never need to call this — records default to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1) as u64;
     }
 
     /// Benchmarks `f`, reporting per-iteration statistics.
@@ -241,6 +268,8 @@ impl Harness {
             p95_ns,
             min_ns,
             throughput,
+            host_cores: host_cores(),
+            threads: self.threads,
             counters,
         };
         let label = if params.is_empty() {
@@ -696,10 +725,27 @@ mod tests {
             first.get("params").and_then(json::Value::as_str),
             Some("n=64")
         );
-        for field in ["median_ns", "p95_ns", "min_ns", "throughput"] {
+        for field in [
+            "median_ns",
+            "p95_ns",
+            "min_ns",
+            "throughput",
+            "host_cores",
+            "threads",
+        ] {
             let v = first.get(field).and_then(json::Value::as_f64).unwrap();
             assert!(v > 0.0, "{field} must be positive, got {v}");
         }
+        // Both benches ran without set_threads: records default to 1 worker
+        // on however many cores the host has.
+        assert_eq!(
+            first.get("threads").and_then(json::Value::as_f64),
+            Some(1.0)
+        );
+        assert_eq!(
+            first.get("host_cores").and_then(json::Value::as_f64),
+            Some(host_cores() as f64)
+        );
         std::fs::remove_file(path).ok();
     }
 

@@ -221,8 +221,26 @@ pub enum Command {
         /// How many of the slowest frames to detail.
         top: usize,
     },
+    /// Engine telemetry: run a reference detection campaign and render its
+    /// post-run engine profile (per-worker utilization, unit latency
+    /// percentiles, stragglers).
+    Report {
+        /// Frames per SNR point of the reference sweep.
+        frames: usize,
+        /// How many stragglers to detail.
+        top: usize,
+    },
     /// Print usage.
     Help,
+}
+
+/// Where the live `rjam-progress-v1` stream should go.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgressTarget {
+    /// NDJSON on stderr (the default for bare `--progress`).
+    Stderr,
+    /// NDJSON appended to a file (`--progress=FILE`).
+    File(String),
 }
 
 /// Raw key/value option map plus positionals.
@@ -289,6 +307,34 @@ pub fn extract_threads(argv: &[String]) -> Result<(Vec<String>, Option<usize>), 
         }
     }
     Ok((rest, threads))
+}
+
+/// Strips the global `--progress[=FILE]` flag from an argument vector.
+///
+/// Accepted anywhere on the command line: while a campaign command runs,
+/// the engine streams line-delimited `rjam-progress-v1` events (campaign
+/// started / shard finished / snapshot with ETA / campaign done) to stderr,
+/// or to `FILE` with the `--progress=FILE` form. Unlike the two-token
+/// global flags, the value is attached with `=` so bare `--progress` can
+/// default to stderr without swallowing the next argument.
+pub fn extract_progress(
+    argv: &[String],
+) -> Result<(Vec<String>, Option<ProgressTarget>), CliError> {
+    let mut rest = Vec::with_capacity(argv.len());
+    let mut target = None;
+    for arg in argv {
+        if arg == "--progress" {
+            target = Some(ProgressTarget::Stderr);
+        } else if let Some(path) = arg.strip_prefix("--progress=") {
+            if path.is_empty() {
+                return Err(CliError::usage("--progress= needs a file path"));
+            }
+            target = Some(ProgressTarget::File(path.to_string()));
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Ok((rest, target))
 }
 
 /// Splits argv into options and positionals.
@@ -406,6 +452,10 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             budget_ns: opt_maybe(&rest, "budget-ns")?,
             top: opt(&rest, "top", 5)?,
         }),
+        "report" => Ok(Command::Report {
+            frames: opt(&rest, "frames", 64)?,
+            top: opt(&rest, "top", 5)?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::usage(format!(
             "unknown command '{other}' (try 'help')"
@@ -430,6 +480,7 @@ USAGE:
   rjamctl stats     [snapshot.json] [--budget-ns NS]
   rjamctl trace     [--episodes N] [--out trace.json] [--chrome chrome.json]
                     [--budget-ns NS] [--top K]
+  rjamctl report    [--frames N] [--top K]
   rjamctl help
 
 GLOBAL OPTIONS:
@@ -439,6 +490,11 @@ GLOBAL OPTIONS:
   --threads N          worker threads for the campaign engine (detect, fa,
                        roc, iperf); overrides RJAM_THREADS, defaults to all
                        cores. Output is bit-identical at any N
+  --progress[=FILE]    stream line-delimited rjam-progress-v1 events
+                       (campaign started / shard finished / snapshot with
+                       ETA / campaign done) to stderr, or to FILE with the
+                       = form, while campaign commands run. Requires the
+                       default 'obs' build
 
 NOTES:
   detect/roc probe against full 802.11g frames; selecting --preset wimax
@@ -450,6 +506,10 @@ NOTES:
   correlation ID at MAC emission and a per-stage latency decomposition;
   --out writes the rjam-trace-v1 document, --chrome writes a Perfetto /
   chrome://tracing loadable timeline with one track per pipeline stage.
+  report runs a reference detection sweep through the campaign engine and
+  renders its telemetry: per-worker busy/idle/merge-wait with utilization,
+  wall-clock attribution coverage, unit latency percentiles, and the top
+  straggler units with the per-unit seeds needed to re-run them.
 
 EXIT CODES:
   0 success, 1 runtime failure, 2 usage error (usage shown on 2 only)
@@ -648,6 +708,44 @@ mod tests {
             assert_eq!(err.kind(), ErrorKind::Usage, "'{bad}'");
             assert!(err.message().contains("--threads"), "'{bad}' -> {err}");
         }
+    }
+
+    #[test]
+    fn parses_report() {
+        assert_eq!(
+            parse(&argv("report")).unwrap(),
+            Command::Report { frames: 64, top: 5 }
+        );
+        assert_eq!(
+            parse(&argv("report --frames 32 --top 3")).unwrap(),
+            Command::Report { frames: 32, top: 3 }
+        );
+        assert!(parse(&argv("report --frames many")).is_err());
+    }
+
+    #[test]
+    fn progress_stripped_from_anywhere() {
+        let (rest, target) = extract_progress(&argv("detect --progress --preset energy")).unwrap();
+        assert_eq!(target, Some(ProgressTarget::Stderr));
+        assert_eq!(rest, argv("detect --preset energy"));
+
+        let (rest, target) =
+            extract_progress(&argv("fa --progress=prog.ndjson --preset energy")).unwrap();
+        assert_eq!(target, Some(ProgressTarget::File("prog.ndjson".into())));
+        assert_eq!(rest, argv("fa --preset energy"));
+
+        let (rest, target) = extract_progress(&argv("timeline")).unwrap();
+        assert_eq!(target, None);
+        assert_eq!(rest, argv("timeline"));
+
+        // Bare --progress must not swallow the next argument.
+        let (rest, target) = extract_progress(&argv("roc --progress --preset energy")).unwrap();
+        assert_eq!(target, Some(ProgressTarget::Stderr));
+        assert!(rest.contains(&"--preset".to_string()));
+
+        let err = extract_progress(&argv("detect --progress=")).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::Usage);
+        assert!(err.message().contains("--progress"), "{err}");
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //! Any command also accepts the global `--metrics-out FILE` flag, which
 //! writes a `rjam-metrics-v1` JSON snapshot of the process-wide metrics
 //! registry after the command runs (`rjamctl stats FILE` renders it back),
-//! and the global `--threads N` flag, which sets the campaign engine's
-//! worker count (campaign results are bit-identical at any `N`).
+//! the global `--threads N` flag, which sets the campaign engine's worker
+//! count (campaign results are bit-identical at any `N`), and the global
+//! `--progress[=FILE]` flag, which streams live `rjam-progress-v1` NDJSON
+//! events to stderr (or `FILE`) while campaigns run.
 //!
 //! This library half holds the argument model and command implementations
 //! so they are unit-testable; `main.rs` is a thin dispatcher. All failures
@@ -59,8 +61,28 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             Err(msg) => return Err(CliError::usage(msg)),
         },
     };
+    let (argv, progress) = args::extract_progress(&argv)?;
     let cmd = args::parse(&argv)?;
-    let report = commands::execute_with(&cmd, &engine)?;
+    let progress_installed = match progress {
+        Some(args::ProgressTarget::Stderr) => {
+            rjam_obs::stream::install(Box::new(std::io::stderr()));
+            true
+        }
+        Some(args::ProgressTarget::File(path)) => {
+            let file = std::fs::File::create(&path)
+                .map_err(|e| CliError::runtime(format!("--progress={path}: {e}")))?;
+            rjam_obs::stream::install(Box::new(file));
+            true
+        }
+        None => false,
+    };
+    let report = commands::execute_with(&cmd, &engine);
+    if progress_installed {
+        // Flush and detach even when the command failed, so a partial
+        // stream is still readable.
+        rjam_obs::stream::uninstall();
+    }
+    let report = report?;
     if let Some(path) = metrics_out {
         commands::write_metrics_snapshot(&path)?;
     }

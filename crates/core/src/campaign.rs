@@ -275,7 +275,8 @@ impl WifiDetectionSpec {
             .frames_per_point
             .div_ceil(DETECTION_FRAMES_PER_UNIT)
             .max(1);
-        let cells = engine.run_units(
+        let cells = engine.run_units_kind(
+            "wifi_detection",
             self.snrs_db.len() * blocks_per_point,
             self.seed,
             || DetectionPool {
@@ -418,7 +419,8 @@ impl FalseAlarmSpec {
         }
         let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
         let n_units = self.samples.div_ceil(FA_UNIT_SAMPLES);
-        let counts = engine.run_units(
+        let counts = engine.run_units_kind(
+            "false_alarm",
             n_units,
             self.seed,
             || FaPool {
@@ -548,7 +550,7 @@ impl RocSpec<'_> {
         // the detection half.
         let fa_seed = self.seed ^ 0xFA;
         let det_seed = self.seed ^ 0xD7;
-        engine.run_shards(self.thresholds.len(), self.seed, |ctx| {
+        engine.run_shards_kind("roc", self.thresholds.len(), self.seed, |ctx| {
             let thr = self.thresholds[ctx.index];
             let preset = (self.make_preset)(thr);
             let fa = CampaignSpec::false_alarm(&preset)
@@ -665,7 +667,8 @@ impl WimaxDetectionSpec {
         };
         let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
         let n_units = self.frames.div_ceil(WIMAX_FRAMES_PER_UNIT);
-        let units = engine.run_units(
+        let units = engine.run_units_kind(
+            "wimax",
             n_units,
             self.seed,
             || WimaxPool {
@@ -845,7 +848,7 @@ impl JammingSweepSpec {
     /// published once at join, so the obs registry sees the same totals
     /// as a serial run.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<JammingPoint> {
-        let results = engine.run_shards(self.sirs_db.len(), self.seed, |ctx| {
+        let results = engine.run_shards_kind("jamming", self.sirs_db.len(), self.seed, |ctx| {
             let sir = self.sirs_db[ctx.index];
             let sc = scenario_for(self.jammer, sir, self.duration_s, ctx.seed);
             let mut delta = MacObsDelta::new();

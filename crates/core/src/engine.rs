@@ -51,8 +51,12 @@
 //! `with_threads(0)`, unparsable values degrade to serial rather than
 //! silently going wide), else `std::thread::available_parallelism()`.
 
+use rjam_obs::stream::{self, ProgressEvent};
+use rjam_obs::telemetry::{self, EngineProfile, Straggler, WorkerStats};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Environment variable overriding the worker count.
 pub const THREADS_ENV: &str = "RJAM_THREADS";
@@ -227,7 +231,23 @@ impl CampaignEngine {
         T: Send,
         F: Fn(ShardCtx) -> T + Sync,
     {
-        self.run_units(n_shards, seed, || (), |_, ctx| f(ctx))
+        self.run_shards_kind("shards", n_shards, seed, f)
+    }
+
+    /// [`Self::run_shards`] with a unit-kind label for telemetry (see
+    /// [`Self::run_units_kind`]).
+    pub fn run_shards_kind<T, F>(
+        &self,
+        kind: &'static str,
+        n_shards: usize,
+        seed: u64,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(ShardCtx) -> T + Sync,
+    {
+        self.run_units_kind(kind, n_shards, seed, || (), |_, ctx| f(ctx))
     }
 
     /// Runs `n_units` independent units of campaign `seed` with per-worker
@@ -252,6 +272,36 @@ impl CampaignEngine {
         M: Fn() -> P + Sync,
         F: Fn(&mut P, ShardCtx) -> T + Sync,
     {
+        self.run_units_kind("units", n_units, seed, make_pool, f)
+    }
+
+    /// [`Self::run_units`] with a unit-kind label (`"wifi_detection"`,
+    /// `"false_alarm"`, ...) attached to the run's telemetry.
+    ///
+    /// With the `obs` feature on, the engine times every unit and publishes
+    /// an [`EngineProfile`] (per-worker busy/idle/merge-wait, unit-latency
+    /// histogram per kind, stragglers > `STRAGGLER_FACTOR`× the median with
+    /// their seeds) into [`rjam_obs::telemetry`], and — when a progress
+    /// sink is installed ([`rjam_obs::stream::install`]) — emits the
+    /// `rjam-progress-v1` event chain (started / shard finished / snapshot
+    /// with ETA / done). Only the *outermost* campaign of an invocation
+    /// emits: nested engine runs (ROC thresholds run whole sub-campaigns
+    /// inside shards) stay silent so one run produces one chain. None of
+    /// this touches results; without `obs` the instrumentation compiles
+    /// out.
+    pub fn run_units_kind<T, P, M, F>(
+        &self,
+        kind: &'static str,
+        n_units: usize,
+        seed: u64,
+        make_pool: M,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        M: Fn() -> P + Sync,
+        F: Fn(&mut P, ShardCtx) -> T + Sync,
+    {
         let ctx = |index: usize| ShardCtx {
             index,
             seed: shard_seed(seed, index as u64),
@@ -259,41 +309,160 @@ impl CampaignEngine {
         let workers = self.threads.min(n_units);
         let plan = ShardPlan::new(n_units, workers);
         self.note_run(&plan, workers.max(1));
-        if workers <= 1 {
-            // Serial reference path: one pool, same ShardCtx sequence.
-            let mut pool = make_pool();
-            return (0..n_units).map(|i| f(&mut pool, ctx(i))).collect();
+
+        // Campaign-level stream ownership (outermost run only); the guard
+        // releases it even if a unit panics.
+        let streaming = rjam_obs::enabled() && stream::active() && stream::begin_campaign();
+        let _stream_guard = StreamOwnership(streaming);
+        if streaming {
+            stream::emit(&ProgressEvent::Started {
+                kind: kind.to_string(),
+                units: n_units as u64,
+                shards: plan.n_shards() as u64,
+                workers: workers.max(1) as u64,
+                seed,
+            });
         }
+        let t0 = Instant::now();
+        // Shard completions update `done` and emit under one lock so
+        // racing workers can never put snapshots out of order on the wire.
+        let progress = Mutex::new(0u64);
+        let depth_gauge = rjam_obs::registry::gauge("core.engine_queue_depth");
+        let n_shards = plan.n_shards();
+        let note_shard = |shard: usize, worker: usize, units: usize, busy_ns: u64| {
+            if !rjam_obs::enabled() {
+                return;
+            }
+            depth_gauge.set(n_shards.saturating_sub(shard + 1) as u64);
+            if !streaming {
+                return;
+            }
+            let mut done = progress.lock().expect("engine progress lock");
+            *done += units as u64;
+            let elapsed = t0.elapsed().as_nanos() as u64;
+            stream::emit_all(&[
+                ProgressEvent::ShardFinished {
+                    shard: shard as u64,
+                    worker: worker as u64,
+                    units: units as u64,
+                    busy_ns,
+                },
+                ProgressEvent::Snapshot {
+                    done: *done,
+                    total: n_units as u64,
+                    elapsed_ns: elapsed,
+                    eta_ns: stream::eta_ns(elapsed, *done, n_units as u64),
+                },
+            ]);
+        };
+
+        if workers <= 1 {
+            // Serial reference path: one pool, one worker timeline. The
+            // ranges cover 0..n_units in order, so the ShardCtx sequence —
+            // and therefore the output — is identical to the pre-telemetry
+            // `(0..n_units)` loop.
+            let mut pool = make_pool();
+            let mut out = Vec::with_capacity(n_units);
+            let mut log = WorkerLog::new(0);
+            for (r, range) in plan.ranges().iter().enumerate() {
+                let mut shard_busy = 0u64;
+                for i in range.clone() {
+                    if rjam_obs::enabled() {
+                        let u0 = Instant::now();
+                        out.push(f(&mut pool, ctx(i)));
+                        let d = u0.elapsed().as_nanos() as u64;
+                        shard_busy += d;
+                        log.unit_ns.push((i, d));
+                    } else {
+                        out.push(f(&mut pool, ctx(i)));
+                    }
+                }
+                if rjam_obs::enabled() {
+                    log.busy_ns += shard_busy;
+                    log.units += range.len() as u64;
+                    note_shard(r, 0, range.len(), shard_busy);
+                }
+            }
+            if rjam_obs::enabled() {
+                log.wall_ns = t0.elapsed().as_nanos() as u64;
+                publish_run_telemetry(kind, seed, &plan, t0, vec![log], streaming);
+            }
+            return out;
+        }
+
         let ranges = plan.ranges();
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = (0..n_units).map(|_| None).collect();
+        let mut logs: Vec<WorkerLog> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
+            let f = &f;
+            let make_pool = &make_pool;
+            let ctx = &ctx;
+            let next = &next;
+            let note_shard = &note_shard;
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    s.spawn(|| {
+                .map(|w| {
+                    s.spawn(move || {
+                        let wt0 = Instant::now();
                         let mut pool = make_pool();
                         let mut out = Vec::new();
+                        let mut log = WorkerLog::new(w);
                         loop {
                             let r = next.fetch_add(1, Ordering::Relaxed);
                             if r >= ranges.len() {
                                 break;
                             }
-                            for i in ranges[r].clone() {
-                                out.push((i, f(&mut pool, ctx(i))));
+                            let range = ranges[r].clone();
+                            let mut shard_busy = 0u64;
+                            for i in range.clone() {
+                                if rjam_obs::enabled() {
+                                    let u0 = Instant::now();
+                                    let v = f(&mut pool, ctx(i));
+                                    let d = u0.elapsed().as_nanos() as u64;
+                                    shard_busy += d;
+                                    log.unit_ns.push((i, d));
+                                    out.push((i, v));
+                                } else {
+                                    out.push((i, f(&mut pool, ctx(i))));
+                                }
+                            }
+                            if rjam_obs::enabled() {
+                                log.busy_ns += shard_busy;
+                                log.units += range.len() as u64;
+                                note_shard(r, w, range.len(), shard_busy);
                             }
                         }
-                        out
+                        if rjam_obs::enabled() {
+                            log.wall_ns = wt0.elapsed().as_nanos() as u64;
+                            log.finished = Some(Instant::now());
+                        }
+                        (out, log)
                     })
                 })
                 .collect();
             // Ordered merge: scheduling decided who computed each unit,
             // the index decides where its result lands — moved, not cloned.
             for h in handles {
-                for (i, v) in h.join().expect("campaign unit worker panicked") {
+                let (items, mut log) = h.join().expect("campaign unit worker panicked");
+                for (i, v) in items {
                     slots[i] = Some(v);
+                }
+                if rjam_obs::enabled() {
+                    // Merge-wait: from the worker finishing to its results
+                    // being merged here (charged after the merge so the
+                    // last worker's merge cost is attributed, not lost).
+                    if let Some(fin) = log.finished {
+                        log.merge_wait_ns =
+                            Instant::now().saturating_duration_since(fin).as_nanos() as u64;
+                    }
+                    logs.push(log);
                 }
             }
         });
+        if rjam_obs::enabled() {
+            logs.sort_by_key(|l| l.worker);
+            publish_run_telemetry(kind, seed, &plan, t0, logs, streaming);
+        }
         slots
             .into_iter()
             .map(|o| o.expect("every unit index was claimed exactly once"))
@@ -317,6 +486,145 @@ impl Default for CampaignEngine {
     fn default() -> Self {
         Self::from_env()
     }
+}
+
+/// Releases campaign-level stream ownership on drop, so a panicking unit
+/// cannot leave the process-wide guard stuck and silence every later
+/// campaign.
+struct StreamOwnership(bool);
+
+impl Drop for StreamOwnership {
+    fn drop(&mut self) {
+        if self.0 {
+            stream::end_campaign();
+        }
+    }
+}
+
+/// One worker's raw timing log, turned into [`WorkerStats`] after the run.
+struct WorkerLog {
+    worker: usize,
+    units: u64,
+    busy_ns: u64,
+    wall_ns: u64,
+    merge_wait_ns: u64,
+    finished: Option<Instant>,
+    unit_ns: Vec<(usize, u64)>,
+}
+
+impl WorkerLog {
+    fn new(worker: usize) -> Self {
+        WorkerLog {
+            worker,
+            units: 0,
+            busy_ns: 0,
+            wall_ns: 0,
+            merge_wait_ns: 0,
+            finished: None,
+            unit_ns: Vec::new(),
+        }
+    }
+}
+
+/// Assembles and publishes a finished campaign's [`EngineProfile`]:
+/// per-worker buckets, the unit-latency histogram (per kind and as the
+/// `core.engine_unit_ns` registry aggregate), stragglers (flagged into the
+/// flight recorder with their unit index and worker, reproducible via
+/// `shard_seed`), and — when this run owns the progress stream — the
+/// terminal `campaign_done` event.
+fn publish_run_telemetry(
+    kind: &str,
+    seed: u64,
+    plan: &ShardPlan,
+    t0: Instant,
+    logs: Vec<WorkerLog>,
+    streaming: bool,
+) {
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    let mut hist = rjam_obs::LogHistogram::new();
+    let mut durations: Vec<(usize, usize, u64)> = Vec::new();
+    for log in &logs {
+        for &(unit, d) in &log.unit_ns {
+            hist.record(d);
+            durations.push((unit, log.worker, d));
+        }
+    }
+    // Exact median (the histogram's p50 carries bucket error; the
+    // straggler threshold should not).
+    let median = {
+        let mut ds: Vec<u64> = durations.iter().map(|&(_, _, d)| d).collect();
+        ds.sort_unstable();
+        if ds.is_empty() {
+            0
+        } else {
+            ds[ds.len() / 2]
+        }
+    };
+    let mut stragglers: Vec<Straggler> = durations
+        .iter()
+        .filter(|&&(_, _, d)| median > 0 && d > telemetry::STRAGGLER_FACTOR * median)
+        .map(|&(unit, worker, duration_ns)| Straggler {
+            unit,
+            worker,
+            seed: shard_seed(seed, unit as u64),
+            duration_ns,
+        })
+        .collect();
+    stragglers.sort_by(|a, b| b.duration_ns.cmp(&a.duration_ns).then(a.unit.cmp(&b.unit)));
+    stragglers.truncate(telemetry::MAX_STRAGGLERS);
+    for s in &stragglers {
+        rjam_obs::recorder::record_event(
+            s.duration_ns,
+            "engine_straggler",
+            s.unit as i64,
+            s.worker as i64,
+        );
+    }
+    let busy: u64 = logs.iter().map(|l| l.busy_ns).sum();
+    let idle: u64 = logs
+        .iter()
+        .map(|l| l.wall_ns.saturating_sub(l.busy_ns))
+        .sum();
+    let merge: u64 = logs.iter().map(|l| l.merge_wait_ns).sum();
+    rjam_obs::registry::counter("core.engine_busy_ns").add(busy);
+    rjam_obs::registry::counter("core.engine_idle_ns").add(idle);
+    rjam_obs::registry::counter("core.engine_merge_wait_ns").add(merge);
+    rjam_obs::registry::counter("core.engine_stragglers").add(stragglers.len() as u64);
+    rjam_obs::registry::gauge("core.engine_queue_depth").set(0);
+    rjam_obs::registry::histogram("core.engine_unit_ns").absorb(&hist);
+    let workers: Vec<WorkerStats> = logs
+        .iter()
+        .map(|l| WorkerStats {
+            worker: l.worker,
+            units: l.units,
+            busy_ns: l.busy_ns,
+            idle_ns: l.wall_ns.saturating_sub(l.busy_ns),
+            merge_wait_ns: l.merge_wait_ns,
+        })
+        .collect();
+    if streaming {
+        stream::emit(&ProgressEvent::Done {
+            units: plan.n_units() as u64,
+            elapsed_ns: wall_ns,
+            workers: workers.len() as u64,
+            busy_ns: busy,
+            idle_ns: idle,
+            merge_wait_ns: merge,
+        });
+    }
+    telemetry::publish(
+        EngineProfile {
+            kind: kind.to_string(),
+            units: plan.n_units() as u64,
+            shards: plan.n_shards() as u64,
+            wall_ns,
+            workers,
+            unit_ns: hist.summary(),
+            median_unit_ns: median,
+            stragglers,
+        },
+        &hist,
+    );
 }
 
 #[cfg(test)]

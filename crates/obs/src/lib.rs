@@ -17,7 +17,14 @@
 //! 4. a **causal trace** layer ([`trace`]): a fixed-capacity
 //!    [`trace::TraceSink`] of span/instant events keyed by a
 //!    [`trace::FrameId`] correlation ID, exported as Chrome trace-event
-//!    JSON (Perfetto-loadable) or the compact `rjam-trace-v1` schema.
+//!    JSON (Perfetto-loadable) or the compact `rjam-trace-v1` schema;
+//! 5. **engine telemetry** ([`telemetry`]): per-worker busy/idle/merge-wait
+//!    profiles, per-unit-kind latency histograms, and straggler records
+//!    published by the campaign engine and rendered by `rjamctl report`;
+//! 6. a **live progress stream** ([`stream`]): the line-delimited
+//!    `rjam-progress-v1` event protocol (campaign started / shard finished
+//!    / snapshot with ETA / campaign done) the engine emits into a
+//!    process-wide sink (`rjamctl --progress[=FILE]`).
 //!
 //! # Cost model
 //!
@@ -36,12 +43,16 @@ pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
+pub mod stream;
+pub mod telemetry;
 pub mod trace;
 
 pub use hist::{HistSummary, LogHistogram};
 pub use recorder::{FlightRecorder, ObsEvent, TripInfo};
 pub use registry::{Counter, Gauge, HistHandle, LocalCounter, LocalHistogram};
 pub use snapshot::MetricsSnapshot;
+pub use stream::ProgressEvent;
+pub use telemetry::{EngineProfile, Straggler, WorkerStats};
 pub use trace::{
     FrameId, FrameIdGen, FrameTrace, Outcome, SpanKind, TraceDoc, TraceEvent, TraceSink,
 };

@@ -97,6 +97,7 @@ mod enabled {
                     seq: self.seq,
                 });
                 self.frozen = self.ring.iter().copied().collect();
+                crate::registry::counter("obs.recorder_trips").inc();
             }
         }
 
@@ -276,6 +277,20 @@ mod tests {
         assert_eq!(dump, vec!["a", "b"], "dump is the pre-anomaly window");
         let live: Vec<&'static str> = r.events().map(|e| e.kind).collect();
         assert_eq!(live, vec!["a", "b", "c"], "ring keeps recording");
+    }
+
+    #[test]
+    fn trips_surface_in_the_registry() {
+        // Delta assertion: other tests (and trip_global floods) share the
+        // counter. Only the *first* trip of a recorder counts.
+        let before = crate::registry::counter_value("obs.recorder_trips");
+        let mut r = FlightRecorder::new(2);
+        r.record(1, "x", 0, 0);
+        r.trip(2, "anomaly");
+        r.trip(3, "ignored_retrip");
+        let after = crate::registry::counter_value("obs.recorder_trips");
+        // > not ==: parallel tests trip their own recorders concurrently.
+        assert!(after > before, "first trip must count: {before} -> {after}");
     }
 
     #[test]

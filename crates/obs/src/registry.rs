@@ -99,6 +99,15 @@ mod enabled {
             local.hist.clear();
         }
 
+        /// Merges an already-built histogram into this one (one lock, not
+        /// one per observation).
+        pub fn absorb(&self, other: &LogHistogram) {
+            if other.is_empty() {
+                return;
+            }
+            self.0.lock().expect("obs hist lock").absorb(other);
+        }
+
         /// A point-in-time copy (for tests and snapshots).
         pub fn snapshot(&self) -> LogHistogram {
             self.0.lock().expect("obs hist lock").clone()
@@ -341,6 +350,9 @@ mod disabled {
         /// No-op.
         #[inline(always)]
         pub fn absorb_local(&self, _local: &mut LocalHistogram) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn absorb(&self, _other: &crate::hist::LogHistogram) {}
         /// Always empty.
         pub fn snapshot(&self) -> crate::hist::LogHistogram {
             crate::hist::LogHistogram::new()

@@ -233,7 +233,11 @@ mod enabled {
         ) {
             self.seq += 1;
             if self.events.len() == self.events.capacity() {
+                // Dropped spans silently corrupt per-stage attribution, so
+                // they must show up in `rjam-metrics-v1` snapshots — the
+                // registry lock is fine here, this is the overflow path.
                 self.dropped += 1;
+                crate::registry::counter("obs.trace_dropped").inc();
                 return;
             }
             self.events.push(TraceEvent {
@@ -871,6 +875,24 @@ mod tests {
         let ts: Vec<u64> = s.events().iter().map(|e| e.t_ns).collect();
         assert_eq!(ts, vec![1, 2], "causal head survives");
         assert_eq!(s.to_doc().dropped, 1);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn dropped_spans_surface_in_the_registry() {
+        // Delta assertion: other tests share the global counter.
+        let before = crate::registry::counter_value("obs.trace_dropped");
+        let mut s = TraceSink::with_capacity(1);
+        let f = FrameId(3);
+        for t in 0..5 {
+            s.instant(f, t, stage::MAC, "emit", 0, 0);
+        }
+        assert_eq!(s.dropped(), 4);
+        let after = crate::registry::counter_value("obs.trace_dropped");
+        assert!(
+            after >= before + 4,
+            "obs.trace_dropped must count every drop: {before} -> {after}"
+        );
     }
 
     #[cfg(feature = "obs")]
