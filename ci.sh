@@ -35,6 +35,21 @@ step "bench report is valid JSON"
 test -s BENCH_xcorr_throughput.json
 cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_xcorr_throughput.json
 
+step "lane bank bench smoke (lanes 1/4/16/64, block sizes, multi-template)"
+RJAM_BENCH_SAMPLES=3 RJAM_BENCH_WARMUP_MS=5 RJAM_BENCH_BATCH_MS=2 \
+    RJAM_BENCH_OUT="$(pwd)" \
+    cargo bench -q -p rjam-bench --offline --bench dsp_lanes
+test -s BENCH_dsp_lanes.json
+cargo run -q --release --offline -p rjam-bench --bin check_bench_json -- BENCH_dsp_lanes.json
+
+step "lane bank scaling gate (lanes_16 vs lanes_1 aggregate throughput)"
+# Fails the build if the bitsliced lane bank stops amortizing its popcount
+# pass: 16 lanes sharing one template must deliver at least 4x the
+# single-lane aggregate throughput (RJAM_LANE_SCALING_MIN). The speedup is
+# instruction-level sharing on one core, so unlike the thread-scaling gate
+# below there is no core-count escape hatch.
+cargo run -q --release --offline -p rjam-bench --bin check_lane_scaling -- BENCH_dsp_lanes.json
+
 step "campaign engine bench smoke (threads 1/2/4 + inline determinism cross-check)"
 # The bench itself panics if any sharded run diverges bitwise from the
 # serial reference, so a passing run doubles as a determinism gate.
@@ -67,6 +82,12 @@ cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
 cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
     BENCH_campaign_engine.json baselines/BENCH_campaign_engine.json \
     --params threads_1
+# The lane-bank gate watches the 16-lane records only: the sub-millisecond
+# lanes_1 smoke run is dominated by scheduler noise, and check_lane_scaling
+# above already bounds it *relative to* lanes_16 within this same run.
+cargo run -q --release --offline -p rjam-bench --bin check_baseline -- \
+    BENCH_dsp_lanes.json baselines/BENCH_dsp_lanes.json \
+    --params lanes_16
 
 step "campaign determinism: RJAM_THREADS=1 and RJAM_THREADS=4 outputs are byte-identical"
 # The whole-engine contract, checked through the operator console: the same

@@ -162,6 +162,10 @@ pub enum Command {
         cell: u8,
         /// WiMAX segment.
         segment: u8,
+        /// Comma-separated threshold-fraction grid (correlator presets):
+        /// every fraction is measured over the *same* noise stream in one
+        /// lane-bank pass.
+        grid: Option<Vec<f64>>,
     },
     /// iperf-style jamming run at one SIR.
     Iperf {
@@ -376,6 +380,24 @@ fn opt_maybe<T: std::str::FromStr>(p: &ParsedArgs, key: &str) -> Result<Option<T
     }
 }
 
+/// Parses a `--grid` value: comma-separated threshold fractions.
+fn parse_grid(p: &ParsedArgs) -> Result<Option<Vec<f64>>, CliError> {
+    let Some(raw) = p.options.get("grid") else {
+        return Ok(None);
+    };
+    let grid = raw
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::usage(format!("--grid: cannot parse '{s}' as a fraction")))
+        })
+        .collect::<Result<Vec<f64>, CliError>>()?;
+    // split(',') always yields at least one element, and empty elements
+    // fail the parse above, so `grid` is non-empty here.
+    Ok(Some(grid))
+}
+
 /// Parses a full command line (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     let Some(verb) = argv.first() else {
@@ -410,6 +432,7 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             samples: opt(&rest, "samples", 20_000_000)?,
             cell: opt(&rest, "cell", 1)?,
             segment: opt(&rest, "segment", 0)?,
+            grid: parse_grid(&rest)?,
         }),
         "iperf" => Ok(Command::Iperf {
             jammer: JammerName::parse(
@@ -472,6 +495,7 @@ USAGE:
                     [--snr dB] [--frames N] [--threshold f]
                     [--energy-db dB] [--cell N] [--segment N]
   rjamctl fa        --preset ... [--threshold f] [--energy-db dB] [--samples N]
+                    [--grid f,f,...]
   rjamctl iperf     --jammer off|continuous|reactive-long|reactive-short
                     [--sir dB] [--seconds S]
   rjamctl roc       --preset ... [--snr dB] [--frames N] [--fa-samples N]
@@ -499,6 +523,9 @@ GLOBAL OPTIONS:
 NOTES:
   detect/roc probe against full 802.11g frames; selecting --preset wimax
   there measures cross-standard rejection (it should stay near zero).
+  fa --grid sweeps a comma-separated list of threshold fractions over the
+  *same* noise stream in one bitsliced lane-bank pass (one row per
+  fraction); it needs a correlator preset, not energy.
   stats without a file runs a short live exercise and renders its metrics,
   including the trigger-to-TX latency histogram against the response budget
   (derived from the armed presets unless --budget-ns overrides it).
@@ -595,6 +622,35 @@ mod tests {
             }
         );
         assert!(parse(&argv("classify")).is_err());
+    }
+
+    #[test]
+    fn parses_fa_grid() {
+        match parse(&argv("fa --preset wifi-short")).unwrap() {
+            Command::Fa { grid, .. } => assert_eq!(grid, None),
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv("fa --preset wifi-short --grid 0.22,0.34,0.50")).unwrap() {
+            Command::Fa { grid, .. } => assert_eq!(grid, Some(vec![0.22, 0.34, 0.50])),
+            other => panic!("{other:?}"),
+        }
+        // Spaces after commas survive (quoted on a real command line).
+        let argv_spaced: Vec<String> = vec!["fa", "--preset", "wifi-short", "--grid", "0.2, 0.4"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        match parse(&argv_spaced).unwrap() {
+            Command::Fa { grid, .. } => assert_eq!(grid, Some(vec![0.2, 0.4])),
+            other => panic!("{other:?}"),
+        }
+        for bad in [
+            "fa --preset wifi-short --grid banana",
+            "fa --preset wifi-short --grid 0.2,,0.4",
+        ] {
+            let err = parse(&argv(bad)).unwrap_err();
+            assert_eq!(err.kind(), ErrorKind::Usage, "'{bad}'");
+            assert!(err.message().contains("--grid"), "'{bad}' -> {err}");
+        }
     }
 
     #[test]

@@ -85,7 +85,50 @@ pub fn execute_with(cmd: &Command, engine: &CampaignEngine) -> Result<String, Cl
             samples,
             cell,
             segment,
+            grid,
         } => {
+            if let Some(grid) = grid {
+                if matches!(preset, PresetName::Energy) {
+                    return Err(CliError::usage(
+                        "--grid sweeps correlation-threshold fractions; the energy \
+                         preset's threshold is in dB (use --energy-db without --grid)",
+                    ));
+                }
+                let max = rjam_fpga::lanes::MAX_LANES;
+                if grid.len() > max {
+                    return Err(CliError::usage(format!(
+                        "--grid supports at most {max} fractions (one lane each), got {}",
+                        grid.len()
+                    )));
+                }
+                // Validate every grid point through the same config check a
+                // single-threshold run gets.
+                for f in grid {
+                    preset_for(*preset, *f, *energy_db, *cell, *segment)?;
+                }
+                let p = preset_for(*preset, grid[0], *energy_db, *cell, *segment)?;
+                let rows = CampaignSpec::false_alarm(&p)
+                    .samples(*samples)
+                    .seed(0xFA2)
+                    .run_grid_counts(engine, grid);
+                let mut out = format!(
+                    "detector: {p:?}\n{} thresholds over one shared noise stream (single lane-bank pass):\n",
+                    grid.len()
+                );
+                for (f, (triggers, processed)) in grid.iter().zip(&rows) {
+                    let air_s = *processed as f64 / rjam_sdr::USRP_SAMPLE_RATE;
+                    let fa = if *processed == 0 {
+                        0.0
+                    } else {
+                        *triggers as f64 / air_s
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  threshold {f:.3}: {triggers} false alarms on {processed} noise samples ({air_s:.2} s of air): {fa:.3}/s"
+                    );
+                }
+                return Ok(out);
+            }
             let p = preset_for(*preset, *threshold, *energy_db, *cell, *segment)?;
             let (triggers, processed) = CampaignSpec::false_alarm(&p)
                 .samples(*samples)
@@ -660,6 +703,58 @@ mod tests {
                 .unwrap_err();
         assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn fa_grid_reports_one_row_per_fraction_and_matches_single_runs() {
+        let grid_out = execute(
+            &parse(&argv(
+                "fa --preset wifi-short --grid 0.22,0.50 --samples 300000",
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(grid_out.contains("threshold 0.220:"), "{grid_out}");
+        assert!(grid_out.contains("threshold 0.500:"), "{grid_out}");
+        // Every grid row carries the same counts a dedicated single-threshold
+        // run reports for that fraction.
+        for frac in ["0.22", "0.50"] {
+            let single = execute(
+                &parse(&argv(&format!(
+                    "fa --preset wifi-short --threshold {frac} --samples 300000"
+                )))
+                .unwrap(),
+            )
+            .unwrap();
+            let counts = single
+                .lines()
+                .find(|l| l.contains("false alarms"))
+                .unwrap()
+                .to_string();
+            assert!(grid_out.contains(counts.trim()), "{frac}: {grid_out}");
+        }
+    }
+
+    #[test]
+    fn fa_grid_rejects_energy_preset_and_oversized_grids() {
+        let err = execute(&parse(&argv("fa --preset energy --grid 0.2,0.4")).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
+        assert!(err.message().contains("--energy-db"), "{err}");
+
+        let grid: Vec<String> = (0..65).map(|k| format!("0.{:02}", k + 10)).collect();
+        let cmd = format!("fa --preset wifi-short --grid {}", grid.join(","));
+        let err = execute(&parse(&argv(&cmd)).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
+        assert!(err.message().contains("at most"), "{err}");
+
+        // A zero fraction anywhere in the grid hits the same config check a
+        // single-threshold run gets.
+        let err =
+            execute(&parse(&argv("fa --preset wifi-short --grid 0.4,0")).unwrap()).unwrap_err();
+        assert!(
+            err.message().contains("invalid detector configuration"),
+            "{err}"
+        );
     }
 
     #[test]

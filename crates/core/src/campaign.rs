@@ -12,14 +12,14 @@
 
 use crate::engine::CampaignEngine;
 use crate::jammer::{BlockScratch, ReactiveJammer, DEFAULT_LOCKOUT};
-use crate::presets::{DetectionPreset, JammerPreset};
+use crate::presets::{build_config, DetectionPreset, JammerPreset};
 use crate::testbed::TestbedBudget;
 use rjam_channel::monitor::ScopeTrace;
 use rjam_channel::noise::NoiseSource;
-use rjam_fpga::CoreEvent;
+use rjam_fpga::{CoreEvent, DspLaneBank, LaneBankScratch};
 use rjam_mac::model::{JammerKind, Scenario};
 use rjam_mac::{run_scenario, IperfReport, MacObsDelta, ScenarioRun};
-use rjam_sdr::complex::Cf64;
+use rjam_sdr::complex::{Cf64, IqI16};
 use rjam_sdr::power::{db_to_lin, mean_power, scale_to_power};
 use rjam_sdr::resample::{fractional_delay, to_usrp_rate};
 use rjam_sdr::rng::Rng;
@@ -101,6 +101,178 @@ fn count_in_window(events: &[CoreEvent], lo: u64, hi: u64, energy: bool) -> usiz
             kind_ok && s >= lo && s < hi
         })
         .count()
+}
+
+/// Builds a [`DspLaneBank`] with one lane per preset: the preset's
+/// correlator template plus the `xcorr_threshold` its compiled monitor
+/// config would carry, all at the same lockout the single-core sweeps use.
+/// Returns `None` when any preset is energy-only (no template) or the
+/// grid exceeds the bank capacity — callers fall back to the per-preset
+/// paths in that case.
+fn lane_bank_for(presets: &[DetectionPreset], lockout: u64) -> Option<DspLaneBank> {
+    if presets.is_empty() || presets.len() > rjam_fpga::lanes::MAX_LANES {
+        return None;
+    }
+    let mut bank = DspLaneBank::new();
+    for preset in presets {
+        let t = preset.template()?;
+        let threshold = build_config(preset, &JammerPreset::Monitor, lockout).xcorr_threshold;
+        bank.add_lane(&t.coeff_i, &t.coeff_q, threshold, lockout);
+    }
+    Some(bank)
+}
+
+/// The false-alarm measurement of [`FalseAlarmSpec::run_counts`] evaluated
+/// for N correlator presets in one streaming pass: identical unit
+/// boundaries, identical per-unit noise streams (`shard_seed(seed, index)`),
+/// identical quantization — but every threshold rides one lane of a shared
+/// [`DspLaneBank`], so the sign-bit popcount pass is paid once per distinct
+/// template instead of once per preset. Returns one `(triggers, samples)`
+/// pair per preset, each bit-identical to a dedicated `run_counts` run of
+/// that preset at the same seed. `None` when the presets don't fit a bank.
+fn false_alarm_lane_counts(
+    engine: &CampaignEngine,
+    presets: &[DetectionPreset],
+    samples: usize,
+    seed: u64,
+    kind: &'static str,
+) -> Option<Vec<(u64, u64)>> {
+    struct FaLanePool {
+        bank: DspLaneBank,
+        quant: Vec<IqI16>,
+    }
+    lane_bank_for(presets, DEFAULT_LOCKOUT)?;
+    let n_units = samples.div_ceil(FA_UNIT_SAMPLES);
+    let counts = engine.run_units_kind(
+        kind,
+        n_units,
+        seed,
+        || FaLanePool {
+            bank: lane_bank_for(presets, DEFAULT_LOCKOUT).expect("presets checked above"),
+            quant: Vec::new(),
+        },
+        |pool, ctx| {
+            let lo = ctx.index * FA_UNIT_SAMPLES;
+            let n = FA_UNIT_SAMPLES.min(samples - lo);
+            pool.bank.reset();
+            // A terminated input still shows the receiver noise floor —
+            // the same stream FalseAlarmSpec::run_counts derives.
+            let mut noise = NoiseSource::new(RX_LEVEL / db_to_lin(20.0), Rng::seed_from(ctx.seed));
+            let mut done = 0usize;
+            while done < n {
+                let m = FA_CHUNK.min(n - done);
+                pool.quant.clear();
+                for _ in 0..m {
+                    pool.quant.push(IqI16::from_cf64(noise.next_sample()));
+                }
+                pool.bank.process_block(&pool.quant);
+                done += m;
+            }
+            (pool.bank.trigger_counts(), n as u64)
+        },
+    );
+    let mut out = vec![(0u64, 0u64); presets.len()];
+    for (lane_triggers, n) in &counts {
+        for (lane, &t) in lane_triggers.iter().enumerate() {
+            out[lane].0 += t;
+            out[lane].1 += n;
+        }
+    }
+    if rjam_obs::enabled() {
+        use rjam_obs::registry::counter;
+        // Truthful accounting: the noise was streamed once, not once per
+        // preset; triggers sum across lanes.
+        counter("core.fa_samples").add(samples as u64);
+        counter("core.fa_triggers").add(out.iter().map(|&(t, _)| t).sum());
+    }
+    Some(out)
+}
+
+/// The detection half of [`WifiDetectionSpec::run`] at one SNR, evaluated
+/// for N correlator presets over one shared emission stream: identical
+/// `(seed-block)` unit boundaries and per-unit frame/noise streams, with
+/// every preset's threshold on its own lane. Returns detected-frame counts
+/// per preset, each bit-identical to a dedicated single-preset sweep at
+/// the same seed. `None` when the presets don't fit a bank.
+fn detection_lane_counts(
+    engine: &CampaignEngine,
+    presets: &[DetectionPreset],
+    emission: WifiEmission,
+    snr_db: f64,
+    frames_per_point: usize,
+    seed: u64,
+    kind: &'static str,
+) -> Option<Vec<usize>> {
+    struct DetLanePool {
+        bank: DspLaneBank,
+        stream: Vec<Cf64>,
+        quant: Vec<IqI16>,
+        scratch: LaneBankScratch,
+    }
+    lane_bank_for(presets, DEFAULT_LOCKOUT)?;
+    let blocks_per_point = frames_per_point.div_ceil(DETECTION_FRAMES_PER_UNIT).max(1);
+    let cells = engine.run_units_kind(
+        kind,
+        blocks_per_point,
+        seed,
+        || DetLanePool {
+            bank: lane_bank_for(presets, DEFAULT_LOCKOUT).expect("presets checked above"),
+            stream: Vec::new(),
+            quant: Vec::new(),
+            scratch: LaneBankScratch::default(),
+        },
+        |pool, ctx| {
+            let lo = ctx.index * DETECTION_FRAMES_PER_UNIT;
+            let frames = DETECTION_FRAMES_PER_UNIT.min(frames_per_point - lo);
+            let mut rng = Rng::seed_from(ctx.seed);
+            pool.bank.reset();
+            let noise_power = RX_LEVEL / db_to_lin(snr_db);
+            let mut noise = NoiseSource::new(noise_power, rng.fork());
+            let mut detected = vec![0usize; presets.len()];
+            for _ in 0..frames {
+                let mut wave = emission_waveform(emission, rjam_phy80211::Rate::R12, &mut rng);
+                scale_to_power(&mut wave, RX_LEVEL);
+                pool.stream.clear();
+                for _ in 0..LEAD_IN {
+                    pool.stream.push(noise.next_sample());
+                }
+                let frame_lo = pool.stream.len() as u64;
+                pool.stream
+                    .extend(wave.iter().map(|&s| s + noise.next_sample()));
+                let frame_hi = pool.stream.len() as u64 + 64; // allow pipeline lag
+                for _ in 0..TAIL {
+                    pool.stream.push(noise.next_sample());
+                }
+                let base = pool.bank.samples_processed();
+                pool.quant.clear();
+                pool.quant
+                    .extend(pool.stream.iter().map(|&s| IqI16::from_cf64(s)));
+                pool.scratch.clear();
+                pool.bank.process_block_into(&pool.quant, &mut pool.scratch);
+                for (lane, hits) in pool.scratch.triggers.iter().take(presets.len()).enumerate() {
+                    if hits
+                        .iter()
+                        .any(|&s| s >= base + frame_lo && s < base + frame_hi)
+                    {
+                        detected[lane] += 1;
+                    }
+                }
+            }
+            detected
+        },
+    );
+    let mut out = vec![0usize; presets.len()];
+    for cell in &cells {
+        for (lane, &d) in cell.iter().enumerate() {
+            out[lane] += d;
+        }
+    }
+    if rjam_obs::enabled() {
+        use rjam_obs::registry::counter;
+        counter("core.sweep_frames").add(frames_per_point as u64);
+        counter("core.sweep_detections").add(out.iter().map(|&d| d as u64).sum());
+    }
+    Some(out)
 }
 
 /// Channel model for detection sweeps.
@@ -475,6 +647,42 @@ impl FalseAlarmSpec {
         }
         (triggers, samples)
     }
+
+    /// Sweeps a grid of correlation-threshold fractions in **one** noise
+    /// pass: every fraction becomes a [`DspLaneBank`] lane over the base
+    /// preset's template, so the sign-bit popcount pass is paid once per
+    /// sample instead of once per grid point. Unit boundaries, per-unit
+    /// noise streams and quantization are exactly those of
+    /// [`FalseAlarmSpec::run_counts`], so the `k`-th `(triggers, samples)`
+    /// pair is bit-identical to running
+    /// `self.preset.with_xcorr_fraction(fractions[k])` through
+    /// `run_counts` at the same seed — just without re-streaming the noise
+    /// per point.
+    ///
+    /// # Panics
+    /// Panics if `fractions` is empty, exceeds
+    /// [`rjam_fpga::lanes::MAX_LANES`], or the preset is energy-only
+    /// (energy thresholds are in dB, not peak fractions — see
+    /// [`DetectionPreset::with_xcorr_fraction`]).
+    pub fn run_grid_counts(&self, engine: &CampaignEngine, fractions: &[f64]) -> Vec<(u64, u64)> {
+        assert!(!fractions.is_empty(), "threshold grid is empty");
+        assert!(
+            fractions.len() <= rjam_fpga::lanes::MAX_LANES,
+            "threshold grid exceeds the {}-lane bank capacity",
+            rjam_fpga::lanes::MAX_LANES
+        );
+        let presets: Vec<DetectionPreset> = fractions
+            .iter()
+            .map(|&f| {
+                self.preset.with_xcorr_fraction(f).expect(
+                    "threshold grids need a correlator preset \
+                     (energy thresholds are in dB, not peak fractions)",
+                )
+            })
+            .collect();
+        false_alarm_lane_counts(engine, &presets, self.samples, self.seed, "fa_grid")
+            .expect("correlator presets always fit a lane bank")
+    }
 }
 
 /// One point of a receiver-operating-characteristic sweep.
@@ -539,15 +747,69 @@ impl RocSpec<'_> {
     /// Sweeps the correlation threshold to trace the detector's ROC at one
     /// SNR: the quantitative form of Fig. 6's two-operating-point
     /// comparison ("aiming for a lower false alarm rate generally
-    /// decreases the probability of detection"). One shard per threshold;
-    /// every threshold's false-alarm half reuses the *same* derived noise
-    /// stream and its detection half the *same* derived emission stream,
-    /// so both ROC axes are monotone in the threshold by construction —
-    /// a stricter threshold sees the identical air and can only lose
-    /// triggers, never gain them.
+    /// decreases the probability of detection"). Every threshold's
+    /// false-alarm half reuses the *same* derived noise stream and its
+    /// detection half the *same* derived emission stream, so both ROC axes
+    /// are monotone in the threshold by construction — a stricter threshold
+    /// sees the identical air and can only lose triggers, never gain them.
+    ///
+    /// For correlator presets the sweep runs on a [`DspLaneBank`]: all
+    /// thresholds become lanes of one bank, the shared noise and emission
+    /// streams are synthesized and sign-sliced **once**, and every
+    /// threshold's comparator rides the same popcount pass. The produced
+    /// points are bit-identical to the per-threshold nested path (the unit
+    /// seeds, streams, quantization and the final float divisions all
+    /// match), which remains as the fallback for energy presets and
+    /// oversized grids.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<RocPoint> {
         // Shared streams across thresholds: one for the FA half, one for
         // the detection half.
+        let fa_seed = self.seed ^ 0xFA;
+        let det_seed = self.seed ^ 0xD7;
+        let presets: Vec<DetectionPreset> = self
+            .thresholds
+            .iter()
+            .map(|&t| (self.make_preset)(t))
+            .collect();
+        if let Some(fa) =
+            false_alarm_lane_counts(engine, &presets, self.fa_samples, fa_seed, "roc_fa")
+        {
+            let det = detection_lane_counts(
+                engine,
+                &presets,
+                self.emission,
+                self.snr_db,
+                self.frames_per_point,
+                det_seed,
+                "roc_detect",
+            )
+            .expect("lane applicability is identical for both halves");
+            return self
+                .thresholds
+                .iter()
+                .enumerate()
+                .map(|(k, &thr)| {
+                    let (triggers, samples) = fa[k];
+                    RocPoint {
+                        threshold: thr,
+                        fa_per_s: if samples == 0 {
+                            0.0
+                        } else {
+                            triggers as f64 / (samples as f64 / rjam_sdr::USRP_SAMPLE_RATE)
+                        },
+                        p_detect: det[k] as f64 / self.frames_per_point as f64,
+                    }
+                })
+                .collect();
+        }
+        self.run_nested(engine)
+    }
+
+    /// The pre-lane-bank path: one shard per threshold, each running its
+    /// own serial false-alarm and detection sub-campaigns. Kept as the
+    /// fallback for presets a lane bank cannot express (energy detectors)
+    /// and as the reference the lane path is byte-compared against.
+    fn run_nested(&self, engine: &CampaignEngine) -> Vec<RocPoint> {
         let fa_seed = self.seed ^ 0xFA;
         let det_seed = self.seed ^ 0xD7;
         engine.run_shards_kind("roc", self.thresholds.len(), self.seed, |ctx| {
@@ -1286,6 +1548,110 @@ mod tests {
             assert!(w[1].fa_per_s <= w[0].fa_per_s + 1e-9, "{pts:?}");
             assert!(w[1].p_detect <= w[0].p_detect + 1e-9, "{pts:?}");
         }
+    }
+
+    #[test]
+    fn roc_lane_path_byte_identical_to_nested_path() {
+        // The tentpole acceptance criterion: the lane-bank ROC export must
+        // be byte-identical to the pre-lane-bank nested path — same unit
+        // seeds, same streams, same quantization, same float divisions.
+        let make = |t: f64| DetectionPreset::WifiShortPreamble { threshold: t };
+        let spec = CampaignSpec::roc(&make)
+            .snr_db(-3.0)
+            .thresholds(&[0.22, 0.34, 0.50])
+            .trials(30)
+            .fa_samples(300_000)
+            .seed(21);
+        let lane = spec.run(&serial());
+        let nested = spec.run_nested(&serial());
+        assert_eq!(
+            crate::export::roc_csv(&lane),
+            crate::export::roc_csv(&nested)
+        );
+        // Raw bits, not just the rounded CSV.
+        for (a, b) in lane.iter().zip(&nested) {
+            assert_eq!(a.fa_per_s.to_bits(), b.fa_per_s.to_bits());
+            assert_eq!(a.p_detect.to_bits(), b.p_detect.to_bits());
+        }
+        // And the lane path itself is thread-count invariant.
+        for threads in [2, 7] {
+            let sharded = spec.run(&CampaignEngine::with_threads(threads));
+            assert_eq!(
+                crate::export::roc_csv(&lane),
+                crate::export::roc_csv(&sharded),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn roc_energy_preset_falls_back_to_nested_path() {
+        // Energy presets have no correlator template: the lane path must
+        // decline and the nested path must produce the points.
+        let make = |_t: f64| DetectionPreset::EnergyRise { threshold_db: 10.0 };
+        let spec = CampaignSpec::roc(&make)
+            .snr_db(5.0)
+            .thresholds(&[0.3, 0.5])
+            .trials(8)
+            .fa_samples(100_000)
+            .seed(22);
+        let pts = spec.run(&serial());
+        assert_eq!(pts.len(), 2);
+        assert_eq!(
+            crate::export::roc_csv(&pts),
+            crate::export::roc_csv(&spec.run_nested(&serial()))
+        );
+    }
+
+    #[test]
+    fn fa_grid_matches_individual_runs() {
+        // Each lane of the grid sweep must reproduce a dedicated
+        // run_counts run of the re-thresholded preset, bit for bit.
+        let preset = DetectionPreset::WifiLongPreamble { threshold: 0.30 };
+        let samples = FA_UNIT_SAMPLES + 12_345; // exercise the remainder unit
+        let spec = CampaignSpec::false_alarm(&preset).samples(samples).seed(33);
+        let grid = [0.08, 0.30, 0.60];
+        let swept = spec.run_grid_counts(&serial(), &grid);
+        assert_eq!(swept.len(), grid.len());
+        for (k, &f) in grid.iter().enumerate() {
+            let single = CampaignSpec::false_alarm(&preset.with_xcorr_fraction(f).unwrap())
+                .samples(samples)
+                .seed(33)
+                .run_counts(&serial());
+            assert_eq!(swept[k], single, "fraction {f}");
+            assert_eq!(swept[k].1, samples as u64, "denominator is the request");
+        }
+        // Looser thresholds can only gain triggers on the identical noise.
+        assert!(
+            swept[0].0 >= swept[1].0 && swept[1].0 >= swept[2].0,
+            "{swept:?}"
+        );
+    }
+
+    #[test]
+    fn fa_grid_lane_order_and_thread_count_invariant() {
+        // Shuffling the lane order and resharding must permute, never
+        // change, the per-fraction counts.
+        let preset = DetectionPreset::WifiShortPreamble { threshold: 0.30 };
+        let spec = CampaignSpec::false_alarm(&preset)
+            .samples(FA_UNIT_SAMPLES + 999)
+            .seed(34);
+        let a = spec.run_grid_counts(&serial(), &[0.08, 0.22, 0.34]);
+        for threads in [1usize, 2, 7] {
+            let b =
+                spec.run_grid_counts(&CampaignEngine::with_threads(threads), &[0.34, 0.08, 0.22]);
+            assert_eq!(a[0], b[1], "threads={threads}");
+            assert_eq!(a[1], b[2], "threads={threads}");
+            assert_eq!(a[2], b[0], "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "energy thresholds are in dB")]
+    fn fa_grid_rejects_energy_presets() {
+        let spec = CampaignSpec::false_alarm(&DetectionPreset::EnergyRise { threshold_db: 10.0 })
+            .samples(1000);
+        let _ = spec.run_grid_counts(&serial(), &[0.3]);
     }
 
     #[test]

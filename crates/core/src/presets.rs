@@ -74,6 +74,22 @@ impl DetectionPreset {
         }
     }
 
+    /// Returns a copy of this preset with its correlation-threshold
+    /// fraction replaced by `fraction`, or `None` for energy-only presets
+    /// (whose thresholds are in dB, not peak fractions). This is what lets
+    /// threshold-grid sweeps derive one preset per lane from a base preset.
+    pub fn with_xcorr_fraction(&self, fraction: f64) -> Option<DetectionPreset> {
+        let mut preset = self.clone();
+        match &mut preset {
+            DetectionPreset::WifiShortPreamble { threshold }
+            | DetectionPreset::WifiLongPreamble { threshold }
+            | DetectionPreset::WimaxPreamble { threshold, .. }
+            | DetectionPreset::WimaxFused { threshold, .. } => *threshold = fraction,
+            DetectionPreset::EnergyRise { .. } | DetectionPreset::EnergyFall { .. } => return None,
+        }
+        Some(preset)
+    }
+
     /// The trigger sources the preset enables.
     pub fn trigger_mode(&self) -> TriggerMode {
         match self {

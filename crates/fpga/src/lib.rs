@@ -21,7 +21,10 @@
 //!   last 512 received samples, or a host-streamed buffer);
 //! * [`core`] — [`core::DspCore`], wiring the blocks together sample by
 //!   sample with full cycle accounting, event logging and host feedback
-//!   flags.
+//!   flags;
+//! * [`lanes`] — the bitsliced **DSP lane bank** ([`DspLaneBank`]): up to 64
+//!   independent (template, threshold, lockout) detection hypotheses sharing
+//!   one stream's sign-history popcount passes, for workspace-scale sweeps.
 //!
 //! All arithmetic uses the hardware's bit widths (16-bit I/Q, 31-bit sample
 //! energy, 36-bit windowed energy) so detection statistics — including the
@@ -35,6 +38,7 @@ pub mod core;
 pub mod energy;
 pub mod fifo;
 pub mod jammer;
+pub mod lanes;
 pub mod regs;
 pub mod resources;
 pub mod trace;
@@ -50,6 +54,7 @@ pub use crate::core::{
 pub use energy::EnergyDifferentiator;
 pub use fifo::{SampleFifo, TriggerCapture};
 pub use jammer::{JamController, JamWaveform};
+pub use lanes::{DspLaneBank, LaneBankScratch};
 pub use regs::{RegisterBus, RegisterMap};
 pub use trigger::{TriggerBuilder, TriggerMode, TriggerSource};
 pub use vita::{AntennaControl, VitaTime};

@@ -67,7 +67,7 @@ impl Coeff3 {
 /// bit-planes of the 3-bit coefficients: `c = -4 c2 + 2 c1 + c0`, so three
 /// popcounts evaluate it.
 #[derive(Clone, Copy, Debug)]
-struct Rail {
+pub(crate) struct Rail {
     p0: u64,
     p1: u64,
     p2: u64,
@@ -75,7 +75,7 @@ struct Rail {
 }
 
 impl Rail {
-    fn new(coeffs: &[Coeff3; 64]) -> Self {
+    pub(crate) fn new(coeffs: &[Coeff3; 64]) -> Self {
         let (mut p0, mut p1, mut p2) = (0u64, 0u64, 0u64);
         let mut total = 0i32;
         for (k, c) in coeffs.iter().enumerate() {
@@ -97,7 +97,7 @@ impl Rail {
     /// Correlation of the rail against a sign history encoded as a
     /// negative-sample bitmask.
     #[inline]
-    fn corr(&self, neg_mask: u64) -> i32 {
+    pub(crate) fn corr(&self, neg_mask: u64) -> i32 {
         let masked = (neg_mask & self.p0).count_ones() as i32
             + 2 * (neg_mask & self.p1).count_ones() as i32
             - 4 * (neg_mask & self.p2).count_ones() as i32;
@@ -170,10 +170,18 @@ impl CrossCorrelator {
     }
 
     /// Loads coefficients from raw `i8` values (register-bus unpacked form).
+    ///
+    /// Converts in place with no heap allocation — this is the "on-the-fly
+    /// personality change" path and must stay allocation-free.
+    ///
+    /// # Panics
+    /// Panics if any coefficient is outside `-4..=3`.
     pub fn load_coeffs_raw(&mut self, ci: &[i8; 64], cq: &[i8; 64]) {
-        let ci: Vec<Coeff3> = ci.iter().map(|&c| Coeff3::new(c)).collect();
-        let cq: Vec<Coeff3> = cq.iter().map(|&c| Coeff3::new(c)).collect();
-        self.load_coeffs(&ci, &cq);
+        for k in 0..64 {
+            self.coeff_i[k] = Coeff3::new(ci[k]);
+            self.coeff_q[k] = Coeff3::new(cq[k]);
+        }
+        self.rebuild_rails();
     }
 
     /// Sets the detection threshold on the squared-magnitude metric.
@@ -200,10 +208,13 @@ impl CrossCorrelator {
             .chain(self.coeff_q.iter())
             .map(|c| (c.0 as i64).abs())
             .sum();
-        // Both the real and imaginary accumulators can reach at most the sum
-        // of absolute coefficient magnitudes across both rails; the metric is
-        // re^2 + im^2 but re and im cannot peak simultaneously for phase
-        // templates, so the true attainable peak is bounded by max_i^2.
+        // Each accumulator can reach at most the sum of absolute coefficient
+        // magnitudes across both rails, and that bound is exactly attained:
+        // a matched sign stream drives re to max_i with im = 0, and a
+        // 90-degree-rotated copy drives im to max_i with re = 0 (see
+        // `matched_template_peaks_at_alignment` and
+        // `rotated_input_appears_in_imaginary_rail`). The metric re^2 + im^2
+        // therefore peaks at exactly max_i^2.
         (max_i * max_i) as u64
     }
 
@@ -462,6 +473,28 @@ mod tests {
         assert_eq!(Coeff3::saturating(100).get(), 3);
         assert_eq!(Coeff3::saturating(-100).get(), -4);
         assert_eq!(Coeff3::saturating(2).get(), 2);
+    }
+
+    #[test]
+    fn load_coeffs_raw_matches_load_coeffs() {
+        let mut rng = Rng::seed_from(15);
+        let raw_i: [i8; 64] = std::array::from_fn(|_| (rng.below(8) as i32 - 4) as i8);
+        let raw_q: [i8; 64] = std::array::from_fn(|_| (rng.below(8) as i32 - 4) as i8);
+        let ci: Vec<Coeff3> = raw_i.iter().map(|&c| Coeff3::new(c)).collect();
+        let cq: Vec<Coeff3> = raw_q.iter().map(|&c| Coeff3::new(c)).collect();
+        let mut a = CrossCorrelator::new();
+        let mut b = CrossCorrelator::new();
+        a.load_coeffs_raw(&raw_i, &raw_q);
+        b.load_coeffs(&ci, &cq);
+        a.set_threshold(5000);
+        b.set_threshold(5000);
+        for _ in 0..256 {
+            let s = IqI16::new(
+                (rng.below(65536) as i32 - 32768) as i16,
+                (rng.below(65536) as i32 - 32768) as i16,
+            );
+            assert_eq!(a.push(s), b.push(s));
+        }
     }
 
     #[test]

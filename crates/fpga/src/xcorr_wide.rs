@@ -139,9 +139,27 @@ impl WideCorrelator {
         self.threshold = threshold;
     }
 
+    /// Current threshold (parity with [`CrossCorrelator::threshold`]).
+    ///
+    /// [`CrossCorrelator::threshold`]: crate::CrossCorrelator::threshold
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
     /// Sets the post-trigger lockout in samples.
     pub fn set_lockout(&mut self, samples: u64) {
         self.lockout = samples;
+    }
+
+    /// Resets the streaming state, keeping coefficients, threshold and
+    /// lockout — bit-equivalent to a freshly constructed instance, which is
+    /// the pooling contract `CampaignEngine::run_units` relies on.
+    pub fn reset(&mut self) {
+        self.neg_i.fill(0);
+        self.neg_q.fill(0);
+        self.fed = 0;
+        self.lockout_left = 0;
+        self.was_above = false;
     }
 
     /// Ideal (fully matched) metric for threshold placement:
@@ -208,15 +226,17 @@ impl WideCorrelator {
 
     /// Estimated FPGA footprint at this window length, scaling the paper's
     /// 64-tap synthesis linearly in taps (correlator structures are
-    /// tap-parallel).
+    /// tap-parallel). Fractional windows round every field up — an 80-tap
+    /// window still instantiates whole slices/FFs/LUTs, so flooring would
+    /// under-report the footprint.
     pub fn estimated_resources(&self) -> crate::resources::Resources {
         let k = self.len as f64 / 64.0;
         let base = crate::resources::XCORR;
         crate::resources::Resources {
-            slices: (base.slices as f64 * k) as u32,
-            ffs: (base.ffs as f64 * k) as u32,
+            slices: (base.slices as f64 * k).ceil() as u32,
+            ffs: (base.ffs as f64 * k).ceil() as u32,
             brams: (base.brams as f64 * k).ceil() as u32,
-            luts: (base.luts as f64 * k) as u32,
+            luts: (base.luts as f64 * k).ceil() as u32,
             iobs: 0,
             dsp48: base.dsp48,
         }
@@ -333,6 +353,53 @@ mod tests {
         let r = xc.estimated_resources();
         assert_eq!(r.slices, crate::resources::XCORR.slices * 4);
         assert!(r.fits_in(crate::resources::custom_logic_budget()));
+
+        // Non-multiple-of-64 windows must ceil every field: an 80-tap
+        // window (k = 1.25) occupies whole resources, never fewer than the
+        // 64-tap base times k rounded up.
+        let ci = vec![Coeff3::new(1); 80];
+        let cq = vec![Coeff3::new(1); 80];
+        let r = WideCorrelator::new(&ci, &cq).estimated_resources();
+        let base = crate::resources::XCORR;
+        let scale = |v: u32| (v as f64 * 80.0 / 64.0).ceil() as u32;
+        assert_eq!(r.slices, scale(base.slices));
+        assert_eq!(r.ffs, scale(base.ffs));
+        assert_eq!(r.brams, scale(base.brams));
+        assert_eq!(r.luts, scale(base.luts));
+    }
+
+    #[test]
+    fn reset_is_bit_equivalent_to_fresh() {
+        // The PR-6 pooling contract: after reset(), the correlator must be
+        // indistinguishable from a freshly constructed one on any stream.
+        let mut rng = Rng::seed_from(93);
+        for len in [16usize, 64, 80, 200] {
+            let ci = random_coeffs(&mut rng, len);
+            let cq = random_coeffs(&mut rng, len);
+            let mut pooled = WideCorrelator::new(&ci, &cq);
+            pooled.set_threshold(30_000);
+            pooled.set_lockout(17);
+            // Dirty the streaming state (history, warmup, lockout, edge).
+            for _ in 0..(2 * len + 37) {
+                let s = IqI16::new(
+                    (rng.below(65536) as i64 - 32768) as i16,
+                    (rng.below(65536) as i64 - 32768) as i16,
+                );
+                pooled.push(s);
+            }
+            pooled.reset();
+            let mut fresh = WideCorrelator::new(&ci, &cq);
+            fresh.set_threshold(30_000);
+            fresh.set_lockout(17);
+            assert_eq!(pooled.threshold(), fresh.threshold());
+            for n in 0..(3 * len) {
+                let s = IqI16::new(
+                    (rng.below(65536) as i64 - 32768) as i16,
+                    (rng.below(65536) as i64 - 32768) as i16,
+                );
+                assert_eq!(pooled.push(s), fresh.push(s), "len={len} n={n}");
+            }
+        }
     }
 
     #[test]

@@ -1,9 +1,26 @@
 //! Property tests for the FPGA-core models, driven by `rjam-testkit`.
 
 use rjam_fpga::fifo::SampleFifo;
+use rjam_fpga::lanes::LaneBankScratch;
 use rjam_fpga::vita::VitaTime;
+use rjam_fpga::xcorr::Coeff3;
+use rjam_fpga::{CrossCorrelator, DspLaneBank, WideCorrelator};
 use rjam_sdr::complex::IqI16;
+use rjam_sdr::rng::Rng;
 use rjam_testkit::{self as tk, prop_assert, prop_assert_eq, props};
+
+fn lane_template(rng: &mut Rng) -> ([i8; 64], [i8; 64]) {
+    let ci: [i8; 64] = std::array::from_fn(|_| (rng.below(8) as i32 - 4) as i8);
+    let cq: [i8; 64] = std::array::from_fn(|_| (rng.below(8) as i32 - 4) as i8);
+    (ci, cq)
+}
+
+fn lane_sample(rng: &mut Rng) -> IqI16 {
+    IqI16::new(
+        (rng.below(65536) as i64 - 32768) as i16,
+        (rng.below(65536) as i64 - 32768) as i16,
+    )
+}
 
 props! {
     cases = 16;
@@ -43,6 +60,107 @@ props! {
             prop_assert_eq!(*s, IqI16::new(k as i16, -(k as i16)));
         }
         prop_assert!(f.is_empty());
+    }
+
+    /// The tentpole invariant: a lane bank at any lane count is bit-identical
+    /// to N independent `CrossCorrelator` instances — random templates (with
+    /// forced sharing so the grouped-rail path is exercised), random
+    /// thresholds and lockouts, random streams. Both datapaths are checked:
+    /// the per-sample `push_into` against every per-sample output, and the
+    /// block path's trigger indices/counters against the collected trigger
+    /// train at a random block size.
+    fn lane_bank_matches_independent_cores(
+        seed in 0u64..1_000_000,
+        n_lanes in 1usize..=64,
+        n_samples in 64usize..1500,
+        block in 1usize..200,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let mut bank = DspLaneBank::new();
+        let mut cores = Vec::new();
+        let mut templates: Vec<([i8; 64], [i8; 64])> = Vec::new();
+        for _ in 0..n_lanes {
+            // Reuse an earlier template half the time so lanes share groups.
+            let (ci, cq) = if !templates.is_empty() && rng.chance(0.5) {
+                templates[rng.below(templates.len() as u64) as usize]
+            } else {
+                let t = lane_template(&mut rng);
+                templates.push(t);
+                t
+            };
+            let threshold = rng.below(200_000);
+            let lockout = rng.below(300);
+            bank.add_lane(&ci, &cq, threshold, lockout);
+            let mut xc = CrossCorrelator::new();
+            xc.load_coeffs_raw(&ci, &cq);
+            xc.set_threshold(threshold);
+            xc.set_lockout(lockout);
+            cores.push(xc);
+        }
+        let stream: Vec<IqI16> = (0..n_samples).map(|_| lane_sample(&mut rng)).collect();
+
+        // Per-sample path vs independent cores, collecting the reference
+        // trigger train as we go.
+        let mut out = vec![
+            rjam_fpga::xcorr::XcorrOutput { metric: 0, above: false, trigger: false };
+            n_lanes
+        ];
+        let mut expect: Vec<Vec<u64>> = vec![Vec::new(); n_lanes];
+        for (n, &s) in stream.iter().enumerate() {
+            bank.push_into(s, &mut out);
+            for (lane, xc) in cores.iter_mut().enumerate() {
+                prop_assert_eq!(out[lane], xc.push(s), "lane {} sample {}", lane, n);
+                if out[lane].trigger {
+                    expect[lane].push(n as u64);
+                }
+            }
+        }
+
+        // Block path on a fresh bank (same lanes) at a random block size.
+        let mut blocked = bank.clone();
+        blocked.reset();
+        let mut scratch = LaneBankScratch::default();
+        for chunk in stream.chunks(block) {
+            blocked.process_block_into(chunk, &mut scratch);
+        }
+        prop_assert_eq!(&scratch.triggers[..n_lanes], &expect[..], "block size {}", block);
+        prop_assert_eq!(blocked.trigger_counts(), bank.trigger_counts());
+        prop_assert_eq!(blocked.samples_processed(), stream.len() as u64);
+    }
+
+    /// `WideCorrelator::reset` restores the pooling contract: after any
+    /// dirtying stream, a reset core is bit-equivalent to a fresh one
+    /// (mirrors the 64-tap core's `reset_clears_history`).
+    fn wide_reset_is_bit_equivalent_to_fresh(
+        seed in 0u64..1_000_000,
+        len in 1usize..200,
+        dirty in 0usize..400,
+        probe in 1usize..400,
+    ) {
+        let mut rng = Rng::seed_from(seed);
+        let ci: Vec<Coeff3> = (0..len)
+            .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+            .collect();
+        let cq: Vec<Coeff3> = (0..len)
+            .map(|_| Coeff3::saturating(rng.below(8) as i32 - 4))
+            .collect();
+        let threshold = rng.below(200_000);
+        let lockout = rng.below(100);
+        let mut pooled = WideCorrelator::new(&ci, &cq);
+        pooled.set_threshold(threshold);
+        pooled.set_lockout(lockout);
+        for _ in 0..dirty {
+            pooled.push(lane_sample(&mut rng));
+        }
+        pooled.reset();
+        let mut fresh = WideCorrelator::new(&ci, &cq);
+        fresh.set_threshold(threshold);
+        fresh.set_lockout(lockout);
+        prop_assert_eq!(pooled.threshold(), fresh.threshold());
+        for n in 0..probe {
+            let s = lane_sample(&mut rng);
+            prop_assert_eq!(pooled.push(s), fresh.push(s), "sample {}", n);
+        }
     }
 
     /// Interleaved push/pop never lets occupancy exceed depth, and the
