@@ -2,7 +2,7 @@
 //! a committed baseline and fails on median regressions.
 //!
 //! ```text
-//! check_baseline <fresh.json> <baseline.json> [--max-ratio R] [--params P]
+//! check_baseline <fresh.json> <baseline.json> [--max-ratio R] [--params P] [--stat median|min]
 //! ```
 //!
 //! For every `(bench, params)` record in the baseline (optionally filtered
@@ -12,23 +12,61 @@
 //! generous bound sized for shared CI runners, still far below the 2–10×
 //! of a genuine algorithmic regression).
 //!
-//! `ci.sh` runs this gate twice:
+//! `--stat min` gates `min_ns` instead of `median_ns`. On contended
+//! single-core runners the minimum is the stable statistic for tight
+//! overhead bounds: background spikes only ever inflate a sample, so the
+//! best-of-N iteration approaches the uncontended runtime while the median
+//! of ~50 ms iterations swings well past 2 % run to run. Repeated
+//! `(bench, params)` records in one report collapse to their best value,
+//! so a bench may emit the same label in several alternating rounds and
+//! have slow rounds discarded.
+//!
+//! `ci.sh` runs this gate three ways:
 //!
 //! * fresh bench output vs the committed `baselines/` snapshots at the
 //!   default ratio — the *regression* gate;
 //! * a default-features campaign-engine run vs a `--no-default-features`
 //!   run at `--max-ratio 1.02 --params threads_1` — the *telemetry
 //!   overhead* gate, proving the `obs` instrumentation costs ≤ 2 % on the
-//!   serial hot path.
+//!   serial hot path;
+//! * the paired health-monitor suites from one `health_monitor` bench
+//!   process at `--max-ratio 1.02 --stat min` — the *monitor overhead*
+//!   gate.
 //!
 //! Exit codes: 0 within bounds, 1 regression/malformed report, 2 usage.
 
 use rjam_bench::harness::json::{parse, Value};
 use std::process::ExitCode;
 
-/// `(bench, params) → median_ns` rows of one report.
-fn medians(records: &[Value]) -> Result<Vec<(String, String, f64)>, String> {
-    let mut out = Vec::new();
+/// The per-record statistic the gate compares.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stat {
+    Median,
+    Min,
+}
+
+impl Stat {
+    fn field(self) -> &'static str {
+        match self {
+            Stat::Median => "median_ns",
+            Stat::Min => "min_ns",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Stat::Median => "median",
+            Stat::Min => "min",
+        }
+    }
+}
+
+/// `(bench, params) → <stat>_ns` rows of one report. Repeated
+/// `(bench, params)` records — the `health_monitor` bench emits each
+/// slice label once per alternating round — collapse to their best
+/// (lowest) value, so block-to-block drift across rounds cancels.
+fn stat_rows(records: &[Value], stat: Stat) -> Result<Vec<(String, String, f64)>, String> {
+    let mut out: Vec<(String, String, f64)> = Vec::new();
     for (k, rec) in records.iter().enumerate() {
         let bench = rec
             .get("bench")
@@ -38,22 +76,25 @@ fn medians(records: &[Value]) -> Result<Vec<(String, String, f64)>, String> {
             .get("params")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("record {k}: missing string field 'params'"))?;
-        let median = rec
-            .get("median_ns")
+        let value = rec
+            .get(stat.field())
             .and_then(Value::as_f64)
-            .ok_or_else(|| format!("record {k}: missing number field 'median_ns'"))?;
-        out.push((bench.to_string(), params.to_string(), median));
+            .ok_or_else(|| format!("record {k}: missing number field '{}'", stat.field()))?;
+        match out.iter_mut().find(|row| row.0 == bench && row.1 == params) {
+            Some(row) => row.2 = row.2.min(value),
+            None => out.push((bench.to_string(), params.to_string(), value)),
+        }
     }
     Ok(out)
 }
 
-fn load(path: &str) -> Result<Vec<(String, String, f64)>, String> {
+fn load(path: &str, stat: Stat) -> Result<Vec<(String, String, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read failed: {e}"))?;
     let root = parse(&text).map_err(|e| format!("{path}: {e}"))?;
     let Value::Array(records) = root else {
         return Err(format!("{path}: top level is not an array"));
     };
-    medians(&records).map_err(|e| format!("{path}: {e}"))
+    stat_rows(&records, stat).map_err(|e| format!("{path}: {e}"))
 }
 
 /// Compares fresh medians against baseline medians. Returns the printable
@@ -63,6 +104,7 @@ fn compare(
     base: &[(String, String, f64)],
     max_ratio: f64,
     params_filter: Option<&str>,
+    stat: Stat,
 ) -> Result<String, String> {
     let mut out = String::new();
     let mut checked = 0usize;
@@ -77,7 +119,8 @@ fn compare(
         };
         if *base_median <= 0.0 {
             return Err(format!(
-                "{label}: baseline median is not positive ({base_median})"
+                "{label}: baseline {} is not positive ({base_median})",
+                stat.label()
             ));
         }
         let fresh_median = fresh
@@ -93,8 +136,9 @@ fn compare(
         ));
         if ratio > max_ratio {
             return Err(format!(
-                "REGRESSION: {label} median is {ratio:.3}x the baseline \
+                "REGRESSION: {label} {} is {ratio:.3}x the baseline \
                  ({:.3} ms vs {:.3} ms, bound {max_ratio})",
+                stat.label(),
                 fresh_median / 1e6,
                 base_median / 1e6,
             ));
@@ -124,13 +168,25 @@ fn default_ratio() -> Result<f64, String> {
 }
 
 fn run(args: &[String]) -> Result<String, (u8, String)> {
-    let usage = "usage: check_baseline <fresh.json> <baseline.json> [--max-ratio R] [--params P]";
+    let usage = "usage: check_baseline <fresh.json> <baseline.json> \
+                 [--max-ratio R] [--params P] [--stat median|min]";
     let mut positional = Vec::new();
     let mut max_ratio: Option<f64> = None;
     let mut params_filter: Option<String> = None;
+    let mut stat = Stat::Median;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--stat" => {
+                let v = it
+                    .next()
+                    .ok_or((2, format!("--stat needs a value\n{usage}")))?;
+                stat = match v.as_str() {
+                    "median" => Stat::Median,
+                    "min" => Stat::Min,
+                    _ => return Err((2, format!("--stat must be 'median' or 'min', got {v:?}"))),
+                };
+            }
             "--max-ratio" => {
                 let v = it
                     .next()
@@ -164,9 +220,9 @@ fn run(args: &[String]) -> Result<String, (u8, String)> {
         Some(r) => r,
         None => default_ratio().map_err(|e| (2, e))?,
     };
-    let fresh = load(fresh_path).map_err(|e| (1, e))?;
-    let base = load(base_path).map_err(|e| (1, e))?;
-    compare(&fresh, &base, max_ratio, params_filter.as_deref()).map_err(|e| (1, e))
+    let fresh = load(fresh_path, stat).map_err(|e| (1, e))?;
+    let base = load(base_path, stat).map_err(|e| (1, e))?;
+    compare(&fresh, &base, max_ratio, params_filter.as_deref(), stat).map_err(|e| (1, e))
 }
 
 fn main() -> ExitCode {
@@ -198,7 +254,7 @@ mod tests {
     fn within_bound_passes_and_tabulates() {
         let base = rows(&[("sweep", "threads_1", 100e6), ("sweep", "threads_4", 110e6)]);
         let fresh = rows(&[("sweep", "threads_1", 110e6), ("sweep", "threads_4", 100e6)]);
-        let out = compare(&fresh, &base, 1.25, None).unwrap();
+        let out = compare(&fresh, &base, 1.25, None, Stat::Median).unwrap();
         assert!(out.contains("OK: 2 record(s)"), "{out}");
         assert!(out.contains("sweep/threads_1"), "{out}");
     }
@@ -207,7 +263,7 @@ mod tests {
     fn regression_fails_with_ratio() {
         let base = rows(&[("sweep", "threads_1", 100e6)]);
         let fresh = rows(&[("sweep", "threads_1", 140e6)]);
-        let err = compare(&fresh, &base, 1.25, None).unwrap_err();
+        let err = compare(&fresh, &base, 1.25, None, Stat::Median).unwrap_err();
         assert!(err.contains("REGRESSION"), "{err}");
         assert!(err.contains("1.400x"), "{err}");
     }
@@ -217,15 +273,48 @@ mod tests {
         // threads_4 regresses badly, but the gate only watches threads_1.
         let base = rows(&[("sweep", "threads_1", 100e6), ("sweep", "threads_4", 100e6)]);
         let fresh = rows(&[("sweep", "threads_1", 101e6), ("sweep", "threads_4", 500e6)]);
-        let out = compare(&fresh, &base, 1.02, Some("threads_1")).unwrap();
+        let out = compare(&fresh, &base, 1.02, Some("threads_1"), Stat::Median).unwrap();
         assert!(out.contains("OK: 1 record(s)"), "{out}");
-        assert!(compare(&fresh, &base, 1.02, None).is_err());
+        assert!(compare(&fresh, &base, 1.02, None, Stat::Median).is_err());
+    }
+
+    #[test]
+    fn min_stat_reads_min_ns_and_names_the_stat() {
+        let recs = parse(r#"[{"bench":"iperf","params":"clean","median_ns":90e6,"min_ns":50e6}]"#)
+            .unwrap();
+        let Value::Array(recs) = recs else { panic!() };
+        let mins = stat_rows(&recs, Stat::Min).unwrap();
+        assert_eq!(mins[0].2, 50e6);
+        let meds = stat_rows(&recs, Stat::Median).unwrap();
+        assert_eq!(meds[0].2, 90e6);
+        let base = rows(&[("iperf", "clean", 50e6)]);
+        let fresh = rows(&[("iperf", "clean", 60e6)]);
+        let err = compare(&fresh, &base, 1.02, None, Stat::Min).unwrap_err();
+        assert!(err.contains("min is 1.200x"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_labels_collapse_to_their_best_value() {
+        let recs = parse(
+            r#"[{"bench":"iperf","params":"clean","median_ns":90e6,"min_ns":52e6},
+                {"bench":"iperf","params":"clean","median_ns":80e6,"min_ns":50e6},
+                {"bench":"iperf","params":"jam","median_ns":40e6,"min_ns":30e6},
+                {"bench":"iperf","params":"clean","median_ns":95e6,"min_ns":57e6}]"#,
+        )
+        .unwrap();
+        let Value::Array(recs) = recs else { panic!() };
+        let mins = stat_rows(&recs, Stat::Min).unwrap();
+        assert_eq!(mins.len(), 2, "three clean rounds merge into one row");
+        assert_eq!(mins[0], ("iperf".into(), "clean".into(), 50e6));
+        assert_eq!(mins[1], ("iperf".into(), "jam".into(), 30e6));
+        let meds = stat_rows(&recs, Stat::Median).unwrap();
+        assert_eq!(meds[0].2, 80e6, "medians also keep the best round");
     }
 
     #[test]
     fn missing_fresh_record_fails() {
         let base = rows(&[("sweep", "threads_1", 100e6)]);
-        let err = compare(&rows(&[]), &base, 1.25, None).unwrap_err();
+        let err = compare(&rows(&[]), &base, 1.25, None, Stat::Median).unwrap_err();
         assert!(err.contains("missing from fresh"), "{err}");
     }
 
@@ -233,7 +322,7 @@ mod tests {
     fn unmatched_filter_fails_instead_of_passing_vacuously() {
         let base = rows(&[("sweep", "threads_1", 100e6)]);
         let fresh = rows(&[("sweep", "threads_1", 100e6)]);
-        let err = compare(&fresh, &base, 1.25, Some("threads_9")).unwrap_err();
+        let err = compare(&fresh, &base, 1.25, Some("threads_9"), Stat::Median).unwrap_err();
         assert!(err.contains("no record with params"), "{err}");
     }
 
@@ -241,6 +330,6 @@ mod tests {
     fn bad_baseline_median_fails() {
         let base = rows(&[("sweep", "threads_1", 0.0)]);
         let fresh = rows(&[("sweep", "threads_1", 1.0)]);
-        assert!(compare(&fresh, &base, 1.25, None).is_err());
+        assert!(compare(&fresh, &base, 1.25, None, Stat::Median).is_err());
     }
 }

@@ -1,0 +1,258 @@
+//! Validates `rjam-health-v1` NDJSON streams (the `rjamctl monitor --out`
+//! output) against the schema and the monitor-run state machine.
+//!
+//! Every line must parse as a health event; by default the file must then
+//! decompose into one or more *complete* monitor runs — alarms raised
+//! before cleared, frame counters monotone, one `run_summary` closing each
+//! run with totals that match the transitions — via
+//! [`rjam_obs::health::validate_chain`]. A stream that ends mid-run is an
+//! error unless `--partial` is given, which checks parsing only.
+//!
+//! CI gates layer expectations on top of validity:
+//! `--require-alarm` fails streams with no `alarm_raised` event (a jammed
+//! scenario that never alarmed), `--forbid-alarm` fails streams with any
+//! (a clean scenario that false-alarmed), and `--alarm-within N` bounds
+//! the first alarm's frame index (the time-to-detect budget).
+//!
+//! Exit codes: 0 valid, 1 invalid stream or violated expectation, 2 usage
+//! error.
+
+use rjam_obs::health::{parse_stream, validate_chain, HealthEvent};
+use std::process::ExitCode;
+
+/// Expectations layered on top of schema/chain validity.
+#[derive(Clone, Copy, Default)]
+struct Expect {
+    partial: bool,
+    require_alarm: bool,
+    forbid_alarm: bool,
+    alarm_within: Option<u64>,
+}
+
+/// Parses `text`, validates every monitor run in it (unless partial), and
+/// checks the alarm expectations. Returns a one-line summary.
+fn check_text(text: &str, exp: Expect) -> Result<String, String> {
+    let events = parse_stream(text)?;
+    if exp.partial {
+        return Ok(format!(
+            "{} event(s) parsed (chain not checked)",
+            events.len()
+        ));
+    }
+    if events.is_empty() {
+        return Err("stream holds no events".into());
+    }
+    // A file may hold several monitor runs back to back: each
+    // `run_summary` closes one chain.
+    let mut runs = 0usize;
+    let mut start = 0usize;
+    for (k, e) in events.iter().enumerate() {
+        if matches!(e, HealthEvent::RunSummary { .. }) {
+            validate_chain(&events[start..=k]).map_err(|e| format!("run {runs}: {e}"))?;
+            runs += 1;
+            start = k + 1;
+        }
+    }
+    if start != events.len() {
+        return Err(format!(
+            "{} trailing event(s) after the last run_summary — the stream ends \
+             mid-run (use --partial to accept truncated streams)",
+            events.len() - start
+        ));
+    }
+    let alarms: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match e {
+            HealthEvent::AlarmRaised { frame, .. } => Some(*frame),
+            _ => None,
+        })
+        .collect();
+    if exp.require_alarm && alarms.is_empty() {
+        return Err("--require-alarm: no alarm_raised event in the stream".into());
+    }
+    if exp.forbid_alarm && !alarms.is_empty() {
+        return Err(format!(
+            "--forbid-alarm: {} alarm_raised event(s), first at frame {}",
+            alarms.len(),
+            alarms[0]
+        ));
+    }
+    if let Some(budget) = exp.alarm_within {
+        match alarms.first() {
+            None => return Err(format!("--alarm-within {budget}: the stream never alarmed")),
+            Some(&first) if first > budget => {
+                return Err(format!(
+                    "--alarm-within {budget}: first alarm at frame {first} exceeds the budget"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(format!(
+        "{} event(s), {} complete monitor run(s), {} alarm(s)",
+        events.len(),
+        runs,
+        alarms.len()
+    ))
+}
+
+fn check_file(path: &str, exp: Expect) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    check_text(&text, exp)
+}
+
+const USAGE: &str = "usage: check_health_json [--partial] [--require-alarm] [--forbid-alarm] \
+                     [--alarm-within N] health.ndjson [...]";
+
+fn main() -> ExitCode {
+    let mut exp = Expect::default();
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--partial" => exp.partial = true,
+            "--require-alarm" => exp.require_alarm = true,
+            "--forbid-alarm" => exp.forbid_alarm = true,
+            "--alarm-within" => {
+                let Some(v) = args.next() else {
+                    eprintln!("--alarm-within needs a frame count\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.parse() {
+                    Ok(n) => exp.alarm_within = Some(n),
+                    Err(_) => {
+                        eprintln!("--alarm-within: cannot parse '{v}'\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag '{arg}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() || (exp.require_alarm && exp.forbid_alarm) {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path, exp) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal valid single-run stream, built from the real emitter so
+    /// the test tracks the wire format.
+    fn run_lines(alarm: bool) -> String {
+        let mut events = vec![HealthEvent::Baseline {
+            metric: "mac.prr".into(),
+            detector: "ewma".into(),
+            mean: 0.97,
+            samples: 16,
+        }];
+        if alarm {
+            events.push(HealthEvent::AlarmRaised {
+                rule: "prr_collapse".into(),
+                metric: "mac.prr".into(),
+                detector: "cusum".into(),
+                stat: 1.44,
+                threshold: 1.0,
+                frame: 32,
+                frames: vec![0x19, 0x1a],
+            });
+        }
+        events.push(HealthEvent::RunSummary {
+            frames: 48,
+            polls: 1,
+            alarms_raised: u64::from(alarm),
+            alarms_active: u64::from(alarm),
+            healthy: !alarm,
+        });
+        events.iter().map(|e| e.to_line() + "\n").collect()
+    }
+
+    #[test]
+    fn complete_runs_pass() {
+        let s = check_text(&run_lines(true), Expect::default()).unwrap();
+        assert!(s.contains("1 complete monitor run(s), 1 alarm(s)"), "{s}");
+        let two = run_lines(true) + &run_lines(false);
+        let s = check_text(&two, Expect::default()).unwrap();
+        assert!(s.contains("2 complete monitor run(s)"), "{s}");
+    }
+
+    #[test]
+    fn truncated_stream_fails_unless_partial() {
+        let full = run_lines(true);
+        let cut: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let err = check_text(&cut, Expect::default()).unwrap_err();
+        assert!(err.contains("mid-run"), "{err}");
+        let partial = Expect {
+            partial: true,
+            ..Expect::default()
+        };
+        assert!(check_text(&cut, partial).is_ok());
+    }
+
+    #[test]
+    fn alarm_expectations_gate_both_ways() {
+        let require = Expect {
+            require_alarm: true,
+            ..Expect::default()
+        };
+        let forbid = Expect {
+            forbid_alarm: true,
+            ..Expect::default()
+        };
+        assert!(check_text(&run_lines(true), require).is_ok());
+        assert!(check_text(&run_lines(false), require).is_err());
+        assert!(check_text(&run_lines(false), forbid).is_ok());
+        let err = check_text(&run_lines(true), forbid).unwrap_err();
+        assert!(err.contains("first at frame 32"), "{err}");
+    }
+
+    #[test]
+    fn alarm_within_bounds_time_to_detect() {
+        let within = |n| Expect {
+            alarm_within: Some(n),
+            ..Expect::default()
+        };
+        assert!(check_text(&run_lines(true), within(32)).is_ok());
+        let err = check_text(&run_lines(true), within(16)).unwrap_err();
+        assert!(err.contains("frame 32 exceeds"), "{err}");
+        let err = check_text(&run_lines(false), within(32)).unwrap_err();
+        assert!(err.contains("never alarmed"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_fails_even_partial() {
+        let text = run_lines(false) + "{\"not\":\"an event\"}\n";
+        assert!(check_text(&text, Expect::default()).is_err());
+        let partial = Expect {
+            partial: true,
+            ..Expect::default()
+        };
+        assert!(check_text(&text, partial).is_err());
+    }
+
+    #[test]
+    fn empty_stream_fails() {
+        assert!(check_text("", Expect::default()).is_err());
+    }
+}

@@ -12,6 +12,12 @@ pub enum ErrorKind {
     /// The command was well-formed but failed while running (missing file,
     /// empty capture, unwritable output). Exit code 1; no usage spam.
     Runtime,
+    /// The command ran to completion but its verdict is unhealthy
+    /// (`monitor` finished with an alarm still raised, or a validator
+    /// found a violated expectation). Exit code 1; the message is the
+    /// command's full report and is printed to stdout, not styled as an
+    /// error.
+    Alarm,
 }
 
 /// A parse or execution failure surfaced to the operator.
@@ -42,6 +48,15 @@ impl CliError {
         }
     }
 
+    /// An unhealthy verdict (exit code 1): `message` is the command's
+    /// complete report, shown on stdout like a success report.
+    pub fn alarm(message: impl Into<String>) -> Self {
+        CliError {
+            kind: ErrorKind::Alarm,
+            message: message.into(),
+        }
+    }
+
     /// Which class of failure this is.
     pub fn kind(&self) -> ErrorKind {
         self.kind
@@ -56,7 +71,7 @@ impl CliError {
     pub fn exit_code(&self) -> u8 {
         match self.kind {
             ErrorKind::Usage => 2,
-            ErrorKind::Runtime => 1,
+            ErrorKind::Runtime | ErrorKind::Alarm => 1,
         }
     }
 }
@@ -224,6 +239,21 @@ pub enum Command {
         budget_ns: Option<f64>,
         /// How many of the slowest frames to detail.
         top: usize,
+    },
+    /// Online health monitoring: run a scenario with the link-health
+    /// monitor attached and render the live rule table plus alarm log.
+    /// Exits 0 when the run ends healthy, 1 when an alarm was raised.
+    Monitor {
+        /// Jammer variant under test.
+        jammer: JammerName,
+        /// SIR at the AP, dB.
+        sir_db: f64,
+        /// Scenario duration, seconds.
+        seconds: f64,
+        /// Monitor evaluation cadence, frames per window.
+        cadence: u64,
+        /// Write the line-delimited `rjam-health-v1` event stream here.
+        out: Option<String>,
     },
     /// Engine telemetry: run a reference detection campaign and render its
     /// post-run engine profile (per-worker utilization, unit latency
@@ -475,6 +505,17 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             budget_ns: opt_maybe(&rest, "budget-ns")?,
             top: opt(&rest, "top", 5)?,
         }),
+        "monitor" => Ok(Command::Monitor {
+            jammer: JammerName::parse(
+                rest.options
+                    .get("jammer")
+                    .ok_or_else(|| CliError::usage("monitor requires --jammer"))?,
+            )?,
+            sir_db: opt(&rest, "sir", 14.0)?,
+            seconds: opt(&rest, "seconds", 1.0)?,
+            cadence: opt(&rest, "cadence", 16)?,
+            out: rest.options.get("out").cloned(),
+        }),
         "report" => Ok(Command::Report {
             frames: opt(&rest, "frames", 64)?,
             top: opt(&rest, "top", 5)?,
@@ -504,6 +545,9 @@ USAGE:
   rjamctl stats     [snapshot.json] [--budget-ns NS]
   rjamctl trace     [--episodes N] [--out trace.json] [--chrome chrome.json]
                     [--budget-ns NS] [--top K]
+  rjamctl monitor   --jammer off|continuous|reactive-long|reactive-short
+                    [--sir dB] [--seconds S] [--cadence FRAMES]
+                    [--out health.ndjson]
   rjamctl report    [--frames N] [--top K]
   rjamctl help
 
@@ -533,13 +577,21 @@ NOTES:
   correlation ID at MAC emission and a per-stage latency decomposition;
   --out writes the rjam-trace-v1 document, --chrome writes a Perfetto /
   chrome://tracing loadable timeline with one track per pipeline stage.
+  monitor attaches the online link-health monitor to one iperf-style
+  scenario run: every --cadence frames the streaming detectors (EWMA
+  baseline, CUSUM, Page-Hinkley, rolling quantiles) judge the windowed
+  PRR, jam rate, false-alarm drift, trigger-to-TX budget and worker
+  utilization, and each transition is logged as a rjam-health-v1 event
+  (--out writes the NDJSON stream; validate it with check_health_json).
+  The exit code is the verdict: 0 healthy, 1 alarmed.
   report runs a reference detection sweep through the campaign engine and
   renders its telemetry: per-worker busy/idle/merge-wait with utilization,
   wall-clock attribution coverage, unit latency percentiles, and the top
   straggler units with the per-unit seeds needed to re-run them.
 
 EXIT CODES:
-  0 success, 1 runtime failure, 2 usage error (usage shown on 2 only)
+  0 success, 1 runtime failure, 2 usage error (usage shown on 2 only);
+  monitor: 0 final verdict healthy, 1 alarmed, 2 usage error
 ";
 
 #[cfg(test)]

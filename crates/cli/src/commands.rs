@@ -177,6 +177,13 @@ pub fn execute_with(cmd: &Command, engine: &CampaignEngine) -> Result<String, Cl
             );
             Ok(out)
         }
+        Command::Monitor {
+            jammer,
+            sir_db,
+            seconds,
+            cadence,
+            out,
+        } => monitor_report(*jammer, *sir_db, *seconds, *cadence, out.as_deref()),
         Command::Classify { path } => classify_report(path),
         Command::Report { frames, top } => engine_report(engine, *frames, *top),
         Command::Stats { input, budget_ns } => stats_report(input.as_deref(), *budget_ns),
@@ -638,6 +645,123 @@ fn engine_report(engine: &CampaignEngine, frames: usize, top: usize) -> Result<S
     Ok(out)
 }
 
+/// Runs one iperf-style scenario with the online health monitor attached
+/// and renders the rule table, the alarm log and the final verdict. When
+/// the run ends unhealthy the report comes back as [`CliError::alarm`],
+/// so the process exits 1 while still printing the full report — the exit
+/// code *is* the verdict (healthy=0, alarmed=1, usage=2).
+fn monitor_report(
+    jammer: JammerName,
+    sir_db: f64,
+    seconds: f64,
+    cadence: u64,
+    out: Option<&str>,
+) -> Result<String, CliError> {
+    use rjam_obs::health::HealthEvent;
+    if cadence == 0 {
+        return Err(CliError::usage("--cadence must be at least 1"));
+    }
+    if seconds <= 0.0 || seconds.is_nan() {
+        return Err(CliError::usage("--seconds must be positive"));
+    }
+    if !rjam_obs::enabled() {
+        return Err(CliError::runtime(
+            "health monitoring is compiled out (obs feature disabled); \
+             rebuild with default features to use `rjamctl monitor`",
+        ));
+    }
+    let jut = match jammer {
+        JammerName::Off => JammerUnderTest::Off,
+        JammerName::Continuous => JammerUnderTest::Continuous,
+        JammerName::ReactiveLong => JammerUnderTest::ReactiveLong,
+        JammerName::ReactiveShort => JammerUnderTest::ReactiveShort,
+    };
+    let sink_installed = match out {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| CliError::runtime(format!("--out {path}: {e}")))?;
+            rjam_obs::health::install(Box::new(file));
+            true
+        }
+        None => false,
+    };
+    let sc = rjam_core::campaign::scenario_for(jut, sir_db, seconds, 0x6EA17);
+    let mut mon = rjam_obs::HealthMonitor::new(rjam_obs::HealthConfig::with_cadence(cadence));
+    let report = rjam_mac::ScenarioRun::new(&sc).health(&mut mon).run();
+    // One end-of-run registry poll so the counter/histogram rules see the
+    // scenario's flushed `mac.*` / `fpga.*` deltas too.
+    mon.poll_registry();
+    let verdict = mon.finish();
+    if sink_installed {
+        rjam_obs::health::uninstall();
+    }
+
+    let mut buf = String::new();
+    let _ = writeln!(
+        buf,
+        "{} at SIR {sir_db:.2} dB for {seconds} s, cadence {cadence} frames:",
+        jut.label()
+    );
+    let _ = writeln!(buf, "  {}", report.summary());
+    buf.push('\n');
+    buf.push_str(&mon.rule_table());
+    let _ = writeln!(buf, "\nalarm log:");
+    let mut transitions = 0u32;
+    for ev in mon.events() {
+        match ev {
+            HealthEvent::AlarmRaised {
+                rule,
+                metric,
+                detector,
+                stat,
+                threshold,
+                frame,
+                frames,
+            } => {
+                transitions += 1;
+                let _ = write!(
+                    buf,
+                    "  frame {frame:>6}  ALARM  {rule} ({metric}: {detector} stat {stat:.3} >= {threshold:.3})"
+                );
+                if !frames.is_empty() {
+                    let ids: Vec<String> = frames.iter().map(|f| format!("0x{f:x}")).collect();
+                    let _ = write!(buf, " frames [{}]", ids.join(" "));
+                }
+                buf.push('\n');
+            }
+            HealthEvent::AlarmCleared {
+                rule,
+                metric,
+                frame,
+            } => {
+                transitions += 1;
+                let _ = writeln!(buf, "  frame {frame:>6}  clear  {rule} ({metric})");
+            }
+            _ => {}
+        }
+    }
+    if transitions == 0 {
+        let _ = writeln!(buf, "  (no transitions)");
+    }
+    let _ = writeln!(
+        buf,
+        "\nlink health: {} ({} alarm(s) raised, {} active over {} frames)",
+        if verdict.healthy {
+            "HEALTHY"
+        } else {
+            "ALARMED"
+        },
+        verdict.alarms_raised,
+        verdict.alarms_active,
+        verdict.frames
+    );
+    if verdict.healthy {
+        Ok(buf)
+    } else {
+        Err(CliError::alarm(buf))
+    }
+}
+
 /// Writes a `rjam-metrics-v1` snapshot of the process-wide registry to
 /// `path` (the `--metrics-out` half of the observability loop).
 pub fn write_metrics_snapshot(path: &str) -> Result<(), CliError> {
@@ -683,6 +807,36 @@ mod tests {
             execute(&parse(&argv("detect --preset wifi-short --snr 10 --frames 25")).unwrap())
                 .unwrap();
         assert!(out.contains("P(det)"), "{out}");
+    }
+
+    #[test]
+    fn monitor_rejects_zero_cadence_as_usage() {
+        let err = execute(&parse(&argv("monitor --jammer off --cadence 0")).unwrap()).unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Usage, "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("--cadence"), "{err}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn monitor_clean_run_reports_healthy() {
+        let out = execute(&parse(&argv("monitor --jammer off --seconds 0.5")).unwrap()).unwrap();
+        assert!(out.contains("link health: HEALTHY"), "{out}");
+        assert!(out.contains("prr_collapse"), "{out}");
+        assert!(out.contains("(no transitions)"), "{out}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn monitor_jammed_run_is_an_alarm_verdict() {
+        let err =
+            execute(&parse(&argv("monitor --jammer reactive-long --sir 1 --seconds 1")).unwrap())
+                .unwrap_err();
+        assert_eq!(err.kind(), crate::args::ErrorKind::Alarm, "{err}");
+        assert_eq!(err.exit_code(), 1);
+        // The message is the complete report, alarm log included.
+        assert!(err.message().contains("link health: ALARMED"), "{err}");
+        assert!(err.message().contains("prr_collapse"), "{err}");
     }
 
     #[test]

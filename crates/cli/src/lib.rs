@@ -92,10 +92,18 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
 /// The single error-exit path of the console: reports the failure on
 /// stderr (appending usage only for malformed invocations) and returns the
 /// process exit code mandated by the error's kind.
+///
+/// [`ErrorKind::Alarm`] is the exception: the command completed and its
+/// message *is* the report (e.g. `monitor` ending with an alarm raised),
+/// so it goes to stdout unstyled — only the exit code marks the verdict.
 pub fn fail(e: &CliError) -> std::process::ExitCode {
-    eprintln!("error: {e}");
-    if e.kind() == ErrorKind::Usage {
-        eprintln!("{}", args::USAGE);
+    if e.kind() == ErrorKind::Alarm {
+        print!("{e}");
+    } else {
+        eprintln!("error: {e}");
+        if e.kind() == ErrorKind::Usage {
+            eprintln!("{}", args::USAGE);
+        }
     }
     std::process::ExitCode::from(e.exit_code())
 }

@@ -90,6 +90,59 @@ fn stats_prints_counters_and_latency_histogram() {
     }
 }
 
+#[cfg(feature = "obs")]
+#[test]
+fn monitor_healthy_exits_0() {
+    let out = rjamctl(&["monitor", "--jammer", "off", "--seconds", "0.5"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("link health: HEALTHY"), "{text}");
+    assert!(text.contains("prr_collapse"), "{text}");
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn monitor_alarmed_exits_1_with_report_on_stdout() {
+    let mut path = std::env::temp_dir();
+    path.push(format!("rjamctl_e2e_health_{}.ndjson", std::process::id()));
+    let path_s = path.to_string_lossy().to_string();
+    let out = rjamctl(&[
+        "monitor",
+        "--jammer",
+        "reactive-long",
+        "--sir",
+        "1",
+        "--seconds",
+        "1",
+        "--out",
+        &path_s,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    // The alarmed verdict is a report, not an error: stdout, no "error:".
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("link health: ALARMED"), "{text}");
+    assert!(text.contains("prr_collapse"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("error:"), "{err}");
+    assert!(!err.contains("USAGE:"), "{err}");
+    // The --out stream is a valid rjam-health-v1 chain ending in an
+    // unhealthy run_summary.
+    let stream = std::fs::read_to_string(&path).expect("health stream written");
+    std::fs::remove_file(&path).ok();
+    let events = rjam_obs::health::parse_stream(&stream).expect("stream parses");
+    rjam_obs::health::validate_chain(&events).expect("chain validates");
+    assert!(stream.contains("\"ev\":\"alarm_raised\""), "{stream}");
+}
+
+#[test]
+fn monitor_bad_cadence_exits_2() {
+    let out = rjamctl(&["monitor", "--jammer", "off", "--cadence", "0"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--cadence"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
 #[test]
 fn metrics_out_writes_parseable_snapshot() {
     let mut path = std::env::temp_dir();

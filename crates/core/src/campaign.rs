@@ -372,6 +372,24 @@ impl CampaignSpec {
             seed: 0,
         }
     }
+
+    /// A time-to-detect sweep for the online health monitor: jammer
+    /// variant (duty cycle) × SIR grid, measuring frames from jam onset
+    /// to the first raised alarm and the clean-run false-alarm count.
+    pub fn health_time_to_detect() -> HealthSweepSpec {
+        HealthSweepSpec {
+            jammers: vec![
+                JammerUnderTest::Off,
+                JammerUnderTest::ReactiveShort,
+                JammerUnderTest::ReactiveLong,
+                JammerUnderTest::Continuous,
+            ],
+            sirs_db: vec![1.0, 14.0, 25.0],
+            duration_s: 1.0,
+            cadence: 16,
+            seed: 0,
+        }
+    }
 }
 
 /// Builder for WiFi detection sweeps — see [`CampaignSpec::wifi_detection`].
@@ -1137,6 +1155,117 @@ impl JammingSweepSpec {
     }
 }
 
+/// One operating point of the health-monitor time-to-detect sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeToDetectPoint {
+    /// Jammer variant under test (duty-cycle axis).
+    pub jammer: JammerUnderTest,
+    /// SIR at the AP, dB.
+    pub sir_ap_db: f64,
+    /// Datagrams the scenario emitted.
+    pub frames: u64,
+    /// Frames from run start (= jam onset; the jammer is live from the
+    /// first sample) to the first raised alarm, or `None` if the monitor
+    /// never alarmed.
+    pub frames_to_alarm: Option<u64>,
+    /// Total alarms raised over the run (clean points count false alarms).
+    pub alarms: u64,
+    /// Packet reception ratio over the run, percent.
+    pub prr_percent: f64,
+}
+
+/// Builder for health time-to-detect sweeps — see
+/// [`CampaignSpec::health_time_to_detect`].
+#[derive(Clone, Debug)]
+pub struct HealthSweepSpec {
+    jammers: Vec<JammerUnderTest>,
+    sirs_db: Vec<f64>,
+    duration_s: f64,
+    cadence: u64,
+    seed: u64,
+}
+
+impl HealthSweepSpec {
+    /// Jammer variants to sweep (the duty-cycle axis).
+    pub fn jammers(mut self, jammers: &[JammerUnderTest]) -> Self {
+        self.jammers = jammers.to_vec();
+        self
+    }
+
+    /// SIR grid at the AP, dB.
+    pub fn sirs(mut self, sirs_db: &[f64]) -> Self {
+        self.sirs_db = sirs_db.to_vec();
+        self
+    }
+
+    /// Scenario duration per point, seconds.
+    pub fn duration_s(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Monitor evaluation cadence, frames per window.
+    pub fn cadence(mut self, frames: u64) -> Self {
+        self.cadence = frames;
+        self
+    }
+
+    /// Campaign seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the sweep on the sharded engine, one shard per (jammer, SIR)
+    /// cell. Each shard attaches a fresh [`rjam_obs::HealthMonitor`] to
+    /// its scenario run and reports how many frames the monitor needed to
+    /// judge the link dead — the observability analogue of the paper's
+    /// reaction-time measurement. MAC obs deltas merge exactly like the
+    /// jamming sweep's.
+    pub fn run(&self, engine: &CampaignEngine) -> Vec<TimeToDetectPoint> {
+        let grid: Vec<(JammerUnderTest, f64)> = self
+            .jammers
+            .iter()
+            .flat_map(|&j| self.sirs_db.iter().map(move |&s| (j, s)))
+            .collect();
+        let results = engine.run_shards_kind("health_ttd", grid.len(), self.seed, |ctx| {
+            let (jut, sir) = grid[ctx.index];
+            let sc = scenario_for(jut, sir, self.duration_s, ctx.seed);
+            let mut delta = MacObsDelta::new();
+            let mut mon =
+                rjam_obs::HealthMonitor::new(rjam_obs::HealthConfig::with_cadence(self.cadence));
+            let report = ScenarioRun::new(&sc)
+                .obs_into(&mut delta)
+                .health(&mut mon)
+                .run();
+            let frames_to_alarm = mon.frames_to_first_alarm();
+            let verdict = mon.finish();
+            (
+                TimeToDetectPoint {
+                    jammer: jut,
+                    sir_ap_db: sir,
+                    frames: verdict.frames,
+                    frames_to_alarm,
+                    alarms: verdict.alarms_raised,
+                    prr_percent: report.prr_percent,
+                },
+                delta,
+            )
+        });
+        let mut merged = MacObsDelta::new();
+        let mut out = Vec::with_capacity(results.len());
+        for (pt, delta) in results {
+            merged.absorb(delta);
+            out.push(pt);
+        }
+        merged.publish();
+        if rjam_obs::enabled() {
+            rjam_obs::registry::counter("core.health_ttd_points").add(grid.len() as u64);
+        }
+        out
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Deprecated positional-argument wrappers (one release of grace).
 // ---------------------------------------------------------------------------
@@ -1490,6 +1619,51 @@ mod tests {
         // Weak jamming: near the clean ceiling; strong: dead or nearly so.
         assert!(cont[0].report.bandwidth_kbps > 0.5 * clean[0].report.bandwidth_kbps);
         assert!(cont[1].report.bandwidth_kbps < 0.1 * clean[0].report.bandwidth_kbps);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn health_sweep_detects_jam_and_stays_quiet_on_clean() {
+        let pts = CampaignSpec::health_time_to_detect()
+            .jammers(&[JammerUnderTest::Off, JammerUnderTest::ReactiveLong])
+            .sirs(&[1.0])
+            .duration_s(1.0)
+            .seed(14)
+            .run(&serial());
+        assert_eq!(pts.len(), 2);
+        let clean = &pts[0];
+        let jammed = &pts[1];
+        assert_eq!(clean.jammer, JammerUnderTest::Off);
+        assert_eq!(clean.alarms, 0, "clean run must raise no alarms");
+        assert!(clean.frames_to_alarm.is_none());
+        assert_eq!(jammed.jammer, JammerUnderTest::ReactiveLong);
+        assert!(jammed.alarms >= 1, "jammed run must alarm");
+        // Jam is live from the first sample: the 32-frame acceptance
+        // budget from jam onset applies from frame zero.
+        assert!(
+            jammed.frames_to_alarm.is_some_and(|f| f <= 32),
+            "time-to-detect {:?} exceeds the 32-frame budget",
+            jammed.frames_to_alarm
+        );
+    }
+
+    #[test]
+    fn health_sweep_is_thread_count_invariant() {
+        let spec = CampaignSpec::health_time_to_detect()
+            .jammers(&[JammerUnderTest::Off, JammerUnderTest::ReactiveLong])
+            .sirs(&[1.0, 14.0])
+            .duration_s(0.25)
+            .seed(7);
+        let serial_pts = spec.run(&serial());
+        let parallel_pts = spec.run(&CampaignEngine::with_threads(4));
+        assert_eq!(serial_pts.len(), parallel_pts.len());
+        for (a, b) in serial_pts.iter().zip(&parallel_pts) {
+            assert_eq!(a.jammer, b.jammer);
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.frames_to_alarm, b.frames_to_alarm);
+            assert_eq!(a.alarms, b.alarms);
+            assert!((a.prr_percent - b.prr_percent).abs() < 1e-12);
+        }
     }
 
     #[test]

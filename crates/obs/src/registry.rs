@@ -143,6 +143,23 @@ mod enabled {
             .unwrap_or(0)
     }
 
+    /// Current value of a gauge without creating it.
+    pub fn gauge_value(name: &str) -> u64 {
+        let map = global().gauges.lock().expect("obs gauge lock");
+        map.get(name)
+            .map(|g| g.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Point-in-time copy of a histogram without creating it; an
+    /// unregistered name reads as an empty histogram.
+    pub fn histogram_snapshot(name: &str) -> LogHistogram {
+        let map = global().hists.lock().expect("obs hist lock");
+        map.get(name)
+            .map(|h| h.lock().expect("obs hist lock").clone())
+            .unwrap_or_default()
+    }
+
     /// Point-in-time view of every registered metric plus the global
     /// flight recorder.
     pub fn snapshot() -> MetricsSnapshot {
@@ -383,6 +400,17 @@ mod disabled {
         0
     }
 
+    /// Always 0 (`obs` feature disabled).
+    #[inline(always)]
+    pub fn gauge_value(_name: &str) -> u64 {
+        0
+    }
+
+    /// Always empty (`obs` feature disabled).
+    pub fn histogram_snapshot(_name: &str) -> crate::hist::LogHistogram {
+        crate::hist::LogHistogram::new()
+    }
+
     /// Always empty (`obs` feature disabled).
     pub fn snapshot() -> MetricsSnapshot {
         MetricsSnapshot::default()
@@ -511,6 +539,40 @@ mod tests {
         assert_eq!(lh.pending(), 0, "local is drained");
         assert_eq!(lh.total(), 3, "lifetime total survives the flush");
         assert!(h.snapshot().count() >= 3);
+    }
+
+    #[test]
+    fn gauge_value_reads_without_creating() {
+        assert_eq!(gauge_value("test.reg.gauge_missing"), 0, "miss reads 0");
+        assert!(
+            snapshot()
+                .gauges
+                .iter()
+                .all(|(k, _)| k != "test.reg.gauge_missing"),
+            "a miss must not register the name"
+        );
+        gauge("test.reg.gauge_val").set(17);
+        assert_eq!(gauge_value("test.reg.gauge_val"), 17);
+    }
+
+    #[test]
+    fn histogram_snapshot_reads_without_creating() {
+        let missing = histogram_snapshot("test.reg.hist_missing");
+        assert!(missing.is_empty(), "miss is an empty histogram");
+        assert_eq!(missing.quantile(0.99), 0, "empty quantile is 0, no panic");
+        assert!(
+            snapshot()
+                .histograms
+                .iter()
+                .all(|(k, _)| k != "test.reg.hist_missing"),
+            "a miss must not register the name"
+        );
+        let h = histogram("test.reg.hist_snap_val");
+        h.record(500);
+        h.record(900);
+        let snap = histogram_snapshot("test.reg.hist_snap_val");
+        assert!(snap.count() >= 2);
+        assert!(snap.max() >= 900);
     }
 
     #[test]

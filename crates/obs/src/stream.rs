@@ -546,6 +546,66 @@ mod tests {
     }
 
     #[test]
+    fn chain_validation_pins_partial_and_interleaved_errors() {
+        let ok = sample_events();
+        // Truncated right after a shard_finished: no campaign_done yet.
+        assert_eq!(
+            validate_chain(&ok[..2]).unwrap_err(),
+            "stream does not end with campaign_done"
+        );
+        // Truncated after the started event alone.
+        assert_eq!(
+            validate_chain(&ok[..1]).unwrap_err(),
+            "stream does not end with campaign_done"
+        );
+        // Duplicate campaign_done spliced mid-stream.
+        let mut bad = ok.clone();
+        bad.insert(4, ok.last().unwrap().clone());
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 4: campaign_done before end of stream"
+        );
+        // Snapshot after done (done is then no longer last).
+        let mut bad = ok.clone();
+        bad.push(ProgressEvent::Snapshot {
+            done: 12,
+            total: 12,
+            elapsed_ns: 160_000_000,
+            eta_ns: 0,
+        });
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "stream does not end with campaign_done"
+        );
+        // A second campaign interleaved into the first.
+        let mut bad = ok.clone();
+        bad.insert(3, ok[0].clone());
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 3: second campaign_started"
+        );
+        // Snapshot from some other campaign (total mismatch).
+        let mut bad = ok.clone();
+        if let ProgressEvent::Snapshot { total, .. } = &mut bad[2] {
+            *total = 99;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 2: snapshot total 99 != campaign units 12"
+        );
+        // Snapshot claiming more than the campaign holds.
+        let mut bad = ok;
+        if let ProgressEvent::Snapshot { done, total, .. } = &mut bad[2] {
+            *done = 13;
+            *total = 12;
+        }
+        assert_eq!(
+            validate_chain(&bad).unwrap_err(),
+            "event 2: snapshot done 13 > total 12"
+        );
+    }
+
+    #[test]
     fn eta_is_monotone_non_increasing_at_fixed_rate() {
         // Fixed-rate workload: every unit takes exactly `rate` ns.
         for rate in [1u64, 17, 1_000_000, 3_333_333] {
@@ -571,6 +631,20 @@ mod tests {
         assert_eq!(eta_ns(1_000, 11, 10), 0, "overshoot clamps");
         // Near-overflow product stays finite via u128.
         assert_eq!(eta_ns(u64::MAX, 1, 2), u64::MAX);
+    }
+
+    #[test]
+    fn eta_saturates_and_never_divides_by_zero() {
+        // done == 0 with a zero-unit campaign: both guards at once.
+        assert_eq!(eta_ns(0, 0, 0), 0);
+        assert_eq!(eta_ns(1_000, 0, 0), 0, "total == 0 must not divide by zero");
+        // total == 0 with spurious progress (done > total).
+        assert_eq!(eta_ns(1_000, 5, 0), 0);
+        // done > total at every magnitude, including u64::MAX.
+        assert_eq!(eta_ns(u64::MAX, u64::MAX, 0), 0);
+        assert_eq!(eta_ns(u64::MAX, u64::MAX, 1), 0);
+        // Maximal remaining work saturates instead of overflowing.
+        assert_eq!(eta_ns(u64::MAX, 1, u64::MAX), u64::MAX);
     }
 
     #[test]

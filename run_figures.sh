@@ -31,5 +31,6 @@ run energy cargo run -q --release -p rjam-bench --bin energy_efficiency -- --sec
 run corrlen cargo run -q --release -p rjam-bench --bin ablation_corr_len -- --frames 200
 run rtscts cargo run -q --release -p rjam-bench --bin ablation_rts_cts -- --seconds 6
 run fading cargo run -q --release -p rjam-bench --bin ablation_fading -- --frames 150
+run health cargo run -q --release -p rjam-bench --bin health_time_to_detect -- --seconds 3 --cadence 8
 echo DONE >> "$OUT"
 echo "run_figures.sh: all figures regenerated into $OUT"
