@@ -253,5 +253,68 @@ cargo run -q --release --offline -p rjam-bench --bin check_health_json -- \
 rm -f rjam_ci_health_jam.ndjson rjam_ci_health_jam.out
 rm -f rjam_ci_health_clean.ndjson rjam_ci_health_clean.out
 
+step "campaign service soak: concurrent rjamd jobs, cancel+resume, byte-identical exports"
+# The rjam-job-v1 contract end to end: a live socket-mode rjamd takes
+# three concurrent jobs, one is cancelled and resumed from its
+# checkpoint, and every completed export must byte-match a direct
+# in-process run of the same spec at a *different* thread count. A
+# stdio-mode transcript is validated against the protocol schema.
+SPEC1='{"campaign":"false_alarm","preset":{"kind":"wifi_long","threshold":0.34},"samples":2097152,"seed":41}'
+SPEC2='{"campaign":"wifi_detection","preset":{"kind":"wifi_short","threshold":0.35},"emission":{"kind":"full_frames","psdu_len":60},"channel":{"kind":"awgn"},"snrs_db":[3,9],"trials":8,"seed":42}'
+SPEC3='{"campaign":"false_alarm","preset":{"kind":"wifi_short","threshold":0.30},"samples":1048576,"seed":43}'
+RJAMD=target/release/rjamd
+RJAMCTL=target/release/rjamctl
+
+# Direct single-process references (the determinism baseline), 3 threads.
+"$RJAMCTL" submit --local --spec "$SPEC1" --export rjam_ci_ref1 --threads 3 > /dev/null
+"$RJAMCTL" submit --local --spec "$SPEC2" --export rjam_ci_ref2 --threads 3 > /dev/null
+"$RJAMCTL" submit --local --spec "$SPEC3" --export rjam_ci_ref3 --threads 3 > /dev/null
+
+# Protocol transcript over stdio: submit + watch job-1 in one session.
+printf '%s\n%s\n' \
+    "{\"req\":\"submit\",\"spec\":$SPEC3,\"v\":\"rjam-job-v1\"}" \
+    '{"req":"watch","job":"job-1","v":"rjam-job-v1"}' \
+    | "$RJAMD" --stdio --threads 2 > rjam_ci_job_transcript.ndjson
+cargo run -q --release --offline -p rjam-bench --bin check_job_json -- \
+    --job job-1 --require-done rjam_ci_job_transcript.ndjson
+
+# Live socket soak at 4 threads.
+RJAM_SOCK="$(pwd)/target/rjam_ci_rjamd.sock"
+rm -f "$RJAM_SOCK"
+"$RJAMD" --socket "$RJAM_SOCK" --threads 4 2> /dev/null &
+RJAMD_PID=$!
+trap 'kill "$RJAMD_PID" 2> /dev/null || true' EXIT
+for _ in $(seq 1 100); do test -S "$RJAM_SOCK" && break; sleep 0.1; done
+test -S "$RJAM_SOCK"
+
+"$RJAMCTL" submit --socket "$RJAM_SOCK" --spec "$SPEC1" | grep -q "job-1 accepted"
+"$RJAMCTL" submit --socket "$RJAM_SOCK" --spec "$SPEC2" | grep -q "job-2 accepted"
+"$RJAMCTL" submit --socket "$RJAM_SOCK" --spec "$SPEC3" | grep -q "job-3 accepted"
+# job-1 (8 engine units of noise) is still running, so job-3 is queued:
+# cancel it (checkpoint retained), then resume it from that checkpoint.
+"$RJAMCTL" cancel --socket "$RJAM_SOCK" job-3 | grep -q "job-3 cancelled"
+"$RJAMCTL" resume --socket "$RJAM_SOCK" job-3 | grep -q "job-3 resumed"
+
+"$RJAMCTL" watch --socket "$RJAM_SOCK" job-1 --export rjam_ci_out1 > /dev/null
+"$RJAMCTL" watch --socket "$RJAM_SOCK" job-2 --export rjam_ci_out2 > /dev/null
+"$RJAMCTL" watch --socket "$RJAM_SOCK" job-3 --export rjam_ci_out3 > /dev/null
+"$RJAMCTL" status --socket "$RJAM_SOCK" | grep -q "job-3 .*done"
+
+for k in 1 2 3; do
+    cmp "rjam_ci_ref$k" "rjam_ci_out$k" || {
+        echo "determinism violation: job-$k export differs from direct run"; exit 1;
+    }
+done
+
+kill "$RJAMD_PID" 2> /dev/null || true
+trap - EXIT
+rm -f "$RJAM_SOCK" rjam_ci_job_transcript.ndjson
+rm -f rjam_ci_ref1 rjam_ci_ref2 rjam_ci_ref3 rjam_ci_out1 rjam_ci_out2 rjam_ci_out3
+
+step "deprecated-API purge holds: no allow(deprecated) anywhere in crates/"
+if grep -rn "allow(deprecated)" crates/; then
+    echo "allow(deprecated) crept back into the workspace"; exit 1
+fi
+
 echo
 echo "ci.sh: all gates passed"

@@ -32,7 +32,7 @@ struct Expect {
 /// Parses `text`, validates every monitor run in it (unless partial), and
 /// checks the alarm expectations. Returns a one-line summary.
 fn check_text(text: &str, exp: Expect) -> Result<String, String> {
-    let events = parse_stream(text)?;
+    let events = parse_stream(text).map_err(|e| e.to_string())?;
     if exp.partial {
         return Ok(format!(
             "{} event(s) parsed (chain not checked)",

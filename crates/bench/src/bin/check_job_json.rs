@@ -1,0 +1,296 @@
+//! Validates `rjam-job-v1` transcripts — the `rjamctl watch` stream or
+//! any mixed capture of the campaign-service wire.
+//!
+//! Every line must parse as one of the protocols a watch stream may
+//! interleave, routed on the `v` tag: a `rjam-job-v1` response (or
+//! request, for full session captures) or a `rjam-progress-v1` event.
+//! With `--job ID` every job-tagged line must name that job; with
+//! `--require-done` (resp. `--require-cancelled`) the stream must end,
+//! for the watched job, in exactly one `job_done` (resp.
+//! `job_cancelled`) terminal line with nothing after it.
+//!
+//! Exit codes: 0 valid, 1 invalid stream, 2 usage error. Used by
+//! `ci.sh`'s campaign-service soak gate on real `rjamctl watch` output.
+
+use rjam_daemon::{JobRequest, JobResponse};
+use rjam_obs::json::{self, Value};
+use rjam_obs::stream::ProgressEvent;
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Require {
+    Nothing,
+    Done,
+    Cancelled,
+}
+
+struct Opts {
+    job: Option<String>,
+    require: Require,
+}
+
+/// Validates one transcript. Returns a one-line summary.
+fn check_text(text: &str, opts: &Opts) -> Result<String, String> {
+    let mut progress = 0usize;
+    let mut job_lines = 0usize;
+    let mut terminal: Option<&'static str> = None;
+    for (k, line) in text.lines().enumerate() {
+        let n = k + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line)
+            .map_err(|e| format!("line {n}: {e}"))?
+            .as_object()
+            .and_then(|o| o.get("v").and_then(Value::as_str).map(str::to_string))
+            .ok_or(format!("line {n}: no 'v' protocol tag"))?;
+        match v.as_str() {
+            "rjam-job-v1" => {
+                if let Some(t) = terminal {
+                    return Err(format!(
+                        "line {n}: rjam-job-v1 line after the terminal {t} line"
+                    ));
+                }
+                job_lines += 1;
+                let resp = match JobResponse::from_line(line) {
+                    Ok(resp) => resp,
+                    // Full session captures also hold request lines.
+                    Err(_) => {
+                        JobRequest::from_line(line).map_err(|e| format!("line {n}: {e}"))?;
+                        continue;
+                    }
+                };
+                let job_of = |j: &str| -> Result<(), String> {
+                    match &opts.job {
+                        Some(want) if want != j => {
+                            Err(format!("line {n}: names job '{j}', expected '{want}'"))
+                        }
+                        _ => Ok(()),
+                    }
+                };
+                match &resp {
+                    JobResponse::Accepted { job, .. } | JobResponse::Metrics { job, .. } => {
+                        job_of(job)?
+                    }
+                    JobResponse::Done { job, export } => {
+                        job_of(job)?;
+                        if export.is_empty() {
+                            return Err(format!("line {n}: job_done with an empty export"));
+                        }
+                        terminal = Some("job_done");
+                    }
+                    JobResponse::Cancelled { job, .. } => {
+                        job_of(job)?;
+                        terminal = Some("job_cancelled");
+                    }
+                    JobResponse::Error(_) | JobResponse::Status { .. } => {}
+                }
+            }
+            "rjam-progress-v1" => {
+                progress += 1;
+                ProgressEvent::from_line(line).map_err(|e| format!("line {n}: {e}"))?;
+                if let Some(want) = &opts.job {
+                    let tagged = json::parse(line)
+                        .ok()
+                        .and_then(|v| {
+                            v.as_object().and_then(|o| {
+                                o.get("job").and_then(Value::as_str).map(String::from)
+                            })
+                        })
+                        .ok_or(format!("line {n}: progress line without a 'job' tag"))?;
+                    if &tagged != want {
+                        return Err(format!(
+                            "line {n}: progress tagged job '{tagged}', expected '{want}'"
+                        ));
+                    }
+                }
+            }
+            other => return Err(format!("line {n}: unexpected protocol tag '{other}'")),
+        }
+    }
+    if progress + job_lines == 0 {
+        return Err("transcript holds no lines".into());
+    }
+    match (opts.require, terminal) {
+        (Require::Done, Some("job_done")) | (Require::Cancelled, Some("job_cancelled")) => {}
+        (Require::Done, t) => {
+            return Err(format!(
+                "stream must end in job_done, found {}",
+                t.unwrap_or("no terminal line")
+            ))
+        }
+        (Require::Cancelled, t) => {
+            return Err(format!(
+                "stream must end in job_cancelled, found {}",
+                t.unwrap_or("no terminal line")
+            ))
+        }
+        (Require::Nothing, _) => {}
+    }
+    Ok(format!(
+        "{job_lines} job line(s), {progress} progress line(s){}",
+        terminal
+            .map(|t| format!(", terminal {t}"))
+            .unwrap_or_default()
+    ))
+}
+
+fn check_file(path: &str, opts: &Opts) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    check_text(&text, opts)
+}
+
+const USAGE: &str =
+    "usage: check_job_json [--job ID] [--require-done | --require-cancelled] watch.ndjson [...]";
+
+fn main() -> ExitCode {
+    let mut opts = Opts {
+        job: None,
+        require: Require::Nothing,
+    };
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--job" => match args.next() {
+                Some(id) => opts.job = Some(id),
+                None => {
+                    eprintln!("--job needs an id\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--require-done" => opts.require = Require::Done,
+            "--require-cancelled" => opts.require = Require::Cancelled,
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown flag '{arg}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut ok = true;
+    for path in &paths {
+        match check_file(path, &opts) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_daemon::{JobError, JobErrorKind};
+
+    fn opts(job: Option<&str>, require: Require) -> Opts {
+        Opts {
+            job: job.map(String::from),
+            require,
+        }
+    }
+
+    /// A watch-shaped transcript built from the real emitters, so the
+    /// test tracks the wire format.
+    fn watch_lines(job: &str) -> String {
+        let progress = ProgressEvent::Started {
+            kind: "false_alarm".into(),
+            units: 2,
+            shards: 1,
+            workers: 1,
+            seed: 7,
+        }
+        .to_line();
+        // The daemon's scope tag rides on the raw line; splice it the
+        // same way a scoped stream would carry it.
+        let tagged = format!(
+            "{},\"job\":\"{job}\"}}",
+            progress.strip_suffix('}').unwrap()
+        );
+        [
+            tagged,
+            JobResponse::Done {
+                job: job.into(),
+                export: "{\"fa_per_s\":0}".into(),
+            }
+            .to_line(),
+        ]
+        .join("\n")
+            + "\n"
+    }
+
+    #[test]
+    fn watch_transcript_passes() {
+        let text = watch_lines("job-1");
+        let s = check_text(&text, &opts(Some("job-1"), Require::Done)).unwrap();
+        assert!(s.contains("terminal job_done"), "{s}");
+    }
+
+    #[test]
+    fn wrong_job_tag_fails() {
+        let text = watch_lines("job-2");
+        let err = check_text(&text, &opts(Some("job-1"), Require::Done)).unwrap_err();
+        assert!(err.contains("job-2"), "{err}");
+    }
+
+    #[test]
+    fn missing_terminal_fails_require_done() {
+        let text: String = watch_lines("job-1")
+            .lines()
+            .take(1)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let err = check_text(&text, &opts(Some("job-1"), Require::Done)).unwrap_err();
+        assert!(err.contains("must end in job_done"), "{err}");
+        assert!(check_text(&text, &opts(Some("job-1"), Require::Nothing)).is_ok());
+    }
+
+    #[test]
+    fn cancelled_terminal_checked() {
+        let line = JobResponse::Cancelled {
+            job: "job-3".into(),
+            units_done: 1,
+        }
+        .to_line()
+            + "\n";
+        assert!(check_text(&line, &opts(None, Require::Cancelled)).is_ok());
+        let err = check_text(&line, &opts(None, Require::Done)).unwrap_err();
+        assert!(err.contains("job_cancelled"), "{err}");
+    }
+
+    #[test]
+    fn lines_after_terminal_fail() {
+        let text = watch_lines("job-1")
+            + &(JobResponse::Error(JobError::new(JobErrorKind::BadState, "x")).to_line() + "\n");
+        let err = check_text(&text, &opts(None, Require::Nothing)).unwrap_err();
+        assert!(err.contains("after the terminal"), "{err}");
+    }
+
+    #[test]
+    fn request_lines_in_session_captures_pass() {
+        let text = JobRequest::Status { job: None }.to_line() + "\n";
+        assert!(check_text(&text, &opts(None, Require::Nothing)).is_ok());
+    }
+
+    #[test]
+    fn foreign_protocol_and_garbage_fail() {
+        assert!(check_text(
+            "{\"v\":\"rjam-health-v1\"}\n",
+            &opts(None, Require::Nothing)
+        )
+        .is_err());
+        assert!(check_text("not json\n", &opts(None, Require::Nothing)).is_err());
+        assert!(check_text("", &opts(None, Require::Nothing)).is_err());
+    }
+}

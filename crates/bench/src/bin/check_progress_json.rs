@@ -17,7 +17,7 @@ use std::process::ExitCode;
 /// Parses `text` and, unless `partial`, validates every campaign chain in
 /// it. Returns a one-line summary.
 fn check_text(text: &str, partial: bool) -> Result<String, String> {
-    let events = parse_stream(text)?;
+    let events = parse_stream(text).map_err(|e| e.to_string())?;
     if partial {
         return Ok(format!(
             "{} event(s) parsed (chain not checked)",

@@ -21,7 +21,7 @@ struct FileSummary {
 
 fn check_file(path: &str, require_chain: bool) -> Result<FileSummary, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
-    let doc = TraceDoc::from_json(&text)?;
+    let doc = TraceDoc::from_json(&text).map_err(|e| e.to_string())?;
     doc.validate()?;
     let frames = doc.frames();
     let full_chains = frames.iter().filter(|f| f.has_full_chain()).count();

@@ -264,6 +264,48 @@ pub enum Command {
         /// How many stragglers to detail.
         top: usize,
     },
+    /// Submit a campaign job to a running `rjamd` (or run it locally).
+    Submit {
+        /// Unix socket of the daemon (`None` only with `local`).
+        socket: Option<String>,
+        /// The `CampaignRequest` JSON text.
+        spec: String,
+        /// Run the spec in this process instead of a daemon — the
+        /// byte-identical reference for job exports.
+        local: bool,
+        /// With `local`: write the export here instead of stdout.
+        export: Option<String>,
+    },
+    /// Report job states from a running `rjamd`.
+    JobStatus {
+        /// Unix socket of the daemon.
+        socket: String,
+        /// Restrict to one job id.
+        job: Option<String>,
+    },
+    /// Stream a job's progress until it finishes.
+    Watch {
+        /// Unix socket of the daemon.
+        socket: String,
+        /// Job id to follow.
+        job: String,
+        /// Write the final export text here when the job completes.
+        export: Option<String>,
+    },
+    /// Cancel a queued or running job (checkpoint retained).
+    JobCancel {
+        /// Unix socket of the daemon.
+        socket: String,
+        /// Job id to cancel.
+        job: String,
+    },
+    /// Resume a cancelled job from its checkpoint.
+    JobResume {
+        /// Unix socket of the daemon.
+        socket: String,
+        /// Job id to resume.
+        job: String,
+    },
     /// Print usage.
     Help,
 }
@@ -428,6 +470,22 @@ fn parse_grid(p: &ParsedArgs) -> Result<Option<Vec<f64>>, CliError> {
     Ok(Some(grid))
 }
 
+/// The `--socket PATH` every job-service verb needs.
+fn job_socket(p: &ParsedArgs, verb: &str) -> Result<String, CliError> {
+    p.options
+        .get("socket")
+        .cloned()
+        .ok_or_else(|| CliError::usage(format!("{verb} requires --socket PATH")))
+}
+
+/// The positional job id of `watch`/`cancel`/`resume`.
+fn job_id(p: &ParsedArgs, verb: &str) -> Result<String, CliError> {
+    p.positionals
+        .first()
+        .cloned()
+        .ok_or_else(|| CliError::usage(format!("{verb} requires a job id")))
+}
+
 /// Parses a full command line (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, CliError> {
     let Some(verb) = argv.first() else {
@@ -520,6 +578,59 @@ pub fn parse(argv: &[String]) -> Result<Command, CliError> {
             frames: opt(&rest, "frames", 64)?,
             top: opt(&rest, "top", 5)?,
         }),
+        "submit" => {
+            // `--local` is a bare flag; pull it out before the two-token
+            // option split sees it.
+            let mut args: Vec<String> = argv[1..].to_vec();
+            let local = args.iter().any(|a| a == "--local");
+            args.retain(|a| a != "--local");
+            let rest = split(&args)?;
+            let spec = match (rest.options.get("spec"), rest.options.get("spec-file")) {
+                (Some(s), None) => s.clone(),
+                (None, Some(path)) => std::fs::read_to_string(path)
+                    .map_err(|e| CliError::usage(format!("--spec-file {path}: {e}")))?,
+                (Some(_), Some(_)) => {
+                    return Err(CliError::usage("pass --spec or --spec-file, not both"))
+                }
+                (None, None) => {
+                    return Err(CliError::usage(
+                        "submit requires --spec JSON or --spec-file FILE",
+                    ))
+                }
+            };
+            let socket = rest.options.get("socket").cloned();
+            if socket.is_none() && !local {
+                return Err(CliError::usage(
+                    "submit requires --socket PATH (or --local)",
+                ));
+            }
+            if socket.is_some() && local {
+                return Err(CliError::usage("pass --socket or --local, not both"));
+            }
+            Ok(Command::Submit {
+                socket,
+                spec,
+                local,
+                export: rest.options.get("export").cloned(),
+            })
+        }
+        "status" => Ok(Command::JobStatus {
+            socket: job_socket(&rest, "status")?,
+            job: rest.positionals.first().cloned(),
+        }),
+        "watch" => Ok(Command::Watch {
+            socket: job_socket(&rest, "watch")?,
+            job: job_id(&rest, "watch")?,
+            export: rest.options.get("export").cloned(),
+        }),
+        "cancel" => Ok(Command::JobCancel {
+            socket: job_socket(&rest, "cancel")?,
+            job: job_id(&rest, "cancel")?,
+        }),
+        "resume" => Ok(Command::JobResume {
+            socket: job_socket(&rest, "resume")?,
+            job: job_id(&rest, "resume")?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::usage(format!(
             "unknown command '{other}' (try 'help')"
@@ -549,6 +660,12 @@ USAGE:
                     [--sir dB] [--seconds S] [--cadence FRAMES]
                     [--out health.ndjson]
   rjamctl report    [--frames N] [--top K]
+  rjamctl submit    (--socket PATH | --local) (--spec JSON | --spec-file FILE)
+                    [--export FILE]
+  rjamctl status    --socket PATH [JOB]
+  rjamctl watch     --socket PATH JOB [--export FILE]
+  rjamctl cancel    --socket PATH JOB
+  rjamctl resume    --socket PATH JOB
   rjamctl help
 
 GLOBAL OPTIONS:
@@ -588,6 +705,15 @@ NOTES:
   renders its telemetry: per-worker busy/idle/merge-wait with utilization,
   wall-clock attribution coverage, unit latency percentiles, and the top
   straggler units with the per-unit seeds needed to re-run them.
+  submit/status/watch/cancel/resume speak the rjam-job-v1 protocol to a
+  resident rjamd over its Unix socket. submit sends a CampaignRequest JSON
+  spec (campaigns: wifi_detection, false_alarm, wimax, jamming) and prints
+  the assigned job id; invalid specs are refused before enqueue. watch
+  replays then follows the job's job-tagged rjam-progress-v1 stream and,
+  with --export FILE, writes the final export — byte-identical to the same
+  spec run with 'submit --local'. cancel stops a job between work units,
+  keeping its checkpointed shard progress; resume re-enqueues it to finish
+  from the checkpoint.
 
 EXIT CODES:
   0 success, 1 runtime failure, 2 usage error (usage shown on 2 only);

@@ -5,6 +5,7 @@ use crate::args::{CliError, Command, JammerName, PresetName};
 use rjam_core::campaign::{CampaignSpec, JammerUnderTest, WifiEmission};
 use rjam_core::timeline::{comparison_rows, measure, TimelineBudget};
 use rjam_core::{CampaignEngine, DetectionPreset, JammerPreset, ReactiveJammer};
+use rjam_daemon::{JobRequest, JobResponse};
 use std::fmt::Write as _;
 
 /// Builds the requested detection preset and validates the FPGA core
@@ -245,6 +246,20 @@ pub fn execute_with(cmd: &Command, engine: &CampaignEngine) -> Result<String, Cl
             let _ = writeln!(out, "{}", rjam_core::export::roc_csv(&pts).trim_end());
             Ok(out)
         }
+        Command::Submit {
+            socket,
+            spec,
+            local,
+            export,
+        } => submit_report(socket.as_deref(), spec, *local, export.as_deref(), engine),
+        Command::JobStatus { socket, job } => status_report(socket, job.as_deref()),
+        Command::Watch {
+            socket,
+            job,
+            export,
+        } => watch_report(socket, job, export.as_deref()),
+        Command::JobCancel { socket, job } => cancel_report(socket, job),
+        Command::JobResume { socket, job } => resume_report(socket, job),
     }
 }
 
@@ -768,6 +783,178 @@ pub fn write_metrics_snapshot(path: &str) -> Result<(), CliError> {
     let snap = rjam_obs::registry::snapshot();
     std::fs::write(path, snap.to_json())
         .map_err(|e| CliError::runtime(format!("cannot write metrics to '{path}': {e}")))
+}
+
+// ---- rjam-job-v1 client (submit / status / watch / cancel / resume) ----
+
+/// One request/response exchange with a running `rjamd`. The connection
+/// is dropped after the first response line; `watch` keeps its own.
+fn job_roundtrip(socket: &str, request: &JobRequest) -> Result<JobResponse, CliError> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| CliError::runtime(format!("cannot reach rjamd at '{socket}': {e}")))?;
+    writeln!(stream, "{}", request.to_line())
+        .map_err(|e| CliError::runtime(format!("rjamd at '{socket}': {e}")))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| CliError::runtime(format!("rjamd at '{socket}': {e}")))?;
+    if line.trim().is_empty() {
+        return Err(CliError::runtime(format!(
+            "rjamd at '{socket}' closed the connection without replying"
+        )));
+    }
+    JobResponse::from_line(line.trim_end())
+        .map_err(|e| CliError::runtime(format!("bad rjamd response: {e}")))
+}
+
+/// Lifts a protocol-level refusal into the console's runtime error path.
+fn job_refused(resp: JobResponse) -> CliError {
+    match resp {
+        JobResponse::Error(e) => CliError::runtime(format!("rjamd refused: {e}")),
+        other => CliError::runtime(format!("unexpected rjamd response: {other:?}")),
+    }
+}
+
+fn submit_report(
+    socket: Option<&str>,
+    spec_text: &str,
+    local: bool,
+    export_path: Option<&str>,
+    engine: &CampaignEngine,
+) -> Result<String, CliError> {
+    // Parse + validate in the client either way: a bad spec is a usage
+    // error here, before any daemon (or engine) sees it.
+    let spec = rjam_core::spec::CampaignRequest::from_json(spec_text)
+        .map_err(|e| CliError::usage(format!("--spec: {e}")))?;
+    if local {
+        let export = spec
+            .run_to_export(engine, &mut rjam_core::spec::JobCheckpoint::new(), None)
+            .expect("uncancelled local run completes");
+        return match export_path {
+            Some(path) => {
+                std::fs::write(path, &export)
+                    .map_err(|e| CliError::runtime(format!("--export {path}: {e}")))?;
+                Ok(format!(
+                    "{} ({} units) exported to {path}\n",
+                    spec.kind(),
+                    spec.n_units()
+                ))
+            }
+            None => Ok(export),
+        };
+    }
+    let socket = socket.expect("parser guarantees a socket in daemon mode");
+    match job_roundtrip(socket, &JobRequest::Submit { spec })? {
+        JobResponse::Accepted { job, queue_depth } => {
+            Ok(format!("{job} accepted (queue depth {queue_depth})\n"))
+        }
+        other => Err(job_refused(other)),
+    }
+}
+
+fn status_report(socket: &str, job: Option<&str>) -> Result<String, CliError> {
+    let req = JobRequest::Status {
+        job: job.map(str::to_string),
+    };
+    match job_roundtrip(socket, &req)? {
+        JobResponse::Status { jobs } => {
+            if jobs.is_empty() {
+                return Ok("no jobs\n".to_string());
+            }
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<10} {:<15} {:<10} {:>6}",
+                "JOB", "KIND", "STATE", "UNITS"
+            );
+            for s in jobs {
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:<15} {:<10} {:>3}/{}",
+                    s.job,
+                    s.kind,
+                    s.state.name(),
+                    s.units_done,
+                    s.units_total
+                );
+            }
+            Ok(out)
+        }
+        other => Err(job_refused(other)),
+    }
+}
+
+/// Follows a job's stream: progress lines go to stdout as they arrive;
+/// the terminal `job_done` export goes to `--export FILE` when given.
+fn watch_report(socket: &str, job: &str, export_path: Option<&str>) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| CliError::runtime(format!("cannot reach rjamd at '{socket}': {e}")))?;
+    let req = JobRequest::Watch {
+        job: job.to_string(),
+    };
+    writeln!(stream, "{}", req.to_line())
+        .map_err(|e| CliError::runtime(format!("rjamd at '{socket}': {e}")))?;
+    let reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| CliError::runtime(format!("rjamd at '{socket}': {e}")))?,
+    );
+    let mut out = String::new();
+    for line in reader.lines() {
+        let line = line.map_err(|e| CliError::runtime(format!("rjamd at '{socket}': {e}")))?;
+        match JobResponse::from_line(&line) {
+            Ok(JobResponse::Done { job, export }) => {
+                if let Some(path) = export_path {
+                    std::fs::write(path, &export)
+                        .map_err(|e| CliError::runtime(format!("--export {path}: {e}")))?;
+                    let _ = writeln!(out, "{job} done, export written to {path}");
+                } else {
+                    let _ = writeln!(out, "{job} done ({} export bytes)", export.len());
+                }
+                return Ok(out);
+            }
+            Ok(JobResponse::Cancelled { job, units_done }) => {
+                let _ = writeln!(out, "{job} cancelled ({units_done} units checkpointed)");
+                return Ok(out);
+            }
+            Ok(JobResponse::Error(e)) => return Err(CliError::runtime(format!("rjamd: {e}"))),
+            Ok(JobResponse::Metrics { .. }) => {}
+            Ok(other) => return Err(job_refused(other)),
+            // Not a job-v1 line: a job-tagged rjam-progress-v1 event.
+            Err(_) => {
+                println!("{line}");
+            }
+        }
+    }
+    Err(CliError::runtime(format!(
+        "rjamd at '{socket}' hung up before {job} finished"
+    )))
+}
+
+fn cancel_report(socket: &str, job: &str) -> Result<String, CliError> {
+    let req = JobRequest::Cancel {
+        job: job.to_string(),
+    };
+    match job_roundtrip(socket, &req)? {
+        JobResponse::Cancelled { job, units_done } => Ok(format!(
+            "{job} cancelled ({units_done} units checkpointed)\n"
+        )),
+        other => Err(job_refused(other)),
+    }
+}
+
+fn resume_report(socket: &str, job: &str) -> Result<String, CliError> {
+    let req = JobRequest::Resume {
+        job: job.to_string(),
+    };
+    match job_roundtrip(socket, &req)? {
+        JobResponse::Accepted { job, queue_depth } => {
+            Ok(format!("{job} resumed (queue depth {queue_depth})\n"))
+        }
+        other => Err(job_refused(other)),
+    }
 }
 
 #[cfg(test)]

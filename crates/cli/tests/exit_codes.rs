@@ -168,3 +168,115 @@ fn metrics_out_missing_value_exits_2() {
     assert_eq!(out.status.code(), Some(2), "{out:?}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("--metrics-out"));
 }
+
+// ---- rjam-job-v1 subcommands (submit / status / watch / cancel / resume) ----
+
+const FA_SPEC: &str = r#"{"campaign":"false_alarm","preset":{"kind":"wifi_short","threshold":0.3},"samples":20000,"seed":9}"#;
+
+#[test]
+fn submit_without_target_exits_2_with_usage() {
+    let out = rjamctl(&["submit", "--spec", FA_SPEC]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--socket"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
+#[test]
+fn submit_with_malformed_spec_exits_2() {
+    let out = rjamctl(&["submit", "--local", "--spec", "{not json"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--spec"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
+#[test]
+fn submit_with_invalid_field_exits_2_naming_the_field() {
+    let bad = r#"{"campaign":"false_alarm","preset":{"kind":"wifi_short","threshold":2.0},"samples":20000,"seed":9}"#;
+    let out = rjamctl(&["submit", "--local", "--spec", bad]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("threshold"), "{err}");
+}
+
+#[test]
+fn submit_unreachable_socket_exits_1_without_usage() {
+    let out = rjamctl(&[
+        "submit",
+        "--socket",
+        "/nonexistent/rjamd.sock",
+        "--spec",
+        FA_SPEC,
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error:"), "{err}");
+    assert!(
+        !err.contains("USAGE:"),
+        "runtime failures must not spam usage: {err}"
+    );
+}
+
+#[test]
+fn submit_local_runs_in_process_and_exits_0() {
+    let out = rjamctl(&["submit", "--local", "--spec", FA_SPEC]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fa_per_s"), "{text}");
+}
+
+#[test]
+fn submit_local_export_is_deterministic() {
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("rjamctl_e2e_job_a_{}.json", std::process::id()));
+    let b = dir.join(format!("rjamctl_e2e_job_b_{}.json", std::process::id()));
+    for (path, threads) in [(&a, "1"), (&b, "3")] {
+        let path_s = path.to_string_lossy().to_string();
+        let out = rjamctl(&[
+            "submit",
+            "--local",
+            "--spec",
+            FA_SPEC,
+            "--export",
+            &path_s,
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+    }
+    let ea = std::fs::read(&a).expect("export a");
+    let eb = std::fs::read(&b).expect("export b");
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+    assert_eq!(ea, eb, "export must not depend on thread count");
+}
+
+#[test]
+fn status_without_socket_exits_2() {
+    let out = rjamctl(&["status"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--socket"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
+#[test]
+fn watch_without_job_id_exits_2() {
+    let out = rjamctl(&["watch", "--socket", "/tmp/rjamd.sock"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("job id"), "{err}");
+    assert!(err.contains("USAGE:"), "{err}");
+}
+
+#[test]
+fn cancel_and_resume_unreachable_socket_exit_1() {
+    for verb in ["cancel", "resume"] {
+        let out = rjamctl(&[verb, "--socket", "/nonexistent/rjamd.sock", "job-1"]);
+        assert_eq!(out.status.code(), Some(1), "{verb}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "{verb}: {err}");
+        assert!(!err.contains("USAGE:"), "{verb}: {err}");
+    }
+}

@@ -10,7 +10,7 @@
 //! The `rjam-bench` figure binaries print the returned rows in the paper's
 //! format.
 
-use crate::engine::CampaignEngine;
+use crate::engine::{CampaignEngine, CancelToken};
 use crate::jammer::{BlockScratch, ReactiveJammer, DEFAULT_LOCKOUT};
 use crate::presets::{build_config, DetectionPreset, JammerPreset};
 use crate::testbed::TestbedBudget;
@@ -23,6 +23,7 @@ use rjam_sdr::complex::{Cf64, IqI16};
 use rjam_sdr::power::{db_to_lin, mean_power, scale_to_power};
 use rjam_sdr::resample::{fractional_delay, to_usrp_rate};
 use rjam_sdr::rng::Rng;
+use std::collections::BTreeMap;
 
 /// One point of a detection-probability sweep (Figs 6-8).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -455,6 +456,35 @@ impl WifiDetectionSpec {
     /// [`crate::engine::ShardCtx`] seed and per-point results are summed
     /// in unit order, so output is bit-identical at any thread count.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<DetectionPoint> {
+        self.run_ckpt(engine, &mut BTreeMap::new(), None)
+            .expect("uncancelled campaign always completes")
+    }
+
+    /// Number of engine work units this spec runs — the checkpoint keyspace
+    /// for [`WifiDetectionSpec::run_ckpt`].
+    pub fn n_units(&self) -> usize {
+        let blocks_per_point = self
+            .frames_per_point
+            .div_ceil(DETECTION_FRAMES_PER_UNIT)
+            .max(1);
+        self.snrs_db.len() * blocks_per_point
+    }
+
+    /// Checkpointed, cancellable [`WifiDetectionSpec::run`]: `done` carries
+    /// per-unit `(detected_frames, total_triggers)` cells across
+    /// interruptions and `cancel` stops the sweep between units. Returns
+    /// `None` when interrupted (completed cells stay in `done`); a later
+    /// call with the same spec and checkpoint resumes and produces the
+    /// **bit-identical** points an uninterrupted run would have — unit
+    /// seeds derive from original unit indices, and the per-point
+    /// reduction sums integers in unit order. With an empty checkpoint and
+    /// no token this is exactly `run`.
+    pub fn run_ckpt(
+        &self,
+        engine: &CampaignEngine,
+        done: &mut BTreeMap<usize, (usize, usize)>,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Vec<DetectionPoint>> {
         struct DetectionPool {
             jammer: ReactiveJammer,
             scratch: BlockScratch,
@@ -465,10 +495,12 @@ impl WifiDetectionSpec {
             .frames_per_point
             .div_ceil(DETECTION_FRAMES_PER_UNIT)
             .max(1);
-        let cells = engine.run_units_kind(
+        let cells = engine.run_units_ckpt(
             "wifi_detection",
             self.snrs_db.len() * blocks_per_point,
             self.seed,
+            done,
+            cancel,
             || DetectionPool {
                 // Correlation sweeps use a lockout so the 10 STS
                 // repetitions count as one detection; the energy sweep
@@ -527,7 +559,7 @@ impl WifiDetectionSpec {
                 }
                 (detected_frames, total_triggers)
             },
-        );
+        )?;
         // Per-point reduction in unit order: integer sums, so the merged
         // ratios are bit-identical regardless of how units were grouped.
         let points: Vec<DetectionPoint> = self
@@ -555,7 +587,7 @@ impl WifiDetectionSpec {
             counter("core.sweep_frames").add(frames);
             counter("core.sweep_detections").add(detected.round() as u64);
         }
-        points
+        Some(points)
     }
 }
 
@@ -602,6 +634,27 @@ impl FalseAlarmSpec {
     /// scratch buffers (reset between units); per-unit counts are summed
     /// in unit order.
     pub fn run_counts(&self, engine: &CampaignEngine) -> (u64, u64) {
+        self.run_counts_ckpt(engine, &mut BTreeMap::new(), None)
+            .expect("uncancelled campaign always completes")
+    }
+
+    /// Number of engine work units this spec runs — the checkpoint keyspace
+    /// for [`FalseAlarmSpec::run_counts_ckpt`].
+    pub fn n_units(&self) -> usize {
+        self.samples.div_ceil(FA_UNIT_SAMPLES)
+    }
+
+    /// Checkpointed, cancellable [`FalseAlarmSpec::run_counts`]: `done`
+    /// carries per-unit `(triggers, samples)` pairs across interruptions,
+    /// `cancel` stops the measurement between units. Returns `None` when
+    /// interrupted; resuming with the same spec and checkpoint yields the
+    /// bit-identical totals of an uninterrupted run.
+    pub fn run_counts_ckpt(
+        &self,
+        engine: &CampaignEngine,
+        done: &mut BTreeMap<usize, (u64, u64)>,
+        cancel: Option<&CancelToken>,
+    ) -> Option<(u64, u64)> {
         struct FaPool {
             jammer: ReactiveJammer,
             scratch: BlockScratch,
@@ -609,10 +662,12 @@ impl FalseAlarmSpec {
         }
         let energy_detector = matches!(self.preset, DetectionPreset::EnergyRise { .. });
         let n_units = self.samples.div_ceil(FA_UNIT_SAMPLES);
-        let counts = engine.run_units_kind(
+        let counts = engine.run_units_ckpt(
             "false_alarm",
             n_units,
             self.seed,
+            done,
+            cancel,
             || FaPool {
                 jammer: ReactiveJammer::from_presets(
                     &self.preset,
@@ -654,7 +709,7 @@ impl FalseAlarmSpec {
                     .count();
                 (triggers as u64, n as u64)
             },
-        );
+        )?;
         let (triggers, samples) = counts
             .iter()
             .fold((0u64, 0u64), |(t, s), &(ct, cs)| (t + ct, s + cs));
@@ -663,7 +718,7 @@ impl FalseAlarmSpec {
             counter("core.fa_samples").add(samples);
             counter("core.fa_triggers").add(triggers);
         }
-        (triggers, samples)
+        Some((triggers, samples))
     }
 
     /// Sweeps a grid of correlation-threshold fractions in **one** noise
@@ -922,6 +977,25 @@ impl WimaxDetectionSpec {
     /// Fig. 12 one-to-one correspondence is evaluated on the merged
     /// capture.
     pub fn run(&self, engine: &CampaignEngine) -> WimaxResult {
+        self.run_cancellable(engine, None)
+            .expect("uncancelled campaign always completes")
+    }
+
+    /// Number of engine work units this spec runs.
+    pub fn n_units(&self) -> usize {
+        self.frames.div_ceil(WIMAX_FRAMES_PER_UNIT)
+    }
+
+    /// Cancellable [`WimaxDetectionSpec::run`]: the token stops the
+    /// experiment between work units and the call returns `None`. Unit
+    /// results hold merged scope traces, which are not checkpointable — a
+    /// cancelled WiMAX job re-runs from scratch on resume, which is still
+    /// byte-identical by the engine's determinism contract.
+    pub fn run_cancellable(
+        &self,
+        engine: &CampaignEngine,
+        cancel: Option<&CancelToken>,
+    ) -> Option<WimaxResult> {
         struct WimaxUnit {
             scope: ScopeTrace,
             detected: usize,
@@ -947,10 +1021,12 @@ impl WimaxDetectionSpec {
         };
         let frame_samples_25 = (rjam_phy80216::FRAME_SAMPLES as f64 * 25.0 / 11.4).round() as u64;
         let n_units = self.frames.div_ceil(WIMAX_FRAMES_PER_UNIT);
-        let units = engine.run_units_kind(
+        let units = engine.run_units_ckpt(
             "wimax",
             n_units,
             self.seed,
+            &mut BTreeMap::new(),
+            cancel,
             || WimaxPool {
                 // One lockout per frame: suppress retriggers (correlator
                 // false triggers on payload symbols, energy re-rises)
@@ -1016,7 +1092,7 @@ impl WimaxDetectionSpec {
                     latency_acc,
                 }
             },
-        );
+        )?;
         // Ordered merge: unit k lands at the cumulative sample count of
         // units 0..k, reproducing one continuous scope timeline.
         let mut scope = ScopeTrace::new(rjam_sdr::USRP_SAMPLE_RATE);
@@ -1047,7 +1123,7 @@ impl WimaxDetectionSpec {
                 );
             }
         }
-        WimaxResult {
+        Some(WimaxResult {
             detect_fraction: detected as f64 / self.frames as f64,
             mean_latency_us: if detected > 0 {
                 latency_acc / detected as f64
@@ -1056,7 +1132,7 @@ impl WimaxDetectionSpec {
             },
             scope,
             one_to_one,
-        }
+        })
     }
 }
 
@@ -1128,19 +1204,46 @@ impl JammingSweepSpec {
     /// published once at join, so the obs registry sees the same totals
     /// as a serial run.
     pub fn run(&self, engine: &CampaignEngine) -> Vec<JammingPoint> {
-        let results = engine.run_shards_kind("jamming", self.sirs_db.len(), self.seed, |ctx| {
-            let sir = self.sirs_db[ctx.index];
-            let sc = scenario_for(self.jammer, sir, self.duration_s, ctx.seed);
-            let mut delta = MacObsDelta::new();
-            let report = ScenarioRun::new(&sc).obs_into(&mut delta).run();
-            (
-                JammingPoint {
-                    sir_ap_db: sir,
-                    report,
-                },
-                delta,
-            )
-        });
+        self.run_cancellable(engine, None)
+            .expect("uncancelled campaign always completes")
+    }
+
+    /// Number of engine work units this spec runs (one per SIR point).
+    pub fn n_units(&self) -> usize {
+        self.sirs_db.len()
+    }
+
+    /// Cancellable [`JammingSweepSpec::run`]: the token stops the sweep
+    /// between SIR points and the call returns `None` without publishing
+    /// any obs deltas. Points are whole-scenario runs and are not
+    /// checkpointed — a cancelled sweep re-runs from scratch on resume
+    /// (byte-identical by determinism).
+    pub fn run_cancellable(
+        &self,
+        engine: &CampaignEngine,
+        cancel: Option<&CancelToken>,
+    ) -> Option<Vec<JammingPoint>> {
+        let results = engine.run_units_ckpt(
+            "jamming",
+            self.sirs_db.len(),
+            self.seed,
+            &mut BTreeMap::new(),
+            cancel,
+            || (),
+            |_, ctx| {
+                let sir = self.sirs_db[ctx.index];
+                let sc = scenario_for(self.jammer, sir, self.duration_s, ctx.seed);
+                let mut delta = MacObsDelta::new();
+                let report = ScenarioRun::new(&sc).obs_into(&mut delta).run();
+                (
+                    JammingPoint {
+                        sir_ap_db: sir,
+                        report,
+                    },
+                    delta,
+                )
+            },
+        )?;
         let mut merged = MacObsDelta::new();
         let mut out = Vec::with_capacity(results.len());
         for (pt, delta) in results {
@@ -1151,7 +1254,7 @@ impl JammingSweepSpec {
         if rjam_obs::enabled() {
             rjam_obs::registry::counter("core.jamming_sweep_points").add(self.sirs_db.len() as u64);
         }
-        out
+        Some(out)
     }
 }
 
@@ -1264,110 +1367,6 @@ impl HealthSweepSpec {
         }
         out
     }
-}
-
-// ---------------------------------------------------------------------------
-// Deprecated positional-argument wrappers (one release of grace).
-// ---------------------------------------------------------------------------
-
-/// Runs a WiFi detection-probability sweep (the methodology of Figs 6-8).
-#[deprecated(note = "use CampaignSpec::wifi_detection(preset).emission(..).snrs(..).run(&engine)")]
-pub fn wifi_detection_sweep(
-    preset: &DetectionPreset,
-    kind: WifiEmission,
-    snrs_db: &[f64],
-    frames_per_point: usize,
-    seed: u64,
-) -> Vec<DetectionPoint> {
-    CampaignSpec::wifi_detection(preset)
-        .emission(kind)
-        .snrs(snrs_db)
-        .trials(frames_per_point)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
-}
-
-/// [`wifi_detection_sweep`] under an explicit channel model.
-#[deprecated(note = "use CampaignSpec::wifi_detection(preset).channel(..).run(&engine)")]
-pub fn wifi_detection_sweep_in_channel(
-    preset: &DetectionPreset,
-    kind: WifiEmission,
-    channel: ChannelModel,
-    snrs_db: &[f64],
-    frames_per_point: usize,
-    seed: u64,
-) -> Vec<DetectionPoint> {
-    CampaignSpec::wifi_detection(preset)
-        .emission(kind)
-        .channel(channel)
-        .snrs(snrs_db)
-        .trials(frames_per_point)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
-}
-
-/// Measures the detector's false-alarm rate on noise alone.
-#[deprecated(note = "use CampaignSpec::false_alarm(preset).samples(..).run(&engine)")]
-pub fn false_alarm_rate(preset: &DetectionPreset, samples: usize, seed: u64) -> f64 {
-    CampaignSpec::false_alarm(preset)
-        .samples(samples)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
-}
-
-/// Sweeps the correlation threshold to trace the detector's ROC at one SNR.
-#[deprecated(note = "use CampaignSpec::roc(make_preset).thresholds(..).run(&engine)")]
-#[allow(clippy::too_many_arguments)]
-pub fn roc_curve(
-    make_preset: &(dyn Fn(f64) -> DetectionPreset + Sync),
-    kind: WifiEmission,
-    snr_db: f64,
-    thresholds: &[f64],
-    frames_per_point: usize,
-    fa_samples: usize,
-    seed: u64,
-) -> Vec<RocPoint> {
-    CampaignSpec::roc(make_preset)
-        .emission(kind)
-        .snr_db(snr_db)
-        .thresholds(thresholds)
-        .trials(frames_per_point)
-        .fa_samples(fa_samples)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
-}
-
-/// Runs the WiMAX downlink detection/jamming experiment.
-#[deprecated(note = "use CampaignSpec::wimax_detection().fused(..).frames(..).run(&engine)")]
-pub fn wimax_detection(
-    fused: bool,
-    n_frames: usize,
-    snr_db: f64,
-    xcorr_threshold: f64,
-    seed: u64,
-) -> WimaxResult {
-    CampaignSpec::wimax_detection()
-        .fused(fused)
-        .frames(n_frames)
-        .snr_db(snr_db)
-        .threshold(xcorr_threshold)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
-}
-
-/// Runs the Fig. 10/11 sweep for one jammer variant across SIR points.
-#[deprecated(note = "use CampaignSpec::jamming(jut).sirs(..).duration_s(..).run(&engine)")]
-pub fn jamming_sweep(
-    jut: JammerUnderTest,
-    sirs_db: &[f64],
-    duration_s: f64,
-    seed: u64,
-) -> Vec<JammingPoint> {
-    CampaignSpec::jamming(jut)
-        .sirs(sirs_db)
-        .duration_s(duration_s)
-        .seed(seed)
-        .run(&CampaignEngine::from_env())
 }
 
 /// Detection probability the reactive jammer achieves per frame, taken from
@@ -1873,28 +1872,23 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_spec_api() {
+    fn default_emission_is_full_frames() {
+        // The builder's default emission must stay FullFrames{psdu_len:60}:
+        // it replaced the positional wrappers' hard-coded argument, and the
+        // serialisable CampaignRequest relies on the same default.
         let preset = DetectionPreset::WifiShortPreamble { threshold: 0.30 };
-        let old = wifi_detection_sweep(
-            &preset,
-            WifiEmission::FullFrames { psdu_len: 60 },
-            &[5.0],
-            10,
-            50,
-        );
-        let new = CampaignSpec::wifi_detection(&preset)
+        let explicit = CampaignSpec::wifi_detection(&preset)
+            .emission(WifiEmission::FullFrames { psdu_len: 60 })
             .snrs(&[5.0])
             .trials(10)
             .seed(50)
             .run(&CampaignEngine::from_env());
-        assert_eq!(old, new);
-        let old_fa = false_alarm_rate(&preset, 100_000, 51);
-        let new_fa = CampaignSpec::false_alarm(&preset)
-            .samples(100_000)
-            .seed(51)
+        let defaulted = CampaignSpec::wifi_detection(&preset)
+            .snrs(&[5.0])
+            .trials(10)
+            .seed(50)
             .run(&CampaignEngine::from_env());
-        assert_eq!(old_fa, new_fa);
+        assert_eq!(explicit, defaulted);
     }
 
     #[test]

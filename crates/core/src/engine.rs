@@ -53,9 +53,10 @@
 
 use rjam_obs::stream::{self, ProgressEvent};
 use rjam_obs::telemetry::{self, EngineProfile, Straggler, WorkerStats};
+use std::collections::BTreeMap;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Environment variable overriding the worker count.
@@ -106,6 +107,33 @@ pub fn threads_from_env() -> Result<Option<usize>, String> {
     match std::env::var(THREADS_ENV) {
         Ok(raw) => parse_threads(Some(&raw)),
         Err(_) => Ok(None),
+    }
+}
+
+/// A shared cancellation flag for checkpointed campaign runs.
+///
+/// Cloning shares the flag: `rjamd` hands one clone to the engine (which
+/// polls it between units) and keeps another so a `cancel` request can trip
+/// it from any thread. Cancellation is cooperative and unit-granular — a
+/// unit in flight always finishes, so every checkpointed result is the
+/// complete, deterministic output of its unit.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token; every engine loop polling it stops claiming units.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -469,6 +497,188 @@ impl CampaignEngine {
             .collect()
     }
 
+    /// Checkpointed, cancellable variant of [`Self::run_units_kind`] — the
+    /// primitive behind `rjamd`'s cancel + resume.
+    ///
+    /// `done` holds the results of units completed by *previous* attempts,
+    /// keyed by unit index; only the missing units run. Each unit's seed
+    /// still derives from its **original** index via [`shard_seed`], so a
+    /// resumed campaign computes bit-identical results to an uninterrupted
+    /// one — the determinism contract extends across interruptions.
+    ///
+    /// `cancel`, when tripped, stops workers from claiming further units
+    /// (units in flight finish). On interruption the completed results are
+    /// merged into `done` and the call returns `None`; run again with the
+    /// same arguments to resume. On completion `done` is drained and the
+    /// full result vector returns **in unit order**.
+    ///
+    /// With no token and an empty checkpoint this delegates to
+    /// [`Self::run_units_kind`], keeping the fully-profiled fast path.
+    /// The checkpointed path emits the same `rjam-progress-v1` chain over
+    /// the units it actually runs; an interrupted run leaves the chain
+    /// truncated (no `campaign_done`), which is what its watchers should
+    /// see.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_units_ckpt<T, P, M, F>(
+        &self,
+        kind: &'static str,
+        n_units: usize,
+        seed: u64,
+        done: &mut BTreeMap<usize, T>,
+        cancel: Option<&CancelToken>,
+        make_pool: M,
+        f: F,
+    ) -> Option<Vec<T>>
+    where
+        T: Send,
+        M: Fn() -> P + Sync,
+        F: Fn(&mut P, ShardCtx) -> T + Sync,
+    {
+        if cancel.is_none() && done.is_empty() {
+            return Some(self.run_units_kind(kind, n_units, seed, make_pool, f));
+        }
+        let todo: Vec<usize> = (0..n_units).filter(|i| !done.contains_key(i)).collect();
+        let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
+        if !todo.is_empty() && !cancelled() {
+            let ctx = |index: usize| ShardCtx {
+                index,
+                seed: shard_seed(seed, index as u64),
+            };
+            let workers = self.threads.min(todo.len());
+            let plan = ShardPlan::new(todo.len(), workers);
+            self.note_run(&plan, workers.max(1));
+            let streaming = rjam_obs::enabled() && stream::active() && stream::begin_campaign();
+            let _stream_guard = StreamOwnership(streaming);
+            if streaming {
+                stream::emit(&ProgressEvent::Started {
+                    kind: kind.to_string(),
+                    units: todo.len() as u64,
+                    shards: plan.n_shards() as u64,
+                    workers: workers.max(1) as u64,
+                    seed,
+                });
+            }
+            let t0 = Instant::now();
+            let progress = Mutex::new(0u64);
+            let depth_gauge = rjam_obs::registry::gauge("core.engine_queue_depth");
+            let n_shards = plan.n_shards();
+            let n_todo = todo.len();
+            let note_shard = |shard: usize, worker: usize, units: usize, busy_ns: u64| {
+                if !rjam_obs::enabled() {
+                    return;
+                }
+                depth_gauge.set(n_shards.saturating_sub(shard + 1) as u64);
+                if !streaming {
+                    return;
+                }
+                let mut done_units = progress.lock().expect("engine progress lock");
+                *done_units += units as u64;
+                let elapsed = t0.elapsed().as_nanos() as u64;
+                stream::emit_all(&[
+                    ProgressEvent::ShardFinished {
+                        shard: shard as u64,
+                        worker: worker as u64,
+                        units: units as u64,
+                        busy_ns,
+                    },
+                    ProgressEvent::Snapshot {
+                        done: *done_units,
+                        total: n_todo as u64,
+                        elapsed_ns: elapsed,
+                        eta_ns: stream::eta_ns(elapsed, *done_units, n_todo as u64),
+                    },
+                ]);
+            };
+
+            let ranges = plan.ranges();
+            let next = AtomicUsize::new(0);
+            let todo = &todo;
+            // (busy_ns, wall_ns) per worker plus each worker's results keyed
+            // by ORIGINAL unit index; cancelled ranges simply never arrive.
+            let mut worker_times: Vec<(u64, u64)> = Vec::with_capacity(workers.max(1));
+            let mut fresh: Vec<(usize, T)> = Vec::new();
+            std::thread::scope(|s| {
+                let f = &f;
+                let make_pool = &make_pool;
+                let ctx = &ctx;
+                let next = &next;
+                let note_shard = &note_shard;
+                let handles: Vec<_> = (0..workers.max(1))
+                    .map(|w| {
+                        s.spawn(move || {
+                            let wt0 = Instant::now();
+                            let mut pool = make_pool();
+                            let mut out: Vec<(usize, T)> = Vec::new();
+                            let mut busy = 0u64;
+                            'claim: loop {
+                                if cancelled() {
+                                    break;
+                                }
+                                let r = next.fetch_add(1, Ordering::Relaxed);
+                                if r >= ranges.len() {
+                                    break;
+                                }
+                                let range = ranges[r].clone();
+                                let mut shard_busy = 0u64;
+                                let mut ran = 0usize;
+                                for slot in range.clone() {
+                                    if cancelled() {
+                                        // Partial range: keep what finished,
+                                        // report no shard_finished for it.
+                                        busy += shard_busy;
+                                        break 'claim;
+                                    }
+                                    let orig = todo[slot];
+                                    let u0 = Instant::now();
+                                    let v = f(&mut pool, ctx(orig));
+                                    shard_busy += u0.elapsed().as_nanos() as u64;
+                                    out.push((orig, v));
+                                    ran += 1;
+                                }
+                                busy += shard_busy;
+                                note_shard(r, w, ran, shard_busy);
+                            }
+                            (out, busy, wt0.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (items, busy, wall) = h.join().expect("campaign unit worker panicked");
+                    fresh.extend(items);
+                    worker_times.push((busy, wall));
+                }
+            });
+            for (orig, v) in fresh {
+                done.insert(orig, v);
+            }
+            if streaming && done.len() == n_units {
+                let busy: u64 = worker_times.iter().map(|&(b, _)| b).sum();
+                let idle: u64 = worker_times.iter().map(|&(b, w)| w.saturating_sub(b)).sum();
+                stream::emit(&ProgressEvent::Done {
+                    units: n_todo as u64,
+                    elapsed_ns: t0.elapsed().as_nanos() as u64,
+                    workers: workers.max(1) as u64,
+                    busy_ns: busy,
+                    idle_ns: idle,
+                    merge_wait_ns: 0,
+                });
+            }
+            if rjam_obs::enabled() {
+                depth_gauge.set(0);
+            }
+        }
+        if done.len() != n_units {
+            return None;
+        }
+        let map = std::mem::take(done);
+        let mut out = Vec::with_capacity(n_units);
+        for (expect, (i, v)) in map.into_iter().enumerate() {
+            assert_eq!(i, expect, "checkpoint covers every unit exactly once");
+            out.push(v);
+        }
+        Some(out)
+    }
+
     /// Publishes engine activity to the obs registry (no-op without `obs`).
     fn note_run(&self, plan: &ShardPlan, workers: usize) {
         if rjam_obs::enabled() {
@@ -782,5 +992,100 @@ mod tests {
         let before = counter_value("core.engine_units");
         CampaignEngine::with_threads(2).run_shards(5, 3, |ctx| ctx.index);
         assert!(counter_value("core.engine_units") >= before + 5);
+    }
+
+    #[test]
+    fn ckpt_with_no_token_and_empty_checkpoint_is_the_plain_path() {
+        let plain = CampaignEngine::with_threads(2).run_units(40, 11, || (), |_, ctx| ctx.seed ^ 1);
+        let mut done = BTreeMap::new();
+        let got = CampaignEngine::with_threads(2)
+            .run_units_ckpt("t", 40, 11, &mut done, None, || (), |_, ctx| ctx.seed ^ 1)
+            .expect("uncancelled run completes");
+        assert_eq!(got, plain);
+        assert!(done.is_empty(), "checkpoint drained on completion");
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_at_every_thread_count() {
+        let unit = |_: &mut (), ctx: ShardCtx| ctx.seed.wrapping_mul(ctx.index as u64 + 1);
+        let plain = CampaignEngine::serial().run_units(61, 4242, || (), unit);
+        for threads in [1usize, 2, 7] {
+            let engine = CampaignEngine::with_threads(threads);
+            // Cancel after a fixed number of units so partial checkpoints of
+            // every size (including empty and nearly-full) get exercised.
+            for cancel_after in [0u64, 1, 5, 30, 60] {
+                let token = CancelToken::new();
+                let ran = std::sync::atomic::AtomicU64::new(0);
+                let mut done = BTreeMap::new();
+                let first = engine.run_units_ckpt(
+                    "t",
+                    61,
+                    4242,
+                    &mut done,
+                    Some(&token),
+                    || (),
+                    |p, ctx| {
+                        if ran.fetch_add(1, Ordering::Relaxed) + 1 >= cancel_after {
+                            token.cancel();
+                        }
+                        unit(p, ctx)
+                    },
+                );
+                if let Some(full) = first {
+                    // The token tripped too late to interrupt anything.
+                    assert_eq!(full, plain, "threads={threads} after={cancel_after}");
+                    continue;
+                }
+                assert!(done.len() < 61, "interrupted run left a partial checkpoint");
+                // Every checkpointed value matches the uninterrupted run.
+                for (&i, &v) in &done {
+                    assert_eq!(v, plain[i], "threads={threads} unit={i}");
+                }
+                let resumed = engine.run_units_ckpt(
+                    "t",
+                    61,
+                    4242,
+                    &mut done,
+                    Some(&token.clone()),
+                    || (),
+                    unit,
+                );
+                // A still-tripped token blocks the resume entirely.
+                assert!(resumed.is_none(), "cancelled token must not run units");
+                let fresh = CancelToken::new();
+                let resumed = engine
+                    .run_units_ckpt("t", 61, 4242, &mut done, Some(&fresh), || (), unit)
+                    .expect("resume with a fresh token completes");
+                assert_eq!(resumed, plain, "threads={threads} after={cancel_after}");
+                assert!(done.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ckpt_runs_only_the_missing_units() {
+        use std::sync::atomic::AtomicU64;
+        let mut done: BTreeMap<usize, u64> = (0..20)
+            .filter(|i| i % 3 != 0)
+            .map(|i| (i, shard_seed(9, i as u64)))
+            .collect();
+        let hits = AtomicU64::new(0);
+        let got = CampaignEngine::with_threads(2)
+            .run_units_ckpt(
+                "t",
+                20,
+                9,
+                &mut done,
+                None,
+                || (),
+                |_, ctx| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    ctx.seed
+                },
+            )
+            .expect("completes");
+        assert_eq!(hits.load(Ordering::Relaxed), 7, "only units 0,3,..,18 ran");
+        let plain: Vec<u64> = (0..20).map(|i| shard_seed(9, i as u64)).collect();
+        assert_eq!(got, plain);
     }
 }

@@ -42,12 +42,14 @@ pub mod engine;
 pub mod export;
 pub mod jammer;
 pub mod presets;
+pub mod spec;
 pub mod testbed;
 pub mod timeline;
 pub mod trace;
 
 pub use autonomous::AutonomousJammer;
-pub use engine::{CampaignEngine, ShardCtx};
+pub use engine::{CampaignEngine, CancelToken, ShardCtx};
 pub use jammer::{BlockScratch, ReactiveJammer};
 pub use presets::{DetectionPreset, JammerPreset};
+pub use spec::{CampaignRequest, JobCheckpoint, SpecError};
 pub use testbed::TestbedBudget;

@@ -1,0 +1,680 @@
+//! The resident campaign service: FIFO job queue, one runner on a shared
+//! engine, cancel + checkpoint + resume, and per-job line streams.
+//!
+//! ## Architecture
+//!
+//! One [`Daemon`] owns one [`CampaignEngine`] and one **runner thread**.
+//! Jobs are validated at submit (reject-before-enqueue), assigned an id
+//! and appended to a bounded FIFO; the runner pops them in order and runs
+//! exactly one at a time, so every job gets the engine's full worker pool
+//! and jobs are fair in arrival order — there is no interleaving to make
+//! unfair. Queue depth is bounded (`queue_full` on overflow) and surfaced
+//! as the `daemon.queue_depth` gauge.
+//!
+//! While a job runs, the daemon sets the process progress scope to its id
+//! — the engine's `rjam-progress-v1` lines arrive tagged `"job":"<id>"` —
+//! and routes the progress sink into the job's **replay buffer**. A
+//! `watch` replays the buffer then follows live appends until the job is
+//! terminal, so late watchers see the identical stream early watchers
+//! did. Completion appends a `job_metrics` snapshot and the terminal
+//! `job_done`/`job_cancelled` line to the same buffer.
+//!
+//! Cancellation is cooperative and unit-granular: `cancel` trips the
+//! job's [`CancelToken`]; the engine stops claiming units, merges the
+//! finished ones into the job's [`JobCheckpoint`] and the job parks in
+//! `cancelled` with its checkpoint retained. `resume` re-enqueues it; the
+//! engine re-derives every remaining unit's seed from its original index,
+//! so the final export is **byte-identical** to an uninterrupted run.
+
+use crate::proto::{JobError, JobErrorKind, JobRequest, JobResponse, JobState, JobStatus};
+use rjam_core::spec::{CampaignRequest, JobCheckpoint};
+use rjam_core::{CampaignEngine, CancelToken};
+use rjam_obs::json;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Default bound on queued (not yet running) jobs.
+pub const DEFAULT_QUEUE_CAP: usize = 16;
+
+struct Job {
+    request: CampaignRequest,
+    state: JobState,
+    ckpt: JobCheckpoint,
+    cancel: CancelToken,
+    /// Replay buffer: scoped progress lines, then `job_metrics` and the
+    /// terminal line. Watchers follow this by cursor.
+    lines: Vec<String>,
+    export: Option<String>,
+    units_total: usize,
+}
+
+#[derive(Default)]
+struct State {
+    jobs: BTreeMap<String, Job>,
+    /// Submission order of `jobs` keys (BTreeMap orders lexically;
+    /// status reports follow arrival).
+    order: Vec<String>,
+    fifo: VecDeque<String>,
+    running: Option<String>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    engine: CampaignEngine,
+    queue_cap: usize,
+    state: Mutex<State>,
+    /// Wakes the runner (queue push, shutdown).
+    work: Condvar,
+    /// Wakes watchers and cancel waiters (any job update).
+    update: Condvar,
+}
+
+impl Inner {
+    fn set_depth_gauge(&self, st: &State) {
+        rjam_obs::registry::gauge("daemon.queue_depth").set(st.fifo.len() as u64);
+    }
+
+    fn notify_update(&self) {
+        self.update.notify_all();
+    }
+}
+
+/// Routes the process progress sink into the running job's replay
+/// buffer. Lines are already job-tagged by the stream scope.
+struct Router {
+    inner: Arc<Inner>,
+    partial: Vec<u8>,
+}
+
+impl std::io::Write for Router {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.partial.extend_from_slice(buf);
+        while let Some(nl) = self.partial.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.partial.drain(..=nl).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            let mut st = self.inner.state.lock().expect("daemon state lock");
+            if let Some(id) = st.running.clone() {
+                if let Some(job) = st.jobs.get_mut(&id) {
+                    job.lines.push(line);
+                }
+            }
+            drop(st);
+            self.inner.notify_update();
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Handle to a running campaign service. Dropping it without
+/// [`Daemon::shutdown`] detaches the runner thread.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    runner: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Starts a service over `engine` with a queue bound of `queue_cap`
+    /// pending jobs. Installs the process progress sink (obs builds) so
+    /// job progress is captured; a daemon owns its process's streams.
+    pub fn start(engine: CampaignEngine, queue_cap: usize) -> Daemon {
+        let inner = Arc::new(Inner {
+            engine,
+            queue_cap: queue_cap.max(1),
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            update: Condvar::new(),
+        });
+        if rjam_obs::enabled() {
+            rjam_obs::stream::install(Box::new(Router {
+                inner: Arc::clone(&inner),
+                partial: Vec::new(),
+            }));
+        }
+        let runner_inner = Arc::clone(&inner);
+        let runner = std::thread::Builder::new()
+            .name("rjamd-runner".into())
+            .spawn(move || run_loop(&runner_inner))
+            .expect("spawn daemon runner");
+        Daemon {
+            inner,
+            runner: Some(runner),
+        }
+    }
+
+    /// Validates and enqueues a campaign; returns the assigned job id and
+    /// the queue depth after insertion (backpressure signal).
+    pub fn submit(&self, spec: CampaignRequest) -> Result<(String, u64), JobError> {
+        spec.validate()?;
+        let mut st = self.inner.state.lock().expect("daemon state lock");
+        if st.shutdown {
+            return Err(JobError::new(
+                JobErrorKind::Shutdown,
+                "daemon is shutting down",
+            ));
+        }
+        if st.fifo.len() >= self.inner.queue_cap {
+            return Err(JobError::new(
+                JobErrorKind::QueueFull,
+                format!("queue holds {} jobs (capacity)", st.fifo.len()),
+            ));
+        }
+        st.next_id += 1;
+        let id = format!("job-{}", st.next_id);
+        let units_total = spec.n_units();
+        st.jobs.insert(
+            id.clone(),
+            Job {
+                request: spec,
+                state: JobState::Queued,
+                ckpt: JobCheckpoint::new(),
+                cancel: CancelToken::new(),
+                lines: Vec::new(),
+                export: None,
+                units_total,
+            },
+        );
+        st.order.push(id.clone());
+        st.fifo.push_back(id.clone());
+        let depth = st.fifo.len() as u64;
+        self.inner.set_depth_gauge(&st);
+        drop(st);
+        self.inner.work.notify_one();
+        self.inner.notify_update();
+        Ok((id, depth))
+    }
+
+    /// Status rows, submission order — one job or all.
+    pub fn status(&self, job: Option<&str>) -> Result<Vec<JobStatus>, JobError> {
+        let st = self.inner.state.lock().expect("daemon state lock");
+        let row = |id: &str, j: &Job| JobStatus {
+            job: id.to_string(),
+            kind: j.request.kind().to_string(),
+            state: j.state,
+            units_done: j.ckpt.units_done() as u64,
+            units_total: j.units_total as u64,
+        };
+        match job {
+            Some(id) => {
+                let j = st.jobs.get(id).ok_or_else(|| unknown(id))?;
+                Ok(vec![row(id, j)])
+            }
+            None => Ok(st
+                .order
+                .iter()
+                .filter_map(|id| st.jobs.get(id).map(|j| row(id, j)))
+                .collect()),
+        }
+    }
+
+    /// Cancels a queued or running job and blocks until it has actually
+    /// stopped (unit-granular, so the wait is one unit's latency at
+    /// most). The job's checkpoint is retained; returns the units it
+    /// holds.
+    pub fn cancel(&self, id: &str) -> Result<u64, JobError> {
+        let mut st = self.inner.state.lock().expect("daemon state lock");
+        let job = st.jobs.get_mut(id).ok_or_else(|| unknown(id))?;
+        match job.state {
+            JobState::Queued => {
+                job.state = JobState::Cancelled;
+                let done = job.ckpt.units_done() as u64;
+                let line = JobResponse::Cancelled {
+                    job: id.to_string(),
+                    units_done: done,
+                }
+                .to_line();
+                job.lines.push(line);
+                st.fifo.retain(|q| q != id);
+                self.inner.set_depth_gauge(&st);
+                drop(st);
+                self.inner.notify_update();
+                Ok(done)
+            }
+            JobState::Running => {
+                job.cancel.cancel();
+                // Wait for the runner to park the job.
+                loop {
+                    let state = st.jobs.get(id).map(|j| j.state);
+                    match state {
+                        Some(JobState::Running) => {
+                            st = self
+                                .inner
+                                .update
+                                .wait_timeout(st, Duration::from_millis(50))
+                                .expect("daemon state lock")
+                                .0;
+                        }
+                        Some(_) => break,
+                        None => return Err(unknown(id)),
+                    }
+                }
+                Ok(st
+                    .jobs
+                    .get(id)
+                    .map(|j| j.ckpt.units_done() as u64)
+                    .unwrap_or(0))
+            }
+            JobState::Done | JobState::Cancelled => Err(JobError::new(
+                JobErrorKind::BadState,
+                format!("{id} is already {}", job.state.name()),
+            )),
+        }
+    }
+
+    /// Re-enqueues a cancelled job. It keeps its id and checkpoint; the
+    /// engine runs only the missing units and the export is
+    /// byte-identical to an uninterrupted run.
+    pub fn resume(&self, id: &str) -> Result<(String, u64), JobError> {
+        let mut st = self.inner.state.lock().expect("daemon state lock");
+        if st.shutdown {
+            return Err(JobError::new(
+                JobErrorKind::Shutdown,
+                "daemon is shutting down",
+            ));
+        }
+        if st.fifo.len() >= self.inner.queue_cap {
+            return Err(JobError::new(
+                JobErrorKind::QueueFull,
+                format!("queue holds {} jobs (capacity)", st.fifo.len()),
+            ));
+        }
+        let job = st.jobs.get_mut(id).ok_or_else(|| unknown(id))?;
+        if job.state != JobState::Cancelled {
+            return Err(JobError::new(
+                JobErrorKind::BadState,
+                format!("{id} is {}, only cancelled jobs resume", job.state.name()),
+            ));
+        }
+        job.state = JobState::Queued;
+        job.cancel = CancelToken::new();
+        // The cancelled attempt's replay buffer (including its
+        // `job_cancelled` terminal line) is stale history: the resumed
+        // run emits a fresh progress chain over the remaining units, and
+        // a watcher attaching now must end on *this* attempt's terminal
+        // line, not the old one.
+        job.lines.clear();
+        st.fifo.push_back(id.to_string());
+        let depth = st.fifo.len() as u64;
+        self.inner.set_depth_gauge(&st);
+        drop(st);
+        self.inner.work.notify_one();
+        self.inner.notify_update();
+        Ok((id.to_string(), depth))
+    }
+
+    /// Replays a job's buffered lines through `emit`, then follows live
+    /// appends until the job is terminal and fully drained. `emit`
+    /// returning `Err` detaches the watcher (client hung up).
+    pub fn watch(
+        &self,
+        id: &str,
+        emit: &mut dyn FnMut(&str) -> std::io::Result<()>,
+    ) -> Result<(), JobError> {
+        let mut cursor = 0usize;
+        loop {
+            let (batch, terminal) = {
+                let mut st = self.inner.state.lock().expect("daemon state lock");
+                loop {
+                    let job = st.jobs.get(id).ok_or_else(|| unknown(id))?;
+                    // A resume truncates the replay buffer; clamp rather
+                    // than index past the end (the watcher rejoins the
+                    // fresh attempt from its start).
+                    cursor = cursor.min(job.lines.len());
+                    if job.lines.len() > cursor || job.state.is_terminal() {
+                        break (
+                            job.lines[cursor..].to_vec(),
+                            job.state.is_terminal() && job.lines.len() <= cursor,
+                        );
+                    }
+                    st = self
+                        .inner
+                        .update
+                        .wait_timeout(st, Duration::from_millis(100))
+                        .expect("daemon state lock")
+                        .0;
+                }
+            };
+            cursor += batch.len();
+            for line in &batch {
+                if emit(line).is_err() {
+                    return Ok(());
+                }
+            }
+            if terminal {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serves one non-watch request line, returning the response lines to
+    /// write back. `watch` requests are returned as [`Serve::Watch`] so
+    /// the connection handler can stream.
+    pub fn serve_line(&self, line: &str) -> Serve {
+        let req = match JobRequest::from_line(line) {
+            Ok(req) => req,
+            Err(e) => {
+                return Serve::Lines(vec![JobResponse::Error(JobError::new(
+                    JobErrorKind::BadRequest,
+                    e.to_string(),
+                ))
+                .to_line()])
+            }
+        };
+        match req {
+            JobRequest::Submit { spec } => Serve::Lines(vec![match self.submit(spec) {
+                Ok((job, queue_depth)) => JobResponse::Accepted { job, queue_depth },
+                Err(e) => JobResponse::Error(e),
+            }
+            .to_line()]),
+            JobRequest::Status { job } => Serve::Lines(vec![match self.status(job.as_deref()) {
+                Ok(jobs) => JobResponse::Status { jobs },
+                Err(e) => JobResponse::Error(e),
+            }
+            .to_line()]),
+            JobRequest::Cancel { job } => Serve::Lines(vec![match self.cancel(&job) {
+                Ok(units_done) => JobResponse::Cancelled { job, units_done },
+                Err(e) => JobResponse::Error(e),
+            }
+            .to_line()]),
+            JobRequest::Resume { job } => Serve::Lines(vec![match self.resume(&job) {
+                Ok((job, queue_depth)) => JobResponse::Accepted { job, queue_depth },
+                Err(e) => JobResponse::Error(e),
+            }
+            .to_line()]),
+            JobRequest::Watch { job } => Serve::Watch(job),
+        }
+    }
+
+    /// Stops accepting work, drains nothing (queued jobs stay queued),
+    /// cancels the running job if any, and joins the runner.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("daemon state lock");
+            st.shutdown = true;
+            if let Some(id) = st.running.clone() {
+                if let Some(job) = st.jobs.get(&id) {
+                    job.cancel.cancel();
+                }
+            }
+        }
+        self.inner.work.notify_all();
+        if let Some(h) = self.runner.take() {
+            h.join().expect("daemon runner panicked");
+        }
+        if rjam_obs::enabled() {
+            rjam_obs::stream::uninstall();
+        }
+    }
+}
+
+/// What a request line asks the connection handler to do.
+pub enum Serve {
+    /// Write these lines and move on.
+    Lines(Vec<String>),
+    /// Stream this job via [`Daemon::watch`].
+    Watch(String),
+}
+
+fn unknown(id: &str) -> JobError {
+    JobError::new(JobErrorKind::UnknownJob, format!("no job '{id}'"))
+}
+
+fn run_loop(inner: &Inner) {
+    loop {
+        // Claim the next job (or exit on shutdown).
+        let (id, request, mut ckpt, cancel) = {
+            let mut st = inner.state.lock().expect("daemon state lock");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some(id) = st.fifo.pop_front() {
+                    inner.set_depth_gauge(&st);
+                    st.running = Some(id.clone());
+                    // A job cancelled while queued was already retained
+                    // out of the fifo; this pop only sees queued jobs.
+                    let job = st.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    let claim = (
+                        id,
+                        job.request.clone(),
+                        std::mem::take(&mut job.ckpt),
+                        job.cancel.clone(),
+                    );
+                    break claim;
+                }
+                st = inner.work.wait(st).expect("daemon state lock");
+            }
+        };
+        inner.notify_update();
+        rjam_obs::stream::set_scope(Some(&id));
+        let result = request.run_to_export(&inner.engine, &mut ckpt, Some(&cancel));
+        rjam_obs::stream::set_scope(None);
+        let mut st = inner.state.lock().expect("daemon state lock");
+        st.running = None;
+        if let Some(job) = st.jobs.get_mut(&id) {
+            job.ckpt = ckpt;
+            let terminal = match result {
+                Some(export) => {
+                    job.state = JobState::Done;
+                    job.export = Some(export.clone());
+                    JobResponse::Done {
+                        job: id.clone(),
+                        export,
+                    }
+                }
+                None => {
+                    job.state = JobState::Cancelled;
+                    JobResponse::Cancelled {
+                        job: id.clone(),
+                        units_done: job.ckpt.units_done() as u64,
+                    }
+                }
+            };
+            if rjam_obs::enabled() {
+                // Tag the job's final registry view onto its stream.
+                let snap = rjam_obs::registry::snapshot().to_json();
+                if let Ok(doc) = json::parse(&snap) {
+                    job.lines.push(
+                        JobResponse::Metrics {
+                            job: id.clone(),
+                            snapshot: doc,
+                        }
+                        .to_line(),
+                    );
+                }
+            }
+            job.lines.push(terminal.to_line());
+        }
+        drop(st);
+        inner.notify_update();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rjam_core::presets::DetectionPreset;
+    use std::sync::{Mutex as StdMutex, OnceLock};
+
+    /// The progress sink and scope are process-global; daemon tests
+    /// serialize on this.
+    fn test_lock() -> &'static StdMutex<()> {
+        static LOCK: OnceLock<StdMutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| StdMutex::new(()))
+    }
+
+    fn fa_spec(samples: usize, seed: u64) -> CampaignRequest {
+        CampaignRequest::FalseAlarm {
+            preset: DetectionPreset::WifiShortPreamble { threshold: 0.30 },
+            samples,
+            seed,
+        }
+    }
+
+    fn wait_done(d: &Daemon, id: &str) -> JobStatus {
+        for _ in 0..600 {
+            let st = d.status(Some(id)).expect("status")[0].clone();
+            if st.state.is_terminal() {
+                return st;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        panic!("job {id} never finished");
+    }
+
+    #[test]
+    fn jobs_run_fifo_and_export_matches_direct() {
+        let _guard = test_lock().lock().unwrap();
+        let d = Daemon::start(CampaignEngine::with_threads(2), 8);
+        let specs = [
+            fa_spec(1 << 18, 3),
+            fa_spec(1 << 18, 4),
+            fa_spec(1 << 17, 5),
+        ];
+        let ids: Vec<String> = specs
+            .iter()
+            .map(|s| d.submit(s.clone()).expect("accepted").0)
+            .collect();
+        for (id, spec) in ids.iter().zip(&specs) {
+            let st = wait_done(&d, id);
+            assert_eq!(st.state, JobState::Done, "{id}");
+            let direct = spec
+                .run_to_export(
+                    &CampaignEngine::with_threads(2),
+                    &mut JobCheckpoint::new(),
+                    None,
+                )
+                .unwrap();
+            let mut lines = Vec::new();
+            d.watch(id, &mut |l: &str| {
+                lines.push(l.to_string());
+                Ok(())
+            })
+            .expect("watch");
+            let last = JobResponse::from_line(lines.last().expect("terminal line")).unwrap();
+            match last {
+                JobResponse::Done { export, .. } => assert_eq!(export, direct, "{id}"),
+                other => panic!("expected job_done, got {other:?}"),
+            }
+        }
+        d.shutdown();
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_before_enqueue() {
+        let _guard = test_lock().lock().unwrap();
+        let d = Daemon::start(CampaignEngine::with_threads(1), 2);
+        let err = d.submit(fa_spec(0, 0)).expect_err("0 samples");
+        assert_eq!(err.kind, JobErrorKind::BadSpec);
+        assert!(d.status(None).unwrap().is_empty(), "nothing enqueued");
+        let err = d.cancel("job-99").expect_err("unknown");
+        assert_eq!(err.kind, JobErrorKind::UnknownJob);
+        d.shutdown();
+    }
+
+    #[test]
+    fn queue_bound_applies_backpressure() {
+        let _guard = test_lock().lock().unwrap();
+        // Capacity 2: big first job occupies the runner soon, leaving the
+        // queue to fill behind it.
+        let d = Daemon::start(CampaignEngine::with_threads(1), 2);
+        let mut accepted = 0usize;
+        let mut full = 0usize;
+        for seed in 0..8u64 {
+            match d.submit(fa_spec(1 << 18, seed)) {
+                Ok(_) => accepted += 1,
+                Err(e) => {
+                    assert_eq!(e.kind, JobErrorKind::QueueFull);
+                    full += 1;
+                }
+            }
+        }
+        assert!(full > 0, "queue never filled");
+        assert!(accepted >= 2, "bound must admit up to capacity");
+        d.shutdown();
+    }
+
+    #[test]
+    fn cancel_then_resume_is_byte_identical() {
+        let _guard = test_lock().lock().unwrap();
+        let d = Daemon::start(CampaignEngine::with_threads(2), 8);
+        // 8 units: enough to usually interrupt mid-run.
+        let spec = fa_spec(8 << 18, 77);
+        let direct = spec
+            .run_to_export(
+                &CampaignEngine::with_threads(7),
+                &mut JobCheckpoint::new(),
+                None,
+            )
+            .unwrap();
+        let (id, _) = d.submit(spec).expect("accepted");
+        let done = d.cancel(&id).expect("cancel");
+        let st = d.status(Some(&id)).expect("status")[0].clone();
+        assert_eq!(st.state, JobState::Cancelled);
+        assert_eq!(st.units_done, done);
+        // Cancel of a cancelled job is a typed error.
+        assert_eq!(
+            d.cancel(&id).expect_err("bad state").kind,
+            JobErrorKind::BadState
+        );
+        d.resume(&id).expect("resume");
+        let st = wait_done(&d, &id);
+        assert_eq!(st.state, JobState::Done);
+        let mut lines = Vec::new();
+        d.watch(&id, &mut |l: &str| {
+            lines.push(l.to_string());
+            Ok(())
+        })
+        .expect("watch");
+        // The resume truncated the cancelled attempt's replay buffer: the
+        // stream a watcher sees holds the fresh attempt only, ending in
+        // job_done — no stale job_cancelled terminal mid-stream.
+        assert!(
+            !lines
+                .iter()
+                .any(|l| matches!(JobResponse::from_line(l), Ok(JobResponse::Cancelled { .. }))),
+            "resumed watch replayed the stale cancelled terminal"
+        );
+        match JobResponse::from_line(lines.last().expect("lines")).unwrap() {
+            JobResponse::Done { export, .. } => assert_eq!(export, direct),
+            other => panic!("expected job_done, got {other:?}"),
+        }
+        d.shutdown();
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn watch_streams_job_tagged_progress() {
+        let _guard = test_lock().lock().unwrap();
+        let d = Daemon::start(CampaignEngine::with_threads(2), 8);
+        let (id, _) = d.submit(fa_spec(4 << 18, 9)).expect("accepted");
+        wait_done(&d, &id);
+        let mut lines = Vec::new();
+        d.watch(&id, &mut |l: &str| {
+            lines.push(l.to_string());
+            Ok(())
+        })
+        .expect("watch");
+        let tag = format!("\"job\":\"{id}\"");
+        let progress: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.contains("rjam-progress-v1"))
+            .collect();
+        assert!(!progress.is_empty(), "no progress lines captured");
+        assert!(
+            progress.iter().all(|l| l.contains(&tag)),
+            "untagged progress line in {progress:?}"
+        );
+        // And the scoped lines still parse as progress events.
+        for l in &progress {
+            rjam_obs::stream::ProgressEvent::from_line(l).expect("scoped line parses");
+        }
+        d.shutdown();
+    }
+}

@@ -31,6 +31,4 @@ pub mod sim;
 pub use defense::{JammingDetector, JammingVerdict, LinkObservation};
 pub use iperf::IperfReport;
 pub use model::{JammerKind, Scenario};
-#[allow(deprecated)]
-pub use sim::run_scenario_traced;
 pub use sim::{run_scenario, MacObsDelta, ScenarioRun};

@@ -283,16 +283,6 @@ pub fn run_scenario(sc: &Scenario) -> IperfReport {
     ScenarioRun::new(sc).run()
 }
 
-/// [`run_scenario`] with a causal-trace sink attached.
-#[deprecated(note = "use ScenarioRun::new(sc).trace(sink).run()")]
-pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> IperfReport {
-    let mut run = ScenarioRun::new(sc);
-    if let Some(sink) = trace {
-        run = run.trace(sink);
-    }
-    run.run()
-}
-
 /// One configured execution of the DES loop: the scenario plus every
 /// optional coupling that used to live in positional-argument variants.
 ///
@@ -305,8 +295,7 @@ pub fn run_scenario_traced(sc: &Scenario, trace: Option<&mut TraceSink>) -> Iper
 ///
 /// Options compose freely:
 /// * [`ScenarioRun::trace`] — record the causal chain of every datagram
-///   into a [`TraceSink`] (replaces the `run_scenario_traced` special
-///   case);
+///   into a [`TraceSink`];
 /// * [`ScenarioRun::obs_into`] — batch `mac.*` counter deltas into a
 ///   [`MacObsDelta`] instead of publishing them at run end (the sharded
 ///   campaign engine's deferred-merge path);
@@ -789,16 +778,18 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_traced_wrapper_matches_scenario_run() {
+    fn traced_run_matches_untraced_run() {
+        // Attaching a trace sink is observation, not perturbation: the
+        // simulated link must behave identically with and without it.
         let sc = base();
-        let mut sink_old = TraceSink::with_capacity(16_384);
-        let mut sink_new = TraceSink::with_capacity(16_384);
-        let old = run_scenario_traced(&sc, Some(&mut sink_old));
-        let new = ScenarioRun::new(&sc).trace(&mut sink_new).run();
-        assert_eq!(old.sent, new.sent);
-        assert_eq!(old.received, new.received);
-        assert_eq!(sink_old.len(), sink_new.len());
+        let mut sink = TraceSink::with_capacity(16_384);
+        let traced = ScenarioRun::new(&sc).trace(&mut sink).run();
+        let plain = ScenarioRun::new(&sc).run();
+        assert_eq!(traced.sent, plain.sent);
+        assert_eq!(traced.received, plain.received);
+        if rjam_obs::enabled() {
+            assert!(!sink.is_empty(), "traced run recorded no events");
+        }
     }
 
     #[cfg(feature = "obs")]

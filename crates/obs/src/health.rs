@@ -35,13 +35,17 @@
 //! builds) while the detectors and the monitor compile to zero-sized
 //! no-ops without the `obs` feature.
 
-use crate::json::{self, Value};
+use crate::json;
+use crate::proto::{self, Envelope, ParseError, Protocol};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// The protocol descriptor for this stream.
+pub const PROTOCOL: Protocol = Protocol::HEALTH;
+
 /// Schema tag carried by every `rjam-health-v1` line.
-pub const SCHEMA: &str = "rjam-health-v1";
+pub const SCHEMA: &str = PROTOCOL.tag;
 
 /// One event of the `rjam-health-v1` stream.
 #[derive(Clone, Debug, PartialEq)]
@@ -99,7 +103,7 @@ pub enum HealthEvent {
 }
 
 fn hex_id(id: u64) -> String {
-    format!("\"0x{id:x}\"")
+    proto::hex_u64_json(id)
 }
 
 impl HealthEvent {
@@ -178,72 +182,48 @@ impl HealthEvent {
     }
 
     /// Parses one NDJSON line back into an event.
-    pub fn from_line(line: &str) -> Result<Self, String> {
-        let root = json::parse(line)?;
-        let obj = root.as_object().ok_or("line is not a JSON object")?;
-        match obj.get("v").and_then(Value::as_str) {
-            Some(SCHEMA) => {}
-            Some(other) => return Err(format!("unsupported schema '{other}'")),
-            None => return Err("missing string field 'v'".into()),
-        }
-        let num = |f: &str| -> Result<u64, String> {
-            obj.get(f)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| format!("missing or non-integer field '{f}'"))
-        };
-        let float = |f: &str| -> Result<f64, String> {
-            obj.get(f)
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("missing or non-numeric field '{f}'"))
-        };
-        let string = |f: &str| -> Result<String, String> {
-            obj.get(f)
-                .and_then(Value::as_str)
-                .map(str::to_string)
-                .ok_or_else(|| format!("missing string field '{f}'"))
-        };
-        match obj.get("ev").and_then(Value::as_str) {
-            Some("baseline_established") => Ok(HealthEvent::Baseline {
-                metric: string("metric")?,
-                detector: string("detector")?,
-                mean: float("mean")?,
-                samples: num("samples")?,
+    pub fn from_line(line: &str) -> Result<Self, ParseError> {
+        let env = Envelope::parse(&PROTOCOL, line)?;
+        match env.event("ev")? {
+            "baseline_established" => Ok(HealthEvent::Baseline {
+                metric: env.string("metric")?,
+                detector: env.string("detector")?,
+                mean: env.f64("mean")?,
+                samples: env.u64("samples")?,
             }),
-            Some("alarm_raised") => Ok(HealthEvent::AlarmRaised {
-                rule: string("rule")?,
-                metric: string("metric")?,
-                detector: string("detector")?,
-                stat: float("stat")?,
-                threshold: float("threshold")?,
-                frame: num("frame")?,
-                frames: obj
-                    .get("frames")
-                    .and_then(Value::as_array)
-                    .ok_or("missing array field 'frames'")?
+            "alarm_raised" => Ok(HealthEvent::AlarmRaised {
+                rule: env.string("rule")?,
+                metric: env.string("metric")?,
+                detector: env.string("detector")?,
+                stat: env.f64("stat")?,
+                threshold: env.f64("threshold")?,
+                frame: env.u64("frame")?,
+                frames: env
+                    .array("frames")?
                     .iter()
                     .map(|v| {
-                        let s = v.as_str().ok_or("frame id is not a string")?;
-                        let hex = s.strip_prefix("0x").ok_or_else(|| {
-                            format!("frame id '{s}' is not a 0x-prefixed hex string")
-                        })?;
-                        u64::from_str_radix(hex, 16).map_err(|_| format!("bad frame id '{s}'"))
+                        let s = v
+                            .as_str()
+                            .ok_or_else(|| ParseError::invalid("frame id is not a string"))?;
+                        proto::parse_hex_u64("frame id", s)
                     })
-                    .collect::<Result<Vec<_>, String>>()?,
+                    .collect::<Result<Vec<_>, ParseError>>()?,
             }),
-            Some("alarm_cleared") => Ok(HealthEvent::AlarmCleared {
-                rule: string("rule")?,
-                metric: string("metric")?,
-                frame: num("frame")?,
+            "alarm_cleared" => Ok(HealthEvent::AlarmCleared {
+                rule: env.string("rule")?,
+                metric: env.string("metric")?,
+                frame: env.u64("frame")?,
             }),
-            Some("run_summary") => Ok(HealthEvent::RunSummary {
-                frames: num("frames")?,
-                polls: num("polls")?,
-                alarms_raised: num("alarms_raised")?,
-                alarms_active: num("alarms_active")?,
-                healthy: num("healthy")? != 0,
+            "run_summary" => Ok(HealthEvent::RunSummary {
+                frames: env.u64("frames")?,
+                polls: env.u64("polls")?,
+                alarms_raised: env.u64("alarms_raised")?,
+                alarms_active: env.u64("alarms_active")?,
+                healthy: env.u64("healthy")? != 0,
             }),
-            Some(other) => Err(format!("unknown event kind '{other}'")),
-            None => Err("missing string field 'ev'".into()),
+            other => Err(ParseError::UnknownEvent {
+                found: other.to_string(),
+            }),
         }
     }
 }
@@ -252,15 +232,8 @@ impl HealthEvent {
 ///
 /// Blank lines are rejected (a truncated write must not pass silently);
 /// only a single trailing newline is tolerated.
-pub fn parse_stream(text: &str) -> Result<Vec<HealthEvent>, String> {
-    let body = text.strip_suffix('\n').unwrap_or(text);
-    if body.is_empty() {
-        return Ok(Vec::new());
-    }
-    body.lines()
-        .enumerate()
-        .map(|(k, line)| HealthEvent::from_line(line).map_err(|e| format!("line {}: {e}", k + 1)))
-        .collect()
+pub fn parse_stream(text: &str) -> Result<Vec<HealthEvent>, ParseError> {
+    proto::parse_ndjson(text, HealthEvent::from_line)
 }
 
 /// Validates a complete monitor stream: exactly one `run_summary` last,
@@ -1423,7 +1396,7 @@ mod tests {
         // Stream with one bad line names the line; blank lines are rejected.
         let good = sample_events()[0].to_line();
         let err = parse_stream(&format!("{good}\nnot json\n")).unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
         assert!(parse_stream(&format!("{good}\n\n{good}\n")).is_err());
     }
 

@@ -99,6 +99,31 @@ pub fn write_number(n: f64) -> String {
     }
 }
 
+/// Serialises any [`Value`] compactly (no whitespace, object keys in the
+/// map's sorted order). The inverse of [`parse`] up to number formatting;
+/// used to embed whole documents (campaign specs, metrics snapshots) in
+/// single NDJSON lines.
+pub fn write_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(true) => "true".into(),
+        Value::Bool(false) => "false".into(),
+        Value::Number(n) => write_number(*n),
+        Value::String(s) => write_string(s),
+        Value::Array(items) => {
+            let body: Vec<String> = items.iter().map(write_value).collect();
+            format!("[{}]", body.join(","))
+        }
+        Value::Object(map) => {
+            let body: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{}:{}", write_string(k), write_value(v)))
+                .collect();
+            format!("{{{}}}", body.join(","))
+        }
+    }
+}
+
 /// Parses a complete JSON document.
 pub fn parse(text: &str) -> Result<Value, String> {
     let mut p = Parser {
@@ -316,6 +341,16 @@ mod tests {
         let arr = obj["a"].as_array().unwrap();
         assert_eq!(arr[0].as_u64(), Some(1));
         assert_eq!(arr[2].as_object().unwrap()["b"], Value::Null);
+    }
+
+    #[test]
+    fn write_value_round_trips() {
+        let doc = r#"{"a":[1,2.5,{"b":null}],"c":true,"d":"x\ny","e":false}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(write_value(&v), doc);
+        assert_eq!(parse(&write_value(&v)).unwrap(), v);
+        assert_eq!(write_value(&Value::Array(vec![])), "[]");
+        assert_eq!(write_value(&Value::Object(BTreeMap::new())), "{}");
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod health;
 pub mod hist;
 pub mod json;
+pub mod proto;
 pub mod recorder;
 pub mod registry;
 pub mod snapshot;
@@ -55,6 +56,7 @@ pub mod trace;
 
 pub use health::{HealthConfig, HealthEvent, HealthMonitor, HealthVerdict};
 pub use hist::{HistSummary, LogHistogram};
+pub use proto::{Envelope, ParseError, Protocol};
 pub use recorder::{FlightRecorder, ObsEvent, TripInfo};
 pub use registry::{Counter, Gauge, HistHandle, LocalCounter, LocalHistogram};
 pub use snapshot::MetricsSnapshot;

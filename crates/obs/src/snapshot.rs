@@ -22,10 +22,14 @@
 
 use crate::hist::HistSummary;
 use crate::json::{self, Value};
+use crate::proto::{Envelope, ParseError, Protocol};
 use crate::recorder::{ObsEvent, TripInfo};
 
+/// The protocol descriptor for this document.
+pub const PROTOCOL: Protocol = Protocol::METRICS;
+
 /// Schema tag emitted and required by this version.
-pub const SCHEMA: &str = "rjam-metrics-v1";
+pub const SCHEMA: &str = PROTOCOL.tag;
 
 /// An owned flight-recorder event (JSON-safe variant of [`ObsEvent`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -214,113 +218,93 @@ impl MetricsSnapshot {
     }
 
     /// Parses a `rjam-metrics-v1` document back into a snapshot.
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        let root = json::parse(text)?;
-        let obj = root.as_object().ok_or("top level is not an object")?;
-        match obj.get("schema").and_then(Value::as_str) {
-            Some(SCHEMA) => {}
-            Some(other) => return Err(format!("unsupported schema '{other}'")),
-            None => return Err("missing string field 'schema'".into()),
-        }
+    pub fn from_json(text: &str) -> Result<Self, ParseError> {
+        let env = Envelope::parse(&PROTOCOL, text)?;
         let mut snap = MetricsSnapshot::default();
-        if let Some(map) = obj.get("counters").and_then(Value::as_object) {
-            for (k, v) in map {
-                let n = v
-                    .as_u64()
-                    .ok_or_else(|| format!("counter '{k}' is not a non-negative integer"))?;
-                snap.counters.push((k.clone(), n));
-            }
-        } else {
-            return Err("missing object field 'counters'".into());
+        for (k, v) in env.object("counters")? {
+            let n = v.as_u64().ok_or_else(|| {
+                ParseError::invalid(format!("counter '{k}' is not a non-negative integer"))
+            })?;
+            snap.counters.push((k.clone(), n));
         }
-        if let Some(map) = obj.get("gauges").and_then(Value::as_object) {
-            for (k, v) in map {
-                let n = v
-                    .as_u64()
-                    .ok_or_else(|| format!("gauge '{k}' is not a non-negative integer"))?;
-                snap.gauges.push((k.clone(), n));
-            }
-        } else {
-            return Err("missing object field 'gauges'".into());
+        for (k, v) in env.object("gauges")? {
+            let n = v.as_u64().ok_or_else(|| {
+                ParseError::invalid(format!("gauge '{k}' is not a non-negative integer"))
+            })?;
+            snap.gauges.push((k.clone(), n));
         }
-        if let Some(map) = obj.get("histograms").and_then(Value::as_object) {
-            for (k, v) in map {
-                let h = v
-                    .as_object()
-                    .ok_or_else(|| format!("histogram '{k}' is not an object"))?;
-                let field = |f: &str| -> Result<u64, String> {
-                    h.get(f)
-                        .and_then(Value::as_u64)
-                        .ok_or_else(|| format!("histogram '{k}': bad field '{f}'"))
-                };
-                let mean = h
-                    .get("mean")
+        for (k, v) in env.object("histograms")? {
+            let h = v
+                .as_object()
+                .ok_or_else(|| ParseError::invalid(format!("histogram '{k}' is not an object")))?;
+            let field = |f: &str| -> Result<u64, ParseError> {
+                h.get(f)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ParseError::invalid(format!("histogram '{k}': bad field '{f}'")))
+            };
+            let mean = h
+                .get("mean")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ParseError::invalid(format!("histogram '{k}': bad field 'mean'")))?;
+            snap.histograms.push((
+                k.clone(),
+                HistSummary {
+                    count: field("count")?,
+                    mean,
+                    min: field("min")?,
+                    max: field("max")?,
+                    p50: field("p50")?,
+                    p95: field("p95")?,
+                    p99: field("p99")?,
+                },
+            ));
+        }
+        for (k, it) in env.array("events")?.iter().enumerate() {
+            let e = it
+                .as_object()
+                .ok_or_else(|| ParseError::invalid(format!("event {k} is not an object")))?;
+            let num = |f: &str| -> Result<u64, ParseError> {
+                e.get(f)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| ParseError::invalid(format!("event {k}: bad field '{f}'")))
+            };
+            let signed = |f: &str| -> Result<i64, ParseError> {
+                e.get(f)
                     .and_then(Value::as_f64)
-                    .ok_or_else(|| format!("histogram '{k}': bad field 'mean'"))?;
-                snap.histograms.push((
-                    k.clone(),
-                    HistSummary {
-                        count: field("count")?,
-                        mean,
-                        min: field("min")?,
-                        max: field("max")?,
-                        p50: field("p50")?,
-                        p95: field("p95")?,
-                        p99: field("p99")?,
-                    },
-                ));
-            }
-        } else {
-            return Err("missing object field 'histograms'".into());
+                    .map(|n| n as i64)
+                    .ok_or_else(|| ParseError::invalid(format!("event {k}: bad field '{f}'")))
+            };
+            snap.events.push(SnapEvent {
+                seq: num("seq")?,
+                t: num("t")?,
+                kind: e
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| ParseError::invalid(format!("event {k}: bad field 'kind'")))?
+                    .to_string(),
+                a: signed("a")?,
+                b: signed("b")?,
+            });
         }
-        if let Some(items) = obj.get("events").and_then(Value::as_array) {
-            for (k, it) in items.iter().enumerate() {
-                let e = it
-                    .as_object()
-                    .ok_or_else(|| format!("event {k} is not an object"))?;
-                let num = |f: &str| -> Result<u64, String> {
-                    e.get(f)
-                        .and_then(Value::as_u64)
-                        .ok_or_else(|| format!("event {k}: bad field '{f}'"))
-                };
-                let signed = |f: &str| -> Result<i64, String> {
-                    e.get(f)
-                        .and_then(Value::as_f64)
-                        .map(|n| n as i64)
-                        .ok_or_else(|| format!("event {k}: bad field '{f}'"))
-                };
-                snap.events.push(SnapEvent {
-                    seq: num("seq")?,
-                    t: num("t")?,
-                    kind: e
-                        .get("kind")
-                        .and_then(Value::as_str)
-                        .ok_or_else(|| format!("event {k}: bad field 'kind'"))?
-                        .to_string(),
-                    a: signed("a")?,
-                    b: signed("b")?,
-                });
-            }
-        } else {
-            return Err("missing array field 'events'".into());
-        }
-        match obj.get("trip") {
+        match env.get("trip") {
             None | Some(Value::Null) => {}
             Some(v) => {
-                let t = v.as_object().ok_or("'trip' is not an object or null")?;
-                snap.trip = Some(SnapTrip {
-                    t: t.get("t")
+                let t = v
+                    .as_object()
+                    .ok_or_else(|| ParseError::invalid("'trip' is not an object or null"))?;
+                let field = |f: &str| -> Result<u64, ParseError> {
+                    t.get(f)
                         .and_then(Value::as_u64)
-                        .ok_or("trip: bad field 't'")?,
+                        .ok_or_else(|| ParseError::invalid(format!("trip: bad field '{f}'")))
+                };
+                snap.trip = Some(SnapTrip {
+                    t: field("t")?,
                     reason: t
                         .get("reason")
                         .and_then(Value::as_str)
-                        .ok_or("trip: bad field 'reason'")?
+                        .ok_or_else(|| ParseError::invalid("trip: bad field 'reason'"))?
                         .to_string(),
-                    seq: t
-                        .get("seq")
-                        .and_then(Value::as_u64)
-                        .ok_or("trip: bad field 'seq'")?,
+                    seq: field("seq")?,
                 });
             }
         }

@@ -28,13 +28,17 @@
 //! shared JSON dialect holds numbers as `f64` and a campaign seed uses all
 //! 64 bits.
 
-use crate::json::{self, Value};
+use crate::json;
+use crate::proto::{self, Envelope, ParseError, Protocol};
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// The protocol descriptor for this stream.
+pub const PROTOCOL: Protocol = Protocol::PROGRESS;
+
 /// Schema tag carried by every `rjam-progress-v1` line.
-pub const SCHEMA: &str = "rjam-progress-v1";
+pub const SCHEMA: &str = PROTOCOL.tag;
 
 /// One event of the `rjam-progress-v1` stream.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,7 +111,7 @@ pub fn eta_ns(elapsed_ns: u64, done: u64, total: u64) -> u64 {
 }
 
 fn hex_seed(seed: u64) -> String {
-    format!("\"0x{seed:x}\"")
+    proto::hex_u64_json(seed)
 }
 
 impl ProgressEvent {
@@ -181,62 +185,39 @@ impl ProgressEvent {
     }
 
     /// Parses one NDJSON line back into an event.
-    pub fn from_line(line: &str) -> Result<Self, String> {
-        let root = json::parse(line)?;
-        let obj = root.as_object().ok_or("line is not a JSON object")?;
-        match obj.get("v").and_then(Value::as_str) {
-            Some(SCHEMA) => {}
-            Some(other) => return Err(format!("unsupported schema '{other}'")),
-            None => return Err("missing string field 'v'".into()),
-        }
-        let num = |f: &str| -> Result<u64, String> {
-            obj.get(f)
-                .and_then(Value::as_u64)
-                .ok_or_else(|| format!("missing or non-integer field '{f}'"))
-        };
-        match obj.get("ev").and_then(Value::as_str) {
-            Some("campaign_started") => Ok(ProgressEvent::Started {
-                kind: obj
-                    .get("kind")
-                    .and_then(Value::as_str)
-                    .ok_or("missing string field 'kind'")?
-                    .to_string(),
-                units: num("units")?,
-                shards: num("shards")?,
-                workers: num("workers")?,
-                seed: {
-                    let s = obj
-                        .get("seed")
-                        .and_then(Value::as_str)
-                        .ok_or("missing string field 'seed'")?;
-                    let hex = s
-                        .strip_prefix("0x")
-                        .ok_or_else(|| format!("seed '{s}' is not a 0x-prefixed hex string"))?;
-                    u64::from_str_radix(hex, 16).map_err(|_| format!("bad seed '{s}'"))?
-                },
+    pub fn from_line(line: &str) -> Result<Self, ParseError> {
+        let env = Envelope::parse(&PROTOCOL, line)?;
+        match env.event("ev")? {
+            "campaign_started" => Ok(ProgressEvent::Started {
+                kind: env.string("kind")?,
+                units: env.u64("units")?,
+                shards: env.u64("shards")?,
+                workers: env.u64("workers")?,
+                seed: env.hex_u64("seed")?,
             }),
-            Some("shard_finished") => Ok(ProgressEvent::ShardFinished {
-                shard: num("shard")?,
-                worker: num("worker")?,
-                units: num("units")?,
-                busy_ns: num("busy_ns")?,
+            "shard_finished" => Ok(ProgressEvent::ShardFinished {
+                shard: env.u64("shard")?,
+                worker: env.u64("worker")?,
+                units: env.u64("units")?,
+                busy_ns: env.u64("busy_ns")?,
             }),
-            Some("snapshot") => Ok(ProgressEvent::Snapshot {
-                done: num("done")?,
-                total: num("total")?,
-                elapsed_ns: num("elapsed_ns")?,
-                eta_ns: num("eta_ns")?,
+            "snapshot" => Ok(ProgressEvent::Snapshot {
+                done: env.u64("done")?,
+                total: env.u64("total")?,
+                elapsed_ns: env.u64("elapsed_ns")?,
+                eta_ns: env.u64("eta_ns")?,
             }),
-            Some("campaign_done") => Ok(ProgressEvent::Done {
-                units: num("units")?,
-                elapsed_ns: num("elapsed_ns")?,
-                workers: num("workers")?,
-                busy_ns: num("busy_ns")?,
-                idle_ns: num("idle_ns")?,
-                merge_wait_ns: num("merge_wait_ns")?,
+            "campaign_done" => Ok(ProgressEvent::Done {
+                units: env.u64("units")?,
+                elapsed_ns: env.u64("elapsed_ns")?,
+                workers: env.u64("workers")?,
+                busy_ns: env.u64("busy_ns")?,
+                idle_ns: env.u64("idle_ns")?,
+                merge_wait_ns: env.u64("merge_wait_ns")?,
             }),
-            Some(other) => Err(format!("unknown event kind '{other}'")),
-            None => Err("missing string field 'ev'".into()),
+            other => Err(ParseError::UnknownEvent {
+                found: other.to_string(),
+            }),
         }
     }
 }
@@ -245,15 +226,8 @@ impl ProgressEvent {
 ///
 /// Blank lines are rejected (a truncated write must not pass silently);
 /// only a single trailing newline is tolerated.
-pub fn parse_stream(text: &str) -> Result<Vec<ProgressEvent>, String> {
-    let body = text.strip_suffix('\n').unwrap_or(text);
-    if body.is_empty() {
-        return Ok(Vec::new());
-    }
-    body.lines()
-        .enumerate()
-        .map(|(k, line)| ProgressEvent::from_line(line).map_err(|e| format!("line {}: {e}", k + 1)))
-        .collect()
+pub fn parse_stream(text: &str) -> Result<Vec<ProgressEvent>, ParseError> {
+    proto::parse_ndjson(text, ProgressEvent::from_line)
 }
 
 /// Validates a complete campaign stream: exactly one `campaign_started`
@@ -328,6 +302,38 @@ fn sink() -> &'static Mutex<Option<Box<dyn Write + Send>>> {
     SINK.get_or_init(|| Mutex::new(None))
 }
 
+fn scope_cell() -> &'static Mutex<Option<String>> {
+    static SCOPE: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    SCOPE.get_or_init(|| Mutex::new(None))
+}
+
+/// Tags every subsequently emitted line with a job ID: `rjamd` sets the
+/// scope to the running job before handing the engine a campaign, so
+/// watchers can attribute interleaved progress lines. `None` clears it.
+///
+/// The tag rides as an extra `"job"` field; [`ProgressEvent::from_line`]
+/// ignores unknown fields, so scoped streams stay parseable by every
+/// existing consumer.
+pub fn set_scope(job: Option<&str>) {
+    *scope_cell().lock().expect("progress scope lock") = job.map(str::to_string);
+}
+
+/// The currently installed job scope, if any.
+pub fn scope() -> Option<String> {
+    scope_cell().lock().expect("progress scope lock").clone()
+}
+
+/// Splices the scope's `"job"` field into a serialised event line.
+fn scoped_line(line: &str, scope: Option<&str>) -> String {
+    match scope {
+        // Every to_line() output starts with `{"`; inject after the brace.
+        Some(job) if line.starts_with('{') => {
+            format!("{{\"job\":{},{}", json::write_string(job), &line[1..])
+        }
+        _ => line.to_string(),
+    }
+}
+
 /// Installs the process-wide progress writer (stderr, a file, ...).
 /// Replaces any previous sink.
 pub fn install(w: Box<dyn Write + Send>) {
@@ -378,10 +384,11 @@ pub fn emit_all(events: &[ProgressEvent]) {
     if !active() {
         return;
     }
+    let scope = scope();
     let mut guard = sink().lock().expect("progress sink lock");
     if let Some(w) = guard.as_mut() {
         for ev in events {
-            let _ = writeln!(w, "{}", ev.to_line());
+            let _ = writeln!(w, "{}", scoped_line(&ev.to_line(), scope.as_deref()));
         }
         let _ = w.flush();
     }
@@ -513,7 +520,7 @@ mod tests {
         // Stream with one bad line names the line.
         let good = sample_events()[0].to_line();
         let err = parse_stream(&format!("{good}\nnot json\n")).unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
         // A blank line mid-stream is a truncation symptom, not padding.
         assert!(parse_stream(&format!("{good}\n\n{good}\n")).is_err());
     }
@@ -660,6 +667,25 @@ mod tests {
         end_campaign();
         assert!(begin_campaign(), "released guard can be re-claimed");
         end_campaign();
+    }
+
+    #[test]
+    fn scoped_lines_carry_the_job_tag_and_still_parse() {
+        for ev in sample_events() {
+            let line = scoped_line(&ev.to_line(), Some("job-7"));
+            assert!(line.starts_with("{\"job\":\"job-7\","), "{line}");
+            let back = ProgressEvent::from_line(&line).expect("scoped line parses");
+            assert_eq!(back, ev);
+            let root = json::parse(&line).unwrap();
+            assert_eq!(
+                root.as_object().unwrap()["job"].as_str(),
+                Some("job-7"),
+                "{line}"
+            );
+        }
+        // No scope: line passes through untouched.
+        let plain = sample_events()[0].to_line();
+        assert_eq!(scoped_line(&plain, None), plain);
     }
 
     #[test]

@@ -29,8 +29,12 @@
 //! builds can still *load and analyse* traces captured elsewhere.
 
 use crate::json::{self, Value};
+use crate::proto::{Envelope, ParseError, Protocol};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+
+/// The protocol descriptor for the compact trace document.
+pub const PROTOCOL: Protocol = Protocol::TRACE;
 
 /// Correlation ID for one MAC frame, threaded through every stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -454,7 +458,7 @@ pub struct SpanRow {
 
 impl TraceDoc {
     /// Schema identifier of the compact JSON form.
-    pub const SCHEMA: &'static str = "rjam-trace-v1";
+    pub const SCHEMA: &'static str = PROTOCOL.tag;
 
     /// Distinct stages in canonical order first, then first-seen order.
     pub fn stages(&self) -> Vec<String> {
@@ -519,36 +523,28 @@ impl TraceDoc {
     }
 
     /// Parses an `rjam-trace-v1` document back.
-    pub fn from_json(text: &str) -> Result<TraceDoc, String> {
-        let v = json::parse(text)?;
-        let obj = v.as_object().ok_or("trace document is not an object")?;
-        match obj.get("schema").and_then(Value::as_str) {
-            Some(s) if s == Self::SCHEMA => {}
-            Some(s) => return Err(format!("schema '{s}' is not '{}'", Self::SCHEMA)),
-            None => return Err("missing 'schema'".into()),
-        }
-        let dropped = obj.get("dropped").and_then(Value::as_u64).unwrap_or(0);
-        let raw = obj
-            .get("events")
-            .and_then(Value::as_array)
-            .ok_or("missing 'events' array")?;
+    pub fn from_json(text: &str) -> Result<TraceDoc, ParseError> {
+        let env = Envelope::parse(&PROTOCOL, text)?;
+        let dropped = env.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+        let raw = env.array("events")?;
         let mut events = Vec::with_capacity(raw.len());
         for (i, ev) in raw.iter().enumerate() {
             let o = ev
                 .as_object()
-                .ok_or_else(|| format!("event {i} is not an object"))?;
+                .ok_or_else(|| ParseError::invalid(format!("event {i} is not an object")))?;
             let field_u64 = |k: &str| {
                 o.get(k)
                     .and_then(Value::as_u64)
-                    .ok_or_else(|| format!("event {i}: missing/invalid '{k}'"))
+                    .ok_or_else(|| ParseError::invalid(format!("event {i}: missing/invalid '{k}'")))
             };
-            let field_i64 = |k: &str| -> Result<i64, String> {
-                let n = o
-                    .get(k)
-                    .and_then(Value::as_f64)
-                    .ok_or_else(|| format!("event {i}: missing/invalid '{k}'"))?;
+            let field_i64 = |k: &str| -> Result<i64, ParseError> {
+                let n = o.get(k).and_then(Value::as_f64).ok_or_else(|| {
+                    ParseError::invalid(format!("event {i}: missing/invalid '{k}'"))
+                })?;
                 if n.fract() != 0.0 {
-                    return Err(format!("event {i}: '{k}' is not an integer"));
+                    return Err(ParseError::invalid(format!(
+                        "event {i}: '{k}' is not an integer"
+                    )));
                 }
                 Ok(n as i64)
             };
@@ -556,10 +552,10 @@ impl TraceDoc {
                 o.get(k)
                     .and_then(Value::as_str)
                     .map(str::to_string)
-                    .ok_or_else(|| format!("event {i}: missing/invalid '{k}'"))
+                    .ok_or_else(|| ParseError::invalid(format!("event {i}: missing/invalid '{k}'")))
             };
             let kind = SpanKind::from_code(&field_str("k")?)
-                .ok_or_else(|| format!("event {i}: bad kind code"))?;
+                .ok_or_else(|| ParseError::invalid(format!("event {i}: bad kind code")))?;
             events.push(TraceEvent {
                 seq: field_u64("seq")?,
                 frame: FrameId(field_u64("frame")?),
